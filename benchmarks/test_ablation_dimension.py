@@ -1,0 +1,50 @@
+"""Ablation: hypervector width sweep.
+
+HDC accuracy grows with dimension and saturates; runtime grows linearly.
+This locates the knee that justifies the paper's d = 10,000 (and the
+d' = 2,500 sub-models): below ~1-2k dimensions accuracy degrades, above
+it the extra width buys little.
+"""
+
+from repro.data import TABLE_I, isolet
+from repro.experiments.report import format_table
+from repro.hdc import HDCClassifier
+from repro.runtime import CostModel, HdcTrainingConfig, Workload
+
+DIMENSIONS = (256, 1024, 4096, 10_000)
+
+
+def test_ablation_dimension(benchmark, record_result):
+    ds = isolet(max_samples=1200, seed=7).normalized()
+    cm = CostModel()
+    workload = Workload.from_spec(TABLE_I["isolet"])
+
+    def run():
+        results = []
+        for dimension in DIMENSIONS:
+            model = HDCClassifier(dimension=dimension, seed=0)
+            model.fit(ds.train_x, ds.train_y, iterations=6,
+                      num_classes=ds.num_classes)
+            accuracy = model.score(ds.test_x, ds.test_y)
+            seconds = cm.cpu_training(
+                workload, HdcTrainingConfig(dimension=dimension, iterations=20)
+            ).total
+            results.append((dimension, accuracy, seconds))
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    accuracies = [accuracy for _, accuracy, _ in results]
+    seconds = [s for _, _, s in results]
+
+    # Accuracy saturates: the last doubling buys far less than the first.
+    assert accuracies[1] > accuracies[0] - 0.02
+    assert accuracies[-1] > 0.8
+    assert abs(accuracies[-1] - accuracies[-2]) < 0.05
+    # Modeled training time grows with width.
+    assert seconds == sorted(seconds)
+
+    record_result(format_table(
+        ["dimension", "accuracy", "modeled CPU train (s)"],
+        [[d, a, s] for d, a, s in results],
+        title="Ablation — hypervector width (ISOLET surrogate)",
+    ))

@@ -1,0 +1,67 @@
+"""Ablation: encoder choice — nonlinear (tanh) vs linear vs ID/level.
+
+The paper adopts the nonlinear random-projection encoder because it
+"achieves higher learning accuracy" on linearly inseparable data and
+still maps to a single dense layer.  This ablation measures all three
+encoders on the ISOLET surrogate (whose generator includes a sinusoidal
+warp precisely to make linear encodings suboptimal) and documents the
+accelerator-compatibility contrast.
+"""
+
+import numpy as np
+
+from repro.data import isolet, pamap2
+from repro.experiments.report import format_table
+from repro.hdc import HDCClassifier, IdLevelEncoder, LinearEncoder, NonlinearEncoder
+from repro.nn import encoder_network
+
+
+def _accuracy(encoder_factory, ds, dimension=2048, iterations=6):
+    encoder = encoder_factory(ds.num_features, dimension)
+    model = HDCClassifier(dimension=dimension, encoder=encoder, seed=0)
+    model.fit(ds.train_x, ds.train_y, iterations=iterations,
+              num_classes=ds.num_classes)
+    return model.score(ds.test_x, ds.test_y)
+
+
+def test_ablation_encoders(benchmark, record_result):
+    ds = isolet(max_samples=1200, seed=7).normalized()
+    # The classical ID/level encoder binds one ID hypervector per
+    # feature, which drowns in cross-talk on 600-feature inputs; its leg
+    # of the ablation runs on the 27-feature PAMAP2 surrogate, the kind
+    # of low-rate sensor data record-based encodings were designed for.
+    sensor = pamap2(max_samples=800, seed=7).normalized()
+
+    def run():
+        nonlinear = _accuracy(
+            lambda n, d: NonlinearEncoder(n, d, seed=0), ds)
+        linear = _accuracy(
+            lambda n, d: LinearEncoder(n, d, seed=0), ds)
+        id_level = _accuracy(
+            lambda n, d: IdLevelEncoder(n, d, num_levels=32, seed=0),
+            sensor, dimension=1024, iterations=5)
+        return nonlinear, linear, id_level
+
+    nonlinear, linear, id_level = benchmark.pedantic(run, rounds=1,
+                                                     iterations=1)
+    # The paper's choice should not lose to the linear ablation.
+    assert nonlinear >= linear - 0.03
+    assert id_level > 0.5  # learns the sensor task, at much higher cost
+
+    # Accelerator compatibility: projection encoders compile to a dense
+    # network; the classical ID/level encoder cannot.
+    assert encoder_network(NonlinearEncoder(4, 8, seed=0)) is not None
+    try:
+        encoder_network(IdLevelEncoder(4, 8, seed=0))
+        mappable = True
+    except TypeError:
+        mappable = False
+    assert not mappable
+
+    record_result(format_table(
+        ["encoder", "accuracy", "maps to Edge TPU"],
+        [["nonlinear (paper, ISOLET)", nonlinear, "yes"],
+         ["linear (ISOLET)", linear, "yes"],
+         ["id-level (classic HDC, PAMAP2)", id_level, "no"]],
+        title="Ablation — encoder choice",
+    ))

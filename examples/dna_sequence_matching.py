@@ -1,0 +1,77 @@
+"""Sequence classification with HDC n-gram encoding (GenieHD-style).
+
+The paper's related work cites HDC DNA pattern matching (GenieHD, DAC
+2020).  This example classifies synthetic DNA reads by their source
+"organism": each organism is a reference genome; reads are noisy
+substrings.  The n-gram sequence encoder (binding + permutation) turns
+variable-length reads into fixed hypervectors, after which the standard
+classifier — and therefore the Edge TPU similarity-search path — applies
+unchanged.
+
+Run:  python examples/dna_sequence_matching.py
+"""
+
+import numpy as np
+
+from repro.hdc import HDCClassifier, SequenceEncoder
+
+BASES = "ACGT"
+
+
+def make_reads(rng, genomes, reads_per_genome, read_length,
+               mutation_rate=0.05):
+    """Sample noisy reads: random substrings with point mutations."""
+    reads, labels = [], []
+    for label, genome in enumerate(genomes):
+        for _ in range(reads_per_genome):
+            start = rng.integers(0, len(genome) - read_length)
+            read = genome[start:start + read_length].copy()
+            mutations = rng.random(read_length) < mutation_rate
+            read[mutations] = rng.integers(0, 4, mutations.sum())
+            reads.append(read)
+            labels.append(label)
+    return reads, np.array(labels, dtype=np.int64)
+
+
+def main(num_genomes: int = 4, genome_length: int = 3000,
+         read_length: int = 100, dimension: int = 4096,
+         reads_per_genome: int = 150) -> None:
+    rng = np.random.default_rng(13)
+    genomes = [rng.integers(0, 4, genome_length)
+               for _ in range(num_genomes)]
+    train_reads, train_y = make_reads(rng, genomes, reads_per_genome,
+                                      read_length)
+    test_reads, test_y = make_reads(rng, genomes, reads_per_genome // 3,
+                                    read_length)
+    print(f"{num_genomes} genomes of {genome_length} bases; "
+          f"{len(train_reads)} train / {len(test_reads)} test reads of "
+          f"{read_length} bases (5% point mutations)")
+
+    encoder = SequenceEncoder(alphabet_size=4, dimension=dimension,
+                              ngram=4, seed=13)
+    train_x = encoder.encode_batch(train_reads)
+    test_x = encoder.encode_batch(test_reads)
+
+    model = HDCClassifier(dimension=dimension, seed=13)
+    model.fit(train_x, train_y, iterations=5, encoded=True,
+              num_classes=num_genomes)
+    accuracy = model.score(test_x, test_y, encoded=True)
+    print(f"read-origin classification accuracy: {accuracy:.3f}")
+
+    # Show the encoding's mutation tolerance: a clean read and its
+    # mutated copy stay far more similar than unrelated reads.
+    clean = genomes[0][:read_length]
+    mutated = clean.copy()
+    flips = rng.random(read_length) < 0.1
+    mutated[flips] = rng.integers(0, 4, flips.sum())
+    unrelated = rng.integers(0, 4, read_length)
+    e = encoder.encode_batch([clean, mutated, unrelated])
+    norm = np.linalg.norm
+    sim_mut = float(e[0] @ e[1] / (norm(e[0]) * norm(e[1])))
+    sim_rand = float(e[0] @ e[2] / (norm(e[0]) * norm(e[2])))
+    print(f"similarity to 10%-mutated copy: {sim_mut:.3f}; "
+          f"to an unrelated read: {sim_rand:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Federated HDC across a fleet of edge nodes.
+
+The deployment the paper's introduction motivates: devices keep their
+data local, train HDC class hypervectors on-device (encoding would run
+on each node's Edge TPU), and a server aggregates by weighted averaging.
+The run compares an IID fleet against a severely label-skewed (non-IID)
+one and totals the communication — which is tiny, because only the
+``k x d`` class matrix ever crosses the network.
+
+Run:  python examples/federated_edge_fleet.py
+"""
+
+from repro.data import ucihar
+from repro.federated import FederatedConfig, FederatedSimulation
+from repro.hdc import HDCClassifier
+
+
+def run_fleet(dataset, non_iid_alpha, label: str, dimension: int,
+              rounds: int) -> None:
+    config = FederatedConfig(
+        num_nodes=8, rounds=rounds, local_iterations=2,
+        dimension=dimension, non_iid_alpha=non_iid_alpha,
+    )
+    result = FederatedSimulation(config, seed=11).run(dataset)
+    curve = "  ".join(f"{a:.3f}" for a in result.round_accuracy)
+    print(f"  {label}:")
+    print(f"    accuracy by round: {curve}")
+    print(f"    node sample counts: {result.node_sample_counts}")
+    print(f"    classes per node:   {result.node_class_counts}")
+    print(f"    total traffic: {result.total_communication_bytes / 1e6:.2f} MB")
+
+
+def main(max_samples: int = 3000, dimension: int = 2048,
+         rounds: int = 5) -> None:
+    dataset = ucihar(max_samples=max_samples, seed=11).normalized()
+    print(f"dataset: {dataset.name}  train={dataset.num_train}  "
+          f"classes={dataset.num_classes}")
+
+    # Centralized reference: one model sees all the data.
+    central = HDCClassifier(dimension=dimension, seed=11)
+    central.fit(dataset.train_x, dataset.train_y, iterations=6)
+    print(f"centralized accuracy: "
+          f"{central.score(dataset.test_x, dataset.test_y):.3f}\n")
+
+    print("== federated fleets (8 nodes) ==")
+    run_fleet(dataset, None, "IID split", dimension, rounds)
+    run_fleet(dataset, 0.2, "non-IID split (Dirichlet alpha=0.2)",
+              dimension, rounds)
+
+    raw_bytes = dataset.train_x.nbytes
+    model_bytes = dataset.num_classes * dimension * 4
+    print(f"\nuploading raw training data would cost "
+          f"{raw_bytes / 1e6:.2f} MB once; a model round costs "
+          f"{model_bytes / 1e3:.0f} KB per node and never reveals samples")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Edge deployment walkthrough: bagged training + fused-model inference.
+
+The paper's full framework (Fig. 3) on the ISOLET speech workload:
+
+1. train M = 4 narrow sub-models (d' = d/4) on bootstrap subsets with
+   the encoding phase running on the (simulated) Edge TPU;
+2. fuse them into one full-width inference model — a single TFLite-style
+   file you could ship to a device;
+3. deploy and measure the modeled latency breakdown at batch 1;
+4. compare the whole thing against the plain (non-bagged) flow.
+
+Run:  python examples/speech_keyword_deployment.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.data import isolet
+from repro.hdc import BaggingConfig
+from repro.runtime import InferencePipeline, TrainingPipeline
+from repro.tflite import FlatModel
+
+
+def train_and_report(name: str, pipeline: TrainingPipeline, dataset):
+    result = pipeline.run(dataset.train_x, dataset.train_y,
+                          num_classes=dataset.num_classes)
+    print(result.profiler.report(f"{name} training (modeled)"))
+    inference = InferencePipeline(result.compiled, batch=1)
+    outcome = inference.run(dataset.test_x, dataset.test_y)
+    per_sample_us = 1e6 * outcome.seconds / dataset.num_test
+    print(f"{name}: accuracy={outcome.accuracy:.3f}  "
+          f"latency={per_sample_us:.1f} us/sample\n")
+    return result, outcome
+
+
+def main(max_samples: int = 3000, dimension: int = 4096) -> None:
+    dataset = isolet(max_samples=max_samples, seed=7).normalized()
+
+    plain = TrainingPipeline(dimension=dimension, iterations=10, seed=7)
+    plain_result, _ = train_and_report("plain", plain, dataset)
+
+    bagging = BaggingConfig(num_models=4, dimension=dimension, iterations=4,
+                            dataset_ratio=0.6)
+    bagged = TrainingPipeline(dimension=dimension, bagging=bagging, seed=7)
+    bagged_result, _ = train_and_report("bagged", bagged, dataset)
+
+    speedup = (plain_result.profiler.seconds("update")
+               / bagged_result.profiler.seconds("update"))
+    print(f"bagging update-phase speedup: {speedup:.2f}x "
+          f"(paper reports up to 4.74x at full scale)")
+
+    # The fused model is one ordinary flat file: save, reload, verify.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "isolet-fused.rtfl"
+        bagged_result.inference_model.save(path)
+        restored = FlatModel.load(path)
+        print(f"\nfused model on disk: {path.stat().st_size} bytes, "
+              f"ops={[op.kind for op in restored.ops]}")
+
+
+if __name__ == "__main__":
+    main()

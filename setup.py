@@ -1,0 +1,10 @@
+"""Setup shim for legacy editable installs (`pip install -e .`).
+
+The project metadata lives in pyproject.toml; this file exists because
+offline environments without the `wheel` package cannot use PEP 517
+editable installs, while `setup.py develop` works everywhere.
+"""
+
+from setuptools import setup
+
+setup()

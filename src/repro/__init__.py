@@ -1,0 +1,39 @@
+"""repro — reproduction of "Algorithm-Hardware Co-Design for Efficient
+Brain-Inspired Hyperdimensional Learning on Edge" (DATE 2022).
+
+The package implements the paper's full stack from scratch:
+
+- :mod:`repro.hdc` — the hyperdimensional learning algorithm (nonlinear
+  random-projection encoding, class-hypervector training) and the bagging
+  training optimization that is the paper's second contribution.
+- :mod:`repro.nn` — the HDC-as-a-hyper-wide-neural-network interpretation
+  (paper Fig. 2) used to compile HDC onto a DNN inference accelerator.
+- :mod:`repro.tflite` — a miniature TensorFlow-Lite stack: float graph to
+  int8 post-training quantization, a flat serialized model container, and
+  a reference interpreter with TFLite-faithful integer kernels.
+- :mod:`repro.edgetpu` — an Edge TPU simulator: op legality checks, weight
+  tiling onto a weight-stationary systolic MXU, on-chip parameter buffer
+  allocation, USB 3.0 transfer and cycle-level latency models.
+- :mod:`repro.platforms` — analytical performance/energy models for the
+  host mobile CPU, a Raspberry Pi 3 class ARM CPU, and the Edge TPU.
+- :mod:`repro.runtime` — the co-design framework itself (paper Fig. 1 and
+  Fig. 3): encoding on the accelerator, class-hypervector updates on the
+  host CPU, bagging orchestration and fused inference-model generation.
+- :mod:`repro.data` — seeded synthetic surrogates for the five Table-I
+  datasets (FACE, ISOLET, UCIHAR, MNIST, PAMAP2).
+- :mod:`repro.experiments` — one driver per paper table/figure.
+
+Quickstart::
+
+    from repro.data import isolet
+    from repro.hdc import HDCClassifier
+
+    ds = isolet(max_samples=2000, seed=7)
+    model = HDCClassifier(dimension=4096, seed=7)
+    model.fit(ds.train_x, ds.train_y, iterations=10)
+    accuracy = model.score(ds.test_x, ds.test_y)
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

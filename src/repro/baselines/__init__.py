@@ -1,0 +1,15 @@
+"""Comparison baselines.
+
+The paper motivates HDC against deep neural networks: "complex
+algorithms, e.g., Deep Neural Networks, ... require billions of
+parameters and many hours to train" while "HDC models are
+computationally efficient to train".  This package provides the
+implied baseline — a small multilayer perceptron trained with
+backpropagation — so that claim can be measured, and demonstrates that
+the :mod:`repro.tflite`/:mod:`repro.edgetpu` stack is general enough to
+compile a *conventionally trained* network, not just HDC-shaped ones.
+"""
+
+from repro.baselines.mlp import MlpClassifier, MlpConfig
+
+__all__ = ["MlpClassifier", "MlpConfig"]

@@ -1,0 +1,204 @@
+"""A small MLP trained with backpropagation (the paper's implied baseline).
+
+One tanh hidden layer and a linear output layer, trained with mini-batch
+SGD on softmax cross-entropy.  The tanh hidden layer is deliberate: the
+trained network compiles through :func:`repro.baselines.mlp.MlpClassifier.to_network`
+onto exactly the same quantize-and-run-on-Edge-TPU path as the HDC
+models, so inference comparisons are apples to apples.  Training,
+however, requires gradients — the thing the Edge TPU (and the paper's
+framework) cannot accelerate, which is the contrast the paper draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.graph import Network
+from repro.nn.layers import Activation, Argmax, Dense
+
+__all__ = ["MlpClassifier", "MlpConfig"]
+
+
+@dataclass(frozen=True)
+class MlpConfig:
+    """MLP hyper-parameters.
+
+    Attributes:
+        hidden_dim: Hidden-layer width.
+        learning_rate: SGD step size.
+        batch_size: Mini-batch size.
+        epochs: Training passes over the data.
+        weight_scale: Std of the (scaled-Gaussian) weight init.
+        momentum: Classical momentum coefficient (0 disables).
+    """
+
+    hidden_dim: int = 256
+    learning_rate: float = 0.05
+    batch_size: int = 64
+    epochs: int = 20
+    weight_scale: float = 1.0
+    momentum: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.hidden_dim < 1 or self.batch_size < 1 or self.epochs < 1:
+            raise ValueError("hidden_dim, batch_size, epochs must be >= 1")
+        if self.learning_rate <= 0:
+            raise ValueError(f"learning_rate must be > 0, got {self.learning_rate}")
+        if not 0.0 <= self.momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {self.momentum}")
+
+
+@dataclass
+class MlpHistory:
+    """Per-epoch training statistics."""
+
+    loss: list = field(default_factory=list)
+    train_accuracy: list = field(default_factory=list)
+    flops: int = 0
+
+
+class MlpClassifier:
+    """Two-layer MLP: ``scores = tanh(x @ W1 + b1) @ W2 + b2``.
+
+    Args:
+        config: Hyper-parameters.
+        seed: Seed (or Generator) for initialization and shuffling.
+    """
+
+    def __init__(self, config: MlpConfig | None = None,
+                 seed: np.random.Generator | int | None = None):
+        self.config = config if config is not None else MlpConfig()
+        self._rng = seed if isinstance(seed, np.random.Generator) \
+            else np.random.default_rng(seed)
+        self.w1: np.ndarray | None = None
+        self.b1: np.ndarray | None = None
+        self.w2: np.ndarray | None = None
+        self.b2: np.ndarray | None = None
+        self.history = MlpHistory()
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+
+    def fit(self, x: np.ndarray, y: np.ndarray,
+            num_classes: int | None = None) -> MlpHistory:
+        """Train with mini-batch SGD + momentum on cross-entropy.
+
+        Args:
+            x: Samples ``(num_samples, num_features)``.
+            y: Integer labels.
+            num_classes: Class count; inferred when omitted.
+        """
+        x = np.asarray(x, dtype=np.float32)
+        y = np.asarray(y, dtype=np.int64)
+        if x.ndim != 2:
+            raise ValueError(f"expected 2-D samples, got shape {x.shape}")
+        if len(x) != len(y):
+            raise ValueError(f"{len(x)} samples but {len(y)} labels")
+        if num_classes is None:
+            num_classes = int(y.max()) + 1
+        config = self.config
+        num_features = x.shape[1]
+        hidden = config.hidden_dim
+
+        # Xavier-style init keeps tanh activations in their linear range.
+        scale1 = config.weight_scale / np.sqrt(num_features)
+        scale2 = config.weight_scale / np.sqrt(hidden)
+        self.w1 = (self._rng.standard_normal((num_features, hidden))
+                   * scale1).astype(np.float32)
+        self.b1 = np.zeros(hidden, dtype=np.float32)
+        self.w2 = (self._rng.standard_normal((hidden, num_classes))
+                   * scale2).astype(np.float32)
+        self.b2 = np.zeros(num_classes, dtype=np.float32)
+        velocity = [np.zeros_like(p) for p in
+                    (self.w1, self.b1, self.w2, self.b2)]
+
+        for _ in range(config.epochs):
+            order = self._rng.permutation(len(x))
+            epoch_loss = 0.0
+            correct = 0
+            for start in range(0, len(x), config.batch_size):
+                idx = order[start:start + config.batch_size]
+                batch_x, batch_y = x[idx], y[idx]
+                loss, batch_correct, grads = self._step(batch_x, batch_y,
+                                                        num_classes)
+                epoch_loss += loss * len(idx)
+                correct += batch_correct
+                params = (self.w1, self.b1, self.w2, self.b2)
+                for vel, param, grad in zip(velocity, params, grads):
+                    vel *= config.momentum
+                    vel -= config.learning_rate * grad
+                    param += vel
+            self.history.loss.append(epoch_loss / len(x))
+            self.history.train_accuracy.append(correct / len(x))
+            # Forward + backward ~ 3x the forward multiply-add count.
+            self.history.flops += int(
+                6 * len(x) * (num_features * hidden + hidden * num_classes)
+            )
+        return self.history
+
+    def _step(self, x: np.ndarray, y: np.ndarray,
+              num_classes: int) -> tuple[float, int, tuple]:
+        """One forward/backward pass; returns (loss, correct, grads)."""
+        batch = len(x)
+        pre = x @ self.w1 + self.b1
+        hidden = np.tanh(pre)
+        scores = hidden @ self.w2 + self.b2
+
+        # Stable softmax cross-entropy.
+        shifted = scores - scores.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=1, keepdims=True)
+        loss = float(-np.log(probs[np.arange(batch), y] + 1e-12).mean())
+        correct = int((scores.argmax(axis=1) == y).sum())
+
+        dscores = probs
+        dscores[np.arange(batch), y] -= 1.0
+        dscores /= batch
+        grad_w2 = hidden.T @ dscores
+        grad_b2 = dscores.sum(axis=0)
+        dhidden = (dscores @ self.w2.T) * (1.0 - hidden ** 2)
+        grad_w1 = x.T @ dhidden
+        grad_b1 = dhidden.sum(axis=0)
+        return loss, correct, (grad_w1, grad_b1, grad_w2, grad_b2)
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+
+    def scores(self, x: np.ndarray) -> np.ndarray:
+        """Class logits, shape ``(num_samples, num_classes)``."""
+        self._check_trained()
+        x = np.asarray(x, dtype=np.float32)
+        return np.tanh(x @ self.w1 + self.b1) @ self.w2 + self.b2
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted labels."""
+        return np.argmax(self.scores(x), axis=-1)
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy against labels ``y``."""
+        y = np.asarray(y, dtype=np.int64)
+        predictions = self.predict(x)
+        if len(predictions) != len(y):
+            raise ValueError(f"{len(predictions)} predictions but {len(y)} labels")
+        return float(np.mean(predictions == y))
+
+    def to_network(self, include_argmax: bool = False,
+                   name: str = "mlp") -> Network:
+        """Compile to a float :class:`Network` for the TFLite/TPU path."""
+        self._check_trained()
+        layers = [
+            Dense(self.w1, bias=self.b1, name="hidden"),
+            Activation("tanh", name="hidden-tanh"),
+            Dense(self.w2, bias=self.b2, name="logits"),
+        ]
+        if include_argmax:
+            layers.append(Argmax(name="predict"))
+        return Network(self.w1.shape[0], layers, name=name)
+
+    def _check_trained(self) -> None:
+        if self.w1 is None:
+            raise RuntimeError("model has not been trained; call fit() first")

@@ -1,0 +1,63 @@
+"""Dataset substrate for the reproduction.
+
+The paper evaluates on five datasets (Table I).  FACE is proprietary and
+the rest require network downloads, so this package provides *seeded
+synthetic surrogates* that match each dataset's shape (sample count,
+feature count, class count) and qualitative character (sparsity, feature
+scale, class separability).  See DESIGN.md section 2 for the substitution
+rationale.
+
+Public API::
+
+    from repro.data import isolet, mnist, pamap2, face, ucihar
+    from repro.data import Dataset, DatasetSpec, TABLE_I, load, specs
+"""
+
+from repro.data.loaders import Dataset, batches, normalize_features, train_test_split
+from repro.data.sensors import (
+    ImuConfig,
+    SyntheticImuGenerator,
+    extract_features,
+    feature_count,
+    make_activity_dataset,
+    sliding_windows,
+)
+from repro.data.streams import DriftingStream, StreamConfig
+from repro.data.synthetic import SyntheticConfig, make_classification
+from repro.data.datasets import (
+    TABLE_I,
+    DatasetSpec,
+    face,
+    isolet,
+    load,
+    mnist,
+    pamap2,
+    specs,
+    ucihar,
+)
+
+__all__ = [
+    "Dataset",
+    "DatasetSpec",
+    "DriftingStream",
+    "ImuConfig",
+    "StreamConfig",
+    "SyntheticConfig",
+    "SyntheticImuGenerator",
+    "TABLE_I",
+    "batches",
+    "extract_features",
+    "face",
+    "feature_count",
+    "isolet",
+    "load",
+    "make_activity_dataset",
+    "make_classification",
+    "mnist",
+    "normalize_features",
+    "pamap2",
+    "sliding_windows",
+    "specs",
+    "train_test_split",
+    "ucihar",
+]

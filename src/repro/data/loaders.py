@@ -1,0 +1,184 @@
+"""Dataset container, normalization, splitting, and batching utilities.
+
+These are the plumbing pieces every experiment shares: an immutable
+:class:`Dataset` holding train/test arrays, per-feature normalization (HDC
+encoding quality is sensitive to feature scale), a seeded train/test
+split, and a mini-batch iterator used by the pipelines that stream samples
+through the (simulated) Edge TPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["Dataset", "batches", "normalize_features", "train_test_split"]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """An immutable classification dataset with a train/test split.
+
+    Attributes:
+        name: Human-readable dataset name (e.g. ``"isolet"``).
+        train_x: Training samples, shape ``(num_train, num_features)``.
+        train_y: Training labels in ``[0, num_classes)``, shape ``(num_train,)``.
+        test_x: Test samples, shape ``(num_test, num_features)``.
+        test_y: Test labels, shape ``(num_test,)``.
+        num_classes: Number of distinct classes.
+    """
+
+    name: str
+    train_x: np.ndarray
+    train_y: np.ndarray
+    test_x: np.ndarray
+    test_y: np.ndarray
+    num_classes: int
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.train_x.ndim != 2:
+            raise ValueError(f"train_x must be 2-D, got shape {self.train_x.shape}")
+        if self.test_x.ndim != 2:
+            raise ValueError(f"test_x must be 2-D, got shape {self.test_x.shape}")
+        if self.train_x.shape[1] != self.test_x.shape[1]:
+            raise ValueError(
+                "train/test feature counts differ: "
+                f"{self.train_x.shape[1]} vs {self.test_x.shape[1]}"
+            )
+        if len(self.train_x) != len(self.train_y):
+            raise ValueError(
+                f"train_x has {len(self.train_x)} rows but train_y has "
+                f"{len(self.train_y)} labels"
+            )
+        if len(self.test_x) != len(self.test_y):
+            raise ValueError(
+                f"test_x has {len(self.test_x)} rows but test_y has "
+                f"{len(self.test_y)} labels"
+            )
+        if self.num_classes < 2:
+            raise ValueError(f"num_classes must be >= 2, got {self.num_classes}")
+        for labels, split in ((self.train_y, "train"), (self.test_y, "test")):
+            if len(labels) and (labels.min() < 0 or labels.max() >= self.num_classes):
+                raise ValueError(
+                    f"{split} labels out of range [0, {self.num_classes}): "
+                    f"min={labels.min()}, max={labels.max()}"
+                )
+
+    @property
+    def num_features(self) -> int:
+        """Number of input features ``n``."""
+        return self.train_x.shape[1]
+
+    @property
+    def num_train(self) -> int:
+        """Number of training samples."""
+        return len(self.train_x)
+
+    @property
+    def num_test(self) -> int:
+        """Number of test samples."""
+        return len(self.test_x)
+
+    def subsample(self, max_train: int | None, max_test: int | None = None,
+                  seed: int = 0) -> "Dataset":
+        """Return a copy holding at most ``max_train``/``max_test`` samples.
+
+        Sampling is uniform without replacement and seeded, so repeated
+        calls with the same arguments yield the same subset.  ``None``
+        leaves that split untouched.
+        """
+        rng = np.random.default_rng(seed)
+        train_x, train_y = self.train_x, self.train_y
+        test_x, test_y = self.test_x, self.test_y
+        if max_train is not None and max_train < len(train_x):
+            idx = rng.choice(len(train_x), size=max_train, replace=False)
+            train_x, train_y = train_x[idx], train_y[idx]
+        if max_test is not None and max_test < len(test_x):
+            idx = rng.choice(len(test_x), size=max_test, replace=False)
+            test_x, test_y = test_x[idx], test_y[idx]
+        return replace(
+            self, train_x=train_x, train_y=train_y, test_x=test_x, test_y=test_y
+        )
+
+    def normalized(self) -> "Dataset":
+        """Return a copy with features standardized using *train* statistics."""
+        mean = self.train_x.mean(axis=0)
+        std = self.train_x.std(axis=0)
+        std = np.where(std < 1e-12, 1.0, std)
+        return replace(
+            self,
+            train_x=((self.train_x - mean) / std).astype(np.float32),
+            test_x=((self.test_x - mean) / std).astype(np.float32),
+        )
+
+
+def normalize_features(x: np.ndarray, mean: np.ndarray | None = None,
+                       std: np.ndarray | None = None) -> np.ndarray:
+    """Standardize columns of ``x`` to zero mean / unit variance.
+
+    Args:
+        x: Sample matrix, shape ``(num_samples, num_features)``.
+        mean: Optional per-feature means (e.g. computed on a training
+            split).  Computed from ``x`` when omitted.
+        std: Optional per-feature standard deviations.  Computed from
+            ``x`` when omitted; near-zero deviations are clamped to one so
+            constant features map to zero instead of dividing by zero.
+
+    Returns:
+        The standardized matrix as ``float32``.
+    """
+    if x.ndim != 2:
+        raise ValueError(f"expected a 2-D sample matrix, got shape {x.shape}")
+    if mean is None:
+        mean = x.mean(axis=0)
+    if std is None:
+        std = x.std(axis=0)
+    std = np.where(np.asarray(std) < 1e-12, 1.0, std)
+    return ((x - mean) / std).astype(np.float32)
+
+
+def train_test_split(x: np.ndarray, y: np.ndarray, test_fraction: float = 0.2,
+                     seed: int = 0) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split ``(x, y)`` into train/test with a seeded shuffle.
+
+    Args:
+        x: Sample matrix, shape ``(num_samples, num_features)``.
+        y: Labels, shape ``(num_samples,)``.
+        test_fraction: Fraction of samples assigned to the test split;
+            must lie in the open interval (0, 1).
+        seed: Seed for the shuffling RNG.
+
+    Returns:
+        ``(train_x, train_y, test_x, test_y)``.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    if len(x) != len(y):
+        raise ValueError(f"x has {len(x)} rows but y has {len(y)} labels")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(x))
+    num_test = max(1, int(round(len(x) * test_fraction)))
+    test_idx = order[:num_test]
+    train_idx = order[num_test:]
+    return x[train_idx], y[train_idx], x[test_idx], y[test_idx]
+
+
+def batches(x: np.ndarray, batch_size: int,
+            y: np.ndarray | None = None) -> Iterator[tuple]:
+    """Yield contiguous mini-batches of ``x`` (and optionally ``y``).
+
+    The final batch may be smaller than ``batch_size``.  Yields
+    ``(batch_x,)`` tuples, or ``(batch_x, batch_y)`` when labels are
+    supplied, so callers can unpack uniformly.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    for start in range(0, len(x), batch_size):
+        stop = start + batch_size
+        if y is None:
+            yield (x[start:stop],)
+        else:
+            yield (x[start:stop], y[start:stop])

@@ -1,0 +1,141 @@
+"""Seeded synthetic classification-data generator.
+
+The generator produces class-conditional Gaussian mixtures in a latent
+space, then lifts them into the observed feature space through a random
+linear map plus a sinusoidal warp.  The warp makes the classes *linearly
+inseparable* in feature space, which matters for this reproduction: the
+paper's encoder is a **nonlinear** (tanh) random projection chosen
+precisely because it separates such data better than a linear map
+(paper Sec. III-A).  A purely linear synthetic dataset would hide that
+design point.
+
+All randomness flows from a single integer seed, so datasets are fully
+reproducible across processes and platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SyntheticConfig", "make_classification"]
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Parameters controlling a synthetic dataset.
+
+    Attributes:
+        num_samples: Total number of generated samples.
+        num_features: Observed feature dimensionality ``n``.
+        num_classes: Number of classes ``k``.
+        latent_dim: Dimensionality of the latent Gaussian space.  Smaller
+            values make features more correlated (image-like); ``None``
+            defaults to ``min(num_features, 24)``.
+        class_separation: Distance between latent class centroids in
+            units of the within-class standard deviation.  Around 2-4
+            yields the 85-97% HDC accuracies the paper reports.
+        warp_strength: Amplitude of the sinusoidal nonlinearity mixed
+            into the observation map; 0 disables it.
+        noise_std: Standard deviation of per-feature observation noise.
+        sparsity: Fraction of entries zeroed per sample (MNIST-like
+            datasets are mostly background); 0 disables.
+        nonnegative: Shift/clip features to be non-negative (pixel-like).
+        clusters_per_class: Latent Gaussian modes per class; more than
+            one produces multi-modal classes (activity data).
+    """
+
+    num_samples: int
+    num_features: int
+    num_classes: int
+    latent_dim: int | None = None
+    class_separation: float = 3.0
+    warp_strength: float = 0.6
+    noise_std: float = 0.25
+    sparsity: float = 0.0
+    nonnegative: bool = False
+    clusters_per_class: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_samples < self.num_classes:
+            raise ValueError(
+                f"need at least one sample per class: {self.num_samples} samples, "
+                f"{self.num_classes} classes"
+            )
+        if self.num_features < 1:
+            raise ValueError(f"num_features must be >= 1, got {self.num_features}")
+        if self.num_classes < 2:
+            raise ValueError(f"num_classes must be >= 2, got {self.num_classes}")
+        if not 0.0 <= self.sparsity < 1.0:
+            raise ValueError(f"sparsity must be in [0, 1), got {self.sparsity}")
+        if self.clusters_per_class < 1:
+            raise ValueError(
+                f"clusters_per_class must be >= 1, got {self.clusters_per_class}"
+            )
+
+    @property
+    def effective_latent_dim(self) -> int:
+        """Latent dimensionality after applying the default rule."""
+        if self.latent_dim is not None:
+            return self.latent_dim
+        return min(self.num_features, 24)
+
+
+def make_classification(config: SyntheticConfig,
+                        seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Generate a synthetic classification problem.
+
+    Args:
+        config: Generation parameters.
+        seed: Seed for all randomness (centroids, maps, noise, labels).
+
+    Returns:
+        ``(x, y)`` where ``x`` is ``float32`` of shape
+        ``(num_samples, num_features)`` and ``y`` is ``int64`` of shape
+        ``(num_samples,)`` with labels in ``[0, num_classes)``.  Samples
+        are shuffled so class labels are interleaved.
+    """
+    rng = np.random.default_rng(seed)
+    latent_dim = config.effective_latent_dim
+    num_modes = config.num_classes * config.clusters_per_class
+
+    # Latent centroids: one Gaussian mode per (class, cluster) pair, placed
+    # at class_separation-scaled random directions so classes are separable
+    # in latent space but overlap mildly.
+    centroids = rng.standard_normal((num_modes, latent_dim))
+    centroids *= config.class_separation / np.sqrt(latent_dim)
+
+    # Assign samples to classes as evenly as possible, then to a random
+    # cluster within the class.
+    labels = np.arange(config.num_samples) % config.num_classes
+    rng.shuffle(labels)
+    cluster_offset = rng.integers(0, config.clusters_per_class, config.num_samples)
+    mode_index = labels * config.clusters_per_class + cluster_offset
+
+    latent = centroids[mode_index] + rng.standard_normal(
+        (config.num_samples, latent_dim)
+    )
+
+    # Observation map: random linear lift plus a sinusoidal warp of the
+    # latent coordinates.  The warp is what makes the observed classes
+    # linearly inseparable.
+    lift = rng.standard_normal((latent_dim, config.num_features))
+    lift /= np.sqrt(latent_dim)
+    x = latent @ lift
+    if config.warp_strength > 0.0:
+        warp = rng.standard_normal((latent_dim, config.num_features))
+        warp /= np.sqrt(latent_dim)
+        phase = rng.uniform(0.0, 2.0 * np.pi, config.num_features)
+        x = x + config.warp_strength * np.sin(1.5 * (latent @ warp) + phase)
+    if config.noise_std > 0.0:
+        x = x + rng.normal(0.0, config.noise_std, x.shape)
+
+    if config.nonnegative:
+        # Shift into the positive orthant and clip, mimicking pixel data.
+        x = np.clip(x - x.min(axis=0, keepdims=True), 0.0, None)
+    if config.sparsity > 0.0:
+        mask = rng.random(x.shape) >= config.sparsity
+        x = x * mask
+
+    return x.astype(np.float32), labels.astype(np.int64)

@@ -1,0 +1,79 @@
+"""Edge TPU architecture parameters.
+
+Values follow Google's published Edge TPU numbers where available (4 TOPS
+int8 peak, ~2 W, 8 MiB on-chip parameter memory, USB 3.0 attach) and
+measured-system estimates elsewhere (effective USB throughput,
+per-invocation dispatch latency).  They are the knobs of the latency
+model — DESIGN.md records how they were calibrated against the paper's
+reported speedup shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EdgeTpuArch"]
+
+
+@dataclass(frozen=True)
+class EdgeTpuArch:
+    """Architecture/attachment parameters for one Edge TPU device.
+
+    Attributes:
+        mxu_rows: Systolic array rows (input-feature direction).
+        mxu_cols: Systolic array columns (output-feature direction).
+        clock_hz: MXU clock.  64*64 MACs * 480 MHz * 2 ops/MAC ~ 3.9 TOPS,
+            matching the advertised 4 TOPS int8 peak.
+        parameter_buffer_bytes: On-chip parameter memory; models whose
+            weights exceed it stream the excess over USB each invocation.
+        usb_bytes_per_s: Effective USB 3.0 throughput for bulk transfers
+            (~320 MB/s after protocol overhead).
+        invoke_overhead_s: Fixed host-side dispatch + USB round-trip
+            latency per ``invoke()`` call (~85 us).  Dominates small
+            models at batch 1 — the mechanism behind the paper's PAMAP2
+            counterexample.
+        vector_lanes: Width of the post-MXU activation unit (tanh LUT,
+            requantization) in elements per cycle.
+        model_setup_s: One-time runtime setup when a model is loaded
+            (interpreter construction, weight layout).
+        idle_power_w: Device idle power draw.
+        active_power_w: Device power under load (~2 W USB version).
+    """
+
+    mxu_rows: int = 64
+    mxu_cols: int = 64
+    clock_hz: float = 480e6
+    parameter_buffer_bytes: int = 8 * 1024 * 1024
+    usb_bytes_per_s: float = 320e6
+    invoke_overhead_s: float = 85e-6
+    vector_lanes: int = 64
+    model_setup_s: float = 25e-3
+    idle_power_w: float = 0.5
+    active_power_w: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.mxu_rows < 1 or self.mxu_cols < 1:
+            raise ValueError("MXU dimensions must be >= 1")
+        if self.clock_hz <= 0 or self.usb_bytes_per_s <= 0:
+            raise ValueError("clock and USB bandwidth must be > 0")
+        if self.parameter_buffer_bytes < 0:
+            raise ValueError("parameter buffer size must be >= 0")
+        if self.vector_lanes < 1:
+            raise ValueError("vector_lanes must be >= 1")
+
+    @property
+    def peak_tops(self) -> float:
+        """Peak int8 throughput in tera-ops/second (2 ops per MAC)."""
+        return 2.0 * self.mxu_rows * self.mxu_cols * self.clock_hz / 1e12
+
+    def transfer_time(self, num_bytes: int | float) -> float:
+        """Seconds to move ``num_bytes`` over the USB attachment."""
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be >= 0, got {num_bytes}")
+        return float(num_bytes) / self.usb_bytes_per_s
+
+    def cycles_to_seconds(self, cycles: int | float) -> float:
+        """Convert MXU clock cycles to seconds."""
+        if cycles < 0:
+            raise ValueError(f"cycles must be >= 0, got {cycles}")
+        return float(cycles) / self.clock_hz

@@ -1,0 +1,249 @@
+"""The Edge TPU compiler: legality checks, tiling, and the latency plan.
+
+Mirrors what ``edgetpu_compiler`` does to a ``.tflite`` file:
+
+- verifies ops are int8-quantized and on the supported-op list;
+- maps the maximal *prefix* of supported ops to the TPU (the real
+  compiler creates a single TPU subgraph; anything after the first
+  unsupported op stays on the CPU — for the paper's models that is only
+  the final ARGMAX);
+- checks whether the model's parameters fit the 8 MiB on-chip buffer
+  (models that do not fit stream the excess over USB per invocation);
+- produces per-op cycle plans from the systolic-array model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.edgetpu.arch import EdgeTpuArch
+from repro.edgetpu.systolic import systolic_cycles
+from repro.tflite.flatmodel import FlatModel
+from repro.tflite.ops import ArgmaxOp, FullyConnectedOp, Op, TanhOp
+
+__all__ = [
+    "CompileError",
+    "CompiledModel",
+    "OpPlan",
+    "compile_model",
+    "is_op_supported",
+]
+
+
+class CompileError(Exception):
+    """Raised when a model cannot be mapped to the Edge TPU at all."""
+
+
+def is_op_supported(op: Op) -> bool:
+    """Whether the Edge TPU executes this op.
+
+    Fully-connected and tanh are on the Edge TPU supported-ops list;
+    ARGMAX is not and falls back to the host CPU (matching the real
+    compiler's behaviour for the paper's classification models).
+    """
+    if isinstance(op, FullyConnectedOp):
+        return (
+            op.weights.dtype.name == "int8"
+            and op.input_qparams.dtype == "int8"
+            and op.output_qparams.dtype == "int8"
+        )
+    if isinstance(op, TanhOp):
+        return op.input_qparams.dtype == "int8"
+    return False
+
+
+@dataclass(frozen=True)
+class OpPlan:
+    """Latency plan for one TPU-mapped op.
+
+    Attributes:
+        name: Op name.
+        kind: Op kind string.
+        weight_bytes: Parameter bytes resident on-chip for this op.
+        input_dim: Activation width consumed.
+        output_dim: Activation width produced.
+        fixed_cycles: Batch-independent cycles (pipeline fill, initial
+            weight load).
+        cycles_per_row: Marginal cycles per batch row.
+    """
+
+    name: str
+    kind: str
+    weight_bytes: int
+    input_dim: int
+    output_dim: int
+    fixed_cycles: int
+    cycles_per_row: float
+
+    def cycles(self, batch: int) -> float:
+        """Total cycles to run a batch of ``batch`` rows."""
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        return self.fixed_cycles + self.cycles_per_row * batch
+
+
+@dataclass
+class CompiledModel:
+    """A model after Edge TPU compilation.
+
+    Attributes:
+        model: The source flat model (kernels are shared — execution on
+            the device is bit-identical to the reference interpreter).
+        arch: Target architecture.
+        tpu_ops: Ops mapped to the TPU (a prefix of ``model.ops``).
+        cpu_ops: Trailing ops left on the host CPU.
+        plans: One :class:`OpPlan` per TPU op.
+    """
+
+    model: FlatModel
+    arch: EdgeTpuArch
+    tpu_ops: list[Op]
+    cpu_ops: list[Op]
+    plans: list[OpPlan] = field(default_factory=list)
+
+    @property
+    def fully_mapped(self) -> bool:
+        """True when every op runs on the TPU."""
+        return not self.cpu_ops
+
+    @property
+    def weight_bytes(self) -> int:
+        """Parameter bytes the TPU subgraph needs resident."""
+        return sum(plan.weight_bytes for plan in self.plans)
+
+    @property
+    def fits_on_chip(self) -> bool:
+        """Whether all parameters fit the on-chip buffer."""
+        return self.weight_bytes <= self.arch.parameter_buffer_bytes
+
+    @property
+    def streamed_bytes_per_invoke(self) -> int:
+        """Parameter bytes re-streamed over USB on every invocation."""
+        return max(0, self.weight_bytes - self.arch.parameter_buffer_bytes)
+
+    @property
+    def tpu_input_bytes(self) -> int:
+        """int8 activation bytes sent to the device per sample."""
+        return self.plans[0].input_dim if self.plans else 0
+
+    @property
+    def tpu_output_bytes(self) -> int:
+        """int8 activation bytes returned from the device per sample."""
+        return self.plans[-1].output_dim if self.plans else 0
+
+    def compute_cycles(self, batch: int) -> float:
+        """MXU + vector-unit cycles for one invocation of ``batch`` rows."""
+        return sum(plan.cycles(batch) for plan in self.plans)
+
+    def invoke_seconds(self, batch: int) -> float:
+        """Modeled wall time of one ``invoke()`` with ``batch`` rows.
+
+        Terms: fixed dispatch overhead, input transfer, parameter
+        streaming for oversized models, compute, output transfer.
+        """
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        arch = self.arch
+        seconds = arch.invoke_overhead_s
+        seconds += arch.transfer_time(batch * self.tpu_input_bytes)
+        seconds += arch.transfer_time(self.streamed_bytes_per_invoke)
+        seconds += arch.cycles_to_seconds(self.compute_cycles(batch))
+        seconds += arch.transfer_time(batch * self.tpu_output_bytes)
+        return seconds
+
+    def load_seconds(self) -> float:
+        """Modeled one-time cost of pushing the model to the device."""
+        return (
+            self.arch.model_setup_s
+            + self.arch.transfer_time(self.model.size_bytes())
+        )
+
+    def summary(self) -> str:
+        """Compiler report in the style of ``edgetpu_compiler`` logs."""
+        lines = [
+            f"Edge TPU compilation of {self.model.name!r}:",
+            f"  ops mapped to TPU : {len(self.tpu_ops)}",
+            f"  ops on CPU        : {len(self.cpu_ops)}"
+            + (f" ({', '.join(op.kind for op in self.cpu_ops)})"
+               if self.cpu_ops else ""),
+            f"  parameter bytes   : {self.weight_bytes}"
+            + ("" if self.fits_on_chip else
+               f" (exceeds {self.arch.parameter_buffer_bytes} on-chip; "
+               f"{self.streamed_bytes_per_invoke} streamed per invoke)"),
+        ]
+        for plan in self.plans:
+            lines.append(
+                f"    {plan.name:<16} {plan.kind:<16} "
+                f"{plan.input_dim:>6} -> {plan.output_dim:<6} "
+                f"fixed={plan.fixed_cycles} per-row={plan.cycles_per_row:.1f}"
+            )
+        return "\n".join(lines)
+
+
+def _plan_op(op: Op, input_dim: int, arch: EdgeTpuArch) -> OpPlan:
+    """Build the cycle plan for one supported op."""
+    output_dim = op.output_dim(input_dim)
+    if isinstance(op, FullyConnectedOp):
+        fill = systolic_cycles(
+            op.input_dim, output_dim, batch=1,
+            rows=arch.mxu_rows, cols=arch.mxu_cols, include_fill=True,
+        ) - systolic_cycles(
+            op.input_dim, output_dim, batch=1,
+            rows=arch.mxu_rows, cols=arch.mxu_cols, include_fill=False,
+        )
+        per_row = systolic_cycles(
+            op.input_dim, output_dim, batch=1,
+            rows=arch.mxu_rows, cols=arch.mxu_cols, include_fill=False,
+        )
+        return OpPlan(
+            name=op.name, kind=op.kind, weight_bytes=op.weight_bytes,
+            input_dim=input_dim, output_dim=output_dim,
+            fixed_cycles=fill, cycles_per_row=float(per_row),
+        )
+    # Tanh: the vector unit processes `vector_lanes` activations/cycle.
+    per_row = -(-output_dim // arch.vector_lanes)
+    return OpPlan(
+        name=op.name, kind=op.kind, weight_bytes=op.weight_bytes,
+        input_dim=input_dim, output_dim=output_dim,
+        fixed_cycles=0, cycles_per_row=float(per_row),
+    )
+
+
+def compile_model(model: FlatModel, arch: EdgeTpuArch | None = None
+                  ) -> CompiledModel:
+    """Compile a flat model for the Edge TPU.
+
+    Args:
+        model: The quantized model.
+        arch: Target architecture (defaults to the standard USB device).
+
+    Returns:
+        The compiled model with its TPU/CPU partition and latency plans.
+
+    Raises:
+        CompileError: If not even the first op can map to the TPU (the
+            device would contribute nothing).
+    """
+    if arch is None:
+        arch = EdgeTpuArch()
+    tpu_ops: list[Op] = []
+    cpu_ops: list[Op] = []
+    plans: list[OpPlan] = []
+    width = model.input_spec.size
+    mapping_to_tpu = True
+    for op in model.ops:
+        if mapping_to_tpu and is_op_supported(op):
+            plans.append(_plan_op(op, width, arch))
+            tpu_ops.append(op)
+        else:
+            mapping_to_tpu = False
+            cpu_ops.append(op)
+        width = op.output_dim(width)
+    if not tpu_ops:
+        first = model.ops[0]
+        raise CompileError(
+            f"no ops could be mapped to the Edge TPU (first op "
+            f"{first.name!r} of kind {first.kind} is unsupported)"
+        )
+    return CompiledModel(model=model, arch=arch, tpu_ops=tpu_ops,
+                         cpu_ops=cpu_ops, plans=plans)

@@ -1,0 +1,116 @@
+"""Delegated execution: TPU subgraph + CPU-fallback tail.
+
+The TFLite delegate mechanism: a compiled model's supported prefix runs
+on the Edge TPU; remaining ops (for HDC models, the final ARGMAX) run on
+the host CPU.  The executor keeps the two time accounts separate so the
+pipelines can attribute costs per processing element.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.edgetpu.arch import EdgeTpuArch
+from repro.edgetpu.compiler import CompiledModel, compile_model
+from repro.edgetpu.device import EdgeTpuDevice
+from repro.tflite.flatmodel import FlatModel
+from repro.tflite.ops import Op
+
+__all__ = ["DelegatedExecutor", "partition"]
+
+# Default host cost for fallback ops: a conservative elementwise rate for
+# a mobile CPU (elements/second).  The runtime pipelines override this
+# with their calibrated platform models.
+_DEFAULT_CPU_ELEMENTS_PER_S = 2e9
+
+
+def partition(model: FlatModel, arch: EdgeTpuArch | None = None
+              ) -> tuple[list[Op], list[Op]]:
+    """Split a model's ops into (TPU prefix, CPU tail).
+
+    Convenience wrapper over :func:`compile_model` for callers that only
+    want the partition.
+    """
+    compiled = compile_model(model, arch)
+    return compiled.tpu_ops, compiled.cpu_ops
+
+
+class DelegatedExecutor:
+    """Runs a compiled model across the TPU device and the host CPU.
+
+    Args:
+        compiled: The compiled model (or build one with
+            :func:`compile_model`).
+        device: The device simulator; a fresh one is created when
+            omitted.  The model is loaded on construction and the load
+            time recorded in :attr:`model_load_seconds`.
+        cpu_op_seconds: Callable ``(op, batch, input_dim) -> seconds``
+            charging host time for fallback ops; a simple elementwise
+            default is used when omitted.
+
+    Attributes:
+        tpu_seconds: Accumulated device time (excluding model load).
+        cpu_seconds: Accumulated host time for fallback ops.
+        model_load_seconds: One-time model push cost.
+    """
+
+    def __init__(self, compiled: CompiledModel,
+                 device: EdgeTpuDevice | None = None,
+                 cpu_op_seconds: Callable[[Op, int, int], float] | None = None):
+        self.compiled = compiled
+        self.device = device if device is not None else EdgeTpuDevice(compiled.arch)
+        self.model_load_seconds = self.device.load_model(compiled)
+        self._cpu_op_seconds = cpu_op_seconds
+        self.tpu_seconds = 0.0
+        self.cpu_seconds = 0.0
+
+    def _charge_cpu(self, op: Op, batch: int, input_dim: int) -> float:
+        if self._cpu_op_seconds is not None:
+            return self._cpu_op_seconds(op, batch, input_dim)
+        return batch * input_dim / _DEFAULT_CPU_ELEMENTS_PER_S
+
+    def run_quantized(self, x: np.ndarray) -> np.ndarray:
+        """Run an int8 batch through TPU prefix then CPU tail."""
+        result = self.device.invoke(x)
+        self.tpu_seconds += result.elapsed_s
+        out = result.outputs
+        width = self.compiled.plans[-1].output_dim if self.compiled.plans \
+            else self.compiled.model.input_spec.size
+        for op in self.compiled.cpu_ops:
+            self.cpu_seconds += self._charge_cpu(op, len(out), width)
+            out = op.run(out)
+            width = op.output_dim(width)
+        return out
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """Float-in convenience: quantize, execute, decode.
+
+        Returns int64 class indices for argmax models, dequantized float
+        scores otherwise.
+        """
+        x = np.asarray(x, dtype=np.float32)
+        single = x.ndim == 1
+        if single:
+            x = x[None, :]
+        model = self.compiled.model
+        quantized = model.input_spec.qparams.quantize(x)
+        out = self.run_quantized(quantized)
+        if model.output_is_index:
+            out = out[:, 0]
+        else:
+            out = model.output_spec.qparams.dequantize(out)
+        return out[0] if single else out
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Class predictions for either model flavour."""
+        out = self.run(x)
+        if self.compiled.model.output_is_index:
+            return np.asarray(out, dtype=np.int64)
+        return np.argmax(out, axis=-1).astype(np.int64)
+
+    @property
+    def total_seconds(self) -> float:
+        """TPU + CPU execution time (model load excluded)."""
+        return self.tpu_seconds + self.cpu_seconds

@@ -1,0 +1,149 @@
+"""The Edge TPU device simulator.
+
+Functionally, the device executes the *same* int8 kernels as the
+reference interpreter (so results are bit-identical); temporally, every
+interaction advances a virtual clock according to the compiled latency
+plan: model loads pay USB transfer + setup, invocations pay dispatch
+overhead, activation transfers and MXU/vector compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.edgetpu.arch import EdgeTpuArch
+from repro.edgetpu.compiler import CompiledModel
+
+__all__ = ["EdgeTpuDevice", "InvokeResult"]
+
+
+@dataclass(frozen=True)
+class InvokeResult:
+    """Output and timing of one device invocation.
+
+    Attributes:
+        outputs: Raw output of the last *TPU* op (int8 activations; any
+            CPU-fallback ops are the delegate's job).
+        elapsed_s: Modeled seconds for this invocation.
+        breakdown: Per-term seconds: ``overhead``, ``input_transfer``,
+            ``weight_streaming``, ``compute``, ``output_transfer``.
+    """
+
+    outputs: np.ndarray
+    elapsed_s: float
+    breakdown: dict
+
+
+@dataclass
+class DeviceStats:
+    """Cumulative device counters."""
+
+    invocations: int = 0
+    models_loaded: int = 0
+    busy_seconds: float = 0.0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    samples: int = 0
+    breakdown: dict = field(default_factory=dict)
+
+
+class EdgeTpuDevice:
+    """A simulated USB-attached Edge TPU.
+
+    Example::
+
+        device = EdgeTpuDevice()
+        load_time = device.load_model(compiled)
+        result = device.invoke(quantized_batch)
+
+    Attributes:
+        arch: The device architecture.
+        stats: Cumulative counters (invocations, busy time, bytes moved).
+    """
+
+    def __init__(self, arch: EdgeTpuArch | None = None):
+        self.arch = arch if arch is not None else EdgeTpuArch()
+        self.compiled: CompiledModel | None = None
+        self.stats = DeviceStats()
+
+    def load_model(self, compiled: CompiledModel) -> float:
+        """Load a compiled model; returns the modeled load time in seconds.
+
+        Raises:
+            ValueError: If the model was compiled for a different
+                architecture configuration.
+        """
+        if compiled.arch != self.arch:
+            raise ValueError(
+                "model was compiled for a different EdgeTpuArch; recompile"
+            )
+        self.compiled = compiled
+        seconds = compiled.load_seconds()
+        self.stats.models_loaded += 1
+        self.stats.busy_seconds += seconds
+        self.stats.bytes_in += compiled.model.size_bytes()
+        return seconds
+
+    def invoke(self, x: np.ndarray) -> InvokeResult:
+        """Run one batch through the TPU subgraph.
+
+        Args:
+            x: int8 input of shape ``(batch, input_dim)``.
+
+        Returns:
+            The :class:`InvokeResult` with outputs of the last TPU op.
+
+        Raises:
+            RuntimeError: If no model is loaded.
+        """
+        if self.compiled is None:
+            raise RuntimeError("no model loaded; call load_model() first")
+        x = np.asarray(x)
+        if x.dtype != np.int8:
+            raise TypeError(f"device input must be int8, got {x.dtype}")
+        if x.ndim != 2:
+            raise ValueError(f"device input must be 2-D, got shape {x.shape}")
+        expected = self.compiled.model.input_spec.size
+        if x.shape[1] != expected:
+            raise ValueError(
+                f"expected input width {expected}, got {x.shape[1]}"
+            )
+        batch = x.shape[0]
+        if batch == 0:
+            raise ValueError("cannot invoke with an empty batch")
+
+        out = x
+        for op in self.compiled.tpu_ops:
+            out = op.run(out)
+
+        arch = self.arch
+        compiled = self.compiled
+        breakdown = {
+            "overhead": arch.invoke_overhead_s,
+            "input_transfer": arch.transfer_time(
+                batch * compiled.tpu_input_bytes
+            ),
+            "weight_streaming": arch.transfer_time(
+                compiled.streamed_bytes_per_invoke
+            ),
+            "compute": arch.cycles_to_seconds(compiled.compute_cycles(batch)),
+            "output_transfer": arch.transfer_time(
+                batch * compiled.tpu_output_bytes
+            ),
+        }
+        elapsed = sum(breakdown.values())
+
+        self.stats.invocations += 1
+        self.stats.samples += batch
+        self.stats.busy_seconds += elapsed
+        self.stats.bytes_in += batch * compiled.tpu_input_bytes
+        self.stats.bytes_out += batch * compiled.tpu_output_bytes
+        for key, value in breakdown.items():
+            self.stats.breakdown[key] = self.stats.breakdown.get(key, 0.0) + value
+        return InvokeResult(outputs=out, elapsed_s=elapsed, breakdown=breakdown)
+
+    def energy_joules(self) -> float:
+        """Energy consumed while busy (active power x busy time)."""
+        return self.arch.active_power_w * self.stats.busy_seconds

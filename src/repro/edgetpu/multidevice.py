@@ -1,0 +1,138 @@
+"""Multi-accelerator device pool (extension).
+
+The paper notes "most Edge TPUs take one model at a time" and fuses the
+bagging sub-models into one model for a single device.  With *several*
+USB accelerators (a common deployment — Coral sells multi-TPU boards),
+an alternative exists: pin one sub-model per device and run them in
+parallel, aggregating scores on the host.  This module provides the
+device pool and the parallel ensemble executor so that design point can
+be measured against fusion (``benchmarks/test_ablation_multidevice.py``).
+
+Timing model: devices run concurrently (makespan = slowest device), the
+host pays one aggregation pass, and every device pays its own model
+load once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.edgetpu.arch import EdgeTpuArch
+from repro.edgetpu.compiler import CompiledModel
+from repro.edgetpu.device import EdgeTpuDevice
+
+__all__ = ["DevicePool", "ParallelEnsembleResult"]
+
+
+@dataclass
+class ParallelEnsembleResult:
+    """Outcome of one parallel ensemble invocation.
+
+    Attributes:
+        scores: Host-aggregated (summed, dequantized) ensemble scores.
+        makespan_s: Wall time — the slowest device's invocation.
+        device_seconds: Per-device invocation times.
+        host_seconds: Host-side aggregation time.
+    """
+
+    scores: np.ndarray
+    makespan_s: float
+    device_seconds: list
+    host_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        """Makespan plus the host aggregation tail."""
+        return self.makespan_s + self.host_seconds
+
+
+class DevicePool:
+    """A pool of identical Edge TPU devices, one model pinned to each.
+
+    Args:
+        num_devices: Pool size.
+        arch: Architecture shared by all devices.
+    """
+
+    def __init__(self, num_devices: int, arch: EdgeTpuArch | None = None):
+        if num_devices < 1:
+            raise ValueError(f"num_devices must be >= 1, got {num_devices}")
+        self.arch = arch if arch is not None else EdgeTpuArch()
+        self.devices = [EdgeTpuDevice(self.arch) for _ in range(num_devices)]
+        self.models: list[CompiledModel | None] = [None] * num_devices
+        self.load_seconds: list[float] = [0.0] * num_devices
+
+    @property
+    def num_devices(self) -> int:
+        """Pool size."""
+        return len(self.devices)
+
+    def load_models(self, compiled_models: list[CompiledModel]) -> float:
+        """Pin one compiled model per device.
+
+        Loads happen in parallel across devices, so the modeled cost is
+        the slowest single load.
+
+        Raises:
+            ValueError: If there are more models than devices.
+        """
+        if not compiled_models:
+            raise ValueError("no models to load")
+        if len(compiled_models) > self.num_devices:
+            raise ValueError(
+                f"{len(compiled_models)} models but only {self.num_devices} "
+                f"devices"
+            )
+        slowest = 0.0
+        for index, compiled in enumerate(compiled_models):
+            seconds = self.devices[index].load_model(compiled)
+            self.models[index] = compiled
+            self.load_seconds[index] = seconds
+            slowest = max(slowest, seconds)
+        return slowest
+
+    def invoke_ensemble(self, x: np.ndarray,
+                        host_elementwise_seconds=None
+                        ) -> ParallelEnsembleResult:
+        """Run one float batch through every loaded model in parallel.
+
+        Each device quantizes with its own model's input qparams,
+        executes, and returns dequantized scores; the host sums them
+        (the fused model's aggregation semantics, computed explicitly).
+
+        Args:
+            x: Float batch ``(batch, num_features)``.
+            host_elementwise_seconds: Callable ``(elements) -> seconds``
+                for the host aggregation cost; free when omitted.
+        """
+        loaded = [(device, model) for device, model in
+                  zip(self.devices, self.models) if model is not None]
+        if not loaded:
+            raise RuntimeError("no models loaded; call load_models() first")
+        x = np.asarray(x, dtype=np.float32)
+        if x.ndim != 2:
+            raise ValueError(f"expected a 2-D batch, got shape {x.shape}")
+        total_scores = None
+        device_seconds = []
+        for device, compiled in loaded:
+            quantized = compiled.model.input_spec.qparams.quantize(x)
+            result = device.invoke(quantized)
+            device_seconds.append(result.elapsed_s)
+            out_qparams = compiled.tpu_ops[-1].output_qparams
+            scores = out_qparams.dequantize(result.outputs)
+            total_scores = scores if total_scores is None \
+                else total_scores + scores
+        host_seconds = 0.0
+        if host_elementwise_seconds is not None:
+            # (M - 1) summations over the score matrix.
+            host_seconds = host_elementwise_seconds(
+                (len(loaded) - 1) * total_scores.size
+            )
+        return ParallelEnsembleResult(
+            scores=total_scores,
+            makespan_s=max(device_seconds),
+            device_seconds=device_seconds,
+            host_seconds=host_seconds,
+        )

@@ -1,0 +1,160 @@
+"""Instruction-level lowering of a compiled model (device "assembly").
+
+The compiler's :class:`~repro.edgetpu.compiler.OpPlan` gives per-op cycle
+totals; this module lowers a compiled model one step further, into an
+explicit instruction trace of the kind an Edge TPU executable contains:
+DMA transfers, weight-tile loads, pipeline fills, per-tile MXU passes,
+vector-unit activations and requantization.  The trace is *exact* with
+respect to the latency plan — its cycle and byte totals reproduce
+``CompiledModel.compute_cycles`` / ``invoke_seconds`` — which the tests
+assert, so the disassembly can be trusted when debugging where an HDC
+layer's time goes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.edgetpu.compiler import CompiledModel
+from repro.tflite.ops import FullyConnectedOp, TanhOp
+
+__all__ = ["Instruction", "Program", "lower"]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One device instruction.
+
+    Attributes:
+        opcode: One of ``DMA_IN``, ``LOAD_TILE``, ``PIPE_FILL``,
+            ``MATMUL``, ``ACTIVATE``, ``STREAM_WEIGHTS``, ``DMA_OUT``.
+        operand: Human-readable target (op name, tile coordinates).
+        cycles: MXU/vector-unit clock cycles consumed.
+        bytes: Host-device bytes moved (DMA/stream opcodes only).
+    """
+
+    opcode: str
+    operand: str
+    cycles: float = 0.0
+    bytes: int = 0
+
+    def __str__(self) -> str:
+        parts = [f"{self.opcode:<15} {self.operand:<28}"]
+        if self.cycles:
+            parts.append(f"cycles={self.cycles:g}")
+        if self.bytes:
+            parts.append(f"bytes={self.bytes}")
+        return " ".join(parts)
+
+
+@dataclass
+class Program:
+    """An ordered instruction trace for one device invocation.
+
+    Attributes:
+        instructions: The trace.
+        compiled: The source compiled model (for timing parameters).
+        batch: Rows per invocation the trace was lowered for.
+    """
+
+    instructions: list
+    compiled: CompiledModel
+    batch: int
+
+    @property
+    def total_cycles(self) -> float:
+        """Sum of instruction cycles (equals the plan's compute cycles)."""
+        return sum(inst.cycles for inst in self.instructions)
+
+    @property
+    def total_transfer_bytes(self) -> int:
+        """Sum of DMA/stream bytes."""
+        return sum(inst.bytes for inst in self.instructions)
+
+    def seconds(self) -> float:
+        """Modeled invocation time — matches ``invoke_seconds(batch)``."""
+        arch = self.compiled.arch
+        return (
+            arch.invoke_overhead_s
+            + arch.transfer_time(self.total_transfer_bytes)
+            + arch.cycles_to_seconds(self.total_cycles)
+        )
+
+    def disassembly(self) -> str:
+        """The trace as readable text."""
+        header = (
+            f"; program for {self.compiled.model.name!r} "
+            f"(batch={self.batch}, {len(self.instructions)} instructions)"
+        )
+        return "\n".join([header] + [f"  {inst}" for inst in self.instructions])
+
+    def count(self, opcode: str) -> int:
+        """Number of instructions with the given opcode."""
+        return sum(1 for inst in self.instructions if inst.opcode == opcode)
+
+
+def lower(compiled: CompiledModel, batch: int = 1) -> Program:
+    """Lower a compiled model into its per-invocation instruction trace.
+
+    Args:
+        compiled: The compiled model.
+        batch: Rows per invocation.
+
+    Raises:
+        ValueError: For a non-positive batch.
+    """
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    arch = compiled.arch
+    instructions: list[Instruction] = []
+    instructions.append(Instruction(
+        "DMA_IN", "input activations",
+        bytes=batch * compiled.tpu_input_bytes,
+    ))
+    if compiled.streamed_bytes_per_invoke:
+        instructions.append(Instruction(
+            "STREAM_WEIGHTS", "off-chip parameter spill",
+            bytes=compiled.streamed_bytes_per_invoke,
+        ))
+    width = compiled.model.input_spec.size
+    for op in compiled.tpu_ops:
+        if isinstance(op, FullyConnectedOp):
+            out_dim = op.output_dim(width)
+            row_tiles = -(-op.input_dim // arch.mxu_rows)
+            col_tiles = -(-out_dim // arch.mxu_cols)
+            # First tile load and pipeline fill are exposed; subsequent
+            # tile loads are hidden behind compute by double buffering.
+            instructions.append(Instruction(
+                "LOAD_TILE", f"{op.name}[0,0]", cycles=arch.mxu_rows,
+            ))
+            instructions.append(Instruction(
+                "PIPE_FILL", op.name,
+                cycles=arch.mxu_rows + arch.mxu_cols - 2,
+            ))
+            for row in range(row_tiles):
+                for col in range(col_tiles):
+                    if row or col:
+                        instructions.append(Instruction(
+                            "LOAD_TILE", f"{op.name}[{row},{col}] (hidden)",
+                            cycles=0.0,
+                        ))
+                    instructions.append(Instruction(
+                        "MATMUL", f"{op.name}[{row},{col}]",
+                        cycles=float(batch),
+                    ))
+            width = out_dim
+        elif isinstance(op, TanhOp):
+            lanes = arch.vector_lanes
+            instructions.append(Instruction(
+                "ACTIVATE", f"{op.name} (tanh LUT)",
+                cycles=float(-(-width // lanes) * batch),
+            ))
+        else:  # pragma: no cover — the compiler only maps FC/TANH
+            raise TypeError(
+                f"cannot lower op kind {type(op).__name__}"
+            )
+    instructions.append(Instruction(
+        "DMA_OUT", "output activations",
+        bytes=batch * compiled.tpu_output_bytes,
+    ))
+    return Program(instructions=instructions, compiled=compiled, batch=batch)

@@ -1,0 +1,18 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Each module exposes ``run(...)`` returning a result object and a
+``format_result(...)`` producing the text table the benchmarks print.
+Accuracy experiments (Figs. 4, 7, 8, 9) train real models on the
+synthetic surrogates at a configurable scale; runtime experiments
+(Figs. 5, 6, 10 and Table II) evaluate the analytic cost models at the
+full Table-I scale.
+
+Command line::
+
+    python -m repro.experiments fig5
+    python -m repro.experiments all --scale quick
+"""
+
+from repro.experiments.scale import ExperimentScale, QUICK, DEFAULT, PAPER
+
+__all__ = ["DEFAULT", "ExperimentScale", "PAPER", "QUICK"]

@@ -1,0 +1,75 @@
+"""Command-line entry point: run any paper experiment from the shell.
+
+Usage::
+
+    python -m repro.experiments table1
+    python -m repro.experiments fig10
+    python -m repro.experiments all --scale quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    energy_table,
+    fig4_convergence,
+    fig5_training_runtime,
+    fig6_inference_runtime,
+    fig7_accuracy,
+    fig8_param_search,
+    fig9_iterations,
+    fig10_feature_scaling,
+    table1_datasets,
+    table2_raspberry_pi,
+)
+from repro.experiments.scale import PRESETS
+
+_SCALED = {"fig4", "fig7", "fig8", "fig9"}
+_EXPERIMENTS = {
+    "energy": energy_table,
+    "table1": table1_datasets,
+    "fig4": fig4_convergence,
+    "fig5": fig5_training_runtime,
+    "fig6": fig6_inference_runtime,
+    "fig7": fig7_accuracy,
+    "table2": table2_raspberry_pi,
+    "fig8": fig8_param_search,
+    "fig9": fig9_iterations,
+    "fig10": fig10_feature_scaling,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment", choices=sorted(_EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--scale", choices=sorted(PRESETS), default="default",
+        help="accuracy-experiment scale (runtime experiments always use "
+             "full Table-I shapes)",
+    )
+    args = parser.parse_args(argv)
+    scale = PRESETS[args.scale]
+
+    names = sorted(_EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    for name in names:
+        module = _EXPERIMENTS[name]
+        if name in _SCALED:
+            result = module.run(scale=scale)
+        else:
+            result = module.run()
+        print(module.format_result(result))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

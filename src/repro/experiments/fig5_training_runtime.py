@@ -1,0 +1,108 @@
+"""Fig. 5: training-runtime breakdown — CPU vs TPU vs TPU_B.
+
+For each Table-I dataset the paper stacks encoding / class-hypervector
+update / TPU-model-generation time for three settings, normalized to the
+CPU baseline within each dataset:
+
+- **CPU**: float HDC entirely on the host CPU (20 iterations);
+- **TPU**: the framework without bagging — encoding on the Edge TPU;
+- **TPU_B**: the full framework — bagging (M=4, d'=2500, I'=6,
+  alpha=0.6) plus Edge TPU encoding.
+
+This driver evaluates the analytic cost models at the *full* Table-I
+shapes (no data materialization needed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data import specs
+from repro.experiments.report import format_table
+from repro.hdc import BaggingConfig
+from repro.runtime import CostModel, HdcTrainingConfig, PhaseBreakdown, Workload
+
+__all__ = ["TrainingRuntimeResult", "format_result", "run"]
+
+
+@dataclass(frozen=True)
+class TrainingRuntimeResult:
+    """Per-dataset phase breakdowns for the three settings.
+
+    Attributes:
+        dataset: Dataset name.
+        cpu: CPU-baseline breakdown (seconds).
+        tpu: TPU-without-bagging breakdown.
+        tpu_bagged: Full-framework breakdown.
+    """
+
+    dataset: str
+    cpu: PhaseBreakdown
+    tpu: PhaseBreakdown
+    tpu_bagged: PhaseBreakdown
+
+    @property
+    def tpu_speedup(self) -> float:
+        """CPU total / TPU total."""
+        return self.tpu.speedup_over(self.cpu)
+
+    @property
+    def tpu_bagged_speedup(self) -> float:
+        """CPU total / TPU_B total (the paper's headline per-dataset number)."""
+        return self.tpu_bagged.speedup_over(self.cpu)
+
+    @property
+    def encoding_speedup(self) -> float:
+        """CPU encode / TPU encode (paper: up to 9.37x on MNIST)."""
+        return self.cpu.encode / self.tpu.encode
+
+    @property
+    def update_speedup(self) -> float:
+        """CPU update / TPU_B update (paper: up to 4.74x)."""
+        return self.cpu.update / self.tpu_bagged.update
+
+
+def run(config: HdcTrainingConfig | None = None,
+        bagging: BaggingConfig | None = None,
+        cost_model: CostModel | None = None) -> list[TrainingRuntimeResult]:
+    """Evaluate the three settings for all five Table-I datasets."""
+    config = config if config is not None else HdcTrainingConfig()
+    bagging = bagging if bagging is not None else BaggingConfig(
+        dimension=config.dimension,
+    )
+    cm = cost_model if cost_model is not None else CostModel()
+    results = []
+    for spec in specs():
+        workload = Workload.from_spec(spec)
+        results.append(TrainingRuntimeResult(
+            dataset=spec.name,
+            cpu=cm.cpu_training(workload, config),
+            tpu=cm.tpu_training(workload, config),
+            tpu_bagged=cm.tpu_bagged_training(workload, config, bagging),
+        ))
+    return results
+
+
+def format_result(results: list[TrainingRuntimeResult]) -> str:
+    """The Fig. 5 bars as normalized numbers (CPU total = 1.0)."""
+    headers = [
+        "dataset", "setting", "encode", "update", "modelgen", "total",
+        "speedup",
+    ]
+    rows = []
+    for result in results:
+        base = result.cpu.total
+        for label, breakdown in (
+            ("CPU", result.cpu), ("TPU", result.tpu),
+            ("TPU_B", result.tpu_bagged),
+        ):
+            rows.append([
+                result.dataset, label,
+                breakdown.encode / base, breakdown.update / base,
+                breakdown.modelgen / base, breakdown.total / base,
+                base / breakdown.total,
+            ])
+    return format_table(
+        headers, rows,
+        title="Fig. 5 — training runtime, normalized to the CPU baseline",
+    )

@@ -1,0 +1,79 @@
+"""Fig. 6: inference-runtime comparison — CPU vs TPU vs TPU_B.
+
+Per-dataset inference time over the test split, normalized to the CPU
+baseline.  The TPU runs at the real-time batch size (1 sample per
+invocation); the fused bagged model has exactly the same layer shapes as
+the non-bagged model, so TPU and TPU_B coincide by construction — the
+paper's "no extra overhead" claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data import specs
+from repro.experiments.report import format_table
+from repro.runtime import CostModel, HdcTrainingConfig, Workload
+
+__all__ = ["InferenceRuntimeResult", "format_result", "run"]
+
+
+@dataclass(frozen=True)
+class InferenceRuntimeResult:
+    """Per-dataset inference times (seconds over the full test split).
+
+    Attributes:
+        dataset: Dataset name.
+        cpu_seconds: Float inference on the host CPU (batched).
+        tpu_seconds: Quantized inference on the Edge TPU (batch 1).
+        tpu_bagged_seconds: Same, with the fused bagged model (equal to
+            ``tpu_seconds`` by construction).
+    """
+
+    dataset: str
+    cpu_seconds: float
+    tpu_seconds: float
+    tpu_bagged_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        """CPU / TPU inference time (the paper's Fig. 6 bar ratio)."""
+        return self.cpu_seconds / self.tpu_seconds
+
+
+def run(config: HdcTrainingConfig | None = None,
+        cost_model: CostModel | None = None) -> list[InferenceRuntimeResult]:
+    """Evaluate inference runtimes for all five Table-I datasets."""
+    config = config if config is not None else HdcTrainingConfig()
+    cm = cost_model if cost_model is not None else CostModel()
+    results = []
+    for spec in specs():
+        workload = Workload.from_spec(spec)
+        tpu = cm.tpu_inference(workload, config)
+        results.append(InferenceRuntimeResult(
+            dataset=spec.name,
+            cpu_seconds=cm.cpu_inference(workload, config),
+            tpu_seconds=tpu,
+            # The fused model's layers are (n, d) and (d, k) — identical
+            # shapes, identical modeled time.
+            tpu_bagged_seconds=tpu,
+        ))
+    return results
+
+
+def format_result(results: list[InferenceRuntimeResult]) -> str:
+    """The Fig. 6 bars as normalized numbers (CPU = 1.0)."""
+    headers = ["dataset", "CPU", "TPU", "TPU_B", "speedup"]
+    rows = [
+        [
+            result.dataset, 1.0,
+            result.tpu_seconds / result.cpu_seconds,
+            result.tpu_bagged_seconds / result.cpu_seconds,
+            result.speedup,
+        ]
+        for result in results
+    ]
+    return format_table(
+        headers, rows,
+        title="Fig. 6 — inference runtime, normalized to the CPU baseline",
+    )

@@ -1,0 +1,112 @@
+"""Fig. 7: inference accuracy across the three framework settings.
+
+Trains real models on the dataset surrogates and measures:
+
+- **CPU**: float HDC, fully trained (the accuracy reference);
+- **TPU**: the same model after int8 post-training quantization,
+  executed by the (bit-exact) Edge TPU path;
+- **TPU_B**: the bagged ensemble — M narrow sub-models fused into one
+  full-width model — quantized and executed the same way.
+
+The paper's claims: quantized accuracy is similar to float, and the
+bagged model is similar to (sometimes better than) the fully-trained
+full model despite its much cheaper training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data import load
+from repro.data.datasets import TABLE_I
+from repro.experiments.report import format_table
+from repro.experiments.scale import DEFAULT, ExperimentScale
+from repro.hdc import BaggingConfig, BaggingHDCTrainer, HDCClassifier
+from repro.nn import from_classifier, from_fused
+from repro.tflite import Interpreter, convert
+
+__all__ = ["AccuracyResult", "format_result", "run"]
+
+DATASETS = tuple(TABLE_I)
+_CALIBRATION = 256
+
+
+@dataclass(frozen=True)
+class AccuracyResult:
+    """Per-dataset accuracies for the three settings.
+
+    Attributes:
+        dataset: Dataset name.
+        cpu: Float HDC accuracy.
+        tpu: int8-quantized full-model accuracy.
+        tpu_bagged: int8-quantized fused bagged-model accuracy.
+    """
+
+    dataset: str
+    cpu: float
+    tpu: float
+    tpu_bagged: float
+
+    @property
+    def quantization_drop(self) -> float:
+        """Accuracy lost to int8 quantization (can be negative)."""
+        return self.cpu - self.tpu
+
+    @property
+    def bagging_drop(self) -> float:
+        """Accuracy difference bagged vs full quantized model."""
+        return self.tpu - self.tpu_bagged
+
+
+def run(scale: ExperimentScale = DEFAULT,
+        datasets: tuple = DATASETS) -> list[AccuracyResult]:
+    """Train, quantize and evaluate each dataset at the given scale."""
+    results = []
+    for name in datasets:
+        ds = load(name, max_samples=scale.max_samples, seed=scale.seed)
+        ds = ds.normalized()
+
+        full = HDCClassifier(dimension=scale.dimension, seed=scale.seed)
+        full.fit(ds.train_x, ds.train_y, iterations=scale.iterations,
+                 num_classes=ds.num_classes)
+        cpu_accuracy = full.score(ds.test_x, ds.test_y)
+
+        quantized = convert(from_classifier(full),
+                            ds.train_x[:_CALIBRATION])
+        tpu_accuracy = float(
+            (Interpreter(quantized).predict(ds.test_x) == ds.test_y).mean()
+        )
+
+        bagging = BaggingConfig(
+            num_models=4, dimension=scale.dimension,
+            iterations=scale.bagging_iterations, dataset_ratio=0.6,
+        )
+        trainer = BaggingHDCTrainer(bagging, seed=scale.seed)
+        trainer.fit(ds.train_x, ds.train_y, num_classes=ds.num_classes)
+        fused = trainer.fuse()
+        fused_quantized = convert(from_fused(fused),
+                                  ds.train_x[:_CALIBRATION])
+        bagged_accuracy = float(
+            (Interpreter(fused_quantized).predict(ds.test_x)
+             == ds.test_y).mean()
+        )
+
+        results.append(AccuracyResult(
+            dataset=name, cpu=cpu_accuracy, tpu=tpu_accuracy,
+            tpu_bagged=bagged_accuracy,
+        ))
+    return results
+
+
+def format_result(results: list[AccuracyResult]) -> str:
+    headers = ["dataset", "CPU (float)", "TPU (int8)", "TPU_B (int8)",
+               "quant drop", "bagging drop"]
+    rows = [
+        [r.dataset, r.cpu, r.tpu, r.tpu_bagged, r.quantization_drop,
+         r.bagging_drop]
+        for r in results
+    ]
+    return format_table(
+        headers, rows,
+        title="Fig. 7 — inference accuracy per framework setting",
+    )

@@ -1,0 +1,51 @@
+"""Plain-text table formatting shared by the experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str | None = None, float_format: str = "{:.3f}"
+                 ) -> str:
+    """Render rows as an aligned text table.
+
+    Args:
+        headers: Column names.
+        rows: Row values; floats are formatted with ``float_format``,
+            everything else with ``str``.
+        title: Optional title line.
+        float_format: Format spec applied to float cells.
+
+    Returns:
+        The table as a single string.
+    """
+    if not headers:
+        raise ValueError("need at least one column")
+
+    def render(cell) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    rendered = [[render(cell) for cell in row] for row in rows]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} columns"
+            )
+    widths = [
+        max(len(header), *(len(row[i]) for row in rendered)) if rendered
+        else len(header)
+        for i, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Experiment scale presets.
+
+Accuracy experiments retrain HDC models, which at the paper's full scale
+(d = 10,000, up to 80k samples) takes minutes per dataset in numpy.  The
+scale object trades sample count and hypervector width for speed while
+preserving every qualitative result; runtime experiments are analytic
+and always run at full Table-I scale regardless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DEFAULT", "ExperimentScale", "PAPER", "QUICK"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs for accuracy-experiment cost.
+
+    Attributes:
+        name: Preset name.
+        max_samples: Cap on materialized samples per dataset.
+        dimension: Hypervector width ``d`` used for accuracy runs.
+        iterations: Full-model training passes (the paper uses 20).
+        bagging_iterations: Sub-model passes with bagging (paper: 6).
+        seed: Base seed for data and models.
+    """
+
+    name: str
+    max_samples: int | None
+    dimension: int
+    iterations: int
+    bagging_iterations: int
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.dimension < 4:
+            raise ValueError(f"dimension too small: {self.dimension}")
+        if self.iterations < 1 or self.bagging_iterations < 1:
+            raise ValueError("iteration counts must be >= 1")
+
+
+QUICK = ExperimentScale(
+    name="quick", max_samples=1200, dimension=2048, iterations=8,
+    bagging_iterations=3,
+)
+
+DEFAULT = ExperimentScale(
+    name="default", max_samples=4000, dimension=4096, iterations=12,
+    bagging_iterations=5,
+)
+
+PAPER = ExperimentScale(
+    name="paper", max_samples=None, dimension=10_000, iterations=20,
+    bagging_iterations=6,
+)
+
+PRESETS = {scale.name: scale for scale in (QUICK, DEFAULT, PAPER)}

@@ -1,0 +1,28 @@
+"""Table I: the dataset inventory.
+
+Prints the five evaluation datasets with their shapes, as in the paper,
+plus the surrogate-generation parameters used by this reproduction.
+"""
+
+from __future__ import annotations
+
+from repro.data import specs
+from repro.experiments.report import format_table
+
+__all__ = ["format_result", "run"]
+
+
+def run() -> list:
+    """Return the Table-I specs (paper row order)."""
+    return specs()
+
+
+def format_result(rows) -> str:
+    headers = ["dataset", "# samples", "# features", "# classes",
+               "description"]
+    table = [
+        [spec.name.upper(), spec.num_samples, spec.num_features,
+         spec.num_classes, spec.description]
+        for spec in rows
+    ]
+    return format_table(headers, table, title="Table I — evaluation datasets")

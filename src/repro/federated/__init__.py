@@ -1,0 +1,38 @@
+"""Federated hyperdimensional learning across edge nodes (extension).
+
+The paper's introduction motivates edge HDC with exactly this scenario:
+IoT devices collecting data locally, where "sending all the data to the
+cloud ... leads to a significant communication cost" and federated
+learning over DNNs is too heavy for embedded devices.  HDC makes the
+federated pattern unusually cheap: class hypervectors are *additive*,
+so a server can aggregate local models by weighted averaging with no
+gradient machinery, and only ``k x d`` values cross the network per
+round (never raw data, and — per the paper's cited collaborative-
+learning work — the random projection also obscures the inputs).
+
+Pieces:
+
+- :class:`~repro.federated.node.EdgeNode` — local data + local HDC
+  training starting from the global model each round;
+- :class:`~repro.federated.server.FederatedServer` — sample-weighted
+  aggregation of class hypervectors;
+- :class:`~repro.federated.simulation.FederatedSimulation` — IID or
+  Dirichlet non-IID data splits, multi-round orchestration, accuracy
+  and communication accounting.
+"""
+
+from repro.federated.node import EdgeNode
+from repro.federated.server import FederatedServer
+from repro.federated.simulation import (
+    FederatedConfig,
+    FederatedResult,
+    FederatedSimulation,
+)
+
+__all__ = [
+    "EdgeNode",
+    "FederatedConfig",
+    "FederatedResult",
+    "FederatedServer",
+    "FederatedSimulation",
+]

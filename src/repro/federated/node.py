@@ -1,0 +1,97 @@
+"""An edge node: local data, shared encoder, local HDC training."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hdc.encoder import NonlinearEncoder
+from repro.hdc.model import HDCClassifier
+
+__all__ = ["EdgeNode"]
+
+
+class EdgeNode:
+    """One participant in a federated HDC deployment.
+
+    All nodes must share the *same* base hypervectors (distribute the
+    encoder seed once at setup) — class hypervectors from different
+    encoders live in unrelated coordinate systems and cannot be
+    averaged.  The node encodes its local data once and caches the
+    hypervectors; each round it fine-tunes the freshly received global
+    class hypervectors on its local cache.
+
+    Args:
+        node_id: Identifier used in reports.
+        x: Local samples ``(num_samples, num_features)``.
+        y: Local integer labels.
+        encoder: The shared :class:`NonlinearEncoder`.
+        num_classes: Global class count (local data may miss classes).
+        learning_rate: Local update scale.
+        seed: Seed for local shuffling.
+    """
+
+    def __init__(self, node_id: int, x: np.ndarray, y: np.ndarray,
+                 encoder: NonlinearEncoder, num_classes: int,
+                 learning_rate: float = 0.035,
+                 seed: np.random.Generator | int | None = None):
+        x = np.asarray(x, dtype=np.float32)
+        y = np.asarray(y, dtype=np.int64)
+        if len(x) == 0:
+            raise ValueError(f"node {node_id} has no local data")
+        if len(x) != len(y):
+            raise ValueError(f"{len(x)} samples but {len(y)} labels")
+        self.node_id = node_id
+        self.encoder = encoder
+        self.num_classes = num_classes
+        self.learning_rate = learning_rate
+        self._labels = y
+        # Encode once; all local rounds reuse the cached hypervectors
+        # (on a real deployment this is the Edge TPU encoding pass).
+        self._encoded = encoder.encode(x)
+        self._rng = seed if isinstance(seed, np.random.Generator) \
+            else np.random.default_rng(seed)
+
+    @property
+    def num_samples(self) -> int:
+        """Local sample count (the aggregation weight)."""
+        return len(self._labels)
+
+    def local_classes(self) -> np.ndarray:
+        """The class labels present locally (non-IID diagnostics)."""
+        return np.unique(self._labels)
+
+    def train(self, global_classes: np.ndarray,
+              iterations: int = 2) -> np.ndarray:
+        """Fine-tune the global model locally; return updated class HVs.
+
+        Args:
+            global_classes: ``(num_classes, dimension)`` global class
+                hypervectors received from the server.
+            iterations: Local mistake-driven passes.
+
+        Returns:
+            The node's updated ``(num_classes, dimension)`` matrix (a
+            copy — the input is not modified).
+        """
+        global_classes = np.asarray(global_classes, dtype=np.float32)
+        if global_classes.shape != (self.num_classes, self.encoder.dimension):
+            raise ValueError(
+                f"expected global model of shape "
+                f"({self.num_classes}, {self.encoder.dimension}), got "
+                f"{global_classes.shape}"
+            )
+        model = HDCClassifier(
+            dimension=self.encoder.dimension,
+            encoder=self.encoder,
+            learning_rate=self.learning_rate,
+            seed=self._rng,
+        )
+        model.num_classes = self.num_classes
+        model.class_hypervectors = global_classes.copy()
+        model.fit(self._encoded, self._labels, iterations=iterations,
+                  num_classes=self.num_classes, encoded=True)
+        return model.class_hypervectors
+
+    def upload_bytes(self) -> int:
+        """Bytes sent per round: the float32 class-hypervector matrix."""
+        return self.num_classes * self.encoder.dimension * 4

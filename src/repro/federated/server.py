@@ -1,0 +1,68 @@
+"""The aggregation server: weighted averaging of class hypervectors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["FederatedServer"]
+
+
+class FederatedServer:
+    """Holds the global class hypervectors and aggregates node updates.
+
+    Aggregation is a sample-weighted mean — the HDC analogue of FedAvg,
+    exact here because class hypervectors are linear accumulations of
+    encoded samples (bundling commutes with averaging).
+
+    Args:
+        num_classes: Global class count ``k``.
+        dimension: Hypervector width ``d``.
+    """
+
+    def __init__(self, num_classes: int, dimension: int):
+        if num_classes < 2 or dimension < 1:
+            raise ValueError("need num_classes >= 2 and dimension >= 1")
+        self.num_classes = num_classes
+        self.dimension = dimension
+        self.global_classes = np.zeros((num_classes, dimension),
+                                       dtype=np.float32)
+        self.rounds_completed = 0
+
+    def aggregate(self, updates: list[np.ndarray],
+                  weights: list[int]) -> np.ndarray:
+        """Fold node updates into the global model.
+
+        Args:
+            updates: Per-node ``(num_classes, dimension)`` matrices.
+            weights: Per-node sample counts.
+
+        Returns:
+            The new global class-hypervector matrix.
+        """
+        if not updates:
+            raise ValueError("no updates to aggregate")
+        if len(updates) != len(weights):
+            raise ValueError(
+                f"{len(updates)} updates but {len(weights)} weights"
+            )
+        if any(w <= 0 for w in weights):
+            raise ValueError("weights must be positive sample counts")
+        total = float(sum(weights))
+        aggregate = np.zeros_like(self.global_classes)
+        for update, weight in zip(updates, weights):
+            update = np.asarray(update, dtype=np.float32)
+            if update.shape != self.global_classes.shape:
+                raise ValueError(
+                    f"update shape {update.shape} does not match global "
+                    f"model {self.global_classes.shape}"
+                )
+            aggregate += (weight / total) * update
+        self.global_classes = aggregate
+        self.rounds_completed += 1
+        return self.global_classes
+
+    def broadcast_bytes(self, num_nodes: int) -> int:
+        """Bytes sent down per round (the global model to each node)."""
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        return num_nodes * self.num_classes * self.dimension * 4

@@ -1,0 +1,66 @@
+"""Hyperdimensional-computing core: the paper's learning algorithm.
+
+This package implements the three HDC primitives the paper maps onto the
+Edge TPU (Sec. III-A) plus the bagging training optimization (Sec. III-B):
+
+- **Encoding** (:mod:`repro.hdc.encoder`): nonlinear random projection of
+  an ``n``-feature sample into a ``d``-dimensional hypervector,
+  ``E = tanh(F @ B)`` with base hypervectors ``B ~ N(0, 1)``.
+- **Class-hypervector training** (:mod:`repro.hdc.model`): mistake-driven
+  bundling/detaching updates ``C_a += lr * E``, ``C_b -= lr * E``.
+- **Classification**: dot-product (or cosine) associative search over the
+  class hypervectors.
+- **Bagging** (:mod:`repro.hdc.bagging`): ``M`` narrow sub-models trained
+  on bootstrap subsets and fused into one full-width inference model.
+"""
+
+from repro.hdc.hypervector import (
+    bipolarize,
+    bundle,
+    cosine_similarity,
+    dot_similarity,
+    generate_base_hypervectors,
+    hamming_similarity,
+)
+from repro.hdc.encoder import Encoder, IdLevelEncoder, LinearEncoder, NonlinearEncoder
+from repro.hdc.model import HDCClassifier, TrainingHistory
+from repro.hdc.bagging import BaggingConfig, BaggingHDCTrainer, FusedHDCModel
+from repro.hdc.adaptive import AdaptiveHDCClassifier
+from repro.hdc.associative import BipolarAssociativeMemory
+from repro.hdc.regression import HDCRegressor, RegressionHistory
+from repro.hdc.sequence import SequenceEncoder, bind, permute
+from repro.hdc.metrics import (
+    accuracy,
+    confusion_matrix,
+    per_class_accuracy,
+    weight_update_cost_ratio,
+)
+
+__all__ = [
+    "AdaptiveHDCClassifier",
+    "BaggingConfig",
+    "BaggingHDCTrainer",
+    "BipolarAssociativeMemory",
+    "Encoder",
+    "FusedHDCModel",
+    "HDCClassifier",
+    "HDCRegressor",
+    "IdLevelEncoder",
+    "RegressionHistory",
+    "LinearEncoder",
+    "NonlinearEncoder",
+    "SequenceEncoder",
+    "TrainingHistory",
+    "accuracy",
+    "bind",
+    "bipolarize",
+    "bundle",
+    "permute",
+    "confusion_matrix",
+    "cosine_similarity",
+    "dot_similarity",
+    "generate_base_hypervectors",
+    "hamming_similarity",
+    "per_class_accuracy",
+    "weight_update_cost_ratio",
+]

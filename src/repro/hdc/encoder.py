@@ -1,0 +1,230 @@
+"""Encoders: mapping ``n``-feature samples into ``d``-dimensional space.
+
+The paper's encoder (Sec. III-A) is a nonlinear random projection:
+
+    ``E = tanh(f_1 * B_1 + f_2 * B_2 + ... + f_n * B_n) = tanh(F @ B)``
+
+with base hypervectors ``B_i ~ N(0, 1)``.  Because the aggregation is a
+single vector-matrix multiply, the encoder *is* the first fully-connected
+layer of the paper's wide-NN interpretation (Fig. 2), which is what makes
+it compilable to the Edge TPU.
+
+Two ablation encoders are included: :class:`LinearEncoder` (same
+projection without tanh — most prior HDC work) and
+:class:`IdLevelEncoder` (classical record-based ID/level binding, which
+is *not* a single matmul and therefore does not map to a dense
+accelerator — the contrast motivates the paper's choice).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hdc.hypervector import generate_base_hypervectors
+
+__all__ = ["Encoder", "IdLevelEncoder", "LinearEncoder", "NonlinearEncoder"]
+
+
+class Encoder:
+    """Interface for HDC encoders.
+
+    Attributes:
+        num_features: Input feature count ``n``.
+        dimension: Hypervector width ``d``.
+    """
+
+    num_features: int
+    dimension: int
+
+    def encode(self, x: np.ndarray) -> np.ndarray:
+        """Encode samples into hypervectors.
+
+        Args:
+            x: Shape ``(num_samples, num_features)`` or ``(num_features,)``.
+
+        Returns:
+            Shape ``(num_samples, dimension)`` (or ``(dimension,)`` for a
+            single sample), dtype ``float32``.
+        """
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.encode(x)
+
+    def _check_input(self, x: np.ndarray) -> tuple[np.ndarray, bool]:
+        """Coerce input to 2-D float32 and validate the feature count."""
+        x = np.asarray(x, dtype=np.float32)
+        single = x.ndim == 1
+        if single:
+            x = x[None, :]
+        if x.ndim != 2:
+            raise ValueError(f"expected 1-D or 2-D input, got shape {x.shape}")
+        if x.shape[1] != self.num_features:
+            raise ValueError(
+                f"encoder expects {self.num_features} features, got {x.shape[1]}"
+            )
+        return x, single
+
+
+class NonlinearEncoder(Encoder):
+    """The paper's encoder: ``E = tanh(F @ B)`` with Gaussian ``B``.
+
+    The tanh maps linearly inseparable inputs to a (near-)linearly
+    separable high-dimensional representation, and doubles as the hidden
+    layer activation when the encoder is compiled to a neural network.
+
+    Args:
+        num_features: Input feature count ``n``.
+        dimension: Hypervector width ``d`` (paper default 10,000).
+        seed: Seed (or Generator) for the base hypervectors.
+        feature_mask: Optional boolean mask of shape ``(num_features,)``.
+            Rows of ``B`` for masked-out features are zeroed — this is
+            exactly how the paper folds bagging's *feature sampling* into
+            the fused inference model ("some of the columns are set to
+            zero", Sec. III-B).
+        phase: Add a random per-dimension bias inside the tanh,
+            ``E = tanh(F @ B + p)`` with ``p ~ N(0, 1)``.  The paper's
+            encoder has none (default off) — but without it the encoding
+            is an *odd* function of the input (``E(-F) = -E(F)``) and
+            cannot represent even function components, which matters for
+            regression (see :mod:`repro.hdc.regression`).
+    """
+
+    def __init__(self, num_features: int, dimension: int = 10_000,
+                 seed: np.random.Generator | int | None = None,
+                 feature_mask: np.ndarray | None = None,
+                 phase: bool = False):
+        self.num_features = int(num_features)
+        self.dimension = int(dimension)
+        if not isinstance(seed, np.random.Generator):
+            seed = np.random.default_rng(seed)
+        self.base_hypervectors = generate_base_hypervectors(
+            self.num_features, self.dimension, rng=seed
+        )
+        self.phases = None
+        if phase:
+            self.phases = seed.standard_normal(self.dimension).astype(
+                np.float32
+            )
+        if feature_mask is not None:
+            feature_mask = np.asarray(feature_mask, dtype=bool)
+            if feature_mask.shape != (self.num_features,):
+                raise ValueError(
+                    f"feature_mask shape {feature_mask.shape} does not match "
+                    f"num_features={self.num_features}"
+                )
+            self.base_hypervectors = self.base_hypervectors * feature_mask[:, None]
+        self.feature_mask = feature_mask
+
+    def encode(self, x: np.ndarray) -> np.ndarray:
+        x, single = self._check_input(x)
+        projected = x @ self.base_hypervectors
+        if self.phases is not None:
+            projected = projected + self.phases
+        encoded = np.tanh(projected)
+        return encoded[0] if single else encoded
+
+    def projection(self, x: np.ndarray) -> np.ndarray:
+        """The pre-activation ``F @ B (+ p)`` (hidden layer before tanh)."""
+        x, single = self._check_input(x)
+        projected = x @ self.base_hypervectors
+        if self.phases is not None:
+            projected = projected + self.phases
+        return projected[0] if single else projected
+
+
+class LinearEncoder(Encoder):
+    """Linear random projection ``E = F @ B`` (no activation).
+
+    The encoding used by most prior HDC work; kept as an ablation
+    baseline for the paper's claim that the nonlinear variant "achieves
+    higher learning accuracy".
+    """
+
+    def __init__(self, num_features: int, dimension: int = 10_000,
+                 seed: np.random.Generator | int | None = None):
+        self.num_features = int(num_features)
+        self.dimension = int(dimension)
+        self.base_hypervectors = generate_base_hypervectors(
+            self.num_features, self.dimension, rng=seed
+        )
+
+    def encode(self, x: np.ndarray) -> np.ndarray:
+        x, single = self._check_input(x)
+        encoded = (x @ self.base_hypervectors).astype(np.float32)
+        return encoded[0] if single else encoded
+
+
+class IdLevelEncoder(Encoder):
+    """Classical record-based encoding: ``E = sum_i ID_i * L(q(f_i))``.
+
+    Each feature position gets a random bipolar *ID* hypervector; feature
+    values are quantized into ``num_levels`` bins whose *level*
+    hypervectors interpolate between two random endpoint hypervectors (so
+    nearby values stay similar).  Binding is elementwise multiplication.
+
+    This encoder is intentionally *not* expressible as one dense matmul —
+    the quantization gather breaks the wide-NN mapping — which is why the
+    paper's accelerator path uses the projection encoders instead.
+
+    Args:
+        num_features: Input feature count ``n``.
+        dimension: Hypervector width ``d``.
+        num_levels: Number of quantization levels for feature values.
+        value_range: ``(low, high)`` clipping range for feature values;
+            values outside are clamped to the nearest level.
+        seed: Seed (or Generator) for ID/level hypervectors.
+    """
+
+    def __init__(self, num_features: int, dimension: int = 10_000,
+                 num_levels: int = 64,
+                 value_range: tuple[float, float] = (-3.0, 3.0),
+                 seed: np.random.Generator | int | None = None):
+        if num_levels < 2:
+            raise ValueError(f"num_levels must be >= 2, got {num_levels}")
+        low, high = value_range
+        if not low < high:
+            raise ValueError(f"value_range must satisfy low < high, got {value_range}")
+        self.num_features = int(num_features)
+        self.dimension = int(dimension)
+        self.num_levels = int(num_levels)
+        self.value_range = (float(low), float(high))
+        if not isinstance(seed, np.random.Generator):
+            seed = np.random.default_rng(seed)
+        self.id_hypervectors = np.where(
+            seed.random((self.num_features, self.dimension)) < 0.5, -1.0, 1.0
+        ).astype(np.float32)
+        # Level hypervectors: start from a random bipolar HV and flip a
+        # progressively larger random subset, so L(0) and L(num_levels-1)
+        # are near-orthogonal while neighbours are highly similar.
+        base = np.where(seed.random(self.dimension) < 0.5, -1.0, 1.0)
+        flip_order = seed.permutation(self.dimension)
+        levels = np.empty((self.num_levels, self.dimension), dtype=np.float32)
+        flips_per_level = self.dimension // (2 * max(1, self.num_levels - 1))
+        current = base.copy()
+        levels[0] = current
+        for level in range(1, self.num_levels):
+            start = (level - 1) * flips_per_level
+            stop = level * flips_per_level
+            current = current.copy()
+            current[flip_order[start:stop]] *= -1.0
+            levels[level] = current
+        self.level_hypervectors = levels
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        """Map feature values to integer level indices in ``[0, num_levels)``."""
+        low, high = self.value_range
+        scaled = (np.asarray(x, dtype=np.float64) - low) / (high - low)
+        idx = np.floor(scaled * self.num_levels).astype(np.int64)
+        return np.clip(idx, 0, self.num_levels - 1)
+
+    def encode(self, x: np.ndarray) -> np.ndarray:
+        x, single = self._check_input(x)
+        level_idx = self.quantize(x)
+        encoded = np.empty((len(x), self.dimension), dtype=np.float32)
+        # Per-sample loop: the (num_samples, num_features, dimension)
+        # gather would not fit in memory for hyper-wide d.
+        for row, idx in enumerate(level_idx):
+            bound = self.id_hypervectors * self.level_hypervectors[idx]
+            encoded[row] = bound.sum(axis=0)
+        return encoded[0] if single else encoded

@@ -1,0 +1,148 @@
+"""Hypervector primitives: generation, bundling, and similarity metrics.
+
+The paper's HDC variant works with *real-valued* hypervectors: base
+hypervectors are drawn i.i.d. from N(0, 1) so that any two are nearly
+orthogonal in expectation (Sec. III-A), and class hypervectors are real
+accumulations of encoded samples.  Bipolar (+1/-1) helpers are included
+for the associative-memory ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "bipolarize",
+    "bundle",
+    "cosine_similarity",
+    "dot_similarity",
+    "generate_base_hypervectors",
+    "hamming_similarity",
+]
+
+
+def generate_base_hypervectors(num_features: int, dimension: int,
+                               rng: np.random.Generator | int | None = None,
+                               dtype=np.float32) -> np.ndarray:
+    """Draw the ``num_features x dimension`` base-hypervector matrix.
+
+    Components are i.i.d. standard normal (``mu=0, sigma=1``), the
+    distribution the paper uses so that distinct base hypervectors have
+    near-zero dot products ("near orthogonal").
+
+    Args:
+        num_features: Number of input features ``n`` (one base HV each).
+        dimension: Hypervector width ``d``.
+        rng: A :class:`numpy.random.Generator`, an integer seed, or
+            ``None`` for nondeterministic generation.
+        dtype: Output dtype (``float32`` keeps the hyper-wide weight
+            matrices at half the memory of float64 with no accuracy cost).
+
+    Returns:
+        Array of shape ``(num_features, dimension)``.
+    """
+    if num_features < 1:
+        raise ValueError(f"num_features must be >= 1, got {num_features}")
+    if dimension < 1:
+        raise ValueError(f"dimension must be >= 1, got {dimension}")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    return rng.standard_normal((num_features, dimension)).astype(dtype)
+
+
+def bundle(hypervectors: np.ndarray, weights: np.ndarray | None = None) -> np.ndarray:
+    """Bundle (elementwise-add) a stack of hypervectors into one.
+
+    Bundling is HDC's superposition operator: the result stays similar to
+    every bundled input.  With ``weights`` this computes the weighted sum
+    ``sum_i w_i * hv_i``, which is exactly the encoding aggregation
+    ``f_1*B_1 + ... + f_n*B_n`` of the paper.
+
+    Args:
+        hypervectors: Shape ``(count, dimension)``.
+        weights: Optional shape ``(count,)`` scaling factors.
+
+    Returns:
+        Shape ``(dimension,)`` bundled hypervector.
+    """
+    hypervectors = np.asarray(hypervectors)
+    if hypervectors.ndim != 2:
+        raise ValueError(
+            f"expected a (count, dimension) stack, got shape {hypervectors.shape}"
+        )
+    if weights is None:
+        return hypervectors.sum(axis=0)
+    weights = np.asarray(weights)
+    if weights.shape != (len(hypervectors),):
+        raise ValueError(
+            f"weights shape {weights.shape} does not match "
+            f"{len(hypervectors)} hypervectors"
+        )
+    return weights @ hypervectors
+
+
+def dot_similarity(queries: np.ndarray, references: np.ndarray) -> np.ndarray:
+    """Dot-product similarity between query and reference hypervectors.
+
+    This is the accelerator-friendly approximation the paper substitutes
+    for cosine similarity: ``delta(E, C) = E . C`` (Sec. III-A), which
+    maps to a single fully-connected layer on the Edge TPU.
+
+    Args:
+        queries: Shape ``(num_queries, dimension)`` or ``(dimension,)``.
+        references: Shape ``(num_refs, dimension)``.
+
+    Returns:
+        Shape ``(num_queries, num_refs)`` (or ``(num_refs,)`` for a single
+        query).
+    """
+    queries = np.asarray(queries)
+    references = np.asarray(references)
+    return queries @ references.T
+
+
+def cosine_similarity(queries: np.ndarray, references: np.ndarray,
+                      eps: float = 1e-12) -> np.ndarray:
+    """Cosine similarity between query and reference hypervectors.
+
+    The exact associative-search metric; zero vectors are treated as
+    having zero similarity to everything rather than dividing by zero.
+    """
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    references = np.atleast_2d(np.asarray(references, dtype=np.float64))
+    q_norm = np.linalg.norm(queries, axis=1, keepdims=True)
+    r_norm = np.linalg.norm(references, axis=1, keepdims=True)
+    sims = (queries @ references.T) / np.maximum(q_norm @ r_norm.T, eps)
+    if sims.shape[0] == 1 and np.asarray(queries).ndim == 1:
+        return sims[0]
+    return sims
+
+
+def bipolarize(hypervectors: np.ndarray) -> np.ndarray:
+    """Quantize hypervectors to bipolar {-1, +1} (sign, with +1 at zero).
+
+    Bipolar models shrink associative memories 32x and enable Hamming
+    search; used by the binary-model ablation.
+    """
+    return np.where(np.asarray(hypervectors) >= 0, 1, -1).astype(np.int8)
+
+
+def hamming_similarity(queries: np.ndarray, references: np.ndarray) -> np.ndarray:
+    """Normalized Hamming similarity between bipolar hypervectors.
+
+    Returns the fraction of matching components in ``[0, 1]``; equals
+    ``(1 + cosine) / 2`` for exactly bipolar inputs.
+
+    Args:
+        queries: Bipolar array of shape ``(num_queries, dimension)``.
+        references: Bipolar array of shape ``(num_refs, dimension)``.
+    """
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+    references = np.atleast_2d(np.asarray(references, dtype=np.float32))
+    if queries.shape[-1] != references.shape[-1]:
+        raise ValueError(
+            f"dimension mismatch: {queries.shape[-1]} vs {references.shape[-1]}"
+        )
+    dimension = queries.shape[-1]
+    dots = queries @ references.T
+    return (1.0 + dots / dimension) / 2.0

@@ -1,0 +1,125 @@
+"""Sequence encoding with binding and permutation (HDC completeness).
+
+The paper's related work spans HDC applications beyond tabular
+classification — DNA pattern matching (GenieHD), gesture sequences —
+which rest on two operators this module adds to the library:
+
+- **binding** (elementwise multiplication): associates two hypervectors
+  into one dissimilar to both; self-inverse for bipolar vectors;
+- **permutation** (cyclic shift ``rho``): encodes *position*, so the
+  sequence "AB" binds to ``rho(A) * B`` and differs from "BA".
+
+:class:`SequenceEncoder` composes them into the classic n-gram sequence
+encoding: each symbol gets a random bipolar item hypervector; an n-gram
+is the binding of successively-permuted item vectors; a sequence is the
+bundle of its n-grams.  Similar sequences (sharing n-grams) encode to
+similar hypervectors, so the existing :class:`~repro.hdc.model.HDCClassifier`
+classifies symbol sequences unchanged — and, because the encoding output
+is just a ``d``-vector, the Edge TPU similarity-search path applies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SequenceEncoder", "bind", "permute"]
+
+
+def bind(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Bind two hypervectors elementwise (``a * b``).
+
+    For bipolar inputs binding is its own inverse:
+    ``bind(bind(a, b), b) == a``.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape[-1] != b.shape[-1]:
+        raise ValueError(
+            f"dimension mismatch: {a.shape[-1]} vs {b.shape[-1]}"
+        )
+    return a * b
+
+
+def permute(hv: np.ndarray, shifts: int = 1) -> np.ndarray:
+    """The permutation operator ``rho``: cyclic shift along the last axis.
+
+    Permutation preserves norms but decorrelates: ``rho(x)`` is nearly
+    orthogonal to ``x`` for random ``x``, which is what makes it usable
+    as a position marker.
+    """
+    return np.roll(np.asarray(hv), shifts, axis=-1)
+
+
+class SequenceEncoder:
+    """n-gram sequence encoder over a finite symbol alphabet.
+
+    The encoding of a sequence ``s`` is::
+
+        E(s) = sum over i of  rho^{n-1}(I[s_i]) * rho^{n-2}(I[s_i+1])
+                              * ... * I[s_i+n-1]
+
+    with random bipolar item hypervectors ``I`` and cyclic-shift
+    permutation ``rho``.
+
+    Args:
+        alphabet_size: Number of distinct symbols.
+        dimension: Hypervector width ``d``.
+        ngram: n-gram length (3 is the classic choice for text/DNA).
+        seed: Seed for the item hypervectors.
+    """
+
+    def __init__(self, alphabet_size: int, dimension: int = 10_000,
+                 ngram: int = 3,
+                 seed: np.random.Generator | int | None = None):
+        if alphabet_size < 2:
+            raise ValueError(f"alphabet_size must be >= 2, got {alphabet_size}")
+        if ngram < 1:
+            raise ValueError(f"ngram must be >= 1, got {ngram}")
+        if dimension < 1:
+            raise ValueError(f"dimension must be >= 1, got {dimension}")
+        self.alphabet_size = alphabet_size
+        self.dimension = dimension
+        self.ngram = ngram
+        rng = seed if isinstance(seed, np.random.Generator) \
+            else np.random.default_rng(seed)
+        self.item_hypervectors = np.where(
+            rng.random((alphabet_size, dimension)) < 0.5, -1.0, 1.0
+        ).astype(np.float32)
+        # Precompute each item vector at every permutation depth used by
+        # the n-gram window, so encoding is pure gathers + products.
+        self._shifted = np.stack([
+            np.roll(self.item_hypervectors, self.ngram - 1 - pos, axis=1)
+            for pos in range(self.ngram)
+        ])  # (ngram, alphabet, dimension)
+
+    def encode(self, sequence: np.ndarray) -> np.ndarray:
+        """Encode one symbol sequence into a ``(dimension,)`` hypervector.
+
+        Args:
+            sequence: 1-D integer array of symbols in
+                ``[0, alphabet_size)``; must be at least ``ngram`` long.
+        """
+        sequence = np.asarray(sequence, dtype=np.int64)
+        if sequence.ndim != 1:
+            raise ValueError(f"expected a 1-D sequence, got shape {sequence.shape}")
+        if len(sequence) < self.ngram:
+            raise ValueError(
+                f"sequence of length {len(sequence)} shorter than "
+                f"ngram={self.ngram}"
+            )
+        if sequence.min() < 0 or sequence.max() >= self.alphabet_size:
+            raise ValueError(
+                f"symbols out of range [0, {self.alphabet_size})"
+            )
+        windows = len(sequence) - self.ngram + 1
+        # grams[w] = product over pos of shifted[pos][sequence[w + pos]]
+        grams = np.ones((windows, self.dimension), dtype=np.float32)
+        for pos in range(self.ngram):
+            grams *= self._shifted[pos][sequence[pos:pos + windows]]
+        return grams.sum(axis=0)
+
+    def encode_batch(self, sequences: list) -> np.ndarray:
+        """Encode many sequences; returns ``(len(sequences), dimension)``."""
+        if not len(sequences):
+            raise ValueError("no sequences to encode")
+        return np.stack([self.encode(seq) for seq in sequences])

@@ -1,0 +1,31 @@
+"""HDC-as-a-hyper-wide-neural-network interpretation (paper Fig. 2).
+
+The paper's central mapping: the HDC pipeline *is* a three-layer dense
+network — input layer (``n`` nodes) → hyper-wide hidden layer
+(``d`` nodes, tanh) → output layer (``k`` nodes) — where the hidden
+weights are the base hypervectors and the output weights are the trained
+class hypervectors.  This package provides the float network
+representation that :mod:`repro.tflite` quantizes and
+:mod:`repro.edgetpu` compiles.
+"""
+
+from repro.nn.layers import Activation, Argmax, Dense, Layer
+from repro.nn.graph import Network
+from repro.nn.builder import (
+    encoder_network,
+    from_classifier,
+    from_fused,
+    inference_network,
+)
+
+__all__ = [
+    "Activation",
+    "Argmax",
+    "Dense",
+    "Layer",
+    "Network",
+    "encoder_network",
+    "from_classifier",
+    "from_fused",
+    "inference_network",
+]

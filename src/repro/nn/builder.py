@@ -1,0 +1,128 @@
+"""Builders: HDC models → wide neural networks (paper Fig. 2).
+
+The paper slices the three-layer network in half:
+
+- the **encoder network** (input → hidden) has the base hypervectors as
+  its ``n x d`` weight matrix and tanh as the hidden activation — during
+  *training* only this half runs on the Edge TPU, and the encoded
+  hypervectors come back to the host for class-hypervector updates;
+- the **inference network** adds the second half (hidden → output) whose
+  ``d x k`` weights are the trained class hypervectors — the similarity
+  check becomes a plain fully-connected layer and the whole model runs
+  on the accelerator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hdc.bagging import FusedHDCModel
+from repro.hdc.encoder import LinearEncoder, NonlinearEncoder
+from repro.hdc.model import HDCClassifier
+from repro.nn.graph import Network
+from repro.nn.layers import Activation, Argmax, Dense
+
+__all__ = [
+    "encoder_network",
+    "from_classifier",
+    "from_fused",
+    "inference_network",
+]
+
+
+def encoder_network(encoder: NonlinearEncoder | LinearEncoder,
+                    name: str = "hdc-encoder") -> Network:
+    """Build the first half of the wide NN from an HDC encoder.
+
+    Args:
+        encoder: A projection encoder (nonlinear tanh, or linear for the
+            ablation).  ID/level encoders cannot be expressed as a dense
+            layer and are rejected.
+
+    Returns:
+        ``Dense(B)`` (+ ``Tanh`` for the nonlinear encoder), producing
+        encoded hypervectors.
+    """
+    if not isinstance(encoder, (NonlinearEncoder, LinearEncoder)):
+        raise TypeError(
+            f"only projection encoders map to a dense network; got "
+            f"{type(encoder).__name__}"
+        )
+    bias = getattr(encoder, "phases", None)
+    layers: list = [Dense(encoder.base_hypervectors, bias=bias, name="encode")]
+    if isinstance(encoder, NonlinearEncoder):
+        layers.append(Activation("tanh", name="encode-tanh"))
+    return Network(encoder.num_features, layers, name=name)
+
+
+def inference_network(base_matrix: np.ndarray, class_matrix: np.ndarray,
+                      nonlinear: bool = True, include_argmax: bool = False,
+                      encode_bias: np.ndarray | None = None,
+                      name: str = "hdc-inference") -> Network:
+    """Build the full three-layer inference network.
+
+    Args:
+        base_matrix: ``(n, d)`` encoding weights (base hypervectors).
+        class_matrix: ``(d, k)`` classification weights (class
+            hypervectors as columns).
+        nonlinear: Insert the tanh hidden activation (the paper's
+            encoder); ``False`` builds the linear-encoding ablation.
+        include_argmax: Append the argmax layer so the network emits a
+            class index instead of similarity scores.
+        encode_bias: Optional hidden-layer bias (a phase-enabled
+            encoder's offsets).
+        name: Network name.
+    """
+    base_matrix = np.asarray(base_matrix, dtype=np.float32)
+    class_matrix = np.asarray(class_matrix, dtype=np.float32)
+    if base_matrix.ndim != 2 or class_matrix.ndim != 2:
+        raise ValueError("base_matrix and class_matrix must be 2-D")
+    if base_matrix.shape[1] != class_matrix.shape[0]:
+        raise ValueError(
+            f"hidden width mismatch: base {base_matrix.shape} vs "
+            f"class {class_matrix.shape}"
+        )
+    layers: list = [Dense(base_matrix, bias=encode_bias, name="encode")]
+    if nonlinear:
+        layers.append(Activation("tanh", name="encode-tanh"))
+    layers.append(Dense(class_matrix, name="classify"))
+    if include_argmax:
+        layers.append(Argmax(name="predict"))
+    return Network(base_matrix.shape[0], layers, name=name)
+
+
+def from_classifier(model: HDCClassifier, include_argmax: bool = False,
+                    name: str = "hdc-inference") -> Network:
+    """Compile a trained :class:`HDCClassifier` into its inference network.
+
+    The class hypervectors (rows) become the columns of the second dense
+    layer, exactly the paper's "network parameters ... determined by the
+    trained class hypervectors".
+    """
+    if model.class_hypervectors is None:
+        raise ValueError("classifier has no trained class hypervectors")
+    if not isinstance(model.encoder, (NonlinearEncoder, LinearEncoder)):
+        raise TypeError(
+            "classifier must use a projection encoder to compile to a "
+            "dense network"
+        )
+    return inference_network(
+        model.encoder.base_hypervectors,
+        model.class_hypervectors.T,
+        nonlinear=isinstance(model.encoder, NonlinearEncoder),
+        include_argmax=include_argmax,
+        encode_bias=getattr(model.encoder, "phases", None),
+        name=name,
+    )
+
+
+def from_fused(fused: FusedHDCModel, include_argmax: bool = False,
+               name: str = "hdc-bagged-inference") -> Network:
+    """Compile a fused bagging model into its (full-width) inference network."""
+    return inference_network(
+        fused.base_matrix,
+        fused.class_matrix,
+        nonlinear=True,
+        include_argmax=include_argmax,
+        name=name,
+    )

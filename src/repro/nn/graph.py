@@ -1,0 +1,110 @@
+"""Sequential float network with shape inference and cost accounting."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+__all__ = ["Network"]
+
+
+class Network:
+    """An ordered stack of layers with a fixed input width.
+
+    The float reference for everything downstream: the TFLite converter
+    quantizes a ``Network``, the Edge TPU compiler tiles its dense
+    layers, and the platform cost models consume its per-layer shapes.
+
+    Args:
+        input_dim: Width of the input layer (``n`` for the encoder
+            network, the paper's sample feature count).
+        layers: Layer specs applied in order.
+        name: Network name used in reports and serialized models.
+
+    Raises:
+        ValueError: If consecutive layer shapes do not chain.
+    """
+
+    def __init__(self, input_dim: int, layers: Iterable[Layer],
+                 name: str = "network"):
+        if input_dim < 1:
+            raise ValueError(f"input_dim must be >= 1, got {input_dim}")
+        self.input_dim = int(input_dim)
+        self.layers: list[Layer] = list(layers)
+        if not self.layers:
+            raise ValueError("a network needs at least one layer")
+        self.name = name
+        # Shape-check the whole stack eagerly so construction fails fast.
+        self._widths = [self.input_dim]
+        width = self.input_dim
+        for layer in self.layers:
+            width = layer.output_dim(width)
+            self._widths.append(width)
+
+    @property
+    def output_dim(self) -> int:
+        """Width of the final layer's output."""
+        return self._widths[-1]
+
+    @property
+    def layer_widths(self) -> list[int]:
+        """Activation widths: ``[input_dim, after layer 0, ...]``."""
+        return list(self._widths)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run the network in float32 on ``(batch, input_dim)`` inputs."""
+        x = np.asarray(x, dtype=np.float32)
+        single = x.ndim == 1
+        if single:
+            x = x[None, :]
+        if x.ndim != 2 or x.shape[1] != self.input_dim:
+            raise ValueError(
+                f"expected input of width {self.input_dim}, got shape {x.shape}"
+            )
+        for layer in self.layers:
+            x = layer.apply(x)
+        return x[0] if single else x
+
+    def flops_per_sample(self) -> int:
+        """Total floating-point ops to run one sample through the stack."""
+        return sum(
+            layer.flops(width)
+            for layer, width in zip(self.layers, self._widths[:-1])
+        )
+
+    def parameter_count(self) -> int:
+        """Total trainable parameters across all layers."""
+        return sum(layer.parameter_count() for layer in self.layers)
+
+    def parameter_bytes(self, bytes_per_param: int = 4) -> int:
+        """Model size at the given parameter width (4 = float32, 1 = int8)."""
+        if bytes_per_param < 1:
+            raise ValueError(f"bytes_per_param must be >= 1, got {bytes_per_param}")
+        return self.parameter_count() * bytes_per_param
+
+    def summary(self) -> str:
+        """Human-readable per-layer table."""
+        lines = [f"Network {self.name!r} (input width {self.input_dim})"]
+        for layer, width_in, width_out in zip(
+            self.layers, self._widths[:-1], self._widths[1:]
+        ):
+            lines.append(
+                f"  {layer.name:<16} {type(layer).__name__:<12} "
+                f"{width_in:>7} -> {width_out:<7} "
+                f"params={layer.parameter_count():>10} "
+                f"flops/sample={layer.flops(width_in):>12}"
+            )
+        lines.append(
+            f"  total: params={self.parameter_count()} "
+            f"flops/sample={self.flops_per_sample()}"
+        )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Network(name={self.name!r}, input_dim={self.input_dim}, "
+            f"layers={[layer.name for layer in self.layers]})"
+        )

@@ -1,0 +1,109 @@
+"""Platform interface and the virtual clock.
+
+A :class:`Platform` converts operation shapes into modeled seconds; a
+:class:`VirtualClock` accumulates them.  All benchmark "runtimes" in this
+reproduction are virtual-clock readings, so results are deterministic
+and machine-independent (the paper's numbers are wall-clock on physical
+hardware; ours model the same structure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CpuSpec", "Platform", "VirtualClock"]
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Calibration constants for a CPU-class platform.
+
+    Attributes:
+        name: Platform name.
+        matmul_gflops: Effective dense-matmul throughput (BLAS-level,
+            all cores) in GFLOP/s.
+        memory_gbps: Effective streaming memory bandwidth in GB/s,
+            limiting elementwise operations on large arrays.
+        tanh_ns_per_element: Cost of one scalar tanh evaluation
+            (vectorized library rate) in nanoseconds.
+        per_call_overhead_s: Fixed overhead per kernel invocation
+            (dispatch, interpreter, cache warmup).
+        power_w: Average active power draw, for energy accounting.
+    """
+
+    name: str
+    matmul_gflops: float
+    memory_gbps: float
+    tanh_ns_per_element: float
+    per_call_overhead_s: float
+    power_w: float
+
+    def __post_init__(self) -> None:
+        if min(self.matmul_gflops, self.memory_gbps,
+               self.tanh_ns_per_element) <= 0:
+            raise ValueError("throughput constants must be > 0")
+        if self.per_call_overhead_s < 0 or self.power_w <= 0:
+            raise ValueError("overhead must be >= 0 and power > 0")
+
+
+class Platform:
+    """Interface: operation shapes → modeled seconds."""
+
+    name: str
+    power_w: float
+
+    def matmul_seconds(self, m: int, k: int, n: int) -> float:
+        """Seconds for a dense ``(m, k) @ (k, n)`` float multiply."""
+        raise NotImplementedError
+
+    def tanh_seconds(self, elements: int) -> float:
+        """Seconds to apply tanh to ``elements`` values."""
+        raise NotImplementedError
+
+    def elementwise_seconds(self, elements: int,
+                            bytes_per_element: int = 4) -> float:
+        """Seconds for a streaming elementwise op over ``elements`` values."""
+        raise NotImplementedError
+
+    def argmax_seconds(self, rows: int, cols: int) -> float:
+        """Seconds for a row-wise argmax over a ``(rows, cols)`` array."""
+        raise NotImplementedError
+
+    def call_overhead_seconds(self, calls: int = 1) -> float:
+        """Fixed dispatch overhead for ``calls`` kernel invocations."""
+        raise NotImplementedError
+
+
+@dataclass
+class VirtualClock:
+    """Accumulates modeled time, optionally per named phase.
+
+    Example::
+
+        clock = VirtualClock()
+        clock.charge("encode", platform.matmul_seconds(n, k, m))
+        clock.elapsed()          # total
+        clock.phase("encode")    # per phase
+    """
+
+    _total: float = 0.0
+    _phases: dict = field(default_factory=dict)
+
+    def charge(self, phase: str, seconds: float) -> None:
+        """Add ``seconds`` to ``phase`` (and the total)."""
+        if seconds < 0:
+            raise ValueError(f"cannot charge negative time ({seconds})")
+        self._total += seconds
+        self._phases[phase] = self._phases.get(phase, 0.0) + seconds
+
+    def elapsed(self) -> float:
+        """Total accumulated seconds."""
+        return self._total
+
+    def phase(self, name: str) -> float:
+        """Seconds accumulated under ``name`` (0.0 if never charged)."""
+        return self._phases.get(name, 0.0)
+
+    def phases(self) -> dict:
+        """A copy of the per-phase breakdown."""
+        return dict(self._phases)

@@ -1,0 +1,117 @@
+"""CPU platform models: the laptop host and the Raspberry Pi 3.
+
+Calibration targets (DESIGN.md section 2):
+
+- **MobileCpu** models the paper's host, an Intel i5-5250U (2C/4T
+  Broadwell, AVX2+FMA, ~172 GFLOP/s SP peak).  Effective BLAS throughput
+  ~44 GFLOP/s and a ~2.2 ns/element vectorized tanh reproduce the
+  paper's CPU-baseline encoding costs (these two constants, plus the
+  Edge TPU transfer model, jointly set Fig. 10's speedup curve:
+  ~1x at 20 features, ~8-9x at 700).
+- **RaspberryPi3** models the ARM Cortex-A53 comparison platform
+  (4 cores, 1.2 GHz, NEON; ~38 GFLOP/s SP peak).  Effective ~8 GFLOP/s
+  matmul and ~20 ns/element tanh reproduce Table II's 15-24x training
+  and 7-11x inference ratios.
+"""
+
+from __future__ import annotations
+
+from repro.platforms.base import CpuSpec, Platform
+
+__all__ = [
+    "CpuPlatform",
+    "MOBILE_CPU_SPEC",
+    "MobileCpu",
+    "RASPBERRY_PI3_SPEC",
+    "RaspberryPi3",
+]
+
+MOBILE_CPU_SPEC = CpuSpec(
+    name="mobile-cpu-i5-5250U",
+    matmul_gflops=44.0,
+    memory_gbps=12.0,
+    tanh_ns_per_element=2.2,
+    per_call_overhead_s=5e-6,
+    power_w=15.0,
+)
+
+RASPBERRY_PI3_SPEC = CpuSpec(
+    name="raspberry-pi-3-a53",
+    matmul_gflops=8.0,
+    memory_gbps=2.0,
+    tanh_ns_per_element=20.0,
+    per_call_overhead_s=2e-5,
+    power_w=3.7,
+)
+
+
+class CpuPlatform(Platform):
+    """Roofline-style CPU cost model driven by a :class:`CpuSpec`.
+
+    Dense matmuls run at the compute roof; elementwise work runs at the
+    memory roof; tanh pays a per-element library cost.  Every modeled
+    kernel also pays the per-call dispatch overhead once.
+    """
+
+    def __init__(self, spec: CpuSpec):
+        self.spec = spec
+        self.name = spec.name
+        self.power_w = spec.power_w
+
+    def matmul_seconds(self, m: int, k: int, n: int) -> float:
+        if min(m, k, n) < 1:
+            raise ValueError(f"matmul dims must be >= 1, got ({m}, {k}, {n})")
+        flops = 2.0 * m * k * n
+        compute = flops / (self.spec.matmul_gflops * 1e9)
+        # Large matmuls also stream operands/result at least once.
+        traffic_bytes = 4.0 * (m * k + k * n + m * n)
+        bandwidth = traffic_bytes / (self.spec.memory_gbps * 1e9)
+        return max(compute, bandwidth) + self.spec.per_call_overhead_s
+
+    def tanh_seconds(self, elements: int) -> float:
+        if elements < 0:
+            raise ValueError(f"elements must be >= 0, got {elements}")
+        return (
+            elements * self.spec.tanh_ns_per_element * 1e-9
+            + self.spec.per_call_overhead_s
+        )
+
+    def elementwise_seconds(self, elements: int,
+                            bytes_per_element: int = 4) -> float:
+        if elements < 0:
+            raise ValueError(f"elements must be >= 0, got {elements}")
+        # Read + write traffic at the memory roof.
+        traffic = 2.0 * elements * bytes_per_element
+        return (
+            traffic / (self.spec.memory_gbps * 1e9)
+            + self.spec.per_call_overhead_s
+        )
+
+    def argmax_seconds(self, rows: int, cols: int) -> float:
+        if rows < 0 or cols < 1:
+            raise ValueError(f"bad argmax shape ({rows}, {cols})")
+        # One compare per element at the memory roof (single read).
+        traffic = 4.0 * rows * cols
+        return (
+            traffic / (self.spec.memory_gbps * 1e9)
+            + self.spec.per_call_overhead_s
+        )
+
+    def call_overhead_seconds(self, calls: int = 1) -> float:
+        if calls < 0:
+            raise ValueError(f"calls must be >= 0, got {calls}")
+        return calls * self.spec.per_call_overhead_s
+
+
+class MobileCpu(CpuPlatform):
+    """The paper's host platform: mobile Intel i5-5250U class."""
+
+    def __init__(self):
+        super().__init__(MOBILE_CPU_SPEC)
+
+
+class RaspberryPi3(CpuPlatform):
+    """The paper's embedded comparison: Raspberry Pi 3 (Cortex-A53)."""
+
+    def __init__(self):
+        super().__init__(RASPBERRY_PI3_SPEC)

@@ -1,0 +1,50 @@
+"""Energy accounting: average power x modeled time.
+
+The paper's Table II frames the Raspberry Pi 3 comparison as "similar
+average power consumption": Pi 3 ~3.7 W versus host-CPU-share + Edge TPU
+~2 W active.  These helpers make that comparison explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EnergyReport", "energy_joules"]
+
+
+def energy_joules(power_w: float, seconds: float) -> float:
+    """Energy in joules for ``seconds`` at ``power_w`` average draw."""
+    if power_w <= 0:
+        raise ValueError(f"power must be > 0, got {power_w}")
+    if seconds < 0:
+        raise ValueError(f"seconds must be >= 0, got {seconds}")
+    return power_w * seconds
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Per-platform energy summary for one workload.
+
+    Attributes:
+        platform: Platform name.
+        seconds: Modeled runtime.
+        power_w: Average power used for the conversion.
+    """
+
+    platform: str
+    seconds: float
+    power_w: float
+
+    @property
+    def joules(self) -> float:
+        """Total energy."""
+        return energy_joules(self.power_w, self.seconds)
+
+    def efficiency_vs(self, other: "EnergyReport") -> float:
+        """Energy-efficiency ratio: ``other.joules / self.joules``.
+
+        Greater than 1 means this platform is more energy-efficient.
+        """
+        if self.joules == 0:
+            raise ZeroDivisionError("cannot compare a zero-energy report")
+        return other.joules / self.joules

@@ -1,0 +1,88 @@
+"""Edge TPU platform wrapper.
+
+Thin adapter giving the Edge TPU simulator the same "platform" face as
+the CPU models: a name, a power figure, and shape-level costs for the
+two dense layers the HDC models use, without requiring materialized
+weights.  The analytical experiment drivers (Figs. 5/6/10, Table II)
+use this; the functional pipelines use :class:`repro.edgetpu.EdgeTpuDevice`
+with real compiled models.
+"""
+
+from __future__ import annotations
+
+from repro.edgetpu.arch import EdgeTpuArch
+from repro.edgetpu.systolic import systolic_cycles
+
+__all__ = ["EdgeTpuPlatform"]
+
+
+class EdgeTpuPlatform:
+    """Shape-level Edge TPU latency model.
+
+    Args:
+        arch: Device architecture; defaults to the standard USB device.
+    """
+
+    def __init__(self, arch: EdgeTpuArch | None = None):
+        self.arch = arch if arch is not None else EdgeTpuArch()
+        self.name = "edge-tpu-usb"
+        self.power_w = self.arch.active_power_w
+
+    def dense_cycles(self, input_dim: int, output_dim: int, batch: int) -> int:
+        """MXU cycles for one dense layer invocation."""
+        return systolic_cycles(
+            input_dim, output_dim, batch,
+            rows=self.arch.mxu_rows, cols=self.arch.mxu_cols,
+        )
+
+    def activation_cycles(self, elements: int) -> int:
+        """Vector-unit cycles for an elementwise activation."""
+        if elements < 0:
+            raise ValueError(f"elements must be >= 0, got {elements}")
+        return -(-elements // self.arch.vector_lanes)
+
+    def invoke_seconds(self, layer_dims: list[tuple[int, int]], batch: int,
+                       tanh_after_first: bool = True,
+                       weight_bytes: int | None = None) -> float:
+        """Modeled time of one invocation of a dense stack.
+
+        Args:
+            layer_dims: ``[(in, out), ...]`` for each dense layer.
+            batch: Rows per invocation.
+            tanh_after_first: Charge a tanh pass after the first layer
+                (the HDC encoder's hidden activation).
+            weight_bytes: Total parameter bytes (for the streaming
+                penalty); computed from ``layer_dims`` at int8 when
+                omitted.
+
+        Returns:
+            Seconds, including dispatch overhead and activation I/O.
+        """
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        if not layer_dims:
+            raise ValueError("layer_dims must not be empty")
+        arch = self.arch
+        cycles = 0
+        for index, (input_dim, output_dim) in enumerate(layer_dims):
+            cycles += self.dense_cycles(input_dim, output_dim, batch)
+            if tanh_after_first and index == 0:
+                cycles += self.activation_cycles(output_dim) * batch
+        if weight_bytes is None:
+            weight_bytes = sum(i * o for i, o in layer_dims)
+        streamed = max(0, weight_bytes - arch.parameter_buffer_bytes)
+        input_bytes = batch * layer_dims[0][0]
+        output_bytes = batch * layer_dims[-1][1]
+        return (
+            arch.invoke_overhead_s
+            + arch.transfer_time(input_bytes)
+            + arch.transfer_time(streamed)
+            + arch.cycles_to_seconds(cycles)
+            + arch.transfer_time(output_bytes)
+        )
+
+    def model_load_seconds(self, weight_bytes: int) -> float:
+        """One-time model push cost for ``weight_bytes`` of parameters."""
+        if weight_bytes < 0:
+            raise ValueError(f"weight_bytes must be >= 0, got {weight_bytes}")
+        return self.arch.model_setup_s + self.arch.transfer_time(weight_bytes)

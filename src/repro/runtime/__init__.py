@@ -1,0 +1,51 @@
+"""The co-design runtime: pipelines and phase-cost models.
+
+Two layers:
+
+- :mod:`repro.runtime.pipeline` — *functional* orchestration of the
+  paper's Fig. 1 / Fig. 3 flows on materialized data: encode on the
+  simulated Edge TPU, update class hypervectors on the host, fuse and
+  deploy the inference model.  Used by the examples and accuracy
+  experiments.
+- :mod:`repro.runtime.costs` — *analytic* phase models over dataset
+  shapes (Table I), producing the modeled runtimes behind the paper's
+  Fig. 5/6/10 and Table II.  These never materialize data, so they run
+  at full paper scale instantly.
+"""
+
+from repro.runtime.costs import (
+    CostModel,
+    HdcTrainingConfig,
+    PhaseBreakdown,
+    Workload,
+)
+from repro.runtime.pipeline import (
+    InferencePipeline,
+    InferenceResult,
+    PipelineResult,
+    TrainingPipeline,
+)
+from repro.runtime.continual import ContinualLearner, ContinualResult
+from repro.runtime.placement import (
+    PlacementAdvisor,
+    PlacementDecision,
+    tpu_feature_crossover,
+)
+from repro.runtime.profiler import PhaseProfiler
+
+__all__ = [
+    "ContinualLearner",
+    "ContinualResult",
+    "CostModel",
+    "HdcTrainingConfig",
+    "InferencePipeline",
+    "InferenceResult",
+    "PhaseBreakdown",
+    "PhaseProfiler",
+    "PipelineResult",
+    "PlacementAdvisor",
+    "PlacementDecision",
+    "TrainingPipeline",
+    "Workload",
+    "tpu_feature_crossover",
+]

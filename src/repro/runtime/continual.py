@@ -1,0 +1,152 @@
+"""Continual on-edge learning under drift (extension).
+
+Operationalizes the paper's motivation that edge models need frequent
+updates: a :class:`ContinualLearner` consumes a drifting stream with
+prequential (test-then-train) evaluation, updating class hypervectors
+on the host after each batch — the exact phase the paper's bagging
+optimization targets — and periodically regenerating the deployed Edge
+TPU inference model, whose modelgen cost the paper's Fig. 5 accounts.
+
+The comparison that matters: a *static* model trained once decays as
+the distribution drifts; the continual learner pays a small recurring
+update/modelgen cost and keeps its accuracy.  The bench
+``benchmarks/test_continual.py`` measures both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.streams import DriftingStream
+from repro.hdc.encoder import NonlinearEncoder
+from repro.hdc.model import HDCClassifier
+from repro.platforms.base import Platform
+from repro.platforms.cpu import MobileCpu
+from repro.runtime.costs import CostModel
+
+__all__ = ["ContinualLearner", "ContinualResult"]
+
+
+@dataclass
+class ContinualResult:
+    """Prequential history of a continual run.
+
+    Attributes:
+        prequential_accuracy: Per-batch accuracy measured *before* that
+            batch was used for training (the standard streaming metric).
+        eval_accuracy: Accuracy on a fresh current-distribution test set
+            at each evaluation point.
+        update_seconds: Modeled host time spent on class-HV updates.
+        modelgen_seconds: Modeled time spent regenerating the deployed
+            inference model.
+        model_refreshes: How many times the deployed model was rebuilt.
+    """
+
+    prequential_accuracy: list = field(default_factory=list)
+    eval_accuracy: list = field(default_factory=list)
+    update_seconds: float = 0.0
+    modelgen_seconds: float = 0.0
+    model_refreshes: int = 0
+
+    @property
+    def mean_prequential_accuracy(self) -> float:
+        """Average online accuracy over the whole run."""
+        if not self.prequential_accuracy:
+            raise ValueError("no batches were processed")
+        return float(np.mean(self.prequential_accuracy))
+
+
+class ContinualLearner:
+    """Streams batches through encode → predict → update.
+
+    Args:
+        num_features: Stream feature count.
+        num_classes: Stream class count.
+        dimension: Hypervector width.
+        learning_rate: Update scale.
+        refresh_interval: Regenerate the deployed inference model every
+            this many batches (``None`` never refreshes — predictions
+            still use the live class hypervectors; the refresh only
+            matters for the deployed-model cost accounting).
+        host: Host cost model for update/modelgen charging.
+        seed: Seed for the encoder and training.
+    """
+
+    def __init__(self, num_features: int, num_classes: int,
+                 dimension: int = 2048, learning_rate: float = 0.035,
+                 refresh_interval: int | None = 20,
+                 host: Platform | None = None,
+                 seed: int | None = None):
+        if refresh_interval is not None and refresh_interval < 1:
+            raise ValueError(
+                f"refresh_interval must be >= 1 or None, got {refresh_interval}"
+            )
+        self.num_classes = num_classes
+        self.dimension = dimension
+        self.refresh_interval = refresh_interval
+        self.host = host if host is not None else MobileCpu()
+        self._costs = CostModel(host=self.host)
+        rng = np.random.default_rng(seed)
+        self.encoder = NonlinearEncoder(num_features, dimension, seed=rng)
+        self.model = HDCClassifier(
+            dimension=dimension, encoder=self.encoder,
+            learning_rate=learning_rate, seed=rng,
+        )
+        self._batches_seen = 0
+
+    def warmup(self, x: np.ndarray, y: np.ndarray,
+               iterations: int = 5) -> None:
+        """Initial training before the stream starts."""
+        self.model.fit(x, y, iterations=iterations,
+                       num_classes=self.num_classes)
+
+    def run(self, stream: DriftingStream, num_batches: int,
+            batch_size: int = 64, train: bool = True,
+            eval_every: int = 10, eval_samples: int = 256
+            ) -> ContinualResult:
+        """Consume the stream prequentially.
+
+        Args:
+            stream: The drifting source.
+            num_batches: Batches to consume.
+            batch_size: Samples per batch.
+            train: Update the model after each batch; ``False`` measures
+                the static-model decay baseline.
+            eval_every: Evaluate on a fresh test set every N batches.
+            eval_samples: Test-set size per evaluation.
+        """
+        if num_batches < 1:
+            raise ValueError(f"num_batches must be >= 1, got {num_batches}")
+        result = ContinualResult()
+        for index in range(num_batches):
+            x, y = stream.next_batch(batch_size)
+            predictions = self.model.predict(x)
+            result.prequential_accuracy.append(float(np.mean(predictions == y)))
+            if train:
+                history = self.model.partial_fit(x, y,
+                                                 num_classes=self.num_classes)
+                updates = history.history.updates[-1]
+                result.update_seconds += self._costs.update_seconds(
+                    batch_size, self.dimension, self.num_classes,
+                    iterations=1,
+                    mistake_fraction=updates / max(1, batch_size),
+                    chunk_size=64,
+                )
+                self._batches_seen += 1
+                if (self.refresh_interval is not None
+                        and self._batches_seen % self.refresh_interval == 0):
+                    params = (
+                        self.encoder.num_features * self.dimension
+                        + self.dimension * self.num_classes
+                    )
+                    result.modelgen_seconds += \
+                        self._costs.modelgen_seconds(params)
+                    result.model_refreshes += 1
+            if (index + 1) % eval_every == 0:
+                test_x, test_y = stream.test_set(eval_samples)
+                result.eval_accuracy.append(
+                    float(np.mean(self.model.predict(test_x) == test_y))
+                )
+        return result

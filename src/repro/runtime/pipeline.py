@@ -1,0 +1,347 @@
+"""The co-design pipelines: the paper's Fig. 1 and Fig. 3 flows, end to end.
+
+:class:`TrainingPipeline` runs real data through the full stack:
+
+1. build the encoder half of the wide NN (base hypervectors), quantize
+   it, compile it, and load it onto the simulated Edge TPU (``modelgen``
+   phase);
+2. stream training batches through the device and hand the encoded
+   hypervectors back to the host (``encode`` phase, device-modeled
+   time plus host dequantization);
+3. run mistake-driven class-hypervector updates on the host CPU
+   (``update`` phase, charged by the host cost model using the *actual*
+   per-pass update counts);
+4. build, quantize and compile the full inference model — fused across
+   sub-models when bagging is enabled (``modelgen`` phase).
+
+:class:`InferencePipeline` then executes the compiled inference model
+sample-batch by sample-batch on the device with the host argmax tail,
+exactly the deployment the paper measures in Fig. 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.edgetpu.arch import EdgeTpuArch
+from repro.edgetpu.compiler import CompiledModel, compile_model
+from repro.edgetpu.device import EdgeTpuDevice
+from repro.hdc.bagging import BaggingConfig, FusedHDCModel
+from repro.hdc.encoder import NonlinearEncoder
+from repro.hdc.model import HDCClassifier, TrainingHistory
+from repro.nn.builder import encoder_network, inference_network
+from repro.platforms.base import Platform
+from repro.platforms.cpu import MobileCpu
+from repro.runtime.costs import CostModel, HdcTrainingConfig
+from repro.runtime.profiler import PhaseProfiler
+from repro.tflite.converter import convert
+from repro.tflite.flatmodel import FlatModel
+
+__all__ = ["InferencePipeline", "PipelineResult", "TrainingPipeline"]
+
+_CALIBRATION_SAMPLES = 256
+
+
+@dataclass
+class PipelineResult:
+    """Everything a training run produces.
+
+    Attributes:
+        inference_model: The quantized full inference model (fused when
+            bagging was used).
+        compiled: The Edge TPU compilation of that model.
+        fused: The float fused HDC model (base + class matrices).
+        classifiers: The trained sub-model classifiers (one entry when
+            bagging is off).
+        histories: Per-classifier training histories.
+        profiler: Phase-time accounting for the whole run.
+    """
+
+    inference_model: FlatModel
+    compiled: CompiledModel
+    fused: FusedHDCModel
+    classifiers: list[HDCClassifier]
+    histories: list[TrainingHistory]
+    profiler: PhaseProfiler
+
+
+@dataclass
+class InferenceResult:
+    """Output of an inference run over a test set.
+
+    Attributes:
+        predictions: int64 class indices.
+        seconds: Modeled time (device + host tail).
+        accuracy: Mean accuracy when labels were supplied, else None.
+    """
+
+    predictions: np.ndarray
+    seconds: float
+    accuracy: float | None = None
+    breakdown: dict = field(default_factory=dict)
+
+
+class TrainingPipeline:
+    """Trains an HDC model with Edge TPU encoding and host updates.
+
+    Args:
+        dimension: Full hypervector width ``d``.
+        iterations: Training passes (paper baseline 20; with bagging the
+            sub-model iterations come from ``bagging.iterations``).
+        bagging: Enable the paper's bagging optimization with this
+            config; ``None`` trains one full-width model.
+        host: Host CPU cost model.
+        arch: Edge TPU architecture.
+        learning_rate: Update scale.
+        train_batch: Samples per device invocation while encoding.
+        seed: Seed for hypervectors, bootstrap draws and shuffling.
+    """
+
+    def __init__(self, dimension: int = 10_000, iterations: int = 20,
+                 bagging: BaggingConfig | None = None,
+                 host: Platform | None = None,
+                 arch: EdgeTpuArch | None = None,
+                 learning_rate: float = 0.035, train_batch: int = 256,
+                 seed: int | None = None):
+        if dimension < 1 or iterations < 1 or train_batch < 1:
+            raise ValueError("dimension, iterations, train_batch must be >= 1")
+        self.dimension = dimension
+        self.iterations = iterations
+        self.bagging = bagging
+        self.host = host if host is not None else MobileCpu()
+        self.arch = arch if arch is not None else EdgeTpuArch()
+        self.learning_rate = learning_rate
+        self.train_batch = train_batch
+        self._rng = np.random.default_rng(seed)
+        self._costs = CostModel(host=self.host, train_batch=train_batch)
+
+    # ------------------------------------------------------------------
+
+    def run(self, train_x: np.ndarray, train_y: np.ndarray,
+            num_classes: int | None = None) -> PipelineResult:
+        """Execute the full training flow on materialized data."""
+        train_x = np.asarray(train_x, dtype=np.float32)
+        train_y = np.asarray(train_y, dtype=np.int64)
+        if train_x.ndim != 2:
+            raise ValueError(f"expected 2-D samples, got shape {train_x.shape}")
+        if len(train_x) != len(train_y):
+            raise ValueError(f"{len(train_x)} samples but {len(train_y)} labels")
+        if num_classes is None:
+            num_classes = int(train_y.max()) + 1
+
+        profiler = PhaseProfiler()
+        if self.bagging is None:
+            classifiers, histories = self._train_single(
+                train_x, train_y, num_classes, profiler,
+            )
+        else:
+            classifiers, histories = self._train_bagged(
+                train_x, train_y, num_classes, profiler,
+            )
+
+        fused = self._fuse(classifiers, num_classes)
+        inference_model, compiled = self._deploy_inference_model(
+            fused, train_x, profiler,
+        )
+        return PipelineResult(
+            inference_model=inference_model,
+            compiled=compiled,
+            fused=fused,
+            classifiers=classifiers,
+            histories=histories,
+            profiler=profiler,
+        )
+
+    # ------------------------------------------------------------------
+    # Internal stages
+    # ------------------------------------------------------------------
+
+    def _train_single(self, train_x, train_y, num_classes, profiler):
+        encoder = NonlinearEncoder(
+            train_x.shape[1], self.dimension, seed=self._rng,
+        )
+        encoded = self._encode_on_device(encoder, train_x, train_x, profiler)
+        classifier = HDCClassifier(
+            dimension=self.dimension, encoder=encoder,
+            learning_rate=self.learning_rate, seed=self._rng,
+        )
+        history = classifier.fit(
+            encoded, train_y, iterations=self.iterations,
+            num_classes=num_classes, encoded=True,
+        )
+        self._charge_update(history, self.dimension, num_classes, profiler)
+        return [classifier], [history]
+
+    def _train_bagged(self, train_x, train_y, num_classes, profiler):
+        config = self.bagging
+        subset_size = max(1, int(round(config.dataset_ratio * len(train_x))))
+        kept = max(
+            1, int(round(config.feature_ratio * train_x.shape[1]))
+        )
+        classifiers: list[HDCClassifier] = []
+        histories: list[TrainingHistory] = []
+        for _ in range(config.num_models):
+            if config.replace:
+                indices = self._rng.integers(0, len(train_x), size=subset_size)
+            else:
+                indices = self._rng.choice(
+                    len(train_x), size=min(subset_size, len(train_x)),
+                    replace=False,
+                )
+            mask = np.zeros(train_x.shape[1], dtype=bool)
+            if kept >= train_x.shape[1]:
+                mask[:] = True
+            else:
+                mask[self._rng.choice(train_x.shape[1], size=kept,
+                                      replace=False)] = True
+            encoder = NonlinearEncoder(
+                train_x.shape[1], config.effective_sub_dimension,
+                seed=self._rng,
+                feature_mask=None if mask.all() else mask,
+            )
+            subset_x = train_x[indices]
+            encoded = self._encode_on_device(
+                encoder, subset_x, train_x, profiler,
+            )
+            classifier = HDCClassifier(
+                dimension=config.effective_sub_dimension, encoder=encoder,
+                learning_rate=config.learning_rate,
+                chunk_size=config.chunk_size, seed=self._rng,
+            )
+            history = classifier.fit(
+                encoded, train_y[indices], iterations=config.iterations,
+                num_classes=num_classes, encoded=True,
+            )
+            self._charge_update(
+                history, config.effective_sub_dimension, num_classes, profiler,
+            )
+            classifiers.append(classifier)
+            histories.append(history)
+        return classifiers, histories
+
+    def _encode_on_device(self, encoder, samples, calibration, profiler):
+        """Compile the encoder model, stream ``samples`` through the device.
+
+        Returns float32 encoded hypervectors (dequantized on the host,
+        charged under ``encode``).
+        """
+        network = encoder_network(encoder)
+        flat = convert(
+            network, calibration[:_CALIBRATION_SAMPLES], name="encoder",
+        )
+        compiled = compile_model(flat, self.arch)
+        device = EdgeTpuDevice(self.arch)
+        profiler.charge("modelgen", self._modelgen_seconds(flat, compiled))
+        profiler.charge("modelgen", device.load_model(compiled))
+
+        quantized_in = flat.input_spec.qparams.quantize(samples)
+        pieces = []
+        for start in range(0, len(samples), self.train_batch):
+            result = device.invoke(quantized_in[start:start + self.train_batch])
+            profiler.charge("encode", result.elapsed_s)
+            pieces.append(result.outputs)
+        encoded_q = np.vstack(pieces)
+        # Host-side dequantization of the returned hypervectors.
+        out_qparams = compiled.tpu_ops[-1].output_qparams
+        profiler.charge(
+            "encode", self.host.elementwise_seconds(encoded_q.size),
+        )
+        return out_qparams.dequantize(encoded_q)
+
+    def _charge_update(self, history, dimension, num_classes, profiler):
+        """Charge the host update phase from measured per-pass statistics."""
+        for samples, updates in zip(history.samples_seen, history.updates):
+            mistake_fraction = updates / max(1, samples)
+            profiler.charge("update", self._costs.update_seconds(
+                samples, dimension, num_classes, iterations=1,
+                mistake_fraction=mistake_fraction,
+                chunk_size=64, platform=self.host,
+            ))
+
+    def _fuse(self, classifiers, num_classes) -> FusedHDCModel:
+        base = np.hstack([c.encoder.base_hypervectors for c in classifiers])
+        class_matrix = np.vstack([c.class_hypervectors.T for c in classifiers])
+        return FusedHDCModel(
+            base_matrix=base.astype(np.float32),
+            class_matrix=class_matrix.astype(np.float32),
+            num_classes=num_classes,
+            sub_widths=[c.dimension for c in classifiers],
+        )
+
+    def _deploy_inference_model(self, fused, calibration, profiler):
+        network = inference_network(
+            fused.base_matrix, fused.class_matrix, include_argmax=True,
+            name="hdc-inference",
+        )
+        flat = convert(
+            network, calibration[:_CALIBRATION_SAMPLES], name="hdc-inference",
+        )
+        compiled = compile_model(flat, self.arch)
+        profiler.charge("modelgen", self._modelgen_seconds(flat, compiled))
+        return flat, compiled
+
+    def _modelgen_seconds(self, flat: FlatModel, compiled: CompiledModel
+                          ) -> float:
+        """Host-side model generation cost (quantize + serialize + compile)."""
+        return self._costs.modelgen_seconds(
+            compiled.weight_bytes,
+        ) - self._costs.tpu.model_load_seconds(compiled.weight_bytes)
+
+
+class InferencePipeline:
+    """Runs a compiled inference model on the device (paper Fig. 6 setup).
+
+    Args:
+        compiled: The compiled inference model from a
+            :class:`TrainingPipeline` result.
+        host: Host CPU model charging the argmax fallback.
+        batch: Samples per invocation (1 = the paper's real-time mode).
+    """
+
+    def __init__(self, compiled: CompiledModel, host: Platform | None = None,
+                 batch: int = 1):
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        self.compiled = compiled
+        self.host = host if host is not None else MobileCpu()
+        self.batch = batch
+        self.device = EdgeTpuDevice(compiled.arch)
+        self.model_load_seconds = self.device.load_model(compiled)
+
+    def run(self, test_x: np.ndarray,
+            test_y: np.ndarray | None = None) -> InferenceResult:
+        """Classify ``test_x``; returns predictions with modeled timing."""
+        test_x = np.asarray(test_x, dtype=np.float32)
+        if test_x.ndim != 2:
+            raise ValueError(f"expected 2-D samples, got shape {test_x.shape}")
+        model = self.compiled.model
+        quantized = model.input_spec.qparams.quantize(test_x)
+        seconds = 0.0
+        predictions = np.empty(len(test_x), dtype=np.int64)
+        width = self.compiled.plans[-1].output_dim
+        for start in range(0, len(test_x), self.batch):
+            chunk = quantized[start:start + self.batch]
+            result = self.device.invoke(chunk)
+            seconds += result.elapsed_s
+            out = result.outputs
+            for op in self.compiled.cpu_ops:
+                seconds += self.host.argmax_seconds(len(chunk), width)
+                out = op.run(out)
+            if model.output_is_index:
+                predictions[start:start + self.batch] = out[:, 0]
+            else:
+                predictions[start:start + self.batch] = np.argmax(out, axis=-1)
+        accuracy = None
+        if test_y is not None:
+            test_y = np.asarray(test_y, dtype=np.int64)
+            if len(test_y) != len(predictions):
+                raise ValueError(
+                    f"{len(predictions)} predictions but {len(test_y)} labels"
+                )
+            accuracy = float(np.mean(predictions == test_y))
+        return InferenceResult(
+            predictions=predictions, seconds=seconds, accuracy=accuracy,
+            breakdown=dict(self.device.stats.breakdown),
+        )

@@ -1,0 +1,53 @@
+"""Phase-level runtime profiler for the co-design pipelines."""
+
+from __future__ import annotations
+
+from repro.platforms.base import VirtualClock
+
+__all__ = ["PhaseProfiler"]
+
+# Canonical phase names shared by pipelines, cost models and reports.
+PHASES = ("encode", "update", "modelgen", "inference")
+
+
+class PhaseProfiler:
+    """Accumulates modeled seconds under the paper's phase names.
+
+    A thin wrapper over :class:`VirtualClock` adding the canonical phase
+    vocabulary (``encode``, ``update``, ``modelgen``, ``inference``) and
+    a printable report matching the Fig. 5 breakdown.
+    """
+
+    def __init__(self):
+        self._clock = VirtualClock()
+
+    def charge(self, phase: str, seconds: float) -> None:
+        """Add ``seconds`` under ``phase``."""
+        self._clock.charge(phase, seconds)
+
+    def seconds(self, phase: str) -> float:
+        """Accumulated seconds for ``phase``."""
+        return self._clock.phase(phase)
+
+    @property
+    def total(self) -> float:
+        """Total accumulated seconds across phases."""
+        return self._clock.elapsed()
+
+    def breakdown(self) -> dict:
+        """Per-phase seconds (canonical phases first, zeros included)."""
+        raw = self._clock.phases()
+        ordered = {name: raw.pop(name, 0.0) for name in PHASES}
+        ordered.update(raw)
+        return ordered
+
+    def report(self, title: str = "runtime breakdown") -> str:
+        """Human-readable per-phase table."""
+        lines = [f"{title}:"]
+        for phase, seconds in self.breakdown().items():
+            if seconds == 0.0:
+                continue
+            share = seconds / self.total if self.total else 0.0
+            lines.append(f"  {phase:<10} {seconds:>10.4f} s  ({share:5.1%})")
+        lines.append(f"  {'total':<10} {self.total:>10.4f} s")
+        return "\n".join(lines)

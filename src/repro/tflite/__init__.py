@@ -1,0 +1,58 @@
+"""A miniature TensorFlow-Lite stack.
+
+The paper compiles the wide HDC network to a TFLite model and runs it
+with ``tflite_runtime`` 2.1 on the Edge TPU.  Neither TensorFlow nor the
+TFLite runtime is available offline, so this package reimplements the
+parts the paper exercises, faithfully at the arithmetic level:
+
+- **Post-training int8 quantization** (:mod:`repro.tflite.converter`):
+  per-tensor affine activation quantization calibrated on a
+  representative dataset, symmetric int8 weights, int32 biases — the
+  exact scheme Edge TPU models require.
+- **A flat serialized model container** (:mod:`repro.tflite.flatmodel`):
+  a binary, struct-packed stand-in for the FlatBuffers ``.tflite`` file,
+  with stable on-disk size accounting (model-transfer costs feed the
+  runtime models).
+- **A reference interpreter** (:mod:`repro.tflite.interpreter`) with
+  TFLite-faithful integer kernels: FULLY_CONNECTED with int32
+  accumulation and affine requantization, LUT-based TANH with the fixed
+  1/128 output scale, and ARGMAX.
+
+The Edge TPU simulator executes these same kernels bit-identically; only
+the timing differs.
+"""
+
+from repro.tflite.quantization import (
+    CalibrationObserver,
+    PerChannelQuantParams,
+    QuantParams,
+    qparams_asymmetric,
+    qparams_per_channel,
+    qparams_symmetric,
+)
+from repro.tflite.tensor import TensorSpec
+from repro.tflite.ops import ArgmaxOp, FullyConnectedOp, Op, TanhOp
+from repro.tflite.flatmodel import FlatModel
+from repro.tflite.converter import convert
+from repro.tflite.interpreter import Interpreter
+from repro.tflite.verify import LayerErrorStats, VerificationReport, verify
+
+__all__ = [
+    "ArgmaxOp",
+    "CalibrationObserver",
+    "FlatModel",
+    "FullyConnectedOp",
+    "Interpreter",
+    "LayerErrorStats",
+    "Op",
+    "PerChannelQuantParams",
+    "QuantParams",
+    "TanhOp",
+    "TensorSpec",
+    "VerificationReport",
+    "convert",
+    "verify",
+    "qparams_asymmetric",
+    "qparams_per_channel",
+    "qparams_symmetric",
+]

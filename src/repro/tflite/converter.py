@@ -1,0 +1,122 @@
+"""Post-training int8 quantization: float Network → FlatModel.
+
+Mirrors ``tf.lite.TFLiteConverter`` with full-integer quantization and a
+representative dataset: run calibration batches through the float graph,
+record every activation tensor's range, then emit quantized ops whose
+input/output qparams come from calibration (except tanh outputs, which
+TFLite pins to scale 1/128).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.graph import Network
+from repro.nn.layers import Activation, Argmax, Dense
+from repro.tflite.flatmodel import FlatModel
+from repro.tflite.ops import ArgmaxOp, FullyConnectedOp, Op, TanhOp
+from repro.tflite.quantization import CalibrationObserver
+from repro.tflite.tensor import TensorSpec
+
+__all__ = ["convert"]
+
+_DEFAULT_CALIBRATION_BATCH = 128
+
+
+def convert(network: Network, representative_data: np.ndarray,
+            name: str | None = None,
+            calibration_batch: int = _DEFAULT_CALIBRATION_BATCH,
+            per_channel: bool = False) -> FlatModel:
+    """Quantize a float network to an int8 flat model.
+
+    Args:
+        network: The float network (from :mod:`repro.nn.builder`).
+        representative_data: Float samples, shape
+            ``(num_samples, input_dim)``, spanning the input distribution
+            (typically a slice of the training set).  Activation ranges —
+            and therefore quantization quality — come from this data.
+        name: Model name; defaults to the network's name.
+        calibration_batch: Calibration mini-batch size (memory control
+            for hyper-wide hidden layers).
+        per_channel: Quantize dense weights with per-output-channel
+            scales (TFLite's higher-precision default for weights)
+            instead of one per-tensor scale.
+
+    Returns:
+        The quantized :class:`FlatModel`.
+
+    Raises:
+        ValueError: For empty calibration data or unsupported layers.
+        TypeError: If the network contains layer types without a
+            quantized kernel.
+    """
+    representative_data = np.asarray(representative_data, dtype=np.float32)
+    if representative_data.ndim != 2 or len(representative_data) == 0:
+        raise ValueError(
+            "representative_data must be a non-empty (samples, features) array"
+        )
+    if representative_data.shape[1] != network.input_dim:
+        raise ValueError(
+            f"representative data has {representative_data.shape[1]} features "
+            f"but the network expects {network.input_dim}"
+        )
+    for layer in network.layers:
+        if isinstance(layer, Activation) and layer.kind not in ("tanh",):
+            raise ValueError(
+                f"no quantized kernel for activation {layer.kind!r}"
+            )
+        if not isinstance(layer, (Dense, Activation, Argmax)):
+            raise TypeError(
+                f"no quantized kernel for layer type {type(layer).__name__}"
+            )
+
+    observers = _calibrate(network, representative_data, calibration_batch)
+
+    input_qparams = observers[0].qparams()
+    input_spec = TensorSpec(
+        name="input", shape=(network.input_dim,), qparams=input_qparams
+    )
+    ops: list[Op] = []
+    current_qparams = input_qparams
+    for index, layer in enumerate(network.layers):
+        if isinstance(layer, Dense):
+            output_qparams = _output_qparams_for(network, index, observers)
+            op = FullyConnectedOp.from_float(
+                layer.weights, current_qparams, output_qparams,
+                bias=layer.bias, per_channel=per_channel, name=layer.name,
+            )
+        elif isinstance(layer, Activation):
+            op = TanhOp(current_qparams, name=layer.name)
+        else:  # Argmax — guaranteed by the pre-check above
+            op = ArgmaxOp(current_qparams, name=layer.name)
+        ops.append(op)
+        current_qparams = op.output_qparams
+    return FlatModel(
+        name=name if name is not None else network.name,
+        input_spec=input_spec,
+        ops=ops,
+    )
+
+
+def _calibrate(network: Network, data: np.ndarray,
+               batch_size: int) -> list[CalibrationObserver]:
+    """Observe min/max for the input and every layer output."""
+    observers = [CalibrationObserver() for _ in range(len(network.layers) + 1)]
+    for start in range(0, len(data), batch_size):
+        x = data[start:start + batch_size]
+        observers[0].observe(x)
+        for index, layer in enumerate(network.layers):
+            x = layer.apply(x)
+            observers[index + 1].observe(x)
+    return observers
+
+
+def _output_qparams_for(network: Network, layer_index: int,
+                        observers: list[CalibrationObserver]):
+    """Output qparams for the dense layer at ``layer_index``.
+
+    If the next layer is a tanh, the dense output feeds the LUT input and
+    takes its calibrated range; plain calibrated range otherwise.  (The
+    *tanh's* output is pinned by :class:`TanhOp` itself.)
+    """
+    return observers[layer_index + 1].qparams()

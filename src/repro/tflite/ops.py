@@ -1,0 +1,258 @@
+"""Quantized operator kernels with TFLite-faithful integer semantics.
+
+Three ops cover the paper's models:
+
+- ``FULLY_CONNECTED``: int8 inputs/weights, int32 accumulation, affine
+  requantization to int8 — the op the Edge TPU's MXU accelerates.
+- ``TANH``: 256-entry int8→int8 lookup table with TFLite's fixed output
+  quantization (scale 1/128, zero point 0).
+- ``ARGMAX``: int8 logits → int64 class index.
+
+The Edge TPU simulator executes these exact kernels, so accelerator
+results are bit-identical to the CPU reference interpreter — as on the
+real device, where the compiler embeds the same quantized parameters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tflite.quantization import (
+    PerChannelQuantParams,
+    QuantParams,
+    qparams_per_channel,
+    qparams_symmetric,
+)
+
+__all__ = ["ArgmaxOp", "FullyConnectedOp", "Op", "TanhOp"]
+
+# TFLite fixes int8 tanh output quantization to scale=1/128, zero_point=0,
+# so the representable range is [-1, 127/128].
+TANH_OUTPUT_QPARAMS = QuantParams(scale=1.0 / 128.0, zero_point=0, dtype="int8")
+
+_INT32_MIN = -(2**31)
+_INT32_MAX = 2**31 - 1
+
+
+class Op:
+    """Interface for quantized single-input/single-output operators."""
+
+    kind: str = "OP"
+    name: str
+    input_qparams: QuantParams
+    output_qparams: QuantParams | None
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """Execute on a quantized ``(batch, input_dim)`` activation."""
+        raise NotImplementedError
+
+    def output_dim(self, input_dim: int) -> int:
+        """Output width for ``input_dim``-wide input."""
+        raise NotImplementedError
+
+    @property
+    def weight_bytes(self) -> int:
+        """On-device parameter storage in bytes."""
+        return 0
+
+    def macs_per_sample(self) -> int:
+        """Multiply-accumulate operations per sample (MXU work)."""
+        return 0
+
+
+class FullyConnectedOp(Op):
+    """int8 fully connected: ``y = requant((x - in_zp) @ W + bias)``.
+
+    Args:
+        weights: Quantized int8 weights, shape ``(input_dim, output_dim)``.
+        input_qparams: Activation qparams of the input tensor.
+        weight_qparams: Symmetric qparams the weights were quantized
+            with — per-tensor (:class:`QuantParams`) or per-output-
+            channel (:class:`PerChannelQuantParams`).
+        output_qparams: Activation qparams of the output tensor.
+        bias: Optional int32 bias with scale ``in_scale * w_scale``
+            (per-channel scales with per-channel weights).
+        name: Operator name.
+    """
+
+    kind = "FULLY_CONNECTED"
+
+    def __init__(self, weights: np.ndarray, input_qparams: QuantParams,
+                 weight_qparams: QuantParams, output_qparams: QuantParams,
+                 bias: np.ndarray | None = None, name: str = "fc"):
+        weights = np.asarray(weights)
+        if weights.dtype != np.int8:
+            raise TypeError(f"weights must be int8, got {weights.dtype}")
+        if weights.ndim != 2:
+            raise ValueError(f"weights must be 2-D, got shape {weights.shape}")
+        if weight_qparams.zero_point != 0:
+            raise ValueError("TFLite fully-connected weights must be symmetric")
+        if isinstance(weight_qparams, PerChannelQuantParams) and \
+                weight_qparams.num_channels != weights.shape[1]:
+            raise ValueError(
+                f"per-channel scales cover {weight_qparams.num_channels} "
+                f"channels but weights have {weights.shape[1]} outputs"
+            )
+        if bias is not None:
+            bias = np.asarray(bias)
+            if bias.dtype != np.int32:
+                raise TypeError(f"bias must be int32, got {bias.dtype}")
+            if bias.shape != (weights.shape[1],):
+                raise ValueError(
+                    f"bias shape {bias.shape} does not match output dim "
+                    f"{weights.shape[1]}"
+                )
+        self.weights = weights
+        self.bias = bias
+        self.input_qparams = input_qparams
+        self.weight_qparams = weight_qparams
+        self.output_qparams = output_qparams
+        self.name = name
+        # Requantization multiplier: real accumulator value per unit is
+        # in_scale * w_scale; the output grid is out_scale.  A per-channel
+        # weight scale yields a per-output-column multiplier vector.
+        if isinstance(weight_qparams, PerChannelQuantParams):
+            self._multiplier = (
+                input_qparams.scale * weight_qparams.scales_array()
+                / output_qparams.scale
+            )
+        else:
+            self._multiplier = (
+                input_qparams.scale * weight_qparams.scale
+                / output_qparams.scale
+            )
+
+    @classmethod
+    def from_float(cls, weights: np.ndarray, input_qparams: QuantParams,
+                   output_qparams: QuantParams, bias: np.ndarray | None = None,
+                   per_channel: bool = False,
+                   name: str = "fc") -> "FullyConnectedOp":
+        """Quantize float weights (symmetric int8) and bias (int32).
+
+        Args:
+            per_channel: Use per-output-channel weight scales (TFLite's
+                higher-precision scheme) instead of one tensor-wide
+                scale.
+        """
+        weights = np.asarray(weights, dtype=np.float32)
+        if per_channel:
+            weight_qparams = qparams_per_channel(weights)
+        else:
+            weight_qparams = qparams_symmetric(float(np.abs(weights).max()))
+        weights_q = weight_qparams.quantize(weights)
+        bias_q = None
+        if bias is not None:
+            if per_channel:
+                bias_scale = (
+                    input_qparams.scale * weight_qparams.scales_array()
+                )
+            else:
+                bias_scale = input_qparams.scale * weight_qparams.scale
+            bias_q = np.clip(
+                np.round(np.asarray(bias, dtype=np.float64) / bias_scale),
+                _INT32_MIN, _INT32_MAX,
+            ).astype(np.int32)
+        return cls(weights_q, input_qparams, weight_qparams, output_qparams,
+                   bias=bias_q, name=name)
+
+    @property
+    def input_dim(self) -> int:
+        return self.weights.shape[0]
+
+    def output_dim(self, input_dim: int) -> int:
+        if input_dim != self.weights.shape[0]:
+            raise ValueError(
+                f"op {self.name!r} expects input dim {self.weights.shape[0]}, "
+                f"got {input_dim}"
+            )
+        return self.weights.shape[1]
+
+    @property
+    def weight_bytes(self) -> int:
+        total = self.weights.size  # int8: one byte per weight
+        if self.bias is not None:
+            total += self.bias.size * 4
+        return total
+
+    def macs_per_sample(self) -> int:
+        return self.weights.size
+
+    def accumulate(self, x: np.ndarray) -> np.ndarray:
+        """The int32 accumulator values (pre-requantization), for testing."""
+        if x.dtype != np.int8:
+            raise TypeError(f"input must be int8, got {x.dtype}")
+        # int64 accumulation guards against overflow in numpy; TFLite's
+        # int32 accumulator cannot overflow for our layer sizes, which the
+        # range check below asserts.
+        centered = x.astype(np.int64) - self.input_qparams.zero_point
+        acc = centered @ self.weights.astype(np.int64)
+        if self.bias is not None:
+            acc = acc + self.bias.astype(np.int64)
+        if acc.min(initial=0) < _INT32_MIN or acc.max(initial=0) > _INT32_MAX:
+            raise OverflowError(
+                f"op {self.name!r}: int32 accumulator overflow "
+                f"(range [{acc.min()}, {acc.max()}])"
+            )
+        return acc.astype(np.int32)
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        acc = self.accumulate(x)
+        out = np.round(acc.astype(np.float64) * self._multiplier)
+        out = out + self.output_qparams.zero_point
+        return np.clip(
+            out, self.output_qparams.qmin, self.output_qparams.qmax
+        ).astype(np.int8)
+
+
+class TanhOp(Op):
+    """int8 tanh via a 256-entry lookup table (TFLite's implementation).
+
+    Output quantization is TFLite's fixed ``scale=1/128, zero_point=0``.
+    """
+
+    kind = "TANH"
+
+    def __init__(self, input_qparams: QuantParams, name: str = "tanh"):
+        if input_qparams.dtype != "int8":
+            raise ValueError("int8 tanh requires an int8 input tensor")
+        self.input_qparams = input_qparams
+        self.output_qparams = TANH_OUTPUT_QPARAMS
+        self.name = name
+        # LUT indexed by (q - qmin): dequantize every possible int8 code,
+        # apply float tanh, requantize into the fixed output grid.
+        codes = np.arange(-128, 128, dtype=np.int32)
+        real = input_qparams.dequantize(codes)
+        self.lut = self.output_qparams.quantize(np.tanh(real))
+
+    def output_dim(self, input_dim: int) -> int:
+        return input_dim
+
+    @property
+    def weight_bytes(self) -> int:
+        return self.lut.size  # the table itself
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        if x.dtype != np.int8:
+            raise TypeError(f"input must be int8, got {x.dtype}")
+        return self.lut[x.astype(np.int32) + 128]
+
+
+class ArgmaxOp(Op):
+    """Class prediction: index of the maximum quantized logit."""
+
+    kind = "ARGMAX"
+
+    def __init__(self, input_qparams: QuantParams, name: str = "argmax"):
+        self.input_qparams = input_qparams
+        self.output_qparams = None
+        self.name = name
+
+    def output_dim(self, input_dim: int) -> int:
+        if input_dim < 1:
+            raise ValueError("argmax needs at least one input")
+        return 1
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        if x.dtype != np.int8:
+            raise TypeError(f"input must be int8, got {x.dtype}")
+        return np.argmax(x, axis=-1, keepdims=True).astype(np.int64)

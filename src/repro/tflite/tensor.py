@@ -1,0 +1,47 @@
+"""Tensor metadata for the flat model container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tflite.quantization import QuantParams
+
+__all__ = ["TensorSpec"]
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Shape/dtype/quantization metadata for a model input or output.
+
+    Attributes:
+        name: Tensor name (e.g. ``"input"``, ``"scores"``).
+        shape: Per-sample shape, excluding the batch dimension — a model
+            taking ``n`` features has ``shape=(n,)``.
+        qparams: Quantization parameters; ``None`` marks a non-quantized
+            tensor such as an argmax index output.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    qparams: QuantParams | None = None
+
+    def __post_init__(self) -> None:
+        if not self.shape:
+            raise ValueError("shape must have at least one dimension")
+        if any(dim < 1 for dim in self.shape):
+            raise ValueError(f"shape dimensions must be >= 1, got {self.shape}")
+
+    @property
+    def size(self) -> int:
+        """Elements per sample."""
+        out = 1
+        for dim in self.shape:
+            out *= dim
+        return out
+
+    @property
+    def bytes_per_sample(self) -> int:
+        """Storage bytes per sample (int8 for quantized, int64 indices else)."""
+        if self.qparams is None:
+            return self.size * 8
+        return self.size * self.qparams.numpy_dtype.itemsize

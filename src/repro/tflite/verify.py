@@ -1,0 +1,142 @@
+"""Quantization verification: float network vs quantized model.
+
+A debugging tool the TFLite workflow sorely needs: given the original
+float network and its quantized flat model, run both on probe data and
+report per-layer error statistics — where precision is lost, and whether
+the end-to-end predictions still agree.  Used by the quantization
+ablation and available to library users tuning calibration data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.graph import Network
+from repro.tflite.flatmodel import FlatModel
+from repro.tflite.ops import ArgmaxOp
+
+__all__ = ["LayerErrorStats", "VerificationReport", "verify"]
+
+
+@dataclass(frozen=True)
+class LayerErrorStats:
+    """Error between float and dequantized activations at one layer.
+
+    Attributes:
+        name: Layer/op name.
+        max_abs_error: Worst-case per-element deviation.
+        rmse: Root-mean-square error.
+        sqnr_db: Signal-to-quantization-noise ratio in dB (higher is
+            better; 20+ dB per layer is typically lossless at the
+            prediction level).
+    """
+
+    name: str
+    max_abs_error: float
+    rmse: float
+    sqnr_db: float
+
+
+@dataclass
+class VerificationReport:
+    """Full comparison of a float network and its quantized model.
+
+    Attributes:
+        layers: Per-layer error statistics (quantized ops with a float
+            counterpart; the argmax layer is compared via agreement).
+        prediction_agreement: Fraction of probe samples where the float
+            and quantized argmax decisions coincide.
+        num_samples: Probe-set size.
+    """
+
+    layers: list
+    prediction_agreement: float
+    num_samples: int
+
+    @property
+    def worst_layer(self) -> LayerErrorStats:
+        """The layer with the lowest SQNR."""
+        if not self.layers:
+            raise ValueError("report has no layers")
+        return min(self.layers, key=lambda stats: stats.sqnr_db)
+
+    def summary(self) -> str:
+        """Readable per-layer table."""
+        lines = [
+            f"quantization verification over {self.num_samples} samples:",
+            f"  prediction agreement: {self.prediction_agreement:.4f}",
+        ]
+        for stats in self.layers:
+            lines.append(
+                f"  {stats.name:<16} max|err|={stats.max_abs_error:9.4f}  "
+                f"rmse={stats.rmse:9.4f}  sqnr={stats.sqnr_db:6.1f} dB"
+            )
+        return "\n".join(lines)
+
+
+def verify(network: Network, model: FlatModel,
+           probe_data: np.ndarray) -> VerificationReport:
+    """Compare a float network against its quantized model on probe data.
+
+    Args:
+        network: The original float network (pre-conversion).
+        model: The quantized flat model produced from it.
+        probe_data: Float samples, shape ``(num_samples, input_dim)``.
+
+    Returns:
+        The :class:`VerificationReport`.
+
+    Raises:
+        ValueError: If shapes do not line up or probe data is empty.
+    """
+    probe_data = np.asarray(probe_data, dtype=np.float32)
+    if probe_data.ndim != 2 or len(probe_data) == 0:
+        raise ValueError("probe_data must be a non-empty 2-D array")
+    if probe_data.shape[1] != network.input_dim:
+        raise ValueError(
+            f"probe data has {probe_data.shape[1]} features but the "
+            f"network expects {network.input_dim}"
+        )
+    float_layers = [layer for layer in network.layers]
+    quant_ops = list(model.ops)
+    comparable = min(len(float_layers), len(quant_ops))
+
+    float_x = probe_data
+    quant_x = model.input_spec.qparams.quantize(probe_data)
+    layers: list[LayerErrorStats] = []
+    float_scores = None
+    quant_scores = None
+    for index in range(comparable):
+        float_x = float_layers[index].apply(float_x)
+        quant_x = quant_ops[index].run(quant_x)
+        if isinstance(quant_ops[index], ArgmaxOp):
+            break
+        dequantized = quant_ops[index].output_qparams.dequantize(quant_x)
+        error = dequantized.astype(np.float64) - float_x.astype(np.float64)
+        signal_power = float(np.mean(np.square(float_x, dtype=np.float64)))
+        noise_power = float(np.mean(np.square(error)))
+        sqnr_db = (
+            10.0 * np.log10(signal_power / noise_power)
+            if noise_power > 0 else np.inf
+        )
+        layers.append(LayerErrorStats(
+            name=quant_ops[index].name,
+            max_abs_error=float(np.abs(error).max()),
+            rmse=float(np.sqrt(noise_power)),
+            sqnr_db=float(sqnr_db),
+        ))
+        float_scores = float_x
+        quant_scores = dequantized
+
+    if float_scores is None or quant_scores is None:
+        raise ValueError("model has no comparable quantized layers")
+    agreement = float(np.mean(
+        np.argmax(float_scores, axis=-1) == np.argmax(quant_scores, axis=-1)
+    ))
+    return VerificationReport(
+        layers=layers,
+        prediction_agreement=agreement,
+        num_samples=len(probe_data),
+    )

@@ -1,0 +1,31 @@
+"""Dispatch for ``python -m repro.tools {train,inspect}``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.tools import inspect as inspect_tool
+from repro.tools import train as train_tool
+
+_COMMANDS = {
+    "train": train_tool.main,
+    "inspect": inspect_tool.main,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print("usage: python -m repro.tools {train,inspect} ...")
+        print(__import__("repro.tools", fromlist=["__doc__"]).__doc__)
+        return 0 if argv else 2
+    command = argv[0]
+    if command not in _COMMANDS:
+        print(f"unknown command {command!r}; choose from "
+              f"{sorted(_COMMANDS)}", file=sys.stderr)
+        return 2
+    return _COMMANDS[command](argv[1:])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

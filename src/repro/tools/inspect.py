@@ -1,0 +1,49 @@
+"""The ``inspect`` tool: compile a saved model and report device fit."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.edgetpu import EdgeTpuArch, compile_model, lower
+from repro.tflite import FlatModel
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools inspect",
+        description="Compile a saved model for the Edge TPU and report "
+                    "the partition, buffer usage and latency estimates.",
+    )
+    parser.add_argument("model", help="path to a .rtfl model file")
+    parser.add_argument("--batches", type=int, nargs="+", default=[1, 8, 64],
+                        help="batch sizes to estimate latency for")
+    parser.add_argument("--disasm", action="store_true",
+                        help="print the lowered instruction trace (batch 1)")
+    parser.add_argument("--usb-mbps", type=float, default=None,
+                        help="override USB bandwidth in MB/s")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    model = FlatModel.load(args.model)
+    print(f"model {model.name!r}: input {model.input_spec.shape}, "
+          f"output {model.output_spec.shape}, "
+          f"{model.size_bytes()} bytes on disk")
+
+    arch = EdgeTpuArch() if args.usb_mbps is None else EdgeTpuArch(
+        usb_bytes_per_s=args.usb_mbps * 1e6
+    )
+    compiled = compile_model(model, arch)
+    print(compiled.summary())
+    print(f"model load: {1e3 * compiled.load_seconds():.2f} ms")
+    for batch in args.batches:
+        seconds = compiled.invoke_seconds(batch)
+        print(f"invoke batch={batch:<4} {1e6 * seconds:9.1f} us "
+              f"({1e6 * seconds / batch:8.1f} us/sample)")
+    if args.disasm:
+        print()
+        print(lower(compiled, batch=1).disassembly())
+    return 0

@@ -1,0 +1,80 @@
+"""The ``train`` tool: dataset surrogate → deployable quantized model."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.data import load
+from repro.data.datasets import TABLE_I
+from repro.hdc import BaggingConfig
+from repro.runtime import InferencePipeline, TrainingPipeline
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools train",
+        description="Train an HDC model with the co-design pipeline and "
+                    "save the quantized inference model.",
+    )
+    parser.add_argument("dataset", choices=sorted(TABLE_I),
+                        help="Table-I dataset surrogate")
+    parser.add_argument("-o", "--output", default=None,
+                        help="output model path (default <dataset>.rtfl)")
+    parser.add_argument("--dimension", type=int, default=4096,
+                        help="hypervector width d (paper: 10000)")
+    parser.add_argument("--iterations", type=int, default=10,
+                        help="training passes without bagging (paper: 20)")
+    parser.add_argument("--max-samples", type=int, default=4000,
+                        help="cap on materialized samples (0 = full size)")
+    parser.add_argument("--bagging", action="store_true",
+                        help="enable the paper's bagging optimization")
+    parser.add_argument("--models", type=int, default=4,
+                        help="bagging sub-models M")
+    parser.add_argument("--bagging-iterations", type=int, default=6,
+                        help="sub-model passes I'")
+    parser.add_argument("--dataset-ratio", type=float, default=0.6,
+                        help="bootstrap sampling ratio alpha")
+    parser.add_argument("--seed", type=int, default=7)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    max_samples = args.max_samples if args.max_samples > 0 else None
+    dataset = load(args.dataset, max_samples=max_samples,
+                   seed=args.seed).normalized()
+    print(f"dataset {dataset.name}: train={dataset.num_train} "
+          f"test={dataset.num_test} features={dataset.num_features} "
+          f"classes={dataset.num_classes}")
+
+    bagging = None
+    if args.bagging:
+        bagging = BaggingConfig(
+            num_models=args.models,
+            dimension=args.dimension,
+            iterations=args.bagging_iterations,
+            dataset_ratio=args.dataset_ratio,
+        )
+    pipeline = TrainingPipeline(
+        dimension=args.dimension,
+        iterations=args.iterations,
+        bagging=bagging,
+        seed=args.seed,
+    )
+    result = pipeline.run(dataset.train_x, dataset.train_y,
+                          num_classes=dataset.num_classes)
+    print(result.profiler.report("training (modeled)"))
+
+    inference = InferencePipeline(result.compiled, batch=1)
+    outcome = inference.run(dataset.test_x, dataset.test_y)
+    print(f"test accuracy (int8, on device): {outcome.accuracy:.4f}")
+    print(f"modeled latency: "
+          f"{1e6 * outcome.seconds / dataset.num_test:.1f} us/sample")
+
+    output = args.output if args.output else f"{args.dataset}.rtfl"
+    result.inference_model.save(output)
+    print(f"saved quantized model to {output} "
+          f"({result.inference_model.size_bytes()} bytes)")
+    return 0

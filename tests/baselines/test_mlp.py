@@ -1,0 +1,131 @@
+"""Tests for the MLP baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MlpClassifier, MlpConfig
+from repro.tflite import Interpreter, convert
+from repro.edgetpu import compile_model
+
+
+def _blobs(num_samples=400, num_features=12, num_classes=3, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((num_classes, num_features)) * 3.0
+    y = np.arange(num_samples) % num_classes
+    rng.shuffle(y)
+    x = centers[y] + rng.standard_normal((num_samples, num_features))
+    return x.astype(np.float32), y.astype(np.int64)
+
+
+class TestConfig:
+    @pytest.mark.parametrize("kwargs", [
+        dict(hidden_dim=0),
+        dict(learning_rate=0.0),
+        dict(batch_size=0),
+        dict(epochs=0),
+        dict(momentum=1.0),
+        dict(momentum=-0.1),
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            MlpConfig(**kwargs)
+
+
+class TestTraining:
+    def test_learns_blobs(self):
+        x, y = _blobs()
+        model = MlpClassifier(MlpConfig(hidden_dim=32, epochs=15), seed=0)
+        model.fit(x, y)
+        assert model.score(x, y) > 0.9
+
+    def test_loss_decreases(self):
+        x, y = _blobs()
+        model = MlpClassifier(MlpConfig(hidden_dim=32, epochs=10), seed=0)
+        history = model.fit(x, y)
+        assert history.loss[-1] < history.loss[0]
+
+    def test_history_lengths(self):
+        x, y = _blobs()
+        model = MlpClassifier(MlpConfig(hidden_dim=16, epochs=5), seed=0)
+        history = model.fit(x, y)
+        assert len(history.loss) == 5
+        assert len(history.train_accuracy) == 5
+        assert history.flops > 0
+
+    def test_deterministic(self):
+        x, y = _blobs()
+        a = MlpClassifier(MlpConfig(hidden_dim=16, epochs=3), seed=9)
+        b = MlpClassifier(MlpConfig(hidden_dim=16, epochs=3), seed=9)
+        a.fit(x, y)
+        b.fit(x, y)
+        np.testing.assert_array_equal(a.w1, b.w1)
+        np.testing.assert_array_equal(a.predict(x), b.predict(x))
+
+    def test_explicit_num_classes(self):
+        x, y = _blobs(num_classes=3)
+        model = MlpClassifier(MlpConfig(hidden_dim=16, epochs=2), seed=0)
+        model.fit(x, y, num_classes=5)
+        assert model.w2.shape[1] == 5
+
+    def test_validation(self):
+        x, y = _blobs()
+        model = MlpClassifier(seed=0)
+        with pytest.raises(ValueError, match="2-D"):
+            model.fit(x[0], y[:1])
+        with pytest.raises(ValueError, match="labels"):
+            model.fit(x, y[:-1])
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            MlpClassifier().predict(np.zeros((1, 4)))
+
+    def test_score_length_checked(self):
+        x, y = _blobs()
+        model = MlpClassifier(MlpConfig(hidden_dim=8, epochs=1), seed=0)
+        model.fit(x, y)
+        with pytest.raises(ValueError, match="labels"):
+            model.score(x, y[:-1])
+
+
+class TestCompilation:
+    def test_to_network_matches_scores(self):
+        x, y = _blobs()
+        model = MlpClassifier(MlpConfig(hidden_dim=16, epochs=5), seed=0)
+        model.fit(x, y)
+        net = model.to_network()
+        np.testing.assert_allclose(net.forward(x[:10]), model.scores(x[:10]),
+                                   rtol=1e-4, atol=1e-4)
+
+    def test_compiles_to_edge_tpu(self):
+        # The stack is general: a backprop-trained network rides the same
+        # quantize-and-compile path as HDC models.
+        x, y = _blobs()
+        model = MlpClassifier(MlpConfig(hidden_dim=32, epochs=10), seed=0)
+        model.fit(x, y)
+        flat = convert(model.to_network(include_argmax=True), x[:128])
+        compiled = compile_model(flat)
+        assert [op.kind for op in compiled.tpu_ops] == [
+            "FULLY_CONNECTED", "TANH", "FULLY_CONNECTED",
+        ]
+        int8_acc = float(np.mean(Interpreter(flat).predict(x) == y))
+        assert int8_acc > model.score(x, y) - 0.05
+
+    def test_untrained_to_network_raises(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            MlpClassifier().to_network()
+
+
+class TestAgainstHdc:
+    def test_hdc_single_pass_competitive(self, small_isolet):
+        # The paper's pitch: HDC reaches competitive accuracy with far
+        # simpler (single-pass-capable, gradient-free) training.
+        from repro.hdc import HDCClassifier
+        ds = small_isolet
+        hdc = HDCClassifier(dimension=2048, seed=0)
+        hdc.partial_fit(ds.train_x, ds.train_y,
+                        num_classes=ds.num_classes)  # ONE pass
+        mlp = MlpClassifier(MlpConfig(hidden_dim=128, epochs=1), seed=0)
+        mlp.fit(ds.train_x, ds.train_y, num_classes=ds.num_classes)
+        # One epoch of SGD should not beat one HDC pass by a wide margin.
+        assert hdc.score(ds.test_x, ds.test_y) > \
+            mlp.score(ds.test_x, ds.test_y) - 0.15

@@ -1,0 +1,24 @@
+"""Shared fixtures: small, fast datasets reused across test modules."""
+
+import numpy as np
+import pytest
+
+from repro.data import isolet, pamap2
+
+
+@pytest.fixture(scope="session")
+def small_isolet():
+    """A small normalized ISOLET surrogate (26 classes, 617 features)."""
+    return isolet(max_samples=1200, seed=7).normalized()
+
+
+@pytest.fixture(scope="session")
+def small_pamap2():
+    """A small normalized PAMAP2 surrogate (5 classes, 27 features)."""
+    return pamap2(max_samples=1000, seed=7).normalized()
+
+
+@pytest.fixture()
+def rng():
+    """A fresh seeded generator per test."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,101 @@
+"""Tests for the five Table-I dataset surrogates."""
+
+import numpy as np
+import pytest
+
+from repro.data import TABLE_I, DatasetSpec, load, specs
+from repro.data import face, isolet, mnist, pamap2, ucihar
+
+# (name, samples, features, classes) straight from the paper's Table I.
+TABLE_I_ROWS = [
+    ("face", 80854, 608, 2),
+    ("isolet", 7797, 617, 26),
+    ("ucihar", 7667, 561, 12),
+    ("mnist", 60000, 784, 10),
+    ("pamap2", 32768, 27, 5),
+]
+
+
+class TestSpecs:
+    @pytest.mark.parametrize("name,samples,features,classes", TABLE_I_ROWS)
+    def test_table_i_shapes(self, name, samples, features, classes):
+        spec = TABLE_I[name]
+        assert spec.num_samples == samples
+        assert spec.num_features == features
+        assert spec.num_classes == classes
+
+    def test_specs_order_matches_paper(self):
+        assert [s.name for s in specs()] == [
+            "face", "isolet", "ucihar", "mnist", "pamap2",
+        ]
+
+    def test_train_test_partition(self):
+        for spec in specs():
+            assert spec.num_train + spec.num_test == spec.num_samples
+            assert spec.num_test >= 1
+
+    def test_spec_is_value_object(self):
+        assert TABLE_I["mnist"] == DatasetSpec(
+            "mnist", 60000, 784, 10, "Handwritten digits"
+        )
+
+
+class TestFactories:
+    @pytest.mark.parametrize("factory,name", [
+        (face, "face"), (isolet, "isolet"), (ucihar, "ucihar"),
+        (mnist, "mnist"), (pamap2, "pamap2"),
+    ])
+    def test_materialized_shape_matches_spec(self, factory, name):
+        ds = factory(max_samples=600, seed=0)
+        spec = TABLE_I[name]
+        assert ds.num_features == spec.num_features
+        assert ds.num_classes == spec.num_classes
+        assert ds.num_train + ds.num_test == 600
+        assert ds.name == name
+
+    def test_full_size_recorded_in_metadata(self):
+        ds = pamap2(max_samples=500, seed=0)
+        assert ds.metadata["table_i_samples"] == 32768
+        assert ds.metadata["materialized_samples"] == 500
+
+    def test_deterministic(self):
+        a = isolet(max_samples=300, seed=4)
+        b = isolet(max_samples=300, seed=4)
+        np.testing.assert_array_equal(a.train_x, b.train_x)
+        np.testing.assert_array_equal(a.train_y, b.train_y)
+
+    def test_seeds_change_data(self):
+        a = isolet(max_samples=300, seed=4)
+        b = isolet(max_samples=300, seed=5)
+        assert not np.array_equal(a.train_x, b.train_x)
+
+    def test_datasets_use_distinct_streams(self):
+        # Same seed, different datasets with equal feature slices must not
+        # produce identical arrays.
+        a = isolet(max_samples=300, seed=4)
+        b = ucihar(max_samples=300, seed=4)
+        assert a.train_x.shape[1] != b.train_x.shape[1] or \
+            not np.array_equal(a.train_x, b.train_x)
+
+    def test_rejects_tiny_max_samples(self):
+        with pytest.raises(ValueError, match="too small"):
+            isolet(max_samples=10)
+
+    def test_load_by_name(self):
+        ds = load("MNIST", max_samples=400, seed=1)
+        assert ds.name == "mnist"
+        assert ds.num_features == 784
+
+    def test_load_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load("cifar10")
+
+    def test_all_classes_present_in_train(self):
+        for name in TABLE_I:
+            ds = load(name, max_samples=800, seed=0)
+            assert len(np.unique(ds.train_y)) == ds.num_classes
+
+    def test_mnist_is_sparse_and_nonnegative(self):
+        ds = mnist(max_samples=500, seed=0)
+        assert (ds.train_x >= 0).all()
+        assert np.mean(ds.train_x == 0.0) > 0.2

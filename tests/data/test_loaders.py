@@ -1,0 +1,163 @@
+"""Tests for the Dataset container, splitting, normalization, batching."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, batches, normalize_features, train_test_split
+
+
+def _tiny_dataset(num_train=20, num_test=8, num_features=5, num_classes=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return Dataset(
+        name="tiny",
+        train_x=rng.standard_normal((num_train, num_features)).astype(np.float32),
+        train_y=rng.integers(0, num_classes, num_train),
+        test_x=rng.standard_normal((num_test, num_features)).astype(np.float32),
+        test_y=rng.integers(0, num_classes, num_test),
+        num_classes=num_classes,
+    )
+
+
+class TestDataset:
+    def test_properties(self):
+        ds = _tiny_dataset()
+        assert ds.num_features == 5
+        assert ds.num_train == 20
+        assert ds.num_test == 8
+
+    def test_rejects_1d_train_x(self):
+        ds = _tiny_dataset()
+        with pytest.raises(ValueError, match="2-D"):
+            Dataset("bad", ds.train_x[0], ds.train_y[:1], ds.test_x, ds.test_y, 3)
+
+    def test_rejects_feature_mismatch(self):
+        ds = _tiny_dataset()
+        with pytest.raises(ValueError, match="feature counts differ"):
+            Dataset("bad", ds.train_x[:, :3], ds.train_y, ds.test_x, ds.test_y, 3)
+
+    def test_rejects_label_length_mismatch(self):
+        ds = _tiny_dataset()
+        with pytest.raises(ValueError, match="labels"):
+            Dataset("bad", ds.train_x, ds.train_y[:-1], ds.test_x, ds.test_y, 3)
+
+    def test_rejects_out_of_range_labels(self):
+        ds = _tiny_dataset()
+        bad_y = ds.train_y.copy()
+        bad_y[0] = 99
+        with pytest.raises(ValueError, match="out of range"):
+            Dataset("bad", ds.train_x, bad_y, ds.test_x, ds.test_y, 3)
+
+    def test_rejects_single_class(self):
+        ds = _tiny_dataset()
+        with pytest.raises(ValueError, match="num_classes"):
+            Dataset("bad", ds.train_x, np.zeros(20, dtype=int),
+                    ds.test_x, np.zeros(8, dtype=int), 1)
+
+    def test_subsample_caps_sizes(self):
+        ds = _tiny_dataset()
+        sub = ds.subsample(max_train=10, max_test=4)
+        assert sub.num_train == 10
+        assert sub.num_test == 4
+        assert sub.num_features == ds.num_features
+
+    def test_subsample_is_deterministic(self):
+        ds = _tiny_dataset()
+        a = ds.subsample(max_train=10, seed=5)
+        b = ds.subsample(max_train=10, seed=5)
+        np.testing.assert_array_equal(a.train_x, b.train_x)
+
+    def test_subsample_noop_when_smaller(self):
+        ds = _tiny_dataset()
+        sub = ds.subsample(max_train=1000, max_test=1000)
+        assert sub.num_train == ds.num_train
+        assert sub.num_test == ds.num_test
+
+    def test_normalized_uses_train_statistics(self):
+        ds = _tiny_dataset(num_train=200)
+        norm = ds.normalized()
+        np.testing.assert_allclose(norm.train_x.mean(axis=0), 0.0, atol=1e-5)
+        np.testing.assert_allclose(norm.train_x.std(axis=0), 1.0, atol=1e-4)
+        # Test split is transformed with *train* statistics, so its mean is
+        # near but not exactly zero.
+        assert not np.allclose(norm.test_x.mean(axis=0), 0.0, atol=1e-8)
+
+
+class TestNormalizeFeatures:
+    def test_standardizes(self, rng):
+        x = rng.normal(5.0, 3.0, (500, 4))
+        out = normalize_features(x)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-5)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-4)
+
+    def test_constant_feature_maps_to_zero(self):
+        x = np.ones((10, 2))
+        x[:, 1] = np.arange(10)
+        out = normalize_features(x)
+        np.testing.assert_array_equal(out[:, 0], 0.0)
+
+    def test_external_statistics(self, rng):
+        x = rng.standard_normal((50, 3))
+        out = normalize_features(x, mean=np.zeros(3), std=np.ones(3))
+        np.testing.assert_allclose(out, x, atol=1e-6)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            normalize_features(np.arange(5.0))
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, rng):
+        x = rng.standard_normal((100, 3))
+        y = rng.integers(0, 2, 100)
+        tx, ty, vx, vy = train_test_split(x, y, test_fraction=0.25, seed=0)
+        assert len(vx) == 25
+        assert len(tx) == 75
+        assert len(tx) == len(ty) and len(vx) == len(vy)
+
+    def test_partition_is_exact(self, rng):
+        x = np.arange(40, dtype=float)[:, None]
+        y = np.zeros(40, dtype=int)
+        tx, _, vx, _ = train_test_split(x, y, test_fraction=0.2, seed=1)
+        combined = np.sort(np.concatenate([tx, vx]).ravel())
+        np.testing.assert_array_equal(combined, np.arange(40.0))
+
+    def test_deterministic(self, rng):
+        x = rng.standard_normal((30, 2))
+        y = rng.integers(0, 2, 30)
+        a = train_test_split(x, y, seed=9)
+        b = train_test_split(x, y, seed=9)
+        for left, right in zip(a, b):
+            np.testing.assert_array_equal(left, right)
+
+    def test_rejects_bad_fraction(self, rng):
+        x = rng.standard_normal((10, 2))
+        y = np.zeros(10, dtype=int)
+        with pytest.raises(ValueError, match="test_fraction"):
+            train_test_split(x, y, test_fraction=1.0)
+
+    def test_rejects_length_mismatch(self, rng):
+        with pytest.raises(ValueError, match="labels"):
+            train_test_split(np.zeros((5, 2)), np.zeros(4, dtype=int))
+
+
+class TestBatches:
+    def test_covers_all_rows(self, rng):
+        x = rng.standard_normal((23, 4))
+        seen = np.vstack([b[0] for b in batches(x, 5)])
+        np.testing.assert_array_equal(seen, x)
+
+    def test_last_batch_short(self, rng):
+        x = rng.standard_normal((23, 4))
+        sizes = [len(b[0]) for b in batches(x, 5)]
+        assert sizes == [5, 5, 5, 5, 3]
+
+    def test_with_labels(self, rng):
+        x = rng.standard_normal((10, 2))
+        y = np.arange(10)
+        pairs = list(batches(x, 4, y))
+        assert all(len(bx) == len(by) for bx, by in pairs)
+        np.testing.assert_array_equal(np.concatenate([by for _, by in pairs]), y)
+
+    def test_rejects_zero_batch(self, rng):
+        with pytest.raises(ValueError, match="batch_size"):
+            list(batches(np.zeros((4, 2)), 0))

@@ -1,0 +1,152 @@
+"""Tests for the raw-sensor pipeline (traces, windows, features)."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ImuConfig,
+    SyntheticImuGenerator,
+    extract_features,
+    feature_count,
+    make_activity_dataset,
+    sliding_windows,
+)
+
+
+class TestImuConfig:
+    @pytest.mark.parametrize("kwargs", [
+        dict(num_channels=0),
+        dict(num_activities=1),
+        dict(sample_rate_hz=0),
+        dict(jitter=1.5),
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            ImuConfig(**kwargs)
+
+
+class TestGenerator:
+    def test_trace_shape(self):
+        gen = SyntheticImuGenerator(ImuConfig(num_channels=3), seed=0)
+        trace = gen.trace(0, 200)
+        assert trace.shape == (200, 3)
+        assert trace.dtype == np.float32
+
+    def test_activities_have_distinct_signatures(self):
+        # Different activities should produce visibly different spectra;
+        # check via windowed std per channel.
+        gen = SyntheticImuGenerator(ImuConfig(noise_std=0.0, jitter=0.0),
+                                    seed=0)
+        a = gen.trace(0, 500)
+        b = gen.trace(1, 500)
+        assert not np.allclose(a.std(axis=0), b.std(axis=0), rtol=0.05)
+
+    def test_rejects_bad_activity(self):
+        gen = SyntheticImuGenerator(seed=0)
+        with pytest.raises(ValueError, match="activity"):
+            gen.trace(99, 100)
+
+    def test_rejects_bad_length(self):
+        gen = SyntheticImuGenerator(seed=0)
+        with pytest.raises(ValueError, match="num_samples"):
+            gen.trace(0, 0)
+
+
+class TestSlidingWindows:
+    def test_shapes_with_default_stride(self, rng):
+        trace = rng.standard_normal((256, 4))
+        windows = sliding_windows(trace, window=64)
+        assert windows.shape == (7, 64, 4)  # stride 32
+
+    def test_explicit_stride(self, rng):
+        trace = rng.standard_normal((100, 2))
+        windows = sliding_windows(trace, window=50, stride=25)
+        assert windows.shape == (3, 50, 2)
+
+    def test_windows_are_views_of_signal(self, rng):
+        trace = rng.standard_normal((64, 1))
+        windows = sliding_windows(trace, window=32, stride=32)
+        np.testing.assert_array_equal(windows[0], trace[:32])
+        np.testing.assert_array_equal(windows[1], trace[32:])
+
+    def test_validation(self, rng):
+        trace = rng.standard_normal((64, 2))
+        with pytest.raises(ValueError, match="window"):
+            sliding_windows(trace, window=1)
+        with pytest.raises(ValueError, match="stride"):
+            sliding_windows(trace, window=8, stride=0)
+        with pytest.raises(ValueError, match="shorter"):
+            sliding_windows(trace, window=100)
+        with pytest.raises(ValueError, match="channels"):
+            sliding_windows(rng.standard_normal(64), window=8)
+
+
+class TestExtractFeatures:
+    def test_feature_count_formula(self):
+        assert feature_count(1) == 9
+        assert feature_count(6) == 6 * 9 + 15
+        with pytest.raises(ValueError):
+            feature_count(0)
+
+    def test_output_shape(self, rng):
+        windows = rng.standard_normal((5, 64, 3))
+        features = extract_features(windows)
+        assert features.shape == (5, feature_count(3))
+        assert features.dtype == np.float32
+
+    def test_known_statistics(self):
+        # A constant window: mean = c, std = 0, energy = c^2, etc.
+        windows = np.full((1, 16, 1), 2.0)
+        features = extract_features(windows)[0]
+        mean, std, mn, mx, median, mad, energy, iqr, crossings = features
+        assert mean == 2.0 and std == 0.0
+        assert mn == 2.0 and mx == 2.0 and median == 2.0
+        assert mad == 0.0 and energy == 4.0 and iqr == 0.0
+        assert crossings == 0.0
+
+    def test_correlation_of_identical_channels(self, rng):
+        signal = rng.standard_normal((1, 64, 1))
+        windows = np.concatenate([signal, signal], axis=2)
+        features = extract_features(windows)[0]
+        correlation = features[-1]  # the single pairwise term
+        assert correlation == pytest.approx(1.0, abs=1e-6)
+
+    def test_correlation_of_negated_channel(self, rng):
+        signal = rng.standard_normal((1, 64, 1))
+        windows = np.concatenate([signal, -signal], axis=2)
+        assert extract_features(windows)[0][-1] == pytest.approx(-1.0,
+                                                                 abs=1e-6)
+
+    def test_single_channel_has_no_correlations(self, rng):
+        windows = rng.standard_normal((3, 32, 1))
+        assert extract_features(windows).shape == (3, 9)
+
+    def test_rejects_2d(self, rng):
+        with pytest.raises(ValueError, match="windows"):
+            extract_features(rng.standard_normal((5, 64)))
+
+
+class TestActivityDataset:
+    def test_pipeline_end_to_end(self):
+        ds = make_activity_dataset(num_windows_per_activity=50, seed=2)
+        assert ds.num_classes == 5
+        assert ds.num_features == feature_count(6)
+        assert ds.num_train + ds.num_test == 5 * 50
+
+    def test_hdc_learns_activities(self):
+        from repro.hdc import HDCClassifier
+        config = ImuConfig(noise_std=0.6, jitter=0.3)
+        ds = make_activity_dataset(num_windows_per_activity=80,
+                                   config=config, seed=2).normalized()
+        model = HDCClassifier(dimension=1024, seed=2)
+        model.fit(ds.train_x, ds.train_y, iterations=5)
+        assert model.score(ds.test_x, ds.test_y) > 0.8
+
+    def test_deterministic(self):
+        a = make_activity_dataset(num_windows_per_activity=20, seed=3)
+        b = make_activity_dataset(num_windows_per_activity=20, seed=3)
+        np.testing.assert_array_equal(a.train_x, b.train_x)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="windows per activity"):
+            make_activity_dataset(num_windows_per_activity=1)

@@ -1,0 +1,108 @@
+"""Tests for drifting data streams."""
+
+import numpy as np
+import pytest
+
+from repro.data import DriftingStream, StreamConfig
+
+
+class TestStreamConfig:
+    def test_defaults(self):
+        cfg = StreamConfig()
+        assert cfg.num_classes >= 2
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(num_features=0),
+        dict(num_classes=1),
+        dict(drift_rate=-0.1),
+        dict(latent_dim=0),
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            StreamConfig(**kwargs)
+
+
+class TestDriftingStream:
+    def test_batch_shapes(self):
+        stream = DriftingStream(StreamConfig(num_features=8, num_classes=3),
+                                seed=0)
+        x, y = stream.next_batch(32)
+        assert x.shape == (32, 8)
+        assert y.shape == (32,)
+        assert set(np.unique(y)).issubset({0, 1, 2})
+
+    def test_balanced_labels(self):
+        stream = DriftingStream(StreamConfig(num_classes=4), seed=0)
+        _, y = stream.next_batch(100)
+        counts = np.bincount(y, minlength=4)
+        assert counts.max() - counts.min() <= 1
+
+    def test_deterministic_per_seed(self):
+        a = DriftingStream(StreamConfig(), seed=3)
+        b = DriftingStream(StreamConfig(), seed=3)
+        xa, ya = a.next_batch(16)
+        xb, yb = b.next_batch(16)
+        np.testing.assert_array_equal(xa, xb)
+        np.testing.assert_array_equal(ya, yb)
+
+    def test_steps_advance(self):
+        stream = DriftingStream(seed=0)
+        assert stream.steps == 0
+        stream.next_batch(8)
+        stream.next_batch(8)
+        assert stream.steps == 2
+
+    def test_test_set_does_not_advance_drift(self):
+        stream = DriftingStream(seed=0)
+        stream.next_batch(8)
+        before = stream._centroids.copy()
+        stream.test_set(64)
+        np.testing.assert_array_equal(stream._centroids, before)
+        assert stream.steps == 1
+
+    def test_test_set_reflects_current_time(self):
+        # After heavy drift, the test set must come from the *moved*
+        # distribution: its class means should differ from time zero's.
+        cfg = StreamConfig(drift_rate=0.5, noise_std=0.0)
+        stream = DriftingStream(cfg, seed=1)
+        x0, y0 = stream.test_set(400)
+        for _ in range(50):
+            stream.next_batch(8)
+        x1, y1 = stream.test_set(400)
+        mean_shift = np.linalg.norm(
+            x0[y0 == 0].mean(axis=0) - x1[y1 == 0].mean(axis=0)
+        )
+        assert mean_shift > 1.0
+
+    def test_zero_drift_is_stationary(self):
+        cfg = StreamConfig(drift_rate=0.0)
+        stream = DriftingStream(cfg, seed=1)
+        before = stream._centroids.copy()
+        for _ in range(10):
+            stream.next_batch(8)
+        np.testing.assert_array_equal(stream._centroids, before)
+        assert stream.drift_distance() == 0.0
+
+    def test_drift_distance_grows(self):
+        stream = DriftingStream(StreamConfig(drift_rate=0.1), seed=0)
+        stream.next_batch(8)
+        d1 = stream.drift_distance()
+        for _ in range(8):
+            stream.next_batch(8)
+        assert stream.drift_distance() > d1
+
+    def test_validation(self):
+        stream = DriftingStream(seed=0)
+        with pytest.raises(ValueError):
+            stream.next_batch(0)
+        with pytest.raises(ValueError):
+            stream.test_set(0)
+
+    def test_classes_separable_at_time_zero(self):
+        cfg = StreamConfig(num_classes=3, class_separation=6.0,
+                           noise_std=0.05)
+        stream = DriftingStream(cfg, seed=2)
+        x, y = stream.test_set(600)
+        centroids = np.stack([x[y == c].mean(axis=0) for c in range(3)])
+        distances = ((x[:, None, :] - centroids[None]) ** 2).sum(axis=2)
+        assert np.mean(distances.argmin(axis=1) == y) > 0.9

@@ -1,0 +1,131 @@
+"""Tests for the synthetic data generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import SyntheticConfig, make_classification
+
+
+class TestSyntheticConfig:
+    def test_defaults_validate(self):
+        cfg = SyntheticConfig(num_samples=100, num_features=10, num_classes=3)
+        assert cfg.effective_latent_dim == 10
+
+    def test_latent_dim_default_capped(self):
+        cfg = SyntheticConfig(num_samples=100, num_features=100, num_classes=3)
+        assert cfg.effective_latent_dim == 24
+
+    def test_explicit_latent_dim(self):
+        cfg = SyntheticConfig(num_samples=100, num_features=100, num_classes=3,
+                              latent_dim=8)
+        assert cfg.effective_latent_dim == 8
+
+    def test_rejects_too_few_samples(self):
+        with pytest.raises(ValueError, match="one sample per class"):
+            SyntheticConfig(num_samples=2, num_features=4, num_classes=3)
+
+    def test_rejects_one_class(self):
+        with pytest.raises(ValueError, match="num_classes"):
+            SyntheticConfig(num_samples=10, num_features=4, num_classes=1)
+
+    def test_rejects_bad_sparsity(self):
+        with pytest.raises(ValueError, match="sparsity"):
+            SyntheticConfig(num_samples=10, num_features=4, num_classes=2,
+                            sparsity=1.0)
+
+    def test_rejects_zero_clusters(self):
+        with pytest.raises(ValueError, match="clusters_per_class"):
+            SyntheticConfig(num_samples=10, num_features=4, num_classes=2,
+                            clusters_per_class=0)
+
+
+class TestMakeClassification:
+    def test_shapes_and_dtypes(self):
+        cfg = SyntheticConfig(num_samples=50, num_features=7, num_classes=4)
+        x, y = make_classification(cfg, seed=0)
+        assert x.shape == (50, 7)
+        assert y.shape == (50,)
+        assert x.dtype == np.float32
+        assert y.dtype == np.int64
+
+    def test_labels_cover_all_classes(self):
+        cfg = SyntheticConfig(num_samples=40, num_features=5, num_classes=4)
+        _, y = make_classification(cfg, seed=0)
+        assert set(np.unique(y)) == {0, 1, 2, 3}
+
+    def test_balanced_classes(self):
+        cfg = SyntheticConfig(num_samples=400, num_features=5, num_classes=4)
+        _, y = make_classification(cfg, seed=0)
+        counts = np.bincount(y)
+        assert counts.max() - counts.min() <= 1
+
+    def test_deterministic_per_seed(self):
+        cfg = SyntheticConfig(num_samples=30, num_features=6, num_classes=3)
+        x1, y1 = make_classification(cfg, seed=5)
+        x2, y2 = make_classification(cfg, seed=5)
+        np.testing.assert_array_equal(x1, x2)
+        np.testing.assert_array_equal(y1, y2)
+
+    def test_different_seeds_differ(self):
+        cfg = SyntheticConfig(num_samples=30, num_features=6, num_classes=3)
+        x1, _ = make_classification(cfg, seed=5)
+        x2, _ = make_classification(cfg, seed=6)
+        assert not np.array_equal(x1, x2)
+
+    def test_nonnegative_flag(self):
+        cfg = SyntheticConfig(num_samples=60, num_features=8, num_classes=3,
+                              nonnegative=True)
+        x, _ = make_classification(cfg, seed=1)
+        assert (x >= 0).all()
+
+    def test_sparsity_zeroes_entries(self):
+        cfg = SyntheticConfig(num_samples=200, num_features=50, num_classes=2,
+                              sparsity=0.5, noise_std=0.0)
+        x, _ = make_classification(cfg, seed=1)
+        zero_fraction = np.mean(x == 0.0)
+        assert 0.4 < zero_fraction < 0.6
+
+    def test_classes_are_separable(self):
+        # A simple centroid classifier should beat chance by a wide margin
+        # on well-separated synthetic data.
+        cfg = SyntheticConfig(num_samples=600, num_features=20, num_classes=3,
+                              class_separation=6.0, warp_strength=0.0,
+                              noise_std=0.1)
+        x, y = make_classification(cfg, seed=2)
+        centroids = np.stack([x[y == c].mean(axis=0) for c in range(3)])
+        distances = ((x[:, None, :] - centroids[None]) ** 2).sum(axis=2)
+        predictions = distances.argmin(axis=1)
+        assert np.mean(predictions == y) > 0.9
+
+    def test_warp_makes_data_nonlinear(self):
+        # With a strong warp and no noise, feature values deviate from the
+        # best linear reconstruction of the latent lift.
+        cfg = SyntheticConfig(num_samples=300, num_features=10, num_classes=2,
+                              warp_strength=2.0, noise_std=0.0)
+        x_warp, _ = make_classification(cfg, seed=3)
+        cfg_lin = SyntheticConfig(num_samples=300, num_features=10,
+                                  num_classes=2, warp_strength=0.0,
+                                  noise_std=0.0)
+        x_lin, _ = make_classification(cfg_lin, seed=3)
+        assert not np.allclose(x_warp, x_lin)
+
+    @given(
+        num_samples=st.integers(min_value=10, max_value=200),
+        num_features=st.integers(min_value=1, max_value=40),
+        num_classes=st.integers(min_value=2, max_value=8),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_shapes_and_label_range(self, num_samples, num_features,
+                                             num_classes, seed):
+        if num_samples < num_classes:
+            num_samples = num_classes
+        cfg = SyntheticConfig(num_samples=num_samples,
+                              num_features=num_features,
+                              num_classes=num_classes)
+        x, y = make_classification(cfg, seed=seed)
+        assert x.shape == (num_samples, num_features)
+        assert y.min() >= 0 and y.max() < num_classes
+        assert np.isfinite(x).all()

@@ -1,0 +1,166 @@
+"""Tests for the Edge TPU compiler."""
+
+import numpy as np
+import pytest
+
+from repro.edgetpu import (
+    CompileError,
+    EdgeTpuArch,
+    compile_model,
+    is_op_supported,
+)
+from repro.tflite import FlatModel, TensorSpec
+from repro.tflite.ops import ArgmaxOp, FullyConnectedOp, TanhOp
+from repro.tflite.quantization import qparams_asymmetric
+
+
+def _hdc_like_model(rng, n=100, d=512, k=10, argmax=True):
+    in_qp = qparams_asymmetric(-4.0, 4.0)
+    hid_qp = qparams_asymmetric(-40.0, 40.0)
+    out_qp = qparams_asymmetric(-30.0, 30.0)
+    fc1 = FullyConnectedOp.from_float(
+        rng.standard_normal((n, d)).astype(np.float32), in_qp, hid_qp,
+        name="encode")
+    tanh = TanhOp(hid_qp, name="tanh")
+    fc2 = FullyConnectedOp.from_float(
+        rng.standard_normal((d, k)).astype(np.float32) * 0.05,
+        tanh.output_qparams, out_qp, name="classify")
+    ops = [fc1, tanh, fc2]
+    if argmax:
+        ops.append(ArgmaxOp(out_qp, name="argmax"))
+    return FlatModel("hdc", TensorSpec("input", (n,), in_qp), ops)
+
+
+class TestOpSupport:
+    def test_fc_supported(self, rng):
+        model = _hdc_like_model(rng)
+        assert is_op_supported(model.ops[0])
+
+    def test_tanh_supported(self, rng):
+        model = _hdc_like_model(rng)
+        assert is_op_supported(model.ops[1])
+
+    def test_argmax_unsupported(self, rng):
+        model = _hdc_like_model(rng)
+        assert not is_op_supported(model.ops[3])
+
+
+class TestPartition:
+    def test_argmax_falls_back_to_cpu(self, rng):
+        compiled = compile_model(_hdc_like_model(rng))
+        assert [op.kind for op in compiled.tpu_ops] == [
+            "FULLY_CONNECTED", "TANH", "FULLY_CONNECTED",
+        ]
+        assert [op.kind for op in compiled.cpu_ops] == ["ARGMAX"]
+        assert not compiled.fully_mapped
+
+    def test_scores_model_fully_mapped(self, rng):
+        compiled = compile_model(_hdc_like_model(rng, argmax=False))
+        assert compiled.fully_mapped
+
+    def test_unmappable_model_raises(self, rng):
+        qp = qparams_asymmetric(-1.0, 1.0)
+        model = FlatModel("bad", TensorSpec("input", (4,), qp),
+                          [ArgmaxOp(qp)])
+        with pytest.raises(CompileError, match="unsupported"):
+            compile_model(model)
+
+
+class TestBufferAccounting:
+    def test_small_model_fits(self, rng):
+        compiled = compile_model(_hdc_like_model(rng))
+        assert compiled.fits_on_chip
+        assert compiled.streamed_bytes_per_invoke == 0
+
+    def test_oversized_model_streams(self, rng):
+        tiny_arch = EdgeTpuArch(parameter_buffer_bytes=1024)
+        compiled = compile_model(_hdc_like_model(rng), tiny_arch)
+        assert not compiled.fits_on_chip
+        assert compiled.streamed_bytes_per_invoke == \
+            compiled.weight_bytes - 1024
+
+    def test_paper_scale_models_fit(self, rng):
+        # All five Table-I inference models (n*d + d*k int8) fit in 8 MiB
+        # at d = 10000 — the reason the paper's single fused model avoids
+        # model-switch overheads.
+        from repro.data import TABLE_I
+        for spec in TABLE_I.values():
+            weight_bytes = (spec.num_features * 10_000
+                            + 10_000 * spec.num_classes)
+            assert weight_bytes <= EdgeTpuArch().parameter_buffer_bytes
+
+    def test_weight_bytes_counts_tpu_ops_only(self, rng):
+        compiled = compile_model(_hdc_like_model(rng))
+        expected = sum(op.weight_bytes for op in compiled.tpu_ops)
+        assert compiled.weight_bytes == expected
+
+
+class TestLatencyPlan:
+    def test_invoke_seconds_positive_and_monotone_in_batch(self, rng):
+        compiled = compile_model(_hdc_like_model(rng))
+        t1 = compiled.invoke_seconds(1)
+        t64 = compiled.invoke_seconds(64)
+        assert 0 < t1 < t64
+
+    def test_batch_amortizes_overhead(self, rng):
+        compiled = compile_model(_hdc_like_model(rng))
+        per_sample_b1 = compiled.invoke_seconds(1)
+        per_sample_b256 = compiled.invoke_seconds(256) / 256
+        assert per_sample_b256 < per_sample_b1
+
+    def test_invoke_floor_is_dispatch_overhead(self, rng):
+        compiled = compile_model(_hdc_like_model(rng))
+        assert compiled.invoke_seconds(1) > compiled.arch.invoke_overhead_s
+
+    def test_streaming_penalty_visible(self, rng):
+        model = _hdc_like_model(rng)
+        fits = compile_model(model)
+        streams = compile_model(model, EdgeTpuArch(parameter_buffer_bytes=0))
+        assert streams.invoke_seconds(1) > fits.invoke_seconds(1)
+
+    def test_load_seconds_scale_with_model_size(self, rng):
+        small = compile_model(_hdc_like_model(rng, d=128))
+        large = compile_model(_hdc_like_model(rng, d=4096))
+        assert large.load_seconds() > small.load_seconds()
+
+    def test_compute_cycles_scale_with_dims(self, rng):
+        small = compile_model(_hdc_like_model(rng, d=128))
+        large = compile_model(_hdc_like_model(rng, d=4096))
+        assert large.compute_cycles(1) > small.compute_cycles(1)
+
+    def test_rejects_zero_batch(self, rng):
+        compiled = compile_model(_hdc_like_model(rng))
+        with pytest.raises(ValueError, match="batch"):
+            compiled.invoke_seconds(0)
+
+    def test_tpu_io_bytes(self, rng):
+        compiled = compile_model(_hdc_like_model(rng, n=100, d=512, k=10))
+        assert compiled.tpu_input_bytes == 100
+        assert compiled.tpu_output_bytes == 10  # scores, pre-argmax
+
+    def test_summary_mentions_partition(self, rng):
+        text = compile_model(_hdc_like_model(rng)).summary()
+        assert "ARGMAX" in text and "TPU" in text
+
+
+class TestArch:
+    def test_peak_tops_near_4(self):
+        assert 3.5 < EdgeTpuArch().peak_tops < 4.5
+
+    def test_transfer_time(self):
+        arch = EdgeTpuArch(usb_bytes_per_s=100.0)
+        assert arch.transfer_time(200) == pytest.approx(2.0)
+
+    def test_cycles_to_seconds(self):
+        arch = EdgeTpuArch(clock_hz=1000.0)
+        assert arch.cycles_to_seconds(500) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EdgeTpuArch(mxu_rows=0)
+        with pytest.raises(ValueError):
+            EdgeTpuArch(clock_hz=0)
+        with pytest.raises(ValueError):
+            EdgeTpuArch().transfer_time(-1)
+        with pytest.raises(ValueError):
+            EdgeTpuArch().cycles_to_seconds(-1)

@@ -1,0 +1,159 @@
+"""Tests for the Edge TPU device simulator and delegate."""
+
+import numpy as np
+import pytest
+
+from repro.edgetpu import (
+    DelegatedExecutor,
+    EdgeTpuArch,
+    EdgeTpuDevice,
+    compile_model,
+    partition,
+)
+from repro.tflite import FlatModel, Interpreter, TensorSpec
+from repro.tflite.ops import ArgmaxOp, FullyConnectedOp, TanhOp
+from repro.tflite.quantization import qparams_asymmetric
+
+
+@pytest.fixture()
+def hdc_model(rng):
+    n, d, k = 40, 256, 5
+    in_qp = qparams_asymmetric(-4.0, 4.0)
+    hid_qp = qparams_asymmetric(-25.0, 25.0)
+    out_qp = qparams_asymmetric(-20.0, 20.0)
+    fc1 = FullyConnectedOp.from_float(
+        rng.standard_normal((n, d)).astype(np.float32), in_qp, hid_qp,
+        name="encode")
+    tanh = TanhOp(hid_qp, name="tanh")
+    fc2 = FullyConnectedOp.from_float(
+        rng.standard_normal((d, k)).astype(np.float32) * 0.05,
+        tanh.output_qparams, out_qp, name="classify")
+    return FlatModel("hdc", TensorSpec("input", (n,), in_qp),
+                     [fc1, tanh, fc2, ArgmaxOp(out_qp, name="argmax")])
+
+
+class TestDevice:
+    def test_invoke_without_model_raises(self):
+        with pytest.raises(RuntimeError, match="load_model"):
+            EdgeTpuDevice().invoke(np.zeros((1, 4), dtype=np.int8))
+
+    def test_load_returns_positive_time(self, hdc_model):
+        device = EdgeTpuDevice()
+        seconds = device.load_model(compile_model(hdc_model))
+        assert seconds > 0
+        assert device.stats.models_loaded == 1
+
+    def test_arch_mismatch_rejected(self, hdc_model):
+        compiled = compile_model(hdc_model, EdgeTpuArch(mxu_rows=32, mxu_cols=32))
+        with pytest.raises(ValueError, match="different EdgeTpuArch"):
+            EdgeTpuDevice().load_model(compiled)
+
+    def test_outputs_match_reference_interpreter(self, hdc_model, rng):
+        # Bit-identical execution: the device runs the TPU prefix ops;
+        # compare to the reference interpreter's intermediate result.
+        compiled = compile_model(hdc_model)
+        device = EdgeTpuDevice()
+        device.load_model(compiled)
+        x = rng.uniform(-3, 3, (16, 40)).astype(np.float32)
+        xq = hdc_model.input_spec.qparams.quantize(x)
+        result = device.invoke(xq)
+        expected = xq
+        for op in compiled.tpu_ops:
+            expected = op.run(expected)
+        np.testing.assert_array_equal(result.outputs, expected)
+
+    def test_invoke_timing_breakdown_sums(self, hdc_model, rng):
+        device = EdgeTpuDevice()
+        device.load_model(compile_model(hdc_model))
+        xq = np.zeros((4, 40), dtype=np.int8)
+        result = device.invoke(xq)
+        assert result.elapsed_s == pytest.approx(sum(result.breakdown.values()))
+        assert set(result.breakdown) == {
+            "overhead", "input_transfer", "weight_streaming", "compute",
+            "output_transfer",
+        }
+
+    def test_stats_accumulate(self, hdc_model):
+        device = EdgeTpuDevice()
+        device.load_model(compile_model(hdc_model))
+        device.invoke(np.zeros((4, 40), dtype=np.int8))
+        device.invoke(np.zeros((2, 40), dtype=np.int8))
+        assert device.stats.invocations == 2
+        assert device.stats.samples == 6
+        assert device.stats.busy_seconds > 0
+        assert device.stats.bytes_out == 6 * 5
+
+    def test_input_validation(self, hdc_model):
+        device = EdgeTpuDevice()
+        device.load_model(compile_model(hdc_model))
+        with pytest.raises(TypeError, match="int8"):
+            device.invoke(np.zeros((1, 40), dtype=np.float32))
+        with pytest.raises(ValueError, match="2-D"):
+            device.invoke(np.zeros(40, dtype=np.int8))
+        with pytest.raises(ValueError, match="width"):
+            device.invoke(np.zeros((1, 41), dtype=np.int8))
+        with pytest.raises(ValueError, match="empty"):
+            device.invoke(np.zeros((0, 40), dtype=np.int8))
+
+    def test_energy_scales_with_busy_time(self, hdc_model):
+        device = EdgeTpuDevice()
+        device.load_model(compile_model(hdc_model))
+        e0 = device.energy_joules()
+        device.invoke(np.zeros((64, 40), dtype=np.int8))
+        assert device.energy_joules() > e0
+
+
+class TestDelegatedExecutor:
+    def test_predictions_bit_identical_to_interpreter(self, hdc_model, rng):
+        executor = DelegatedExecutor(compile_model(hdc_model))
+        x = rng.uniform(-3, 3, (32, 40)).astype(np.float32)
+        np.testing.assert_array_equal(
+            executor.predict(x), Interpreter(hdc_model).predict(x)
+        )
+
+    def test_cpu_and_tpu_time_accounted(self, hdc_model, rng):
+        executor = DelegatedExecutor(compile_model(hdc_model))
+        executor.predict(rng.uniform(-3, 3, (8, 40)).astype(np.float32))
+        assert executor.tpu_seconds > 0
+        assert executor.cpu_seconds > 0  # the argmax fallback
+        assert executor.total_seconds == pytest.approx(
+            executor.tpu_seconds + executor.cpu_seconds
+        )
+
+    def test_custom_cpu_cost_hook(self, hdc_model, rng):
+        calls = []
+
+        def cost(op, batch, width):
+            calls.append((op.kind, batch, width))
+            return 1.0
+
+        executor = DelegatedExecutor(compile_model(hdc_model),
+                                     cpu_op_seconds=cost)
+        executor.predict(rng.uniform(-3, 3, (8, 40)).astype(np.float32))
+        assert calls == [("ARGMAX", 8, 5)]
+        assert executor.cpu_seconds == 1.0
+
+    def test_model_load_recorded(self, hdc_model):
+        executor = DelegatedExecutor(compile_model(hdc_model))
+        assert executor.model_load_seconds > 0
+
+    def test_single_sample_roundtrip(self, hdc_model, rng):
+        executor = DelegatedExecutor(compile_model(hdc_model))
+        x = rng.uniform(-3, 3, 40).astype(np.float32)
+        out = executor.run(x)
+        assert np.isscalar(out) or out.shape == ()
+
+    def test_scores_model_returns_float(self, hdc_model, rng):
+        scores_model = FlatModel("scores", hdc_model.input_spec,
+                                 hdc_model.ops[:-1])
+        executor = DelegatedExecutor(compile_model(scores_model))
+        out = executor.run(rng.uniform(-3, 3, (4, 40)).astype(np.float32))
+        assert out.shape == (4, 5)
+        assert out.dtype == np.float32
+
+
+class TestPartitionHelper:
+    def test_partition_shapes(self, hdc_model):
+        tpu_ops, cpu_ops = partition(hdc_model)
+        assert len(tpu_ops) == 3
+        assert len(cpu_ops) == 1

@@ -1,0 +1,98 @@
+"""Tests for the multi-accelerator device pool."""
+
+import numpy as np
+import pytest
+
+from repro.data import isolet
+from repro.edgetpu import DevicePool, compile_model
+from repro.hdc import BaggingConfig, BaggingHDCTrainer
+from repro.nn import from_classifier
+from repro.tflite import convert
+
+
+@pytest.fixture(scope="module")
+def ensemble():
+    ds = isolet(max_samples=800, seed=7).normalized()
+    config = BaggingConfig(num_models=3, dimension=768, iterations=2,
+                           dataset_ratio=0.6)
+    trainer = BaggingHDCTrainer(config, seed=0)
+    trainer.fit(ds.train_x, ds.train_y, num_classes=ds.num_classes)
+    compiled = [
+        compile_model(convert(from_classifier(model), ds.train_x[:128]))
+        for model in trainer.sub_models
+    ]
+    return ds, trainer, compiled
+
+
+class TestDevicePool:
+    def test_construction(self):
+        pool = DevicePool(4)
+        assert pool.num_devices == 4
+        with pytest.raises(ValueError):
+            DevicePool(0)
+
+    def test_load_models(self, ensemble):
+        _, _, compiled = ensemble
+        pool = DevicePool(3)
+        slowest = pool.load_models(compiled)
+        assert slowest > 0
+        assert slowest == max(pool.load_seconds)
+
+    def test_too_many_models_rejected(self, ensemble):
+        _, _, compiled = ensemble
+        pool = DevicePool(2)
+        with pytest.raises(ValueError, match="devices"):
+            pool.load_models(compiled)
+
+    def test_empty_load_rejected(self):
+        with pytest.raises(ValueError, match="no models"):
+            DevicePool(2).load_models([])
+
+    def test_invoke_before_load(self):
+        pool = DevicePool(2)
+        with pytest.raises(RuntimeError, match="load_models"):
+            pool.invoke_ensemble(np.zeros((1, 4), dtype=np.float32))
+
+    def test_parallel_scores_match_serial_ensemble(self, ensemble):
+        ds, trainer, compiled = ensemble
+        pool = DevicePool(3)
+        pool.load_models(compiled)
+        x = ds.test_x[:32]
+        result = pool.invoke_ensemble(x)
+        # Predictions should agree with the float ensemble consensus on
+        # the vast majority of samples (int8 grids differ slightly).
+        float_pred = trainer.predict(x)
+        pool_pred = np.argmax(result.scores, axis=1)
+        assert np.mean(pool_pred == float_pred) > 0.85
+
+    def test_makespan_is_slowest_device(self, ensemble):
+        ds, _, compiled = ensemble
+        pool = DevicePool(3)
+        pool.load_models(compiled)
+        result = pool.invoke_ensemble(ds.test_x[:8])
+        assert result.makespan_s == max(result.device_seconds)
+        assert len(result.device_seconds) == 3
+
+    def test_host_aggregation_cost_hook(self, ensemble):
+        ds, _, compiled = ensemble
+        pool = DevicePool(3)
+        pool.load_models(compiled)
+        calls = []
+
+        def cost(elements):
+            calls.append(elements)
+            return 0.5
+
+        result = pool.invoke_ensemble(ds.test_x[:4], cost)
+        assert result.host_seconds == 0.5
+        assert calls == [2 * 4 * 26]  # (M-1) * batch * classes
+        assert result.total_seconds == pytest.approx(
+            result.makespan_s + 0.5
+        )
+
+    def test_rejects_1d_batch(self, ensemble):
+        _, _, compiled = ensemble
+        pool = DevicePool(3)
+        pool.load_models(compiled)
+        with pytest.raises(ValueError, match="2-D"):
+            pool.invoke_ensemble(np.zeros(617, dtype=np.float32))

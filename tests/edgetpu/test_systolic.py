@@ -1,0 +1,140 @@
+"""Tests for the systolic-array MXU model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.edgetpu import SystolicArray, systolic_cycles
+
+
+class TestSystolicArray:
+    def test_computes_exact_matmul(self, rng):
+        arr = SystolicArray(8, 8)
+        w = rng.integers(-128, 128, (8, 8))
+        arr.load_weights(w)
+        x = rng.integers(-128, 128, (5, 8))
+        y, _ = arr.matmul(x)
+        np.testing.assert_array_equal(y, x @ w)
+
+    def test_rectangular_arrays(self, rng):
+        for rows, cols in [(3, 7), (7, 3), (1, 5), (5, 1)]:
+            arr = SystolicArray(rows, cols)
+            w = rng.integers(-10, 10, (rows, cols))
+            arr.load_weights(w)
+            x = rng.integers(-10, 10, (4, rows))
+            y, _ = arr.matmul(x)
+            np.testing.assert_array_equal(y, x @ w)
+
+    def test_cycle_count_matches_closed_form(self, rng):
+        # batch + rows + cols - 2 for a single preloaded tile.
+        for rows, cols, batch in [(1, 1, 1), (4, 4, 7), (8, 3, 5), (16, 16, 16)]:
+            arr = SystolicArray(rows, cols)
+            arr.load_weights(rng.integers(-5, 5, (rows, cols)))
+            _, cycles = arr.matmul(rng.integers(-5, 5, (batch, rows)))
+            assert cycles == batch + rows + cols - 2
+            expected = systolic_cycles(rows, cols, batch, rows=rows,
+                                       cols=cols) - rows
+            assert cycles == expected
+
+    def test_weight_load_cycles(self, rng):
+        arr = SystolicArray(6, 4)
+        assert arr.load_weights(rng.integers(-5, 5, (6, 4))) == 6
+
+    def test_empty_batch(self, rng):
+        arr = SystolicArray(4, 4)
+        arr.load_weights(rng.integers(-5, 5, (4, 4)))
+        y, cycles = arr.matmul(np.zeros((0, 4), dtype=np.int64))
+        assert y.shape == (0, 4)
+        assert cycles == 0
+
+    def test_matmul_without_weights_raises(self):
+        with pytest.raises(RuntimeError, match="load_weights"):
+            SystolicArray(4, 4).matmul(np.zeros((1, 4), dtype=np.int64))
+
+    def test_rejects_bad_tile_shape(self, rng):
+        arr = SystolicArray(4, 4)
+        with pytest.raises(ValueError, match="weight tile"):
+            arr.load_weights(rng.integers(-5, 5, (4, 5)))
+
+    def test_rejects_bad_input_shape(self, rng):
+        arr = SystolicArray(4, 4)
+        arr.load_weights(rng.integers(-5, 5, (4, 4)))
+        with pytest.raises(ValueError, match="input"):
+            arr.matmul(np.zeros((2, 5), dtype=np.int64))
+
+    def test_rejects_degenerate_dims(self):
+        with pytest.raises(ValueError, match="dimensions"):
+            SystolicArray(0, 4)
+
+    def test_utilization_increases_with_batch(self, rng):
+        # Pipeline fill amortizes over longer batches.
+        def run(batch):
+            arr = SystolicArray(8, 8)
+            arr.load_weights(rng.integers(-5, 5, (8, 8)))
+            arr.matmul(rng.integers(-5, 5, (batch, 8)))
+            return arr.utilization
+
+        assert run(64) > run(2)
+
+    def test_utilization_bounded(self, rng):
+        arr = SystolicArray(4, 4)
+        assert arr.utilization == 0.0
+        arr.load_weights(rng.integers(-5, 5, (4, 4)))
+        arr.matmul(rng.integers(-5, 5, (32, 4)))
+        assert 0.0 < arr.utilization <= 1.0
+
+    def test_int8_range_exact(self, rng):
+        # Extreme int8 values: accumulation must stay exact in int64.
+        arr = SystolicArray(16, 4)
+        w = np.full((16, 4), 127, dtype=np.int64)
+        arr.load_weights(w)
+        x = np.full((2, 16), -128, dtype=np.int64)
+        y, _ = arr.matmul(x)
+        np.testing.assert_array_equal(y, x @ w)
+
+    @given(
+        rows=st.integers(1, 10),
+        cols=st.integers(1, 10),
+        batch=st.integers(1, 12),
+        seed=st.integers(0, 999),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_correct_and_cycle_exact(self, rows, cols, batch, seed):
+        rng = np.random.default_rng(seed)
+        arr = SystolicArray(rows, cols)
+        w = rng.integers(-128, 128, (rows, cols))
+        arr.load_weights(w)
+        x = rng.integers(-128, 128, (batch, rows))
+        y, cycles = arr.matmul(x)
+        np.testing.assert_array_equal(y, x @ w)
+        assert cycles == batch + rows + cols - 2
+
+
+class TestSystolicCycles:
+    def test_single_tile(self):
+        assert systolic_cycles(64, 64, 1, rows=64, cols=64) == \
+            64 + (64 + 64 - 2) + 1
+
+    def test_tiling_rounds_up(self):
+        # 65 input features on a 64-row array needs 2 row tiles.
+        one = systolic_cycles(64, 64, 10, include_fill=False)
+        two = systolic_cycles(65, 64, 10, include_fill=False)
+        assert two == 2 * one
+
+    def test_batch_scaling_is_linear_steady_state(self):
+        a = systolic_cycles(640, 640, 1, include_fill=False)
+        b = systolic_cycles(640, 640, 100, include_fill=False)
+        assert b == 100 * a
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            systolic_cycles(0, 4, 1)
+        with pytest.raises(ValueError):
+            systolic_cycles(4, 4, 0)
+
+    def test_wide_hdc_layer_cycles(self):
+        # The paper's encoder layer on MNIST: 784 x 10000 at batch 1.
+        cycles = systolic_cycles(784, 10_000, 1)
+        # 13 row tiles x 157 col tiles = 2041 tiles -> about 2.2k cycles.
+        assert 2000 < cycles < 2500

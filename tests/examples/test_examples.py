@@ -1,0 +1,88 @@
+"""Smoke tests: every example runs end to end at a reduced scale."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def _load(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples.{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        module = _load("quickstart")
+        module.main(max_samples=800, dimension=1024, iterations=4)
+        out = capsys.readouterr().out
+        assert "float accuracy" in out
+        assert "Edge TPU accuracy" in out
+
+    def test_speech_keyword_deployment(self, capsys):
+        module = _load("speech_keyword_deployment")
+        module.main(max_samples=800, dimension=1024)
+        out = capsys.readouterr().out
+        assert "bagging update-phase speedup" in out
+        assert "fused model on disk" in out
+
+    def test_activity_recognition(self, capsys):
+        module = _load("activity_recognition")
+        module.main(max_samples=800, dimension=1024)
+        out = capsys.readouterr().out
+        assert "streaming" in out
+        assert "run inference on the CPU" in out  # the PAMAP2 lesson
+
+    def test_custom_accelerator_study(self, capsys):
+        module = _load("custom_accelerator_study")
+        module.main()
+        out = capsys.readouterr().out
+        assert "USB" in out or "MB/s" in out
+        assert "MXU" in out
+
+    def test_federated_edge_fleet(self, capsys):
+        module = _load("federated_edge_fleet")
+        module.main(max_samples=800, dimension=512, rounds=2)
+        out = capsys.readouterr().out
+        assert "centralized accuracy" in out
+        assert "non-IID" in out
+        assert "total traffic" in out
+
+    def test_raw_sensor_pipeline(self, capsys):
+        module = _load("raw_sensor_pipeline")
+        module.main(num_windows=60, dimension=512)
+        out = capsys.readouterr().out
+        assert "raw pipeline" in out
+        assert "device program" in out
+
+    def test_dna_sequence_matching(self, capsys):
+        module = _load("dna_sequence_matching")
+        module.main(genome_length=1000, dimension=1024,
+                    reads_per_genome=60)
+        out = capsys.readouterr().out
+        assert "classification accuracy" in out
+        assert "mutated copy" in out
+
+    def test_sensor_regression(self, capsys):
+        module = _load("sensor_regression")
+        module.main(num_samples=600, dimension=1024)
+        out = capsys.readouterr().out
+        assert "R^2" in out
+        assert "ridge" in out
+
+    @pytest.mark.parametrize("name", [
+        "quickstart", "speech_keyword_deployment", "activity_recognition",
+        "custom_accelerator_study", "federated_edge_fleet",
+        "raw_sensor_pipeline", "dna_sequence_matching",
+        "sensor_regression",
+    ])
+    def test_examples_have_main(self, name):
+        module = _load(name)
+        assert callable(module.main)

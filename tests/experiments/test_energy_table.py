@@ -1,0 +1,38 @@
+"""Tests for the energy-accounting experiment."""
+
+import pytest
+
+from repro.experiments import energy_table
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return energy_table.run()
+
+
+class TestEnergyTable:
+    def test_all_datasets(self, rows):
+        assert [r.dataset for r in rows] == [
+            "face", "isolet", "ucihar", "mnist", "pamap2",
+        ]
+
+    def test_pi_less_efficient_than_host_in_energy_per_task(self, rows):
+        # The Pi draws less power but runs so much longer that its task
+        # energy exceeds the host's.
+        for row in rows:
+            assert row.pi_training_j > row.host_training_j, row.dataset
+
+    def test_framework_wins_training_energy(self, rows):
+        for row in rows:
+            assert row.framework_training_j < row.host_training_j
+            assert row.training_efficiency_vs_pi > 1.0
+
+    def test_framework_wins_inference_energy_even_on_pamap2(self, rows):
+        # PAMAP2 inference is *slower* on the TPU (Fig. 6) but the 2 W
+        # device still wins on energy against 15 W / 3.7 W CPUs.
+        pamap2 = next(r for r in rows if r.dataset == "pamap2")
+        assert pamap2.framework_inference_j < pamap2.host_inference_j
+
+    def test_format(self, rows):
+        text = energy_table.format_result(rows)
+        assert "Energy" in text and "framework" in text

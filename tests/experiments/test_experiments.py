@@ -1,0 +1,251 @@
+"""Tests for the experiment drivers (paper tables/figures)."""
+
+import pytest
+
+from repro.experiments import QUICK
+from repro.experiments import scale as scale_module
+from repro.experiments.report import format_table
+from repro.experiments import (
+    fig4_convergence,
+    fig5_training_runtime,
+    fig6_inference_runtime,
+    fig7_accuracy,
+    fig8_param_search,
+    fig9_iterations,
+    fig10_feature_scaling,
+    table1_datasets,
+    table2_raspberry_pi,
+)
+
+
+class TestReport:
+    def test_format_table_basic(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", 0.125]])
+        assert "a" in text and "2.500" in text and "0.125" in text
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="hello")
+        assert text.startswith("hello")
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+    def test_rejects_no_columns(self):
+        with pytest.raises(ValueError, match="column"):
+            format_table([], [])
+
+
+class TestScale:
+    def test_presets_exist(self):
+        assert set(scale_module.PRESETS) == {"quick", "default", "paper"}
+
+    def test_paper_scale_matches_paper_settings(self):
+        paper = scale_module.PAPER
+        assert paper.dimension == 10_000
+        assert paper.iterations == 20
+        assert paper.bagging_iterations == 6
+        assert paper.max_samples is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scale_module.ExperimentScale("bad", 100, 2, 1, 1)
+
+
+class TestTable1:
+    def test_row_order_and_content(self):
+        rows = table1_datasets.run()
+        text = table1_datasets.format_result(rows)
+        assert "FACE" in text and "80854" in text
+        assert text.index("FACE") < text.index("PAMAP2")
+
+
+class TestFig4:
+    def test_curves_recorded(self):
+        results = fig4_convergence.run(scale=QUICK, datasets=("isolet",))
+        assert len(results) == 1
+        curve = results[0]
+        assert len(curve.train_accuracy) == QUICK.iterations
+        assert len(curve.validation_accuracy) == QUICK.iterations
+
+    def test_training_converges(self):
+        results = fig4_convergence.run(scale=QUICK, datasets=("isolet",))
+        curve = results[0]
+        assert curve.train_accuracy[-1] > 0.9
+        assert curve.train_accuracy[-1] > curve.train_accuracy[0]
+
+    def test_plateau_before_end(self):
+        # The paper's justification for 6-iteration sub-models.
+        results = fig4_convergence.run(scale=QUICK, datasets=("isolet",))
+        assert results[0].plateau_iteration <= QUICK.iterations
+
+    def test_format(self):
+        results = fig4_convergence.run(scale=QUICK, datasets=("isolet",))
+        assert "isolet" in fig4_convergence.format_result(results)
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return fig5_training_runtime.run()
+
+    def test_all_datasets_present(self, results):
+        assert [r.dataset for r in results] == [
+            "face", "isolet", "ucihar", "mnist", "pamap2",
+        ]
+
+    def test_mnist_headline_speedup(self, results):
+        mnist = next(r for r in results if r.dataset == "mnist")
+        assert 3.5 < mnist.tpu_bagged_speedup < 6.0
+        assert 8.0 < mnist.encoding_speedup < 11.5
+
+    def test_bagged_always_fastest_setting(self, results):
+        for r in results:
+            assert r.tpu_bagged.total < r.tpu.total
+
+    def test_format(self, results):
+        text = fig5_training_runtime.format_result(results)
+        assert "TPU_B" in text and "mnist" in text
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return fig6_inference_runtime.run()
+
+    def test_pamap2_counterexample(self, results):
+        pamap2 = next(r for r in results if r.dataset == "pamap2")
+        assert pamap2.speedup < 1.0
+
+    def test_other_datasets_win(self, results):
+        for r in results:
+            if r.dataset != "pamap2":
+                assert r.speedup > 1.5, r.dataset
+
+    def test_bagged_inference_no_overhead(self, results):
+        for r in results:
+            assert r.tpu_bagged_seconds == r.tpu_seconds
+
+    def test_format(self, results):
+        assert "speedup" in fig6_inference_runtime.format_result(results)
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return fig7_accuracy.run(scale=QUICK, datasets=("isolet", "pamap2"))
+
+    def test_quantization_preserves_accuracy(self, results):
+        # Paper claim: int8 TPU inference accuracy ~ float CPU accuracy.
+        for r in results:
+            assert abs(r.quantization_drop) < 0.05, r.dataset
+
+    def test_bagging_preserves_accuracy(self, results):
+        # Paper claim: the bagged model is similar (sometimes better).
+        for r in results:
+            assert r.tpu_bagged > r.tpu - 0.07, r.dataset
+
+    def test_accuracies_in_learned_regime(self, results):
+        for r in results:
+            assert r.cpu > 0.8, r.dataset
+
+    def test_format(self, results):
+        assert "quant drop" in fig7_accuracy.format_result(results)
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return table2_raspberry_pi.run()
+
+    def test_framework_beats_pi_everywhere(self, results):
+        for r in results:
+            assert r.training_ratio > 1.0, r.dataset
+            assert r.inference_ratio > 1.0, r.dataset
+
+    def test_mean_training_ratio_in_paper_neighbourhood(self, results):
+        mean = sum(r.training_ratio for r in results) / len(results)
+        assert 10.0 < mean < 30.0  # paper: 19.4x
+
+    def test_framework_more_energy_efficient(self, results):
+        for r in results:
+            assert r.framework_training_energy_j < r.pi_training_energy_j
+
+    def test_format_includes_mean(self, results):
+        assert "mean" in table2_raspberry_pi.format_result(results)
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return fig8_param_search.run(scale=QUICK, ratios=(0.4, 0.6, 1.0))
+
+    def test_alpha_runtime_proportional(self, points):
+        alpha = {p.ratio: p for p in points if p.parameter == "alpha"}
+        assert alpha[0.6].normalized_runtime < 0.8
+        assert alpha[1.0].normalized_runtime == pytest.approx(1.0)
+
+    def test_beta_runtime_barely_improves(self, points):
+        # The paper's reason to disable feature sampling.
+        beta = {p.ratio: p for p in points if p.parameter == "beta"}
+        assert beta[0.6].normalized_runtime > 0.85
+
+    def test_alpha_06_accuracy_holds(self, points):
+        alpha = {p.ratio: p for p in points if p.parameter == "alpha"}
+        assert alpha[0.6].accuracy > alpha[1.0].accuracy - 0.05
+
+    def test_format(self, points):
+        assert "alpha" in fig8_param_search.format_result(points)
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return fig9_iterations.run(scale=QUICK, iterations=(3, 6, 8))
+
+    def test_runtime_monotone_in_iterations(self, points):
+        runtimes = [p.normalized_runtime for p in points]
+        assert runtimes == sorted(runtimes)
+        assert points[-1].normalized_runtime == pytest.approx(1.0)
+
+    def test_update_seconds_linear(self, points):
+        by_iter = {p.iterations: p.update_seconds for p in points}
+        assert by_iter[6] == pytest.approx(2 * by_iter[3], rel=0.05)
+
+    def test_six_iterations_accuracy_close_to_eight(self, points):
+        by_iter = {p.iterations: p.accuracy for p in points}
+        assert by_iter[6] > by_iter[8] - 0.05
+
+    def test_format(self, points):
+        assert "iterations" in fig9_iterations.format_result(points)
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return fig10_feature_scaling.run()
+
+    def test_speedup_monotone_in_features(self, points):
+        speedups = [p.speedup for p in points]
+        assert speedups == sorted(speedups)
+
+    def test_endpoints_match_paper(self, points):
+        # Paper: 1.06x at 20 features, 8.25x at 700.
+        assert 0.7 < points[0].speedup < 1.5
+        assert 6.0 < points[-1].speedup < 12.0
+
+    def test_format(self, points):
+        assert "features" in fig10_feature_scaling.format_result(points)
+
+
+class TestCli:
+    def test_main_runs_analytic_experiment(self, capsys):
+        from repro.experiments.__main__ import main
+        assert main(["fig10"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 10" in out
+
+    def test_main_scaled_experiment(self, capsys):
+        from repro.experiments.__main__ import main
+        assert main(["table1", "--scale", "quick"]) == 0
+        assert "Table I" in capsys.readouterr().out

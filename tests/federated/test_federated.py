@@ -1,0 +1,171 @@
+"""Tests for federated HDC: nodes, server, simulation."""
+
+import numpy as np
+import pytest
+
+from repro.federated import (
+    EdgeNode,
+    FederatedConfig,
+    FederatedServer,
+    FederatedSimulation,
+)
+from repro.hdc import NonlinearEncoder
+
+
+def _blobs(num_samples=300, num_features=10, num_classes=4, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((num_classes, num_features)) * 4.0
+    y = np.arange(num_samples) % num_classes
+    rng.shuffle(y)
+    x = centers[y] + rng.standard_normal((num_samples, num_features))
+    return x.astype(np.float32), y.astype(np.int64)
+
+
+class TestEdgeNode:
+    @pytest.fixture()
+    def node(self):
+        x, y = _blobs()
+        encoder = NonlinearEncoder(10, 512, seed=0)
+        return EdgeNode(0, x, y, encoder, num_classes=4, seed=0)
+
+    def test_properties(self, node):
+        assert node.num_samples == 300
+        assert set(node.local_classes()) == {0, 1, 2, 3}
+        assert node.upload_bytes() == 4 * 512 * 4
+
+    def test_train_improves_on_global_zeros(self, node):
+        updated = node.train(np.zeros((4, 512), dtype=np.float32),
+                             iterations=3)
+        assert updated.shape == (4, 512)
+        assert np.abs(updated).sum() > 0
+
+    def test_train_does_not_mutate_global(self, node):
+        global_model = np.ones((4, 512), dtype=np.float32)
+        node.train(global_model, iterations=1)
+        np.testing.assert_array_equal(global_model, 1.0)
+
+    def test_shape_validated(self, node):
+        with pytest.raises(ValueError, match="shape"):
+            node.train(np.zeros((4, 100), dtype=np.float32))
+
+    def test_empty_node_rejected(self):
+        encoder = NonlinearEncoder(10, 64, seed=0)
+        with pytest.raises(ValueError, match="no local data"):
+            EdgeNode(0, np.zeros((0, 10)), np.zeros(0, dtype=int), encoder, 4)
+
+    def test_label_mismatch_rejected(self):
+        x, y = _blobs()
+        encoder = NonlinearEncoder(10, 64, seed=0)
+        with pytest.raises(ValueError, match="labels"):
+            EdgeNode(0, x, y[:-1], encoder, 4)
+
+
+class TestServer:
+    def test_weighted_average(self):
+        server = FederatedServer(num_classes=2, dimension=4)
+        a = np.ones((2, 4), dtype=np.float32)
+        b = np.full((2, 4), 4.0, dtype=np.float32)
+        out = server.aggregate([a, b], [1, 3])
+        np.testing.assert_allclose(out, 0.25 * 1 + 0.75 * 4)
+        assert server.rounds_completed == 1
+
+    def test_single_node_identity(self):
+        server = FederatedServer(2, 4)
+        update = np.arange(8, dtype=np.float32).reshape(2, 4)
+        np.testing.assert_allclose(server.aggregate([update], [5]), update)
+
+    def test_validation(self):
+        server = FederatedServer(2, 4)
+        with pytest.raises(ValueError, match="no updates"):
+            server.aggregate([], [])
+        with pytest.raises(ValueError, match="weights"):
+            server.aggregate([np.zeros((2, 4))], [1, 2])
+        with pytest.raises(ValueError, match="positive"):
+            server.aggregate([np.zeros((2, 4))], [0])
+        with pytest.raises(ValueError, match="shape"):
+            server.aggregate([np.zeros((3, 4))], [1])
+
+    def test_broadcast_bytes(self):
+        server = FederatedServer(num_classes=10, dimension=100)
+        assert server.broadcast_bytes(5) == 5 * 10 * 100 * 4
+        with pytest.raises(ValueError):
+            server.broadcast_bytes(0)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            FederatedServer(1, 8)
+
+
+class TestSimulation:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        from repro.data import ucihar
+        return ucihar(max_samples=1500, seed=5).normalized()
+
+    def test_iid_converges(self, dataset):
+        config = FederatedConfig(num_nodes=4, rounds=3, dimension=1024)
+        result = FederatedSimulation(config, seed=5).run(dataset)
+        assert len(result.round_accuracy) == 3
+        assert result.final_accuracy > 0.85
+
+    def test_non_iid_split_skews_labels(self, dataset):
+        config = FederatedConfig(num_nodes=6, rounds=1, dimension=512,
+                                 non_iid_alpha=0.1)
+        result = FederatedSimulation(config, seed=5).run(dataset)
+        # With alpha = 0.1 most nodes should miss several classes.
+        assert min(result.node_class_counts) < dataset.num_classes
+
+    def test_non_iid_still_learns(self, dataset):
+        config = FederatedConfig(num_nodes=6, rounds=4, dimension=1024,
+                                 non_iid_alpha=0.3)
+        result = FederatedSimulation(config, seed=5).run(dataset)
+        assert result.final_accuracy > 0.75
+
+    def test_partition_is_exact(self, dataset):
+        config = FederatedConfig(num_nodes=5, rounds=1, dimension=256)
+        sim = FederatedSimulation(config, seed=1)
+        parts = sim._split(dataset.train_y)
+        combined = np.sort(np.concatenate(parts))
+        np.testing.assert_array_equal(combined,
+                                      np.arange(dataset.num_train))
+
+    def test_non_iid_partition_is_exact(self, dataset):
+        config = FederatedConfig(num_nodes=5, rounds=1, dimension=256,
+                                 non_iid_alpha=0.2)
+        sim = FederatedSimulation(config, seed=1)
+        parts = sim._split(dataset.train_y)
+        combined = np.sort(np.concatenate(parts))
+        np.testing.assert_array_equal(combined,
+                                      np.arange(dataset.num_train))
+        assert all(len(part) > 0 for part in parts)
+
+    def test_communication_accounting(self, dataset):
+        config = FederatedConfig(num_nodes=4, rounds=2, dimension=512)
+        result = FederatedSimulation(config, seed=0).run(dataset)
+        per_round = (result.upload_bytes_per_round
+                     + result.broadcast_bytes_per_round)
+        assert result.total_communication_bytes == 2 * per_round
+        # Upload = broadcast: same k x d matrix each way per node.
+        assert result.upload_bytes_per_round == \
+            result.broadcast_bytes_per_round
+
+    def test_more_rounds_do_not_hurt_much(self, dataset):
+        config = FederatedConfig(num_nodes=4, rounds=5, dimension=1024)
+        result = FederatedSimulation(config, seed=5).run(dataset)
+        assert result.round_accuracy[-1] > result.round_accuracy[0] - 0.05
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FederatedConfig(num_nodes=0)
+        with pytest.raises(ValueError):
+            FederatedConfig(non_iid_alpha=0.0)
+
+    def test_too_many_nodes_rejected(self, dataset):
+        config = FederatedConfig(num_nodes=10_000, rounds=1, dimension=64)
+        with pytest.raises(ValueError, match="split"):
+            FederatedSimulation(config, seed=0).run(dataset)
+
+    def test_result_final_accuracy_requires_rounds(self):
+        from repro.federated import FederatedResult
+        with pytest.raises(ValueError, match="rounds"):
+            FederatedResult().final_accuracy

@@ -1,0 +1,53 @@
+"""Tests for the OnlineHD-style adaptive classifier (extension)."""
+
+import numpy as np
+
+from repro.hdc import AdaptiveHDCClassifier, HDCClassifier
+
+
+def _blobs(num_samples=400, num_features=12, num_classes=4, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((num_classes, num_features)) * 3.0
+    y = np.arange(num_samples) % num_classes
+    rng.shuffle(y)
+    x = centers[y] + rng.standard_normal((num_samples, num_features))
+    return x.astype(np.float32), y.astype(np.int64)
+
+
+class TestAdaptiveClassifier:
+    def test_learns(self):
+        x, y = _blobs()
+        model = AdaptiveHDCClassifier(dimension=1024, seed=0)
+        model.fit(x, y, iterations=5)
+        assert model.score(x, y) > 0.9
+
+    def test_history_tracked(self):
+        x, y = _blobs()
+        model = AdaptiveHDCClassifier(dimension=512, seed=0)
+        history = model.fit(x, y, iterations=3)
+        assert history.iterations == 3
+
+    def test_shares_inference_with_base(self):
+        x, y = _blobs()
+        model = AdaptiveHDCClassifier(dimension=512, seed=0)
+        model.fit(x, y, iterations=2)
+        scores = model.scores(x[:5])
+        assert scores.shape == (5, 4)
+
+    def test_converges_at_least_as_fast_as_fixed(self, small_isolet):
+        # The adaptive rule's selling point: equal-or-better accuracy in
+        # few passes.  Allow slack — this is a statistical property.
+        ds = small_isolet
+        fixed = HDCClassifier(dimension=2048, seed=1)
+        fixed.fit(ds.train_x, ds.train_y, iterations=3)
+        adaptive = AdaptiveHDCClassifier(dimension=2048, seed=1)
+        adaptive.fit(ds.train_x, ds.train_y, iterations=3)
+        assert adaptive.score(ds.test_x, ds.test_y) > \
+            fixed.score(ds.test_x, ds.test_y) - 0.1
+
+    def test_updates_counted(self):
+        x, y = _blobs()
+        model = AdaptiveHDCClassifier(dimension=512, seed=0)
+        history = model.fit(x, y, iterations=4)
+        assert all(u >= 0 for u in history.updates)
+        assert history.updates[-1] <= history.updates[0]

@@ -1,0 +1,83 @@
+"""Tests for the bipolar associative-memory extension."""
+
+import numpy as np
+import pytest
+
+from repro.hdc import BipolarAssociativeMemory, HDCClassifier, NonlinearEncoder
+
+
+def _blobs(num_samples=400, num_features=10, num_classes=4, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((num_classes, num_features)) * 4.0
+    y = np.arange(num_samples) % num_classes
+    rng.shuffle(y)
+    x = centers[y] + rng.standard_normal((num_samples, num_features))
+    return x.astype(np.float32), y.astype(np.int64)
+
+
+@pytest.fixture()
+def trained():
+    x, y = _blobs()
+    model = HDCClassifier(dimension=2048, seed=0)
+    model.fit(x[:300], y[:300], iterations=5)
+    return model, x, y
+
+
+class TestConstruction:
+    def test_from_classifier(self, trained):
+        model, _, _ = trained
+        memory = BipolarAssociativeMemory.from_classifier(model)
+        assert memory.num_classes == 4
+        assert memory.dimension == 2048
+        assert set(np.unique(memory.class_hypervectors)).issubset({-1, 1})
+
+    def test_untrained_rejected(self):
+        with pytest.raises(ValueError, match="trained"):
+            BipolarAssociativeMemory.from_classifier(
+                HDCClassifier(dimension=64)
+            )
+
+    def test_rejects_non_bipolar(self):
+        enc = NonlinearEncoder(4, 8, seed=0)
+        with pytest.raises(ValueError, match="bipolar"):
+            BipolarAssociativeMemory(np.full((2, 8), 0.5), enc)
+
+    def test_rejects_dimension_mismatch(self):
+        enc = NonlinearEncoder(4, 16, seed=0)
+        with pytest.raises(ValueError, match="dimension"):
+            BipolarAssociativeMemory(np.ones((2, 8), dtype=np.int8), enc)
+
+    def test_rejects_1d(self):
+        enc = NonlinearEncoder(4, 8, seed=0)
+        with pytest.raises(ValueError, match="2-D"):
+            BipolarAssociativeMemory(np.ones(8, dtype=np.int8), enc)
+
+
+class TestBehaviour:
+    def test_accuracy_close_to_float(self, trained):
+        # The 32x-compressed memory should stay within a few points of
+        # the float model on an easy task.
+        model, x, y = trained
+        memory = BipolarAssociativeMemory.from_classifier(model)
+        float_acc = model.score(x[300:], y[300:])
+        binary_acc = memory.score(x[300:], y[300:])
+        assert binary_acc > float_acc - 0.1
+
+    def test_memory_is_one_bit_per_component(self, trained):
+        model, _, _ = trained
+        memory = BipolarAssociativeMemory.from_classifier(model)
+        float_bytes = model.class_hypervectors.nbytes
+        assert memory.memory_bytes() == float_bytes // 32
+
+    def test_scores_shape_and_range(self, trained):
+        model, x, _ = trained
+        memory = BipolarAssociativeMemory.from_classifier(model)
+        scores = memory.scores(x[:7])
+        assert scores.shape == (7, 4)
+        assert (scores >= 0).all() and (scores <= 1).all()
+
+    def test_score_validates_lengths(self, trained):
+        model, x, y = trained
+        memory = BipolarAssociativeMemory.from_classifier(model)
+        with pytest.raises(ValueError, match="labels"):
+            memory.score(x[:5], y[:4])

@@ -1,0 +1,166 @@
+"""Tests for the HDC encoders."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdc import IdLevelEncoder, LinearEncoder, NonlinearEncoder
+
+
+class TestNonlinearEncoder:
+    def test_formula(self, rng):
+        # E = tanh(F @ B), the paper's Sec. III-A equation.
+        enc = NonlinearEncoder(num_features=6, dimension=64, seed=0)
+        x = rng.standard_normal((3, 6)).astype(np.float32)
+        np.testing.assert_allclose(
+            enc.encode(x), np.tanh(x @ enc.base_hypervectors), rtol=1e-6
+        )
+
+    def test_output_bounded(self, rng):
+        enc = NonlinearEncoder(num_features=4, dimension=128, seed=0)
+        out = enc.encode(rng.standard_normal((10, 4)) * 100)
+        assert (np.abs(out) <= 1.0).all()
+
+    def test_single_sample_shape(self, rng):
+        enc = NonlinearEncoder(num_features=4, dimension=32, seed=0)
+        assert enc.encode(rng.standard_normal(4)).shape == (32,)
+        assert enc.encode(rng.standard_normal((2, 4))).shape == (2, 32)
+
+    def test_projection_is_preactivation(self, rng):
+        enc = NonlinearEncoder(num_features=4, dimension=32, seed=0)
+        x = rng.standard_normal((5, 4))
+        np.testing.assert_allclose(
+            np.tanh(enc.projection(x)), enc.encode(x), rtol=1e-6
+        )
+
+    def test_feature_mask_zeroes_rows(self):
+        mask = np.array([True, False, True])
+        enc = NonlinearEncoder(num_features=3, dimension=16, seed=0,
+                               feature_mask=mask)
+        np.testing.assert_array_equal(enc.base_hypervectors[1], 0.0)
+        assert not np.allclose(enc.base_hypervectors[0], 0.0)
+
+    def test_masked_feature_does_not_affect_encoding(self, rng):
+        mask = np.array([True, False, True])
+        enc = NonlinearEncoder(num_features=3, dimension=64, seed=0,
+                               feature_mask=mask)
+        x1 = rng.standard_normal((4, 3)).astype(np.float32)
+        x2 = x1.copy()
+        x2[:, 1] = 999.0
+        np.testing.assert_allclose(enc.encode(x1), enc.encode(x2))
+
+    def test_rejects_bad_mask_shape(self):
+        with pytest.raises(ValueError, match="feature_mask"):
+            NonlinearEncoder(num_features=3, dimension=8,
+                             feature_mask=np.ones(4, dtype=bool))
+
+    def test_rejects_wrong_feature_count(self, rng):
+        enc = NonlinearEncoder(num_features=3, dimension=8, seed=0)
+        with pytest.raises(ValueError, match="features"):
+            enc.encode(rng.standard_normal((2, 5)))
+
+    def test_deterministic_seed(self, rng):
+        x = rng.standard_normal((2, 3))
+        a = NonlinearEncoder(3, 32, seed=7).encode(x)
+        b = NonlinearEncoder(3, 32, seed=7).encode(x)
+        np.testing.assert_array_equal(a, b)
+
+    def test_similar_inputs_have_similar_encodings(self, rng):
+        # Locality: encoding preserves neighborhood structure, the property
+        # that makes HDC classification work.
+        enc = NonlinearEncoder(num_features=10, dimension=4096, seed=0)
+        x = rng.standard_normal(10).astype(np.float32)
+        near = x + 0.01 * rng.standard_normal(10).astype(np.float32)
+        far = rng.standard_normal(10).astype(np.float32) * 3
+        e_x, e_near, e_far = enc.encode(np.stack([x, near, far]))
+        sim_near = np.dot(e_x, e_near) / (np.linalg.norm(e_x) * np.linalg.norm(e_near))
+        sim_far = np.dot(e_x, e_far) / (np.linalg.norm(e_x) * np.linalg.norm(e_far))
+        assert sim_near > 0.95
+        assert sim_near > sim_far
+
+
+class TestLinearEncoder:
+    def test_formula(self, rng):
+        enc = LinearEncoder(num_features=5, dimension=32, seed=0)
+        x = rng.standard_normal((3, 5)).astype(np.float32)
+        np.testing.assert_allclose(enc.encode(x), x @ enc.base_hypervectors,
+                                   rtol=1e-6)
+
+    def test_linearity(self, rng):
+        enc = LinearEncoder(num_features=5, dimension=32, seed=0)
+        a = rng.standard_normal(5).astype(np.float32)
+        b = rng.standard_normal(5).astype(np.float32)
+        np.testing.assert_allclose(
+            enc.encode(a + b), enc.encode(a) + enc.encode(b), rtol=1e-4,
+            atol=1e-5,
+        )
+
+    def test_dot_products_preserved_in_expectation(self, rng):
+        # Johnson-Lindenstrauss-style property: <E(a), E(b)> / d ~ <a, b>.
+        enc = LinearEncoder(num_features=8, dimension=50_000, seed=0)
+        a = rng.standard_normal(8).astype(np.float32)
+        b = rng.standard_normal(8).astype(np.float32)
+        estimate = np.dot(enc.encode(a), enc.encode(b)) / enc.dimension
+        assert abs(estimate - np.dot(a, b)) < 0.3
+
+
+class TestIdLevelEncoder:
+    def test_quantize_bounds(self):
+        enc = IdLevelEncoder(num_features=2, dimension=64, num_levels=8,
+                             value_range=(-1.0, 1.0), seed=0)
+        idx = enc.quantize(np.array([[-5.0, 5.0]]))
+        assert idx[0, 0] == 0
+        assert idx[0, 1] == 7
+
+    def test_quantize_monotonic(self):
+        enc = IdLevelEncoder(num_features=1, dimension=64, num_levels=16,
+                             value_range=(0.0, 1.0), seed=0)
+        values = np.linspace(0, 0.999, 50)[:, None]
+        idx = enc.quantize(values).ravel()
+        assert (np.diff(idx) >= 0).all()
+
+    def test_level_hypervectors_locality(self):
+        # Adjacent levels stay similar; extreme levels drift apart.
+        enc = IdLevelEncoder(num_features=1, dimension=8192, num_levels=32,
+                             seed=0)
+        levels = enc.level_hypervectors
+        d = enc.dimension
+        sim_adjacent = np.dot(levels[0], levels[1]) / d
+        sim_extreme = np.dot(levels[0], levels[-1]) / d
+        assert sim_adjacent > 0.9
+        assert sim_extreme < 0.25
+
+    def test_encoding_shape(self, rng):
+        enc = IdLevelEncoder(num_features=5, dimension=128, seed=0)
+        out = enc.encode(rng.standard_normal((3, 5)))
+        assert out.shape == (3, 128)
+
+    def test_identical_samples_encode_identically(self, rng):
+        enc = IdLevelEncoder(num_features=5, dimension=128, seed=0)
+        x = rng.standard_normal(5)
+        np.testing.assert_array_equal(enc.encode(x), enc.encode(x))
+
+    def test_rejects_bad_levels(self):
+        with pytest.raises(ValueError, match="num_levels"):
+            IdLevelEncoder(num_features=2, dimension=8, num_levels=1)
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError, match="value_range"):
+            IdLevelEncoder(num_features=2, dimension=8, value_range=(1.0, -1.0))
+
+
+@given(
+    num_features=st.integers(1, 12),
+    dimension=st.integers(1, 128),
+    seed=st.integers(0, 500),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_nonlinear_encoding_bounded_and_odd(num_features, dimension, seed):
+    """tanh encoding is bounded by 1 and odd: E(-F) == -E(F)."""
+    rng = np.random.default_rng(seed)
+    enc = NonlinearEncoder(num_features, dimension, seed=seed)
+    x = rng.standard_normal((3, num_features)).astype(np.float32)
+    out = enc.encode(x)
+    assert (np.abs(out) <= 1.0).all()
+    np.testing.assert_allclose(enc.encode(-x), -out, atol=1e-6)

@@ -1,0 +1,176 @@
+"""Tests for hypervector primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.hdc import (
+    bipolarize,
+    bundle,
+    cosine_similarity,
+    dot_similarity,
+    generate_base_hypervectors,
+    hamming_similarity,
+)
+
+
+class TestGenerateBaseHypervectors:
+    def test_shape_and_dtype(self):
+        base = generate_base_hypervectors(5, 100, rng=0)
+        assert base.shape == (5, 100)
+        assert base.dtype == np.float32
+
+    def test_standard_normal_statistics(self):
+        base = generate_base_hypervectors(10, 50_000, rng=0)
+        assert abs(base.mean()) < 0.01
+        assert abs(base.std() - 1.0) < 0.01
+
+    def test_near_orthogonality(self):
+        # The paper's rationale: dot products between distinct base HVs are
+        # near zero relative to their norms (~d).
+        base = generate_base_hypervectors(8, 10_000, rng=1)
+        gram = base @ base.T
+        off_diag = gram[~np.eye(8, dtype=bool)]
+        assert np.abs(off_diag).max() < 0.05 * 10_000
+
+    def test_seed_determinism(self):
+        a = generate_base_hypervectors(4, 64, rng=9)
+        b = generate_base_hypervectors(4, 64, rng=9)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_instance_advances(self):
+        rng = np.random.default_rng(3)
+        a = generate_base_hypervectors(4, 64, rng=rng)
+        b = generate_base_hypervectors(4, 64, rng=rng)
+        assert not np.array_equal(a, b)
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_rejects_bad_counts(self, bad):
+        with pytest.raises(ValueError):
+            generate_base_hypervectors(bad, 16)
+        with pytest.raises(ValueError):
+            generate_base_hypervectors(16, bad)
+
+
+class TestBundle:
+    def test_plain_sum(self, rng):
+        hvs = rng.standard_normal((4, 32))
+        np.testing.assert_allclose(bundle(hvs), hvs.sum(axis=0))
+
+    def test_weighted_sum_matches_encoding_formula(self, rng):
+        # bundle(B, weights=F) must equal the encoding aggregation F @ B.
+        base = rng.standard_normal((6, 128))
+        features = rng.standard_normal(6)
+        np.testing.assert_allclose(
+            bundle(base, weights=features), features @ base, rtol=1e-6
+        )
+
+    def test_bundled_remains_similar_to_inputs(self, rng):
+        # Superposition property: the bundle correlates positively with
+        # each bundled hypervector.
+        hvs = rng.standard_normal((5, 20_000))
+        bundled = bundle(hvs)
+        for hv in hvs:
+            assert np.dot(bundled, hv) > 0
+
+    def test_rejects_1d(self, rng):
+        with pytest.raises(ValueError, match="stack"):
+            bundle(rng.standard_normal(16))
+
+    def test_rejects_weight_mismatch(self, rng):
+        with pytest.raises(ValueError, match="weights"):
+            bundle(rng.standard_normal((3, 8)), weights=np.ones(4))
+
+
+class TestSimilarities:
+    def test_dot_matches_manual(self, rng):
+        q = rng.standard_normal((3, 16))
+        r = rng.standard_normal((5, 16))
+        np.testing.assert_allclose(dot_similarity(q, r), q @ r.T)
+
+    def test_cosine_self_similarity_is_one(self, rng):
+        v = rng.standard_normal((4, 32))
+        sims = cosine_similarity(v, v)
+        np.testing.assert_allclose(np.diag(sims), 1.0, atol=1e-9)
+
+    def test_cosine_range(self, rng):
+        q = rng.standard_normal((10, 64))
+        r = rng.standard_normal((7, 64))
+        sims = cosine_similarity(q, r)
+        assert (sims <= 1.0 + 1e-9).all() and (sims >= -1.0 - 1e-9).all()
+
+    def test_cosine_zero_vector_safe(self):
+        q = np.zeros((1, 8))
+        r = np.ones((2, 8))
+        sims = cosine_similarity(q, r)
+        np.testing.assert_array_equal(sims, 0.0)
+
+    def test_dot_and_cosine_agree_on_argmax_for_equal_norms(self, rng):
+        # The paper's dot-product approximation is exact for ranking when
+        # reference norms are equal.
+        q = rng.standard_normal((20, 64))
+        r = rng.standard_normal((5, 64))
+        r /= np.linalg.norm(r, axis=1, keepdims=True)
+        np.testing.assert_array_equal(
+            np.argmax(dot_similarity(q, r), axis=1),
+            np.argmax(cosine_similarity(q, r), axis=1),
+        )
+
+
+class TestBipolar:
+    def test_bipolarize_values(self, rng):
+        v = rng.standard_normal((3, 50))
+        out = bipolarize(v)
+        assert set(np.unique(out)).issubset({-1, 1})
+        assert out.dtype == np.int8
+
+    def test_bipolarize_zero_maps_to_plus_one(self):
+        assert bipolarize(np.zeros((1, 4))).min() == 1
+
+    def test_hamming_identity(self, rng):
+        v = bipolarize(rng.standard_normal((4, 256)))
+        sims = hamming_similarity(v, v)
+        np.testing.assert_allclose(np.diag(sims), 1.0)
+
+    def test_hamming_opposite(self):
+        v = np.ones((1, 64), dtype=np.int8)
+        sims = hamming_similarity(v, -v)
+        np.testing.assert_allclose(sims, 0.0)
+
+    def test_hamming_matches_cosine_transform(self, rng):
+        a = bipolarize(rng.standard_normal((3, 512)))
+        b = bipolarize(rng.standard_normal((4, 512)))
+        expected = (1.0 + cosine_similarity(a, b)) / 2.0
+        np.testing.assert_allclose(hamming_similarity(a, b), expected, atol=1e-6)
+
+    def test_hamming_rejects_dim_mismatch(self, rng):
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            hamming_similarity(np.ones((1, 8)), np.ones((1, 16)))
+
+
+@given(
+    hvs=hnp.arrays(np.float64, st.tuples(st.integers(1, 6), st.integers(1, 64)),
+                   elements=st.floats(-100, 100)),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_bundle_linearity(hvs):
+    """bundle(2x) == 2 * bundle(x) and bundle is permutation-invariant."""
+    np.testing.assert_allclose(bundle(2.0 * hvs), 2.0 * bundle(hvs), rtol=1e-9)
+    perm = np.random.default_rng(0).permutation(len(hvs))
+    np.testing.assert_allclose(bundle(hvs[perm]), bundle(hvs), rtol=1e-9, atol=1e-9)
+
+
+@given(
+    dim=st.integers(8, 256),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_cosine_symmetry(dim, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((3, dim))
+    b = rng.standard_normal((2, dim))
+    np.testing.assert_allclose(
+        cosine_similarity(a, b), cosine_similarity(b, a).T, atol=1e-9
+    )

@@ -1,0 +1,112 @@
+"""Tests for metrics and the paper's cost-ratio formula."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdc import (
+    accuracy,
+    confusion_matrix,
+    per_class_accuracy,
+    weight_update_cost_ratio,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy(np.array([0, 1, 2]), np.array([0, 1, 2])) == 1.0
+
+    def test_half(self):
+        assert accuracy(np.array([0, 1, 0, 1]), np.array([0, 1, 1, 0])) == 0.5
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            accuracy(np.zeros(3), np.zeros(4))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="zero"):
+            accuracy(np.array([]), np.array([]))
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        labels = np.array([0, 0, 1, 1, 2])
+        predictions = np.array([0, 1, 1, 1, 0])
+        matrix = confusion_matrix(predictions, labels)
+        assert matrix[0, 0] == 1
+        assert matrix[0, 1] == 1
+        assert matrix[1, 1] == 2
+        assert matrix[2, 0] == 1
+        assert matrix.sum() == 5
+
+    def test_explicit_num_classes(self):
+        matrix = confusion_matrix(np.array([0]), np.array([0]), num_classes=4)
+        assert matrix.shape == (4, 4)
+
+    def test_diagonal_equals_correct_count(self, rng):
+        labels = rng.integers(0, 5, 200)
+        predictions = rng.integers(0, 5, 200)
+        matrix = confusion_matrix(predictions, labels)
+        assert np.trace(matrix) == np.sum(predictions == labels)
+
+
+class TestPerClassAccuracy:
+    def test_values(self):
+        labels = np.array([0, 0, 1, 1])
+        predictions = np.array([0, 1, 1, 1])
+        recall = per_class_accuracy(predictions, labels)
+        np.testing.assert_allclose(recall, [0.5, 1.0])
+
+    def test_absent_class_is_nan(self):
+        recall = per_class_accuracy(np.array([0]), np.array([0]), num_classes=3)
+        assert recall[0] == 1.0
+        assert np.isnan(recall[1]) and np.isnan(recall[2])
+
+
+class TestWeightUpdateCostRatio:
+    def test_paper_configuration(self):
+        # M=4, d'=2500 of d=10000, I'=6 of I=20, alpha=0.6, beta=1
+        ratio = weight_update_cost_ratio(4, 2500, 10_000, 6, 20, 0.6, 1.0)
+        assert ratio == pytest.approx(0.18)
+
+    def test_no_bagging_is_identity(self):
+        assert weight_update_cost_ratio(1, 100, 100, 5, 5, 1.0, 1.0) == 1.0
+
+    def test_feature_sampling_scales(self):
+        base = weight_update_cost_ratio(2, 50, 100, 3, 10, 0.5, 1.0)
+        halved = weight_update_cost_ratio(2, 50, 100, 3, 10, 0.5, 0.5)
+        assert halved == pytest.approx(base / 2)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(num_models=0, sub_dimension=1, dimension=1, sub_iterations=1,
+             iterations=1, dataset_ratio=0.5),
+        dict(num_models=1, sub_dimension=1, dimension=1, sub_iterations=1,
+             iterations=1, dataset_ratio=0.0),
+        dict(num_models=1, sub_dimension=1, dimension=1, sub_iterations=1,
+             iterations=1, dataset_ratio=0.5, feature_ratio=1.5),
+    ])
+    def test_invalid_arguments(self, kwargs):
+        with pytest.raises(ValueError):
+            weight_update_cost_ratio(**kwargs)
+
+    @given(
+        num_models=st.integers(1, 16),
+        iterations=st.integers(1, 40),
+        sub_iterations=st.integers(1, 40),
+        dataset_ratio=st.floats(0.01, 1.0),
+        feature_ratio=st.floats(0.01, 1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_paper_default_width_rule(self, num_models, iterations,
+                                               sub_iterations, dataset_ratio,
+                                               feature_ratio):
+        """With d' = d/M the M and d'/d factors cancel: the ratio reduces
+        to (I'/I) * alpha * beta, independent of M."""
+        dimension = 1000 * num_models
+        ratio = weight_update_cost_ratio(
+            num_models, dimension // num_models, dimension,
+            sub_iterations, iterations, dataset_ratio, feature_ratio,
+        )
+        expected = (sub_iterations / iterations) * dataset_ratio * feature_ratio
+        assert ratio == pytest.approx(expected)

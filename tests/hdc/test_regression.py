@@ -1,0 +1,154 @@
+"""Tests for the HDC regressor (RegHD-style)."""
+
+import numpy as np
+import pytest
+
+from repro.hdc import HDCRegressor, NonlinearEncoder
+
+
+def _nonlinear_problem(num_samples=1500, num_features=8, seed=0,
+                       noise=0.05):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((num_samples, num_features)).astype(np.float32)
+    u = rng.standard_normal(num_features)
+    u /= np.linalg.norm(u)
+    v = rng.standard_normal(num_features)
+    v /= np.linalg.norm(v)
+    y = np.sin(2.0 * x @ u) + 0.5 * (x @ v) ** 2
+    y = y + rng.normal(0, noise, num_samples)
+    split = int(0.8 * num_samples)
+    return x[:split], y[:split], x[split:], y[split:]
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="learning_rate"):
+            HDCRegressor(learning_rate=0.0)
+        with pytest.raises(ValueError, match="chunk_size"):
+            HDCRegressor(chunk_size=0)
+        with pytest.raises(ValueError, match="input_scale"):
+            HDCRegressor(input_scale=0.0)
+        enc = NonlinearEncoder(4, 128, seed=0)
+        with pytest.raises(ValueError, match="dimension"):
+            HDCRegressor(dimension=64, encoder=enc)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            HDCRegressor(dimension=64).predict(np.zeros((2, 4)))
+
+
+class TestIterativeFit:
+    def test_learns_nonlinear_function(self):
+        tx, ty, vx, vy = _nonlinear_problem()
+        model = HDCRegressor(dimension=4096, learning_rate=0.2, seed=0)
+        model.fit(tx, ty, iterations=20)
+        assert model.score(vx, vy) > 0.5
+
+    def test_beats_linear_regression(self):
+        tx, ty, vx, vy = _nonlinear_problem()
+        model = HDCRegressor(dimension=4096, learning_rate=0.2, seed=0)
+        model.fit(tx, ty, iterations=15)
+        design = np.c_[tx, np.ones(len(tx))]
+        coef, *_ = np.linalg.lstsq(design, ty, rcond=None)
+        linear_pred = np.c_[vx, np.ones(len(vx))] @ coef
+        linear_r2 = 1 - np.square(vy - linear_pred).sum() / \
+            np.square(vy - vy.mean()).sum()
+        assert model.score(vx, vy) > linear_r2 + 0.2
+
+    def test_mse_decreases(self):
+        tx, ty, _, _ = _nonlinear_problem(num_samples=600)
+        model = HDCRegressor(dimension=2048, seed=0)
+        history = model.fit(tx, ty, iterations=8)
+        assert history.train_mse[-1] < history.train_mse[0]
+        assert history.iterations == 8
+
+    def test_validation_curve(self):
+        tx, ty, vx, vy = _nonlinear_problem(num_samples=600)
+        model = HDCRegressor(dimension=1024, seed=0)
+        history = model.fit(tx, ty, iterations=4, validation=(vx, vy))
+        assert len(history.validation_mse) == 4
+
+    def test_intercept_handles_offset_targets(self):
+        # A pure-constant target must be fit exactly via the intercept.
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((200, 4)).astype(np.float32)
+        y = np.full(200, 7.5)
+        model = HDCRegressor(dimension=512, seed=0)
+        model.fit(x, y, iterations=2)
+        np.testing.assert_allclose(model.predict(x), 7.5, atol=0.5)
+
+    def test_input_validation(self):
+        model = HDCRegressor(dimension=64)
+        with pytest.raises(ValueError, match="iterations"):
+            model.fit(np.zeros((4, 2)), np.zeros(4), iterations=0)
+        with pytest.raises(ValueError, match="2-D"):
+            model.fit(np.zeros(4), np.zeros(4))
+        with pytest.raises(ValueError, match="targets"):
+            model.fit(np.zeros((4, 2)), np.zeros(3))
+
+
+class TestRidgeFit:
+    def test_ridge_quality(self):
+        tx, ty, vx, vy = _nonlinear_problem()
+        model = HDCRegressor(dimension=4096, seed=0)
+        model.fit_ridge(tx, ty, regularization=0.05)
+        assert model.score(vx, vy) > 0.6
+
+    def test_ridge_at_least_as_good_as_sgd(self):
+        tx, ty, vx, vy = _nonlinear_problem(num_samples=900)
+        sgd = HDCRegressor(dimension=2048, seed=0)
+        sgd.fit(tx, ty, iterations=10)
+        ridge = HDCRegressor(dimension=2048, seed=0)
+        ridge.fit_ridge(tx, ty, regularization=0.05)
+        assert ridge.score(vx, vy) > sgd.score(vx, vy) - 0.05
+
+    def test_ridge_validation(self):
+        model = HDCRegressor(dimension=64)
+        with pytest.raises(ValueError, match="regularization"):
+            model.fit_ridge(np.zeros((4, 2)), np.zeros(4),
+                            regularization=0.0)
+        with pytest.raises(ValueError, match="targets"):
+            model.fit_ridge(np.zeros((4, 2)), np.zeros(3))
+
+
+class TestScore:
+    def test_perfect_score(self):
+        tx, ty, _, _ = _nonlinear_problem(num_samples=400, noise=0.0)
+        model = HDCRegressor(dimension=4096, seed=0)
+        model.fit_ridge(tx, ty, regularization=1e-4)
+        assert model.score(tx, ty) > 0.95  # near-interpolation on train
+
+    def test_constant_targets(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((50, 3)).astype(np.float32)
+        model = HDCRegressor(dimension=256, seed=0)
+        model.fit(x, np.ones(50), iterations=1)
+        assert 0.0 <= model.score(x, np.ones(50)) <= 1.0
+
+    def test_length_checked(self):
+        tx, ty, _, _ = _nonlinear_problem(num_samples=200)
+        model = HDCRegressor(dimension=256, seed=0)
+        model.fit(tx, ty, iterations=1)
+        with pytest.raises(ValueError, match="targets"):
+            model.score(tx, ty[:-1])
+
+
+class TestPhaseEncoder:
+    def test_phases_break_oddness(self):
+        # Without phases the encoding is odd; with them it is not.
+        plain = NonlinearEncoder(4, 2048, seed=0)
+        phased = NonlinearEncoder(4, 2048, seed=0, phase=True)
+        x = np.random.default_rng(0).standard_normal((1, 4)).astype(np.float32)
+        np.testing.assert_allclose(plain.encode(-x), -plain.encode(x),
+                                   atol=1e-6)
+        assert not np.allclose(phased.encode(-x), -phased.encode(x),
+                               atol=1e-3)
+
+    def test_phased_encoder_compiles_with_bias(self):
+        from repro.nn import encoder_network
+        encoder = NonlinearEncoder(4, 64, seed=0, phase=True)
+        net = encoder_network(encoder)
+        assert net.layers[0].bias is not None
+        x = np.random.default_rng(0).standard_normal((3, 4)).astype(np.float32)
+        np.testing.assert_allclose(net.forward(x), encoder.encode(x),
+                                   rtol=1e-5, atol=1e-5)

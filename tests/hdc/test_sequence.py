@@ -1,0 +1,172 @@
+"""Tests for binding, permutation and the n-gram sequence encoder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdc import SequenceEncoder, bind, bipolarize, permute
+
+
+class TestBind:
+    def test_elementwise_product(self, rng):
+        a = rng.standard_normal(32)
+        b = rng.standard_normal(32)
+        np.testing.assert_allclose(bind(a, b), a * b)
+
+    def test_self_inverse_for_bipolar(self, rng):
+        a = bipolarize(rng.standard_normal(256)).astype(np.float32)
+        b = bipolarize(rng.standard_normal(256)).astype(np.float32)
+        np.testing.assert_array_equal(bind(bind(a, b), b), a)
+
+    def test_bound_dissimilar_to_inputs(self, rng):
+        a = bipolarize(rng.standard_normal(20_000)).astype(np.float32)
+        b = bipolarize(rng.standard_normal(20_000)).astype(np.float32)
+        bound = bind(a, b)
+        assert abs(np.dot(bound, a)) < 0.05 * 20_000
+        assert abs(np.dot(bound, b)) < 0.05 * 20_000
+
+    def test_rejects_dim_mismatch(self, rng):
+        with pytest.raises(ValueError, match="mismatch"):
+            bind(np.ones(4), np.ones(5))
+
+    def test_commutative(self, rng):
+        a = rng.standard_normal(16)
+        b = rng.standard_normal(16)
+        np.testing.assert_allclose(bind(a, b), bind(b, a))
+
+
+class TestPermute:
+    def test_cyclic_shift(self):
+        v = np.array([1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_array_equal(permute(v), [4.0, 1.0, 2.0, 3.0])
+
+    def test_inverse(self, rng):
+        v = rng.standard_normal(64)
+        np.testing.assert_array_equal(permute(permute(v, 5), -5), v)
+
+    def test_norm_preserved(self, rng):
+        v = rng.standard_normal(128)
+        assert np.linalg.norm(permute(v)) == pytest.approx(np.linalg.norm(v))
+
+    def test_decorrelates(self, rng):
+        v = bipolarize(rng.standard_normal(20_000)).astype(np.float32)
+        assert abs(np.dot(permute(v), v)) < 0.05 * 20_000
+
+    def test_composition(self, rng):
+        v = rng.standard_normal(32)
+        np.testing.assert_array_equal(permute(permute(v, 2), 3),
+                                      permute(v, 5))
+
+
+class TestSequenceEncoder:
+    @pytest.fixture()
+    def encoder(self):
+        return SequenceEncoder(alphabet_size=4, dimension=8192, ngram=3,
+                               seed=0)
+
+    def test_output_shape(self, encoder):
+        out = encoder.encode(np.array([0, 1, 2, 3, 0]))
+        assert out.shape == (8192,)
+
+    def test_deterministic(self, encoder):
+        seq = np.array([0, 1, 2, 3])
+        np.testing.assert_array_equal(encoder.encode(seq),
+                                      encoder.encode(seq))
+
+    def test_order_sensitive(self, encoder):
+        # "ABC" and "CBA" must encode differently — the permutation's job.
+        forward = encoder.encode(np.array([0, 1, 2]))
+        backward = encoder.encode(np.array([2, 1, 0]))
+        dim = encoder.dimension
+        assert abs(np.dot(forward, backward)) < 0.2 * dim
+
+    def test_shared_ngrams_increase_similarity(self, encoder, rng):
+        # Sequences sharing most n-grams stay similar; unrelated random
+        # sequences do not.
+        base = rng.integers(0, 4, 40)
+        near = base.copy()
+        near[20] = (near[20] + 1) % 4  # one-symbol edit
+        far = rng.integers(0, 4, 40)
+        e_base = encoder.encode(base)
+        e_near = encoder.encode(near)
+        e_far = encoder.encode(far)
+        sim_near = np.dot(e_base, e_near) / (
+            np.linalg.norm(e_base) * np.linalg.norm(e_near))
+        sim_far = np.dot(e_base, e_far) / (
+            np.linalg.norm(e_base) * np.linalg.norm(e_far))
+        assert sim_near > sim_far + 0.2
+
+    def test_matches_manual_ngram_construction(self):
+        # Cross-check the vectorized implementation against the textbook
+        # definition for one tiny case.
+        encoder = SequenceEncoder(alphabet_size=3, dimension=64, ngram=2,
+                                  seed=1)
+        items = encoder.item_hypervectors
+        seq = np.array([2, 0, 1])
+        expected = (
+            permute(items[2], 1) * items[0]
+            + permute(items[0], 1) * items[1]
+        )
+        np.testing.assert_allclose(encoder.encode(seq), expected, rtol=1e-6)
+
+    def test_encode_batch(self, encoder):
+        out = encoder.encode_batch([np.array([0, 1, 2]),
+                                    np.array([3, 2, 1, 0])])
+        assert out.shape == (2, 8192)
+
+    def test_validation(self, encoder):
+        with pytest.raises(ValueError, match="shorter"):
+            encoder.encode(np.array([0, 1]))
+        with pytest.raises(ValueError, match="range"):
+            encoder.encode(np.array([0, 1, 9]))
+        with pytest.raises(ValueError, match="1-D"):
+            encoder.encode(np.zeros((2, 3), dtype=int))
+        with pytest.raises(ValueError, match="no sequences"):
+            encoder.encode_batch([])
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            SequenceEncoder(alphabet_size=1, dimension=8)
+        with pytest.raises(ValueError):
+            SequenceEncoder(alphabet_size=4, dimension=8, ngram=0)
+
+    def test_classification_of_sequence_families(self):
+        # End-to-end: an HDCClassifier separates two Markov-ish sequence
+        # families from their n-gram encodings.
+        from repro.hdc import HDCClassifier
+        rng = np.random.default_rng(0)
+        encoder = SequenceEncoder(alphabet_size=4, dimension=4096, ngram=3,
+                                  seed=0)
+
+        def family(bias, count):
+            sequences = []
+            for _ in range(count):
+                seq = [int(rng.integers(0, 4))]
+                for _ in range(29):
+                    if rng.random() < 0.8:
+                        seq.append((seq[-1] + bias) % 4)
+                    else:
+                        seq.append(int(rng.integers(0, 4)))
+                sequences.append(np.array(seq))
+            return sequences
+
+        train = family(1, 60) + family(3, 60)
+        labels = np.array([0] * 60 + [1] * 60)
+        test = family(1, 20) + family(3, 20)
+        test_labels = np.array([0] * 20 + [1] * 20)
+        model = HDCClassifier(dimension=4096, seed=0)
+        model.fit(encoder.encode_batch(train), labels, iterations=5,
+                  encoded=True)
+        accuracy = model.score(encoder.encode_batch(test), test_labels,
+                               encoded=True)
+        assert accuracy > 0.85
+
+
+@given(shifts=st.integers(-64, 64), seed=st.integers(0, 100))
+@settings(max_examples=25, deadline=None)
+def test_property_permute_is_bijective(shifts, seed):
+    rng = np.random.default_rng(seed)
+    v = rng.standard_normal(64)
+    np.testing.assert_array_equal(permute(permute(v, shifts), -shifts), v)
+    assert sorted(permute(v, shifts)) == sorted(v)

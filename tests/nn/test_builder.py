@@ -1,0 +1,141 @@
+"""Tests for compiling HDC models into wide networks (paper Fig. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.hdc import (
+    BaggingConfig,
+    BaggingHDCTrainer,
+    HDCClassifier,
+    IdLevelEncoder,
+    LinearEncoder,
+    NonlinearEncoder,
+)
+from repro.nn import encoder_network, from_classifier, from_fused, inference_network
+
+
+def _blobs(num_samples=200, num_features=8, num_classes=3, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((num_classes, num_features)) * 4.0
+    y = np.arange(num_samples) % num_classes
+    x = centers[y] + rng.standard_normal((num_samples, num_features))
+    return x.astype(np.float32), y.astype(np.int64)
+
+
+class TestEncoderNetwork:
+    def test_matches_encoder_exactly(self, rng):
+        enc = NonlinearEncoder(6, 64, seed=0)
+        net = encoder_network(enc)
+        x = rng.standard_normal((5, 6)).astype(np.float32)
+        np.testing.assert_allclose(net.forward(x), enc.encode(x), rtol=1e-6)
+
+    def test_linear_encoder_has_no_activation(self, rng):
+        enc = LinearEncoder(6, 64, seed=0)
+        net = encoder_network(enc)
+        assert len(net.layers) == 1
+        x = rng.standard_normal((5, 6)).astype(np.float32)
+        np.testing.assert_allclose(net.forward(x), enc.encode(x), rtol=1e-5)
+
+    def test_weights_are_base_hypervectors(self):
+        enc = NonlinearEncoder(6, 64, seed=0)
+        net = encoder_network(enc)
+        np.testing.assert_array_equal(net.layers[0].weights,
+                                      enc.base_hypervectors)
+
+    def test_rejects_id_level_encoder(self):
+        enc = IdLevelEncoder(4, 32, seed=0)
+        with pytest.raises(TypeError, match="projection"):
+            encoder_network(enc)
+
+
+class TestInferenceNetwork:
+    def test_three_layer_structure(self, rng):
+        base = rng.standard_normal((8, 64)).astype(np.float32)
+        classes = rng.standard_normal((64, 3)).astype(np.float32)
+        net = inference_network(base, classes)
+        assert net.layer_widths == [8, 64, 64, 3]
+
+    def test_argmax_appended(self, rng):
+        base = rng.standard_normal((8, 64)).astype(np.float32)
+        classes = rng.standard_normal((64, 3)).astype(np.float32)
+        net = inference_network(base, classes, include_argmax=True)
+        assert net.output_dim == 1
+
+    def test_linear_variant(self, rng):
+        base = rng.standard_normal((8, 64)).astype(np.float32)
+        classes = rng.standard_normal((64, 3)).astype(np.float32)
+        net = inference_network(base, classes, nonlinear=False)
+        assert len(net.layers) == 2
+        x = rng.standard_normal((4, 8)).astype(np.float32)
+        np.testing.assert_allclose(net.forward(x), x @ base @ classes,
+                                   rtol=1e-4, atol=1e-4)
+
+    def test_rejects_width_mismatch(self, rng):
+        with pytest.raises(ValueError, match="width mismatch"):
+            inference_network(rng.standard_normal((8, 64)),
+                              rng.standard_normal((32, 3)))
+
+    def test_rejects_1d(self, rng):
+        with pytest.raises(ValueError, match="2-D"):
+            inference_network(rng.standard_normal(8),
+                              rng.standard_normal((8, 3)))
+
+
+class TestFromClassifier:
+    def test_network_reproduces_classifier_scores(self):
+        x, y = _blobs()
+        model = HDCClassifier(dimension=256, seed=0)
+        model.fit(x, y, iterations=3)
+        net = from_classifier(model)
+        np.testing.assert_allclose(net.forward(x[:10]), model.scores(x[:10]),
+                                   rtol=1e-4, atol=1e-3)
+
+    def test_network_reproduces_predictions(self):
+        x, y = _blobs()
+        model = HDCClassifier(dimension=256, seed=0)
+        model.fit(x, y, iterations=3)
+        net = from_classifier(model, include_argmax=True)
+        np.testing.assert_array_equal(
+            net.forward(x[:20]).ravel(), model.predict(x[:20])
+        )
+
+    def test_rejects_untrained(self):
+        with pytest.raises(ValueError, match="trained"):
+            from_classifier(HDCClassifier(dimension=64))
+
+    def test_rejects_id_level_encoder(self):
+        x, y = _blobs(num_features=4)
+        enc = IdLevelEncoder(4, 64, seed=0)
+        model = HDCClassifier(dimension=64, encoder=enc, seed=0)
+        model.fit(x, y, iterations=1)
+        with pytest.raises(TypeError, match="projection"):
+            from_classifier(model)
+
+    def test_linear_classifier_compiles_without_tanh(self):
+        x, y = _blobs(num_features=6)
+        enc = LinearEncoder(6, 128, seed=0)
+        model = HDCClassifier(dimension=128, encoder=enc, seed=0)
+        model.fit(x, y, iterations=2)
+        net = from_classifier(model)
+        assert all(layer.name != "encode-tanh" for layer in net.layers)
+        np.testing.assert_allclose(net.forward(x[:5]), model.scores(x[:5]),
+                                   rtol=1e-3, atol=1e-3)
+
+
+class TestFromFused:
+    def test_network_reproduces_fused_model(self):
+        x, y = _blobs(num_samples=300)
+        cfg = BaggingConfig(num_models=3, dimension=384, iterations=2)
+        fused = BaggingHDCTrainer(cfg, seed=0).fit(x, y).fuse()
+        net = from_fused(fused)
+        np.testing.assert_allclose(net.forward(x[:10]), fused.scores(x[:10]),
+                                   rtol=1e-4, atol=1e-3)
+
+    def test_full_width_single_model(self):
+        # The paper's point: the fused bagged network has the same shape
+        # as a non-bagged network of width d.
+        x, y = _blobs()
+        cfg = BaggingConfig(num_models=4, dimension=512, iterations=1)
+        fused = BaggingHDCTrainer(cfg, seed=0).fit(x, y).fuse()
+        net = from_fused(fused)
+        assert net.layer_widths == [x.shape[1], 512, 512, 3]

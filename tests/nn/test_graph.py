@@ -1,0 +1,92 @@
+"""Tests for the sequential Network graph."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Activation, Argmax, Dense, Network
+
+
+def _simple_network(rng, n=5, d=16, k=3):
+    return Network(n, [
+        Dense(rng.standard_normal((n, d)).astype(np.float32), name="encode"),
+        Activation("tanh", name="act"),
+        Dense(rng.standard_normal((d, k)).astype(np.float32), name="classify"),
+    ], name="test-net")
+
+
+class TestConstruction:
+    def test_shape_chain_validated_eagerly(self, rng):
+        with pytest.raises(ValueError, match="input dim"):
+            Network(5, [
+                Dense(rng.standard_normal((5, 16))),
+                Dense(rng.standard_normal((8, 3))),  # expects 8, gets 16
+            ])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one layer"):
+            Network(5, [])
+
+    def test_rejects_bad_input_dim(self, rng):
+        with pytest.raises(ValueError, match="input_dim"):
+            Network(0, [Dense(rng.standard_normal((1, 2)))])
+
+    def test_layer_widths(self, rng):
+        net = _simple_network(rng)
+        assert net.layer_widths == [5, 16, 16, 3]
+        assert net.output_dim == 3
+
+
+class TestForward:
+    def test_matches_manual_composition(self, rng):
+        net = _simple_network(rng)
+        x = rng.standard_normal((4, 5)).astype(np.float32)
+        w1 = net.layers[0].weights
+        w2 = net.layers[2].weights
+        np.testing.assert_allclose(net.forward(x), np.tanh(x @ w1) @ w2,
+                                   rtol=1e-5, atol=1e-5)
+
+    def test_single_sample(self, rng):
+        net = _simple_network(rng)
+        out = net.forward(rng.standard_normal(5))
+        assert out.shape == (3,)
+
+    def test_rejects_wrong_width(self, rng):
+        net = _simple_network(rng)
+        with pytest.raises(ValueError, match="width"):
+            net.forward(rng.standard_normal((2, 7)))
+
+    def test_argmax_network(self, rng):
+        net = Network(5, [
+            Dense(rng.standard_normal((5, 8))),
+            Argmax(),
+        ])
+        out = net.forward(rng.standard_normal((3, 5)))
+        assert out.shape == (3, 1)
+        assert out.dtype == np.int64
+
+
+class TestAccounting:
+    def test_flops(self, rng):
+        net = _simple_network(rng)
+        # 2*5*16 + 16 (tanh) + 2*16*3
+        assert net.flops_per_sample() == 160 + 16 + 96
+
+    def test_parameter_count(self, rng):
+        net = _simple_network(rng)
+        assert net.parameter_count() == 5 * 16 + 16 * 3
+
+    def test_parameter_bytes(self, rng):
+        net = _simple_network(rng)
+        assert net.parameter_bytes(4) == 4 * net.parameter_count()
+        assert net.parameter_bytes(1) == net.parameter_count()
+
+    def test_parameter_bytes_rejects_zero(self, rng):
+        with pytest.raises(ValueError, match="bytes_per_param"):
+            _simple_network(rng).parameter_bytes(0)
+
+    def test_summary_mentions_layers(self, rng):
+        text = _simple_network(rng).summary()
+        assert "encode" in text and "classify" in text and "total" in text
+
+    def test_repr(self, rng):
+        assert "test-net" in repr(_simple_network(rng))

@@ -1,0 +1,89 @@
+"""Tests for float layer specs."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Activation, Argmax, Dense
+
+
+class TestDense:
+    def test_apply_matches_matmul(self, rng):
+        w = rng.standard_normal((4, 6)).astype(np.float32)
+        layer = Dense(w)
+        x = rng.standard_normal((3, 4)).astype(np.float32)
+        np.testing.assert_allclose(layer.apply(x), x @ w, rtol=1e-6)
+
+    def test_bias(self, rng):
+        w = rng.standard_normal((4, 6)).astype(np.float32)
+        b = rng.standard_normal(6).astype(np.float32)
+        layer = Dense(w, bias=b)
+        x = rng.standard_normal((3, 4)).astype(np.float32)
+        np.testing.assert_allclose(layer.apply(x), x @ w + b, rtol=1e-5)
+
+    def test_output_dim(self, rng):
+        layer = Dense(rng.standard_normal((4, 6)))
+        assert layer.output_dim(4) == 6
+        assert layer.input_dim == 4
+
+    def test_output_dim_rejects_mismatch(self, rng):
+        layer = Dense(rng.standard_normal((4, 6)))
+        with pytest.raises(ValueError, match="input dim"):
+            layer.output_dim(5)
+
+    def test_flops(self, rng):
+        assert Dense(rng.standard_normal((4, 6))).flops(4) == 48
+        b = Dense(rng.standard_normal((4, 6)), bias=np.zeros(6))
+        assert b.flops(4) == 54
+
+    def test_parameter_count(self, rng):
+        assert Dense(rng.standard_normal((4, 6))).parameter_count() == 24
+        with_bias = Dense(rng.standard_normal((4, 6)), bias=np.zeros(6))
+        assert with_bias.parameter_count() == 30
+
+    def test_rejects_1d_weights(self):
+        with pytest.raises(ValueError, match="2-D"):
+            Dense(np.zeros(4))
+
+    def test_rejects_bad_bias(self):
+        with pytest.raises(ValueError, match="bias"):
+            Dense(np.zeros((4, 6)), bias=np.zeros(5))
+
+
+class TestActivation:
+    def test_tanh(self, rng):
+        x = rng.standard_normal((2, 8)).astype(np.float32)
+        np.testing.assert_allclose(Activation("tanh").apply(x), np.tanh(x),
+                                   rtol=1e-6)
+
+    def test_relu(self):
+        x = np.array([[-1.0, 0.0, 2.0]], dtype=np.float32)
+        np.testing.assert_array_equal(Activation("relu").apply(x),
+                                      [[0.0, 0.0, 2.0]])
+
+    def test_identity(self, rng):
+        x = rng.standard_normal((2, 3)).astype(np.float32)
+        np.testing.assert_array_equal(Activation("identity").apply(x), x)
+
+    def test_shape_preserving(self):
+        assert Activation("tanh").output_dim(100) == 100
+
+    def test_no_parameters(self):
+        assert Activation("tanh").parameter_count() == 0
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown activation"):
+            Activation("gelu")
+
+
+class TestArgmax:
+    def test_picks_max(self):
+        x = np.array([[1.0, 5.0, 2.0], [9.0, 0.0, 1.0]], dtype=np.float32)
+        out = Argmax().apply(x)
+        np.testing.assert_array_equal(out.ravel(), [1, 0])
+
+    def test_output_dim_is_one(self):
+        assert Argmax().output_dim(10) == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Argmax().output_dim(0)

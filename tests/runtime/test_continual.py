@@ -1,0 +1,73 @@
+"""Tests for continual on-edge learning under drift."""
+
+import pytest
+
+from repro.data import DriftingStream, StreamConfig
+from repro.runtime import ContinualLearner
+
+
+def _run(train, drift_rate=0.1, num_batches=40, refresh_interval=20, seed=4):
+    cfg = StreamConfig(drift_rate=drift_rate)
+    stream = DriftingStream(cfg, seed=seed)
+    learner = ContinualLearner(cfg.num_features, cfg.num_classes,
+                               dimension=1024,
+                               refresh_interval=refresh_interval, seed=seed)
+    warm_x, warm_y = stream.test_set(400, seed=1)
+    learner.warmup(warm_x, warm_y, iterations=5)
+    return learner.run(stream, num_batches=num_batches, train=train)
+
+
+class TestContinualLearner:
+    def test_continual_beats_static_under_drift(self):
+        static = _run(train=False)
+        continual = _run(train=True)
+        assert continual.mean_prequential_accuracy > \
+            static.mean_prequential_accuracy
+
+    def test_static_pays_no_update_cost(self):
+        static = _run(train=False)
+        assert static.update_seconds == 0.0
+        assert static.modelgen_seconds == 0.0
+        assert static.model_refreshes == 0
+
+    def test_continual_costs_accounted(self):
+        continual = _run(train=True, num_batches=40, refresh_interval=20)
+        assert continual.update_seconds > 0
+        assert continual.model_refreshes == 2
+        assert continual.modelgen_seconds > 0
+
+    def test_no_refresh_interval(self):
+        continual = _run(train=True, refresh_interval=None)
+        assert continual.model_refreshes == 0
+        assert continual.modelgen_seconds == 0.0
+
+    def test_eval_curve_recorded(self):
+        result = _run(train=True, num_batches=30)
+        assert len(result.prequential_accuracy) == 30
+        assert len(result.eval_accuracy) == 3  # every 10 batches
+
+    def test_stationary_stream_static_holds_up(self):
+        # Without drift the static model should not decay; continual
+        # training must not hurt either.
+        static = _run(train=False, drift_rate=0.0)
+        continual = _run(train=True, drift_rate=0.0)
+        assert static.mean_prequential_accuracy > 0.85
+        assert continual.mean_prequential_accuracy > \
+            static.mean_prequential_accuracy - 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="refresh_interval"):
+            ContinualLearner(8, 3, refresh_interval=0)
+        learner = ContinualLearner(8, 3, dimension=64, seed=0)
+        learner.warmup(*DriftingStream(
+            StreamConfig(num_features=8, num_classes=3), seed=0
+        ).test_set(60))
+        with pytest.raises(ValueError, match="num_batches"):
+            learner.run(DriftingStream(
+                StreamConfig(num_features=8, num_classes=3), seed=0
+            ), num_batches=0)
+
+    def test_empty_result_guard(self):
+        from repro.runtime import ContinualResult
+        with pytest.raises(ValueError, match="batches"):
+            ContinualResult().mean_prequential_accuracy

@@ -1,0 +1,199 @@
+"""Tests for the functional co-design pipelines (Fig. 1 / Fig. 3 flows)."""
+
+import numpy as np
+import pytest
+
+from repro.hdc import BaggingConfig, HDCClassifier
+from repro.runtime import InferencePipeline, TrainingPipeline
+
+
+@pytest.fixture(scope="module")
+def ds(request):
+    from repro.data import isolet
+    return isolet(max_samples=900, seed=11).normalized()
+
+
+class TestTrainingPipeline:
+    def test_single_model_flow(self, ds):
+        pipeline = TrainingPipeline(dimension=1024, iterations=4, seed=0)
+        result = pipeline.run(ds.train_x, ds.train_y)
+        assert len(result.classifiers) == 1
+        assert result.fused.dimension == 1024
+        assert result.inference_model.output_is_index
+        assert result.compiled.fully_mapped is False  # argmax on CPU
+
+    def test_phase_accounting(self, ds):
+        pipeline = TrainingPipeline(dimension=1024, iterations=3, seed=0)
+        result = pipeline.run(ds.train_x, ds.train_y)
+        profiler = result.profiler
+        assert profiler.seconds("encode") > 0
+        assert profiler.seconds("update") > 0
+        assert profiler.seconds("modelgen") > 0
+        assert profiler.total == pytest.approx(
+            sum(profiler.breakdown().values())
+        )
+
+    def test_bagged_flow(self, ds):
+        config = BaggingConfig(num_models=4, dimension=1024, iterations=2)
+        pipeline = TrainingPipeline(dimension=1024, bagging=config, seed=0)
+        result = pipeline.run(ds.train_x, ds.train_y)
+        assert len(result.classifiers) == 4
+        assert all(c.dimension == 256 for c in result.classifiers)
+        assert result.fused.dimension == 1024
+
+    def test_bagged_update_cheaper_than_full(self, ds):
+        full = TrainingPipeline(dimension=1024, iterations=10, seed=0)
+        full_result = full.run(ds.train_x, ds.train_y)
+        config = BaggingConfig(num_models=4, dimension=1024, iterations=3,
+                               dataset_ratio=0.6)
+        bagged = TrainingPipeline(dimension=1024, bagging=config, seed=0)
+        bagged_result = bagged.run(ds.train_x, ds.train_y)
+        assert bagged_result.profiler.seconds("update") < \
+            full_result.profiler.seconds("update")
+
+    def test_trained_model_accuracy(self, ds):
+        pipeline = TrainingPipeline(dimension=2048, iterations=6, seed=0)
+        result = pipeline.run(ds.train_x, ds.train_y)
+        accuracy = result.fused.score(ds.test_x, ds.test_y)
+        assert accuracy > 0.75
+
+    def test_histories_returned(self, ds):
+        pipeline = TrainingPipeline(dimension=512, iterations=3, seed=0)
+        result = pipeline.run(ds.train_x, ds.train_y)
+        assert result.histories[0].iterations == 3
+
+    def test_validation(self, ds):
+        with pytest.raises(ValueError):
+            TrainingPipeline(dimension=0)
+        pipeline = TrainingPipeline(dimension=256, iterations=1, seed=0)
+        with pytest.raises(ValueError, match="2-D"):
+            pipeline.run(ds.train_x[0], ds.train_y[:1])
+        with pytest.raises(ValueError, match="labels"):
+            pipeline.run(ds.train_x, ds.train_y[:-1])
+
+    def test_deterministic_given_seed(self, ds):
+        a = TrainingPipeline(dimension=512, iterations=2, seed=42)
+        b = TrainingPipeline(dimension=512, iterations=2, seed=42)
+        ra = a.run(ds.train_x, ds.train_y)
+        rb = b.run(ds.train_x, ds.train_y)
+        np.testing.assert_array_equal(
+            ra.fused.base_matrix, rb.fused.base_matrix
+        )
+        np.testing.assert_array_equal(
+            ra.fused.class_matrix, rb.fused.class_matrix
+        )
+
+
+class TestInferencePipeline:
+    @pytest.fixture(scope="class")
+    def trained(self, ds):
+        pipeline = TrainingPipeline(dimension=2048, iterations=6, seed=0)
+        return pipeline.run(ds.train_x, ds.train_y)
+
+    def test_accuracy_close_to_float(self, ds, trained):
+        inference = InferencePipeline(trained.compiled, batch=16)
+        result = inference.run(ds.test_x, ds.test_y)
+        float_acc = trained.fused.score(ds.test_x, ds.test_y)
+        assert result.accuracy > float_acc - 0.06
+
+    def test_predictions_match_quantized_reference(self, ds, trained):
+        from repro.tflite import Interpreter
+        inference = InferencePipeline(trained.compiled, batch=8)
+        result = inference.run(ds.test_x)
+        expected = Interpreter(trained.inference_model).predict(ds.test_x)
+        np.testing.assert_array_equal(result.predictions, expected)
+
+    def test_batch1_slower_than_batched(self, ds, trained):
+        single = InferencePipeline(trained.compiled, batch=1)
+        batched = InferencePipeline(trained.compiled, batch=64)
+        t_single = single.run(ds.test_x[:64]).seconds
+        t_batched = batched.run(ds.test_x[:64]).seconds
+        assert t_single > t_batched
+
+    def test_timing_positive_and_linear_ish(self, ds, trained):
+        inference = InferencePipeline(trained.compiled, batch=1)
+        t10 = inference.run(ds.test_x[:10]).seconds
+        t20 = InferencePipeline(trained.compiled, batch=1).run(
+            ds.test_x[:20]
+        ).seconds
+        assert 0 < t10 < t20
+
+    def test_accuracy_none_without_labels(self, ds, trained):
+        inference = InferencePipeline(trained.compiled, batch=16)
+        assert inference.run(ds.test_x[:8]).accuracy is None
+
+    def test_label_length_checked(self, ds, trained):
+        inference = InferencePipeline(trained.compiled, batch=16)
+        with pytest.raises(ValueError, match="labels"):
+            inference.run(ds.test_x[:8], ds.test_y[:7])
+
+    def test_model_load_recorded(self, trained):
+        inference = InferencePipeline(trained.compiled)
+        assert inference.model_load_seconds > 0
+
+    def test_bagged_inference_same_cost_model(self, ds):
+        # Paper claim: the fused bagged model adds no inference overhead
+        # versus a non-bagged model of the same width.
+        full = TrainingPipeline(dimension=1024, iterations=3, seed=0).run(
+            ds.train_x, ds.train_y
+        )
+        bagged = TrainingPipeline(
+            dimension=1024,
+            bagging=BaggingConfig(num_models=4, dimension=1024, iterations=2),
+            seed=0,
+        ).run(ds.train_x, ds.train_y)
+        t_full = InferencePipeline(full.compiled, batch=1).run(
+            ds.test_x[:32]
+        ).seconds
+        t_bagged = InferencePipeline(bagged.compiled, batch=1).run(
+            ds.test_x[:32]
+        ).seconds
+        assert t_bagged == pytest.approx(t_full, rel=0.01)
+
+
+class TestAgainstCpuBaseline:
+    def test_pipeline_vs_pure_cpu_accuracy(self, ds):
+        # The framework's model should be about as accurate as plain
+        # host-only float HDC (paper Fig. 7).
+        cpu_model = HDCClassifier(dimension=1024, seed=5)
+        cpu_model.fit(ds.train_x, ds.train_y, iterations=6)
+        cpu_acc = cpu_model.score(ds.test_x, ds.test_y)
+        result = TrainingPipeline(dimension=1024, iterations=6, seed=5).run(
+            ds.train_x, ds.train_y
+        )
+        tpu_acc = InferencePipeline(result.compiled, batch=32).run(
+            ds.test_x, ds.test_y
+        ).accuracy
+        assert tpu_acc > cpu_acc - 0.08
+
+
+class TestBaggedFeatureSampling:
+    def test_feature_sampling_path(self, ds):
+        config = BaggingConfig(num_models=2, dimension=512, iterations=2,
+                               feature_ratio=0.5)
+        pipeline = TrainingPipeline(dimension=512, bagging=config, seed=3)
+        result = pipeline.run(ds.train_x, ds.train_y)
+        # Each sub-encoder must have zeroed rows for unsampled features.
+        for classifier in result.classifiers:
+            base = classifier.encoder.base_hypervectors
+            zero_rows = int(np.sum(~base.any(axis=1)))
+            assert zero_rows == ds.num_features - round(0.5 * ds.num_features)
+        # The fused model still predicts sensibly.
+        assert result.fused.score(ds.test_x, ds.test_y) > 0.5
+
+
+class TestScoresOnlyInference:
+    def test_pipeline_handles_model_without_argmax(self, ds):
+        from repro.edgetpu import compile_model
+        from repro.nn import from_classifier
+        from repro.tflite import convert
+        model = HDCClassifier(dimension=512, seed=4)
+        model.fit(ds.train_x, ds.train_y, iterations=3,
+                  num_classes=ds.num_classes)
+        flat = convert(from_classifier(model, include_argmax=False),
+                       ds.train_x[:128])
+        compiled = compile_model(flat)
+        assert compiled.fully_mapped
+        inference = InferencePipeline(compiled, batch=8)
+        result = inference.run(ds.test_x, ds.test_y)
+        assert result.accuracy > model.score(ds.test_x, ds.test_y) - 0.1

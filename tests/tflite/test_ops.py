@@ -1,0 +1,148 @@
+"""Tests for the quantized operator kernels."""
+
+import numpy as np
+import pytest
+
+from repro.tflite import FullyConnectedOp, TanhOp, ArgmaxOp
+from repro.tflite.ops import TANH_OUTPUT_QPARAMS
+from repro.tflite.quantization import qparams_asymmetric, qparams_symmetric
+
+
+def _fc_from_float(rng, in_dim=8, out_dim=4, in_range=4.0, out_range=20.0,
+                   bias=False):
+    w = rng.standard_normal((in_dim, out_dim)).astype(np.float32)
+    in_qp = qparams_asymmetric(-in_range, in_range)
+    out_qp = qparams_asymmetric(-out_range, out_range)
+    b = rng.standard_normal(out_dim).astype(np.float32) if bias else None
+    return FullyConnectedOp.from_float(w, in_qp, out_qp, bias=b), w, b, in_qp, out_qp
+
+
+class TestFullyConnected:
+    def test_approximates_float_matmul(self, rng):
+        op, w, _, in_qp, out_qp = _fc_from_float(rng)
+        x = rng.uniform(-3, 3, (16, 8)).astype(np.float32)
+        expected = x @ w
+        got = out_qp.dequantize(op.run(in_qp.quantize(x)))
+        # Error bound: quantization steps propagate roughly linearly.
+        assert np.abs(got - expected).max() < 0.5
+
+    def test_bias_applied(self, rng):
+        op, w, b, in_qp, out_qp = _fc_from_float(rng, bias=True)
+        x = rng.uniform(-3, 3, (8, 8)).astype(np.float32)
+        got = out_qp.dequantize(op.run(in_qp.quantize(x)))
+        assert np.abs(got - (x @ w + b)).max() < 0.5
+
+    def test_zero_input_zero_weights(self):
+        in_qp = qparams_asymmetric(-1.0, 1.0)
+        out_qp = qparams_asymmetric(-1.0, 1.0)
+        op = FullyConnectedOp.from_float(np.zeros((4, 2), dtype=np.float32),
+                                         in_qp, out_qp)
+        out = op.run(in_qp.quantize(np.zeros((1, 4))))
+        np.testing.assert_allclose(out_qp.dequantize(out), 0.0, atol=out_qp.scale)
+
+    def test_accumulator_is_int32(self, rng):
+        op, _, _, in_qp, _ = _fc_from_float(rng)
+        acc = op.accumulate(in_qp.quantize(rng.uniform(-3, 3, (4, 8))))
+        assert acc.dtype == np.int32
+
+    def test_output_clamped_to_int8(self, rng):
+        # A tiny output range forces saturation.
+        w = np.ones((4, 2), dtype=np.float32)
+        in_qp = qparams_asymmetric(-10.0, 10.0)
+        out_qp = qparams_asymmetric(-0.1, 0.1)
+        op = FullyConnectedOp.from_float(w, in_qp, out_qp)
+        out = op.run(in_qp.quantize(np.full((1, 4), 10.0)))
+        assert out.max() <= 127 and out.min() >= -128
+
+    def test_weight_bytes(self, rng):
+        op, _, _, _, _ = _fc_from_float(rng, in_dim=8, out_dim=4)
+        assert op.weight_bytes == 32
+        op_b, _, _, _, _ = _fc_from_float(rng, in_dim=8, out_dim=4, bias=True)
+        assert op_b.weight_bytes == 32 + 16
+
+    def test_macs(self, rng):
+        op, _, _, _, _ = _fc_from_float(rng, in_dim=8, out_dim=4)
+        assert op.macs_per_sample() == 32
+
+    def test_output_dim_checked(self, rng):
+        op, _, _, _, _ = _fc_from_float(rng)
+        with pytest.raises(ValueError, match="input dim"):
+            op.output_dim(99)
+
+    def test_rejects_float_input(self, rng):
+        op, _, _, _, _ = _fc_from_float(rng)
+        with pytest.raises(TypeError, match="int8"):
+            op.run(np.zeros((1, 8), dtype=np.float32))
+
+    def test_rejects_float_weights(self, rng):
+        in_qp = qparams_asymmetric(-1, 1)
+        with pytest.raises(TypeError, match="int8"):
+            FullyConnectedOp(np.zeros((2, 2), dtype=np.float32), in_qp,
+                             qparams_symmetric(1.0), in_qp)
+
+    def test_rejects_asymmetric_weights(self):
+        in_qp = qparams_asymmetric(-1, 1)
+        bad_wqp = qparams_asymmetric(0.0, 2.0)
+        with pytest.raises(ValueError, match="symmetric"):
+            FullyConnectedOp(np.zeros((2, 2), dtype=np.int8), in_qp, bad_wqp,
+                             in_qp)
+
+
+class TestTanh:
+    def test_fixed_output_qparams(self):
+        op = TanhOp(qparams_asymmetric(-4.0, 4.0))
+        assert op.output_qparams == TANH_OUTPUT_QPARAMS
+        assert op.output_qparams.scale == 1.0 / 128.0
+        assert op.output_qparams.zero_point == 0
+
+    def test_matches_float_tanh(self, rng):
+        in_qp = qparams_asymmetric(-4.0, 4.0)
+        op = TanhOp(in_qp)
+        x = rng.uniform(-4, 4, (8, 16)).astype(np.float32)
+        xq = in_qp.quantize(x)
+        got = op.output_qparams.dequantize(op.run(xq))
+        expected = np.tanh(in_qp.dequantize(xq))
+        assert np.abs(got - expected).max() <= 1.0 / 128.0 + 1e-9
+
+    def test_saturation(self):
+        in_qp = qparams_asymmetric(-100.0, 100.0)
+        op = TanhOp(in_qp)
+        out = op.run(np.array([[127, -128]], dtype=np.int8))
+        np.testing.assert_array_equal(out.ravel(), [127, -128])
+
+    def test_monotone_lut(self):
+        op = TanhOp(qparams_asymmetric(-5.0, 5.0))
+        assert (np.diff(op.lut.astype(np.int32)) >= 0).all()
+
+    def test_shape_preserving(self):
+        op = TanhOp(qparams_asymmetric(-1, 1))
+        assert op.output_dim(77) == 77
+
+    def test_rejects_float_input(self):
+        op = TanhOp(qparams_asymmetric(-1, 1))
+        with pytest.raises(TypeError, match="int8"):
+            op.run(np.zeros((1, 4), dtype=np.float32))
+
+    def test_rejects_non_int8_qparams(self):
+        with pytest.raises(ValueError, match="int8"):
+            TanhOp(qparams_asymmetric(-1, 1, dtype="int16"))
+
+
+class TestArgmax:
+    def test_picks_max_logit(self):
+        op = ArgmaxOp(TANH_OUTPUT_QPARAMS)
+        x = np.array([[3, -5, 9], [1, 0, -1]], dtype=np.int8)
+        np.testing.assert_array_equal(op.run(x).ravel(), [2, 0])
+
+    def test_output_is_int64(self):
+        op = ArgmaxOp(TANH_OUTPUT_QPARAMS)
+        assert op.run(np.zeros((2, 3), dtype=np.int8)).dtype == np.int64
+
+    def test_output_dim(self):
+        op = ArgmaxOp(TANH_OUTPUT_QPARAMS)
+        assert op.output_dim(10) == 1
+        with pytest.raises(ValueError):
+            op.output_dim(0)
+
+    def test_no_weights(self):
+        assert ArgmaxOp(TANH_OUTPUT_QPARAMS).weight_bytes == 0

@@ -1,0 +1,157 @@
+"""Tests for per-channel weight quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Activation, Dense, Network
+from repro.tflite import (
+    FlatModel,
+    FullyConnectedOp,
+    Interpreter,
+    PerChannelQuantParams,
+    convert,
+    qparams_asymmetric,
+    qparams_per_channel,
+)
+
+
+class TestPerChannelQuantParams:
+    def test_from_weights(self, rng):
+        w = rng.standard_normal((8, 3)).astype(np.float32)
+        qp = qparams_per_channel(w)
+        assert qp.num_channels == 3
+        assert qp.zero_point == 0
+
+    def test_max_abs_maps_to_qmax_per_channel(self):
+        w = np.array([[1.0, 10.0], [-1.0, -10.0]], dtype=np.float32)
+        qp = qparams_per_channel(w)
+        q = qp.quantize(w)
+        assert q[0, 0] == 127 and q[0, 1] == 127
+
+    def test_roundtrip_bounded_per_channel(self, rng):
+        w = rng.standard_normal((16, 4)) * np.array([0.01, 0.1, 1.0, 10.0])
+        qp = qparams_per_channel(w)
+        err = np.abs(qp.dequantize(qp.quantize(w)) - w)
+        for channel in range(4):
+            assert err[:, channel].max() <= qp.scales[channel] / 2 + 1e-12
+
+    def test_zero_channel_safe(self):
+        w = np.zeros((4, 2), dtype=np.float32)
+        w[:, 1] = 1.0
+        qp = qparams_per_channel(w)
+        assert qp.scales[0] == 1.0  # placeholder scale, exact zeros
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="scale"):
+            PerChannelQuantParams(scales=(1.0, 0.0))
+        with pytest.raises(ValueError, match="channel"):
+            PerChannelQuantParams(scales=())
+        with pytest.raises(ValueError, match="2-D"):
+            qparams_per_channel(np.zeros(4))
+
+    def test_quantize_shape_checked(self):
+        qp = PerChannelQuantParams(scales=(1.0, 1.0))
+        with pytest.raises(ValueError, match="weights"):
+            qp.quantize(np.zeros((4, 3)))
+
+
+class TestPerChannelFullyConnected:
+    def test_more_accurate_than_per_tensor_on_skewed_weights(self, rng):
+        # Columns with wildly different ranges are exactly where
+        # per-channel wins.
+        w = rng.standard_normal((32, 4)).astype(np.float32)
+        w *= np.array([0.01, 0.1, 1.0, 10.0], dtype=np.float32)
+        in_qp = qparams_asymmetric(-4.0, 4.0)
+        out_qp = qparams_asymmetric(-40.0, 40.0)
+        per_tensor = FullyConnectedOp.from_float(w, in_qp, out_qp)
+        per_channel = FullyConnectedOp.from_float(w, in_qp, out_qp,
+                                                  per_channel=True)
+        x = rng.uniform(-3, 3, (64, 32)).astype(np.float32)
+        xq = in_qp.quantize(x)
+        expected = x @ w
+        err_tensor = np.abs(
+            out_qp.dequantize(per_tensor.run(xq)) - expected
+        )
+        err_channel = np.abs(
+            out_qp.dequantize(per_channel.run(xq)) - expected
+        )
+        # Small-scale columns benefit enormously.
+        assert err_channel[:, 0].max() < err_tensor[:, 0].max()
+        assert err_channel.mean() < err_tensor.mean()
+
+    def test_scale_count_validated(self, rng):
+        in_qp = qparams_asymmetric(-1, 1)
+        wqp = PerChannelQuantParams(scales=(0.1, 0.1, 0.1))
+        with pytest.raises(ValueError, match="channels"):
+            FullyConnectedOp(np.zeros((4, 2), dtype=np.int8), in_qp, wqp,
+                             in_qp)
+
+    def test_bias_per_channel(self, rng):
+        w = rng.standard_normal((8, 3)).astype(np.float32)
+        b = rng.standard_normal(3).astype(np.float32)
+        in_qp = qparams_asymmetric(-4.0, 4.0)
+        out_qp = qparams_asymmetric(-20.0, 20.0)
+        op = FullyConnectedOp.from_float(w, in_qp, out_qp, bias=b,
+                                         per_channel=True)
+        x = rng.uniform(-3, 3, (16, 8)).astype(np.float32)
+        got = out_qp.dequantize(op.run(in_qp.quantize(x)))
+        assert np.abs(got - (x @ w + b)).max() < 0.6
+
+
+class TestConverterAndSerialization:
+    def _network(self, rng):
+        return Network(10, [
+            Dense(rng.standard_normal((10, 64)).astype(np.float32),
+                  name="encode"),
+            Activation("tanh", name="tanh"),
+            Dense(rng.standard_normal((64, 4)).astype(np.float32) * 0.1,
+                  name="classify"),
+        ], name="net")
+
+    def test_convert_per_channel(self, rng):
+        net = self._network(rng)
+        data = rng.standard_normal((64, 10)).astype(np.float32)
+        model = convert(net, data, per_channel=True)
+        assert isinstance(model.ops[0].weight_qparams, PerChannelQuantParams)
+
+    def test_per_channel_roundtrip(self, rng):
+        net = self._network(rng)
+        data = rng.standard_normal((64, 10)).astype(np.float32)
+        model = convert(net, data, per_channel=True)
+        restored = FlatModel.from_bytes(model.to_bytes())
+        x = data[:16]
+        np.testing.assert_array_equal(
+            Interpreter(model).predict(x), Interpreter(restored).predict(x),
+        )
+        assert isinstance(restored.ops[0].weight_qparams,
+                          PerChannelQuantParams)
+
+    def test_per_channel_at_least_as_accurate(self, rng):
+        net = self._network(rng)
+        data = rng.standard_normal((256, 10)).astype(np.float32)
+        per_tensor = convert(net, data, per_channel=False)
+        per_channel = convert(net, data, per_channel=True)
+        x = data[:64]
+        expected = net.forward(x)
+        err_tensor = np.abs(Interpreter(per_tensor).run(x) - expected).mean()
+        err_channel = np.abs(Interpreter(per_channel).run(x) - expected).mean()
+        assert err_channel <= err_tensor * 1.2
+
+    def test_edge_tpu_accepts_per_channel(self, rng):
+        from repro.edgetpu import compile_model
+        net = self._network(rng)
+        data = rng.standard_normal((64, 10)).astype(np.float32)
+        compiled = compile_model(convert(net, data, per_channel=True))
+        assert len(compiled.tpu_ops) == 3
+
+
+@given(seed=st.integers(0, 200), channels=st.integers(1, 6))
+@settings(max_examples=20, deadline=None)
+def test_property_per_channel_symmetric_negation(seed, channels):
+    """Per-channel quantization is odd: q(-w) == -q(w)."""
+    rng = np.random.default_rng(seed)
+    w = rng.standard_normal((8, channels))
+    qp = qparams_per_channel(w)
+    np.testing.assert_array_equal(qp.quantize(w), -qp.quantize(-w))

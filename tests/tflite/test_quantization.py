@@ -1,0 +1,135 @@
+"""Tests for affine quantization and calibration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tflite import (
+    CalibrationObserver,
+    QuantParams,
+    qparams_asymmetric,
+    qparams_symmetric,
+)
+
+
+class TestQuantParams:
+    def test_roundtrip_error_bounded_by_half_step(self, rng):
+        qp = qparams_asymmetric(-4.0, 4.0)
+        real = rng.uniform(-4, 4, 1000)
+        recovered = qp.dequantize(qp.quantize(real))
+        assert np.abs(recovered - real).max() <= qp.scale / 2 + 1e-9
+
+    def test_clamping(self):
+        qp = qparams_asymmetric(-1.0, 1.0)
+        q = qp.quantize(np.array([100.0, -100.0]))
+        assert q[0] == qp.qmax
+        assert q[1] == qp.qmin
+
+    def test_zero_is_exactly_representable(self):
+        # TFLite invariant: real 0.0 quantizes and dequantizes exactly.
+        for rmin, rmax in [(-3.7, 9.2), (0.5, 8.0), (-6.0, -1.0)]:
+            qp = qparams_asymmetric(rmin, rmax)
+            assert qp.dequantize(qp.quantize(np.array([0.0])))[0] == 0.0
+
+    def test_int8_range_properties(self):
+        qp = QuantParams(scale=0.5, zero_point=3, dtype="int8")
+        assert qp.qmin == -128 and qp.qmax == 127
+        assert qp.numpy_dtype == np.int8
+
+    def test_range(self):
+        qp = QuantParams(scale=1.0, zero_point=0, dtype="int8")
+        assert qp.range() == (-128.0, 127.0)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            QuantParams(scale=0.0, zero_point=0)
+
+    def test_rejects_zero_point_out_of_range(self):
+        with pytest.raises(ValueError, match="zero_point"):
+            QuantParams(scale=1.0, zero_point=200, dtype="int8")
+
+    def test_rejects_unknown_dtype(self):
+        with pytest.raises(ValueError, match="dtype"):
+            QuantParams(scale=1.0, zero_point=0, dtype="float8")
+
+
+class TestAsymmetric:
+    def test_covers_range(self):
+        qp = qparams_asymmetric(-2.0, 6.0)
+        rmin, rmax = qp.range()
+        assert rmin <= -2.0 + qp.scale
+        assert rmax >= 6.0 - qp.scale
+
+    def test_positive_only_range_extended_to_zero(self):
+        qp = qparams_asymmetric(2.0, 6.0)
+        rmin, _ = qp.range()
+        assert rmin <= 0.0 + 1e-9
+
+    def test_degenerate_range(self):
+        qp = qparams_asymmetric(0.0, 0.0)
+        assert qp.quantize(np.array([0.0]))[0] == qp.zero_point
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ValueError, match="rmin"):
+            qparams_asymmetric(1.0, -1.0)
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError, match="finite"):
+            qparams_asymmetric(-np.inf, 1.0)
+
+    @given(rmin=st.floats(-1e4, 0.0), rmax=st.floats(0.0, 1e4))
+    @settings(max_examples=50, deadline=None)
+    def test_property_quantize_within_dtype(self, rmin, rmax):
+        qp = qparams_asymmetric(rmin, rmax)
+        values = np.linspace(rmin, rmax, 64)
+        q = qp.quantize(values)
+        assert q.min() >= qp.qmin and q.max() <= qp.qmax
+
+
+class TestSymmetric:
+    def test_zero_point_is_zero(self):
+        qp = qparams_symmetric(3.5)
+        assert qp.zero_point == 0
+
+    def test_max_abs_maps_to_qmax(self):
+        qp = qparams_symmetric(2.0)
+        assert qp.quantize(np.array([2.0]))[0] == 127
+
+    def test_symmetric_negation(self, rng):
+        qp = qparams_symmetric(4.0)
+        v = rng.uniform(-3.9, 3.9, 100)
+        np.testing.assert_array_equal(qp.quantize(v), -qp.quantize(-v))
+
+    def test_zero_max_abs(self):
+        qp = qparams_symmetric(0.0)
+        assert qp.quantize(np.array([0.0]))[0] == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="max_abs"):
+            qparams_symmetric(-1.0)
+
+
+class TestCalibrationObserver:
+    def test_tracks_min_max_across_batches(self, rng):
+        obs = CalibrationObserver()
+        obs.observe(np.array([1.0, 5.0]))
+        obs.observe(np.array([-3.0, 2.0]))
+        assert obs.rmin == -3.0 and obs.rmax == 5.0
+        assert obs.batches == 2
+
+    def test_qparams_cover_observed(self):
+        obs = CalibrationObserver()
+        obs.observe(np.array([-1.0, 7.0]))
+        qp = obs.qparams()
+        rmin, rmax = qp.range()
+        assert rmin <= -1.0 + qp.scale and rmax >= 7.0 - qp.scale
+
+    def test_empty_batch_ignored(self):
+        obs = CalibrationObserver()
+        obs.observe(np.array([]))
+        assert obs.batches == 0
+
+    def test_unobserved_raises(self):
+        with pytest.raises(RuntimeError, match="no calibration"):
+            CalibrationObserver().qparams()

@@ -1,0 +1,89 @@
+"""Tests for the quantization verification tool."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Activation, Argmax, Dense, Network
+from repro.tflite import convert, verify
+
+
+def _network(rng, n=10, d=128, k=4, argmax=False):
+    layers = [
+        Dense(rng.standard_normal((n, d)).astype(np.float32), name="encode"),
+        Activation("tanh", name="tanh"),
+        Dense(rng.standard_normal((d, k)).astype(np.float32) * 0.1,
+              name="classify"),
+    ]
+    if argmax:
+        layers.append(Argmax(name="argmax"))
+    return Network(n, layers, name="net")
+
+
+class TestVerify:
+    @pytest.fixture()
+    def setup(self, rng):
+        net = _network(rng)
+        data = rng.standard_normal((256, 10)).astype(np.float32)
+        model = convert(net, data)
+        return net, model, data
+
+    def test_report_structure(self, setup):
+        net, model, data = setup
+        report = verify(net, model, data[:64])
+        assert report.num_samples == 64
+        assert [s.name for s in report.layers] == [
+            "encode", "tanh", "classify",
+        ]
+
+    def test_high_agreement_for_calibrated_model(self, setup):
+        net, model, data = setup
+        report = verify(net, model, data[:128])
+        assert report.prediction_agreement > 0.9
+
+    def test_sqnr_reasonable(self, setup):
+        net, model, data = setup
+        report = verify(net, model, data[:64])
+        for stats in report.layers:
+            assert stats.sqnr_db > 10.0, stats.name
+            assert stats.rmse >= 0.0
+            assert stats.max_abs_error >= stats.rmse
+
+    def test_worst_layer(self, setup):
+        net, model, data = setup
+        report = verify(net, model, data[:64])
+        worst = report.worst_layer
+        assert worst.sqnr_db == min(s.sqnr_db for s in report.layers)
+
+    def test_argmax_model_skips_final_layer(self, rng):
+        net = _network(rng, argmax=True)
+        data = rng.standard_normal((128, 10)).astype(np.float32)
+        model = convert(net, data)
+        report = verify(net, model, data[:32])
+        assert [s.name for s in report.layers] == [
+            "encode", "tanh", "classify",
+        ]
+        assert 0.0 <= report.prediction_agreement <= 1.0
+
+    def test_miscalibrated_model_flagged(self, rng):
+        # Calibrate on near-zero data, probe far outside the calibrated
+        # range: errors explode and SQNR collapses.
+        net = _network(rng)
+        tiny = (rng.standard_normal((64, 10)) * 0.01).astype(np.float32)
+        model = convert(net, tiny)
+        probe = (rng.standard_normal((64, 10)) * 10.0).astype(np.float32)
+        bad = verify(net, model, probe)
+        good = verify(net, convert(net, probe), probe)
+        assert bad.worst_layer.sqnr_db < good.worst_layer.sqnr_db
+
+    def test_summary_readable(self, setup):
+        net, model, data = setup
+        text = verify(net, model, data[:16]).summary()
+        assert "prediction agreement" in text
+        assert "sqnr" in text
+
+    def test_validation(self, setup):
+        net, model, data = setup
+        with pytest.raises(ValueError, match="non-empty"):
+            verify(net, model, np.zeros((0, 10), dtype=np.float32))
+        with pytest.raises(ValueError, match="features"):
+            verify(net, model, np.zeros((4, 7), dtype=np.float32))

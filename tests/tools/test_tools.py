@@ -1,0 +1,90 @@
+"""Tests for the command-line tools."""
+
+import pytest
+
+from repro.tflite import FlatModel
+from repro.tools.__main__ import main as dispatch
+from repro.tools.inspect import main as inspect_main
+from repro.tools.train import main as train_main
+
+
+@pytest.fixture(scope="module")
+def trained_model_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("models") / "pamap2.rtfl"
+    code = train_main([
+        "pamap2", "--dimension", "512", "--iterations", "3",
+        "--max-samples", "800", "-o", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+class TestTrainTool:
+    def test_writes_loadable_model(self, trained_model_path):
+        model = FlatModel.load(trained_model_path)
+        assert model.output_is_index
+        assert model.input_spec.shape == (27,)
+
+    def test_reports_accuracy(self, trained_model_path, capsys):
+        # Re-run to capture output (module fixture already consumed it).
+        code = train_main([
+            "pamap2", "--dimension", "256", "--iterations", "2",
+            "--max-samples", "600", "-o", str(trained_model_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "test accuracy" in out
+        assert "saved quantized model" in out
+
+    def test_bagging_flag(self, tmp_path, capsys):
+        path = tmp_path / "bagged.rtfl"
+        code = train_main([
+            "pamap2", "--bagging", "--models", "2",
+            "--bagging-iterations", "2", "--dimension", "512",
+            "--max-samples", "600", "-o", str(path),
+        ])
+        assert code == 0
+        assert path.exists()
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            train_main(["cifar10"])
+
+
+class TestInspectTool:
+    def test_reports_compilation(self, trained_model_path, capsys):
+        code = inspect_main([str(trained_model_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ops mapped to TPU" in out
+        assert "us/sample" in out
+
+    def test_disasm_flag(self, trained_model_path, capsys):
+        code = inspect_main([str(trained_model_path), "--disasm"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "MATMUL" in out and "DMA_IN" in out
+
+    def test_usb_override_changes_latency(self, trained_model_path, capsys):
+        inspect_main([str(trained_model_path), "--batches", "64"])
+        fast = capsys.readouterr().out
+        inspect_main([str(trained_model_path), "--batches", "64",
+                      "--usb-mbps", "10"])
+        slow = capsys.readouterr().out
+        assert fast != slow
+
+
+class TestDispatch:
+    def test_dispatches_inspect(self, trained_model_path, capsys):
+        assert dispatch(["inspect", str(trained_model_path)]) == 0
+        assert "ops mapped" in capsys.readouterr().out
+
+    def test_unknown_command(self, capsys):
+        assert dispatch(["frobnicate"]) == 2
+
+    def test_no_command_usage(self, capsys):
+        assert dispatch([]) == 2
+        assert "usage" in capsys.readouterr().out
+
+    def test_help(self, capsys):
+        assert dispatch(["--help"]) == 0
