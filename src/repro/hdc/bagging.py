@@ -287,8 +287,8 @@ class BaggingHDCTrainer:
         base = np.hstack([m.encoder.base_hypervectors for m in self.sub_models])
         classes = np.vstack([m.class_hypervectors.T for m in self.sub_models])
         return FusedHDCModel(
-            base_matrix=base.astype(np.float32),
-            class_matrix=classes.astype(np.float32),
+            base_matrix=base.astype(np.float32, copy=False),
+            class_matrix=classes.astype(np.float32, copy=False),
             num_classes=self.num_classes,
             sub_widths=[m.dimension for m in self.sub_models],
         )
@@ -304,7 +304,10 @@ class BaggingHDCTrainer:
         total = None
         for model in self.sub_models:
             scores = model.scores(x)
-            total = scores if total is None else total + scores
+            if total is None:
+                total = scores
+            else:
+                total += scores
         return total
 
     def predict(self, x: np.ndarray) -> np.ndarray:

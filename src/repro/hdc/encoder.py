@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.hdc import kernels
 from repro.hdc.hypervector import generate_base_hypervectors
 
 __all__ = ["Encoder", "IdLevelEncoder", "LinearEncoder", "NonlinearEncoder"]
@@ -201,11 +202,22 @@ class IdLevelEncoder(Encoder):
         flip_order = seed.permutation(self.dimension)
         levels = np.empty((self.num_levels, self.dimension), dtype=np.float32)
         flips_per_level = self.dimension // (2 * max(1, self.num_levels - 1))
+        if flips_per_level >= 1:
+            boundaries = flips_per_level * np.arange(self.num_levels)
+        else:
+            # Degenerate regime (num_levels - 1 > dimension / 2): a
+            # constant per-level flip count floors to 0 and every level
+            # collapses onto the base HV.  Spread the dimension/2 total
+            # flips as evenly as possible instead, so the extremes stay
+            # near-orthogonal even though some neighbours coincide.
+            boundaries = np.round(
+                np.linspace(0.0, self.dimension // 2, self.num_levels)
+            ).astype(np.int64)
         current = base.copy()
         levels[0] = current
         for level in range(1, self.num_levels):
-            start = (level - 1) * flips_per_level
-            stop = level * flips_per_level
+            start = boundaries[level - 1]
+            stop = boundaries[level]
             current = current.copy()
             current[flip_order[start:stop]] *= -1.0
             levels[level] = current
@@ -221,10 +233,7 @@ class IdLevelEncoder(Encoder):
     def encode(self, x: np.ndarray) -> np.ndarray:
         x, single = self._check_input(x)
         level_idx = self.quantize(x)
-        encoded = np.empty((len(x), self.dimension), dtype=np.float32)
-        # Per-sample loop: the (num_samples, num_features, dimension)
-        # gather would not fit in memory for hyper-wide d.
-        for row, idx in enumerate(level_idx):
-            bound = self.id_hypervectors * self.level_hypervectors[idx]
-            encoded[row] = bound.sum(axis=0)
+        encoded = kernels.id_level_encode(
+            self.id_hypervectors, self.level_hypervectors, level_idx,
+        )
         return encoded[0] if single else encoded

@@ -20,6 +20,7 @@ from repro.runtime.costs import (
     Workload,
 )
 from repro.runtime.pipeline import (
+    CompileCache,
     InferencePipeline,
     InferenceResult,
     PipelineResult,
@@ -34,6 +35,7 @@ from repro.runtime.placement import (
 from repro.runtime.profiler import PhaseProfiler
 
 __all__ = [
+    "CompileCache",
     "ContinualLearner",
     "ContinualResult",
     "CostModel",

@@ -21,6 +21,7 @@ exactly the deployment the paper measures in Fig. 6.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -39,9 +40,79 @@ from repro.runtime.profiler import PhaseProfiler
 from repro.tflite.converter import convert
 from repro.tflite.flatmodel import FlatModel
 
-__all__ = ["InferencePipeline", "PipelineResult", "TrainingPipeline"]
+__all__ = [
+    "CompileCache",
+    "InferencePipeline",
+    "PipelineResult",
+    "TrainingPipeline",
+]
 
 _CALIBRATION_SAMPLES = 256
+
+
+class CompileCache:
+    """Content-addressed cache of converted + compiled models.
+
+    The cache key is a blake2b digest over everything that determines
+    the compiled artifact: the network's layer structure and weight
+    bytes, the calibration samples (they set the quantization grids),
+    the :class:`EdgeTpuArch` parameters, and the model name.  Changing
+    any of these invalidates the entry; identical encoder networks —
+    repeated runs, or bagging sub-models that happen to share weights —
+    skip the convert + compile work entirely.
+
+    Attributes:
+        hits: Number of lookups served from the cache.
+        misses: Number of lookups that had to convert + compile.
+    """
+
+    def __init__(self):
+        self._entries: dict[str, tuple[FlatModel, CompiledModel]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def key(network, calibration: np.ndarray, arch: EdgeTpuArch,
+            name: str = "") -> str:
+        """Content hash of one (network, calibration, arch) compilation."""
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(repr(arch).encode())
+        digest.update(name.encode())
+        digest.update(str(network.input_dim).encode())
+        samples = np.ascontiguousarray(calibration, dtype=np.float32)
+        digest.update(str(samples.shape).encode())
+        digest.update(samples.tobytes())
+        for layer in network.layers:
+            digest.update(type(layer).__name__.encode())
+            digest.update(str(getattr(layer, "kind", "")).encode())
+            for attr in ("weights", "bias"):
+                tensor = getattr(layer, attr, None)
+                if tensor is None:
+                    continue
+                tensor = np.ascontiguousarray(tensor)
+                digest.update(
+                    f"{attr}:{tensor.dtype}:{tensor.shape}".encode()
+                )
+                digest.update(tensor.tobytes())
+        return digest.hexdigest()
+
+    def get_or_compile(self, network, calibration: np.ndarray,
+                       arch: EdgeTpuArch, name: str
+                       ) -> tuple[FlatModel, CompiledModel, bool]:
+        """Return ``(flat, compiled, was_cached)`` for the network."""
+        key = self.key(network, calibration, arch, name)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            return entry[0], entry[1], True
+        flat = convert(network, calibration, name=name)
+        compiled = compile_model(flat, arch)
+        self._entries[key] = (flat, compiled)
+        self.misses += 1
+        return flat, compiled, False
 
 
 @dataclass
@@ -97,6 +168,9 @@ class TrainingPipeline:
         learning_rate: Update scale.
         train_batch: Samples per device invocation while encoding.
         seed: Seed for hypervectors, bootstrap draws and shuffling.
+        compile_cache: A :class:`CompileCache` to reuse compiled models
+            across runs (pass one instance to several pipelines to share
+            it); each pipeline gets its own private cache by default.
     """
 
     def __init__(self, dimension: int = 10_000, iterations: int = 20,
@@ -104,7 +178,8 @@ class TrainingPipeline:
                  host: Platform | None = None,
                  arch: EdgeTpuArch | None = None,
                  learning_rate: float = 0.035, train_batch: int = 256,
-                 seed: int | None = None):
+                 seed: int | None = None,
+                 compile_cache: CompileCache | None = None):
         if dimension < 1 or iterations < 1 or train_batch < 1:
             raise ValueError("dimension, iterations, train_batch must be >= 1")
         self.dimension = dimension
@@ -116,6 +191,9 @@ class TrainingPipeline:
         self.train_batch = train_batch
         self._rng = np.random.default_rng(seed)
         self._costs = CostModel(host=self.host, train_batch=train_batch)
+        self.compile_cache = (
+            compile_cache if compile_cache is not None else CompileCache()
+        )
 
     # ------------------------------------------------------------------
 
@@ -228,12 +306,14 @@ class TrainingPipeline:
         charged under ``encode``).
         """
         network = encoder_network(encoder)
-        flat = convert(
-            network, calibration[:_CALIBRATION_SAMPLES], name="encoder",
+        flat, compiled, cached = self.compile_cache.get_or_compile(
+            network, calibration[:_CALIBRATION_SAMPLES], self.arch, "encoder",
         )
-        compiled = compile_model(flat, self.arch)
         device = EdgeTpuDevice(self.arch)
-        profiler.charge("modelgen", self._modelgen_seconds(flat, compiled))
+        # A cache hit skips the host-side generation cost but the device
+        # still has to load the (cached) compiled model.
+        if not cached:
+            profiler.charge("modelgen", self._modelgen_seconds(flat, compiled))
         profiler.charge("modelgen", device.load_model(compiled))
 
         quantized_in = flat.input_spec.qparams.quantize(samples)
@@ -264,8 +344,8 @@ class TrainingPipeline:
         base = np.hstack([c.encoder.base_hypervectors for c in classifiers])
         class_matrix = np.vstack([c.class_hypervectors.T for c in classifiers])
         return FusedHDCModel(
-            base_matrix=base.astype(np.float32),
-            class_matrix=class_matrix.astype(np.float32),
+            base_matrix=base.astype(np.float32, copy=False),
+            class_matrix=class_matrix.astype(np.float32, copy=False),
             num_classes=num_classes,
             sub_widths=[c.dimension for c in classifiers],
         )
@@ -275,19 +355,29 @@ class TrainingPipeline:
             fused.base_matrix, fused.class_matrix, include_argmax=True,
             name="hdc-inference",
         )
-        flat = convert(
-            network, calibration[:_CALIBRATION_SAMPLES], name="hdc-inference",
+        flat, compiled, cached = self.compile_cache.get_or_compile(
+            network, calibration[:_CALIBRATION_SAMPLES], self.arch,
+            "hdc-inference",
         )
-        compiled = compile_model(flat, self.arch)
-        profiler.charge("modelgen", self._modelgen_seconds(flat, compiled))
+        if not cached:
+            profiler.charge("modelgen", self._modelgen_seconds(flat, compiled))
         return flat, compiled
 
     def _modelgen_seconds(self, flat: FlatModel, compiled: CompiledModel
                           ) -> float:
-        """Host-side model generation cost (quantize + serialize + compile)."""
-        return self._costs.modelgen_seconds(
-            compiled.weight_bytes,
-        ) - self._costs.tpu.model_load_seconds(compiled.weight_bytes)
+        """Host-side model generation cost (quantize + serialize + compile).
+
+        ``CostModel.modelgen_seconds`` includes the device load, which
+        the pipeline charges separately from the actual device model;
+        the difference is clamped at zero so a cost model whose load
+        estimate exceeds its generation estimate (tiny models) can never
+        produce a negative charge — ``VirtualClock.charge`` rejects it.
+        """
+        return max(
+            0.0,
+            self._costs.modelgen_seconds(compiled.weight_bytes)
+            - self._costs.tpu.model_load_seconds(compiled.weight_bytes),
+        )
 
 
 class InferencePipeline:
@@ -320,15 +410,17 @@ class InferencePipeline:
         quantized = model.input_spec.qparams.quantize(test_x)
         seconds = 0.0
         predictions = np.empty(len(test_x), dtype=np.int64)
-        width = self.compiled.plans[-1].output_dim
+        tail_width = self.compiled.plans[-1].output_dim
         for start in range(0, len(test_x), self.batch):
             chunk = quantized[start:start + self.batch]
             result = self.device.invoke(chunk)
             seconds += result.elapsed_s
             out = result.outputs
+            width = tail_width
             for op in self.compiled.cpu_ops:
-                seconds += self.host.argmax_seconds(len(chunk), width)
+                seconds += self._cpu_op_seconds(op, len(chunk), width)
                 out = op.run(out)
+                width = op.output_dim(width)
             if model.output_is_index:
                 predictions[start:start + self.batch] = out[:, 0]
             else:
@@ -345,3 +437,14 @@ class InferencePipeline:
             predictions=predictions, seconds=seconds, accuracy=accuracy,
             breakdown=dict(self.device.stats.breakdown),
         )
+
+    def _cpu_op_seconds(self, op, rows: int, width: int) -> float:
+        """Host cost of one CPU-fallback op, charged by its actual kind."""
+        if op.kind == "ARGMAX":
+            return self.host.argmax_seconds(rows, width)
+        if op.kind == "TANH":
+            return self.host.tanh_seconds(rows * width)
+        if op.kind == "FULLY_CONNECTED":
+            return self.host.matmul_seconds(rows, width, op.output_dim(width))
+        # Dequantize/requantize-style tails: plain elementwise traffic.
+        return self.host.elementwise_seconds(rows * width)

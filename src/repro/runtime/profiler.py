@@ -35,8 +35,13 @@ class PhaseProfiler:
         return self._clock.elapsed()
 
     def breakdown(self) -> dict:
-        """Per-phase seconds (canonical phases first, zeros included)."""
-        raw = self._clock.phases()
+        """Per-phase seconds (canonical phases first, zeros included).
+
+        Read-only: works on a copy of the clock's phase map, so calling
+        it never perturbs accumulated state (the ``pop`` below must not
+        reach a live internal dict).
+        """
+        raw = dict(self._clock.phases())
         ordered = {name: raw.pop(name, 0.0) for name in PHASES}
         ordered.update(raw)
         return ordered

@@ -144,6 +144,24 @@ class TestFusion:
             rtol=1e-4, atol=1e-3,
         )
 
+    def test_fused_scores_equal_ensemble_with_feature_sampling(self):
+        # feature_ratio < 1 exercises the zeroed-row path: unsampled
+        # features have zero rows in each sub-encoder, and fusion must
+        # still reproduce the ensemble's summed scores.
+        x, y = _blobs(num_features=16)
+        cfg = BaggingConfig(num_models=3, dimension=768, iterations=3,
+                            feature_ratio=0.5)
+        trainer = BaggingHDCTrainer(cfg, seed=4).fit(x, y)
+        fused = trainer.fuse()
+        for mask, model in zip(trainer.feature_masks, trainer.sub_models):
+            assert 0 < mask.sum() < x.shape[1]
+            zero_rows = ~model.encoder.base_hypervectors.any(axis=1)
+            np.testing.assert_array_equal(zero_rows, ~mask)
+        np.testing.assert_allclose(
+            fused.scores(x[:60]), trainer.ensemble_scores(x[:60]),
+            rtol=1e-4, atol=1e-3,
+        )
+
     def test_fused_predictions_equal_ensemble(self):
         x, y = _blobs()
         cfg = BaggingConfig(num_models=3, dimension=768, iterations=3)

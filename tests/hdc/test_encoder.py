@@ -141,6 +141,34 @@ class TestIdLevelEncoder:
         x = rng.standard_normal(5)
         np.testing.assert_array_equal(enc.encode(x), enc.encode(x))
 
+    def test_degenerate_levels_still_distinct(self):
+        # Regression: when num_levels - 1 > dimension / 2 the constant
+        # per-level flip count floors to 0 and every level hypervector
+        # used to collapse onto the base HV.  Flips are now redistributed
+        # so the extremes stay near-orthogonal.
+        enc = IdLevelEncoder(num_features=4, dimension=64, num_levels=64,
+                             seed=0)
+        levels = enc.level_hypervectors
+        assert not np.array_equal(levels[0], levels[-1])
+        extreme = float(levels[0] @ levels[-1]) / enc.dimension
+        assert abs(extreme) < 0.25
+        # Total flips across the ramp equal dimension // 2.
+        changed = int(np.sum(levels[0] != levels[-1]))
+        assert changed == enc.dimension // 2
+        # Similarity to level 0 decreases monotonically along the ramp.
+        sims = (levels @ levels[0]) / enc.dimension
+        assert all(a >= b for a, b in zip(sims[:-1], sims[1:]))
+
+    def test_degenerate_boundary_matches_non_degenerate_rule(self):
+        # Just above the boundary (flips_per_level == 1) the original
+        # construction is untouched.
+        enc = IdLevelEncoder(num_features=2, dimension=64, num_levels=33,
+                             seed=1)
+        levels = enc.level_hypervectors
+        diffs = [int(np.sum(levels[i] != levels[i + 1]))
+                 for i in range(len(levels) - 1)]
+        assert diffs == [1] * 32
+
     def test_rejects_bad_levels(self):
         with pytest.raises(ValueError, match="num_levels"):
             IdLevelEncoder(num_features=2, dimension=8, num_levels=1)

@@ -5,6 +5,7 @@ import pytest
 
 from repro.hdc import BaggingConfig, HDCClassifier
 from repro.runtime import InferencePipeline, TrainingPipeline
+from repro.runtime.pipeline import CompileCache
 
 
 @pytest.fixture(scope="module")
@@ -180,6 +181,133 @@ class TestBaggedFeatureSampling:
             assert zero_rows == ds.num_features - round(0.5 * ds.num_features)
         # The fused model still predicts sensibly.
         assert result.fused.score(ds.test_x, ds.test_y) > 0.5
+
+
+class TestCompileCache:
+    def test_second_run_with_identical_weights_hits_cache(self, ds):
+        cache = CompileCache()
+        first = TrainingPipeline(dimension=512, iterations=2, seed=42,
+                                 compile_cache=cache)
+        result_a = first.run(ds.train_x, ds.train_y)
+        # One encoder + one inference compilation, nothing to reuse yet.
+        assert cache.hits == 0
+        assert cache.misses == 2
+        # A fresh same-seed pipeline produces identical encoder weights
+        # and (deterministically) identical inference weights -- both
+        # compilations must be served from the cache.
+        second = TrainingPipeline(dimension=512, iterations=2, seed=42,
+                                  compile_cache=cache)
+        result_b = second.run(ds.train_x, ds.train_y)
+        assert cache.hits == 2
+        assert cache.misses == 2
+        np.testing.assert_array_equal(
+            result_a.fused.class_matrix, result_b.fused.class_matrix
+        )
+        # The cached run skips generation cost but still pays the device
+        # model load, so modelgen stays positive and strictly cheaper.
+        assert 0 < result_b.profiler.seconds("modelgen") < \
+            result_a.profiler.seconds("modelgen")
+
+    def test_different_weights_miss(self, ds):
+        cache = CompileCache()
+        TrainingPipeline(dimension=512, iterations=1, seed=1,
+                         compile_cache=cache).run(ds.train_x, ds.train_y)
+        TrainingPipeline(dimension=512, iterations=1, seed=2,
+                         compile_cache=cache).run(ds.train_x, ds.train_y)
+        assert cache.hits == 0
+        assert cache.misses == 4
+
+    def test_key_sensitive_to_content(self, ds):
+        from repro.edgetpu import EdgeTpuArch
+        from repro.nn import Network
+        from repro.nn.layers import Dense
+        rng = np.random.default_rng(0)
+        weights = rng.standard_normal((8, 16)).astype(np.float32)
+        calibration = rng.standard_normal((4, 8)).astype(np.float32)
+        arch = EdgeTpuArch()
+        base = CompileCache.key(
+            Network(8, [Dense(weights)]), calibration, arch, "m",
+        )
+        bumped = weights.copy()
+        bumped[0, 0] += 1.0
+        assert CompileCache.key(
+            Network(8, [Dense(bumped)]), calibration, arch, "m",
+        ) != base
+        assert CompileCache.key(
+            Network(8, [Dense(weights)]), calibration * 2.0, arch, "m",
+        ) != base
+        assert CompileCache.key(
+            Network(8, [Dense(weights)]), calibration,
+            EdgeTpuArch(clock_hz=240e6), "m",
+        ) != base
+        assert CompileCache.key(
+            Network(8, [Dense(weights)]), calibration, arch, "m",
+        ) == base
+
+
+class TestCostAccountingFixes:
+    def test_modelgen_charge_clamped_at_zero(self):
+        # Regression: a cost model whose device-load estimate exceeds its
+        # full generation estimate must charge 0.0, never go negative
+        # (VirtualClock.charge rejects negative seconds).
+        import types
+        pipeline = TrainingPipeline(dimension=64, seed=0)
+        pipeline._costs = types.SimpleNamespace(
+            modelgen_seconds=lambda weight_bytes: 0.01,
+            tpu=types.SimpleNamespace(
+                model_load_seconds=lambda weight_bytes: 0.05,
+            ),
+        )
+        compiled = types.SimpleNamespace(weight_bytes=128)
+        assert pipeline._modelgen_seconds(None, compiled) == 0.0
+
+    def test_cpu_ops_charged_by_kind(self, ds, trained_small):
+        from repro.tflite.ops import ArgmaxOp, FullyConnectedOp, TanhOp
+        from repro.tflite.quantization import QuantParams
+        inference = InferencePipeline(trained_small.compiled, batch=8)
+        host = inference.host
+        qp = QuantParams(scale=0.05, zero_point=0, dtype="int8")
+        argmax = ArgmaxOp(qp)
+        tanh = TanhOp(qp)
+        rng = np.random.default_rng(0)
+        fc = FullyConnectedOp.from_float(
+            rng.standard_normal((12, 5)).astype(np.float32), qp, qp,
+        )
+        assert inference._cpu_op_seconds(argmax, 8, 12) == \
+            host.argmax_seconds(8, 12)
+        assert inference._cpu_op_seconds(tanh, 8, 12) == \
+            host.tanh_seconds(8 * 12)
+        assert inference._cpu_op_seconds(fc, 8, 12) == \
+            host.matmul_seconds(8, 12, 5)
+        # An op kind without a dedicated model falls back to elementwise
+        # traffic -- not to argmax, which was the original bug.
+        class DequantizeOp:
+            kind = "DEQUANTIZE"
+        assert inference._cpu_op_seconds(DequantizeOp(), 8, 12) == \
+            host.elementwise_seconds(8 * 12)
+        assert inference._cpu_op_seconds(DequantizeOp(), 8, 12) != \
+            host.argmax_seconds(8, 12)
+
+    def test_argmax_tail_charge_unchanged(self, ds, trained_small):
+        # The standard inference model's only CPU op *is* the argmax, so
+        # the per-kind dispatch must reproduce the original charge.
+        compiled = trained_small.compiled
+        assert [op.kind for op in compiled.cpu_ops] == ["ARGMAX"]
+        inference = InferencePipeline(compiled, batch=4)
+        samples = ds.test_x[:12]
+        seconds = inference.run(samples).seconds
+        expected_tail = 0.0
+        width = compiled.plans[-1].output_dim
+        for start in range(0, len(samples), 4):
+            rows = len(samples[start:start + 4])
+            expected_tail += inference.host.argmax_seconds(rows, width)
+        assert seconds > expected_tail
+
+
+@pytest.fixture(scope="module")
+def trained_small(ds):
+    pipeline = TrainingPipeline(dimension=512, iterations=2, seed=9)
+    return pipeline.run(ds.train_x, ds.train_y)
 
 
 class TestScoresOnlyInference:

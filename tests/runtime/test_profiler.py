@@ -1,0 +1,41 @@
+"""Tests for the phase-level profiler."""
+
+import pytest
+
+from repro.runtime.profiler import PHASES, PhaseProfiler
+
+
+class TestPhaseProfiler:
+    def test_breakdown_is_read_only(self):
+        # Regression: breakdown() must not consume phase state, no
+        # matter what the underlying clock hands back.
+        profiler = PhaseProfiler()
+        profiler.charge("encode", 1.5)
+        profiler.charge("update", 0.5)
+        profiler.charge("custom-phase", 0.25)
+        first = profiler.breakdown()
+        second = profiler.breakdown()
+        assert first == second
+        assert profiler.seconds("encode") == 1.5
+        assert profiler.seconds("custom-phase") == 0.25
+        assert profiler.total == pytest.approx(2.25)
+
+    def test_breakdown_orders_canonical_phases_first(self):
+        profiler = PhaseProfiler()
+        profiler.charge("custom-phase", 1.0)
+        profiler.charge("inference", 2.0)
+        assert list(profiler.breakdown()) == list(PHASES) + ["custom-phase"]
+
+    def test_breakdown_includes_zero_canonical_phases(self):
+        profiler = PhaseProfiler()
+        profiler.charge("encode", 1.0)
+        breakdown = profiler.breakdown()
+        assert breakdown["modelgen"] == 0.0
+        assert breakdown["inference"] == 0.0
+
+    def test_report_stable_across_calls(self):
+        profiler = PhaseProfiler()
+        profiler.charge("encode", 1.0)
+        profiler.charge("update", 3.0)
+        assert profiler.report() == profiler.report()
+        assert "update" in profiler.report()
