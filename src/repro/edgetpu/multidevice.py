@@ -93,6 +93,23 @@ class DevicePool:
             slowest = max(slowest, seconds)
         return slowest
 
+    def load_replicated(self, compiled: CompiledModel) -> float:
+        """Pin the *same* compiled model onto every device (data
+        parallelism — the replicated placement of the micro-batch
+        dispatcher, as opposed to :meth:`load_models`'s one-sub-model-
+        per-device sharding).
+
+        Loads happen in parallel across devices, so the modeled cost is
+        the slowest single load.
+        """
+        slowest = 0.0
+        for index, device in enumerate(self.devices):
+            seconds = device.load_model(compiled)
+            self.models[index] = compiled
+            self.load_seconds[index] = seconds
+            slowest = max(slowest, seconds)
+        return slowest
+
     def invoke_ensemble(self, x: np.ndarray,
                         host_elementwise_seconds=None
                         ) -> ParallelEnsembleResult:

@@ -104,15 +104,25 @@ class SystolicArray:
         a = np.zeros((rows, cols), dtype=np.int64)
         p = np.zeros((rows, cols), dtype=np.int64)
         output = np.zeros((batch, cols), dtype=np.int64)
+        # Precomputed injection/drain index arrays: at cycle t, row r
+        # injects x[t - r, r] (the input skew) and column c drains
+        # output (t - (rows - 1) - c, c).  One extra zero row appended
+        # to x lets out-of-range injections gather a harmless 0 instead
+        # of branching per row.
+        inject_rows = np.arange(rows)
+        drain_cols = np.arange(cols)
+        x_padded = np.vstack([x, np.zeros((1, rows), dtype=np.int64)])
         produced = 0
         cycle = 0
         total_cycles = batch + rows + cols - 1
         while produced < batch * cols:
             # Shift inputs one PE to the right; inject the skewed column 0.
             a[:, 1:] = a[:, :-1]
-            for r in range(rows):
-                b = cycle - r
-                a[r, 0] = x[b, r] if 0 <= b < batch else 0
+            inject_batch = cycle - inject_rows
+            inject_valid = (inject_batch >= 0) & (inject_batch < batch)
+            a[:, 0] = x_padded[
+                np.where(inject_valid, inject_batch, batch), inject_rows
+            ]
             # Partial sums from the row above, plus this PE's MAC.
             p_above = np.vstack([np.zeros((1, cols), dtype=np.int64),
                                  p[:-1, :]])
@@ -120,11 +130,11 @@ class SystolicArray:
             # Bottom-row sums that correspond to a real (batch, col) pair
             # drain this cycle: output (b, c) completes at cycle b + rows
             # - 1 + c.
-            for c in range(cols):
-                b = cycle - (rows - 1) - c
-                if 0 <= b < batch:
-                    output[b, c] = p[rows - 1, c]
-                    produced += 1
+            drain_batch = cycle - (rows - 1) - drain_cols
+            drain_valid = (drain_batch >= 0) & (drain_batch < batch)
+            output[drain_batch[drain_valid], drain_cols[drain_valid]] = \
+                p[rows - 1, drain_valid]
+            produced += int(np.count_nonzero(drain_valid))
             cycle += 1
             if cycle > total_cycles + 1:
                 raise RuntimeError(

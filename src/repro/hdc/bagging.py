@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.hdc.encoder import NonlinearEncoder
 from repro.hdc.model import HDCClassifier, TrainingHistory
+from repro.runtime.executor import ExecutorConfig, WorkerPool, spawn_rngs
 
 __all__ = ["BaggingConfig", "BaggingHDCTrainer", "FusedHDCModel"]
 
@@ -173,6 +174,78 @@ class FusedHDCModel:
         return float(np.mean(predictions == y))
 
 
+def draw_bootstrap_subset(rng: np.random.Generator, population: int,
+                          size: int, replace: bool) -> np.ndarray:
+    """Draw one sub-model's bootstrap sample indices."""
+    if replace:
+        return rng.integers(0, population, size=size)
+    return rng.choice(population, size=min(size, population), replace=False)
+
+
+def draw_feature_mask(rng: np.random.Generator, num_features: int,
+                      kept: int) -> np.ndarray:
+    """Draw one sub-model's boolean feature-sampling mask."""
+    mask = np.zeros(num_features, dtype=bool)
+    if kept >= num_features:
+        mask[:] = True
+        return mask
+    chosen = rng.choice(num_features, size=kept, replace=False)
+    mask[chosen] = True
+    return mask
+
+
+@dataclass
+class _SubModelTask:
+    """One sub-model's training job: picklable for process workers.
+
+    Every random quantity the sub-model needs — bootstrap indices,
+    feature mask, base hypervectors, epoch shuffles — is drawn from
+    ``rng``, a child generator spawned for this task index.  The task
+    is therefore a pure function of its payload, independent of which
+    worker runs it and when: the parallel determinism contract.
+    """
+
+    rng: np.random.Generator
+    x: np.ndarray
+    y: np.ndarray
+    config: BaggingConfig
+    num_classes: int
+    subset_size: int
+    kept_features: int
+    validation: tuple[np.ndarray, np.ndarray] | None
+
+
+def _train_sub_model(task: _SubModelTask):
+    """Train one bagging sub-model (module-level: process-pool safe)."""
+    rng = task.rng
+    config = task.config
+    num_features = task.x.shape[1]
+    indices = draw_bootstrap_subset(
+        rng, len(task.x), task.subset_size, config.replace,
+    )
+    mask = draw_feature_mask(rng, num_features, task.kept_features)
+    encoder = NonlinearEncoder(
+        num_features=num_features,
+        dimension=config.effective_sub_dimension,
+        seed=rng,
+        feature_mask=None if mask.all() else mask,
+    )
+    model = HDCClassifier(
+        dimension=config.effective_sub_dimension,
+        encoder=encoder,
+        learning_rate=config.learning_rate,
+        chunk_size=config.chunk_size,
+        seed=rng,
+    )
+    history = model.fit(
+        task.x[indices], task.y[indices],
+        iterations=config.iterations,
+        num_classes=task.num_classes,
+        validation=task.validation,
+    )
+    return model, history, indices, mask
+
+
 class BaggingHDCTrainer:
     """Trains ``M`` narrow HDC sub-models and fuses them for inference.
 
@@ -183,6 +256,22 @@ class BaggingHDCTrainer:
         fused = trainer.fuse()
         predictions = fused.predict(test_x)
 
+    Sub-models are independent learners (bootstrap subsets, separate
+    hypervector spaces), so :meth:`fit` trains them on a
+    :class:`~repro.runtime.executor.WorkerPool`.  Each sub-model draws
+    all of its randomness from a child generator spawned from the
+    trainer's seed, so the trained weights are **bit-identical for any
+    worker count** — ``executor=ExecutorConfig(workers=4)`` produces
+    exactly the fused model that the default sequential run does.
+
+    Args:
+        config: Bagging hyper-parameters.
+        seed: Root seed (int, Generator or None) for all sub-model
+            randomness, via seed spawning.
+        executor: Parallelism knobs — an
+            :class:`~repro.runtime.executor.ExecutorConfig`, a plain
+            worker count, or ``None`` for sequential training.
+
     Attributes:
         sub_models: The trained :class:`HDCClassifier` instances.
         histories: One :class:`TrainingHistory` per sub-model.
@@ -190,24 +279,34 @@ class BaggingHDCTrainer:
             profiling (their sizes drive the encoding cost model).
         feature_masks: The boolean feature masks per sub-model (all-true
             when feature sampling is disabled).
+        last_parallel_report: The
+            :class:`~repro.runtime.executor.ParallelReport` of the most
+            recent :meth:`fit` (per-task seconds, modeled makespan).
     """
 
     def __init__(self, config: BaggingConfig | None = None,
-                 seed: np.random.Generator | int | None = None):
+                 seed: np.random.Generator | int | None = None,
+                 executor: ExecutorConfig | int | None = None):
         self.config = config if config is not None else BaggingConfig()
         self._rng = seed if isinstance(seed, np.random.Generator) \
             else np.random.default_rng(seed)
+        self.executor = ExecutorConfig.coerce(executor)
         self.sub_models: list[HDCClassifier] = []
         self.histories: list[TrainingHistory] = []
         self.sample_indices: list[np.ndarray] = []
         self.feature_masks: list[np.ndarray] = []
         self.num_classes: int | None = None
+        self.last_parallel_report = None
 
     def fit(self, x: np.ndarray, y: np.ndarray,
             num_classes: int | None = None,
             validation: tuple[np.ndarray, np.ndarray] | None = None
             ) -> "BaggingHDCTrainer":
         """Train all sub-models on bootstrap subsets of ``(x, y)``.
+
+        Sub-models train concurrently when ``executor.workers > 1``;
+        results are identical to sequential training either way (the
+        child-seed spawning contract).
 
         Args:
             x: Training samples ``(num_samples, num_features)``.
@@ -229,52 +328,23 @@ class BaggingHDCTrainer:
         subset_size = max(1, int(round(config.dataset_ratio * len(x))))
         kept_features = max(1, int(round(config.feature_ratio * num_features)))
 
-        self.sub_models = []
-        self.histories = []
-        self.sample_indices = []
-        self.feature_masks = []
-        for _ in range(config.num_models):
-            indices = self._draw_subset(len(x), subset_size)
-            mask = self._draw_feature_mask(num_features, kept_features)
-            encoder = NonlinearEncoder(
-                num_features=num_features,
-                dimension=config.effective_sub_dimension,
-                seed=self._rng,
-                feature_mask=None if mask.all() else mask,
-            )
-            model = HDCClassifier(
-                dimension=config.effective_sub_dimension,
-                encoder=encoder,
-                learning_rate=config.learning_rate,
-                chunk_size=config.chunk_size,
-                seed=self._rng,
-            )
-            history = model.fit(
-                x[indices], y[indices],
-                iterations=config.iterations,
-                num_classes=num_classes,
+        tasks = [
+            _SubModelTask(
+                rng=rng, x=x, y=y, config=config, num_classes=num_classes,
+                subset_size=subset_size, kept_features=kept_features,
                 validation=validation,
             )
-            self.sub_models.append(model)
-            self.histories.append(history)
-            self.sample_indices.append(indices)
-            self.feature_masks.append(mask)
+            for rng in spawn_rngs(self._rng, config.num_models)
+        ]
+        pool = WorkerPool(self.executor.workers, self.executor.backend)
+        results = pool.map(_train_sub_model, tasks)
+        self.last_parallel_report = pool.last_report
+
+        self.sub_models = [model for model, _, _, _ in results]
+        self.histories = [history for _, history, _, _ in results]
+        self.sample_indices = [indices for _, _, indices, _ in results]
+        self.feature_masks = [mask for _, _, _, mask in results]
         return self
-
-    def _draw_subset(self, population: int, size: int) -> np.ndarray:
-        if self.config.replace:
-            return self._rng.integers(0, population, size=size)
-        return self._rng.choice(population, size=min(size, population),
-                                replace=False)
-
-    def _draw_feature_mask(self, num_features: int, kept: int) -> np.ndarray:
-        mask = np.zeros(num_features, dtype=bool)
-        if kept >= num_features:
-            mask[:] = True
-            return mask
-        chosen = self._rng.choice(num_features, size=kept, replace=False)
-        mask[chosen] = True
-        return mask
 
     def fuse(self) -> FusedHDCModel:
         """Stack sub-model weights into the single inference model.

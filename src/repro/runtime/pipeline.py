@@ -22,6 +22,7 @@ exactly the deployment the paper measures in Fig. 6.
 from __future__ import annotations
 
 import hashlib
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -29,13 +30,27 @@ import numpy as np
 from repro.edgetpu.arch import EdgeTpuArch
 from repro.edgetpu.compiler import CompiledModel, compile_model
 from repro.edgetpu.device import EdgeTpuDevice
-from repro.hdc.bagging import BaggingConfig, FusedHDCModel
+from repro.edgetpu.multidevice import DevicePool
+from repro.hdc.bagging import (
+    BaggingConfig,
+    FusedHDCModel,
+    draw_bootstrap_subset,
+    draw_feature_mask,
+)
 from repro.hdc.encoder import NonlinearEncoder
 from repro.hdc.model import HDCClassifier, TrainingHistory
 from repro.nn.builder import encoder_network, inference_network
 from repro.platforms.base import Platform
 from repro.platforms.cpu import MobileCpu
 from repro.runtime.costs import CostModel, HdcTrainingConfig
+from repro.runtime.executor import (
+    ExecutorConfig,
+    MicroBatchDispatcher,
+    ParallelReport,
+    WorkerPool,
+    cpu_op_seconds,
+    spawn_rngs,
+)
 from repro.runtime.profiler import PhaseProfiler
 from repro.tflite.converter import convert
 from repro.tflite.flatmodel import FlatModel
@@ -70,6 +85,10 @@ class CompileCache:
         self._entries: dict[str, tuple[FlatModel, CompiledModel]] = {}
         self.hits = 0
         self.misses = 0
+        # One pipeline cache may be shared by concurrent sub-model
+        # training tasks (the worker pool); serialize lookups so the
+        # entry dict and hit/miss counters stay coherent.
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -104,15 +123,16 @@ class CompileCache:
                        ) -> tuple[FlatModel, CompiledModel, bool]:
         """Return ``(flat, compiled, was_cached)`` for the network."""
         key = self.key(network, calibration, arch, name)
-        entry = self._entries.get(key)
-        if entry is not None:
-            self.hits += 1
-            return entry[0], entry[1], True
-        flat = convert(network, calibration, name=name)
-        compiled = compile_model(flat, arch)
-        self._entries[key] = (flat, compiled)
-        self.misses += 1
-        return flat, compiled, False
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.hits += 1
+                return entry[0], entry[1], True
+            flat = convert(network, calibration, name=name)
+            compiled = compile_model(flat, arch)
+            self._entries[key] = (flat, compiled)
+            self.misses += 1
+            return flat, compiled, False
 
 
 @dataclass
@@ -128,6 +148,8 @@ class PipelineResult:
             bagging is off).
         histories: Per-classifier training histories.
         profiler: Phase-time accounting for the whole run.
+        parallel: Worker-pool accounting for bagged training (per-task
+            seconds, modeled makespan); ``None`` for non-bagged runs.
     """
 
     inference_model: FlatModel
@@ -136,6 +158,7 @@ class PipelineResult:
     classifiers: list[HDCClassifier]
     histories: list[TrainingHistory]
     profiler: PhaseProfiler
+    parallel: ParallelReport | None = None
 
 
 @dataclass
@@ -152,6 +175,13 @@ class InferenceResult:
     seconds: float
     accuracy: float | None = None
     breakdown: dict = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Modeled samples per second over the run."""
+        if self.seconds <= 0:
+            return 0.0
+        return len(self.predictions) / self.seconds
 
 
 class TrainingPipeline:
@@ -171,6 +201,12 @@ class TrainingPipeline:
         compile_cache: A :class:`CompileCache` to reuse compiled models
             across runs (pass one instance to several pipelines to share
             it); each pipeline gets its own private cache by default.
+        executor: Parallelism knobs (worker count for bagged sub-model
+            training).  Defaults to sequential training; any worker
+            count produces bit-identical results because every
+            sub-model draws its randomness from a spawned child seed.
+            Sub-model tasks share the compile cache and profiler, so
+            the pipeline always uses the thread backend.
     """
 
     def __init__(self, dimension: int = 10_000, iterations: int = 20,
@@ -179,7 +215,8 @@ class TrainingPipeline:
                  arch: EdgeTpuArch | None = None,
                  learning_rate: float = 0.035, train_batch: int = 256,
                  seed: int | None = None,
-                 compile_cache: CompileCache | None = None):
+                 compile_cache: CompileCache | None = None,
+                 executor: ExecutorConfig | int | None = None):
         if dimension < 1 or iterations < 1 or train_batch < 1:
             raise ValueError("dimension, iterations, train_batch must be >= 1")
         self.dimension = dimension
@@ -194,6 +231,7 @@ class TrainingPipeline:
         self.compile_cache = (
             compile_cache if compile_cache is not None else CompileCache()
         )
+        self.executor = ExecutorConfig.coerce(executor)
 
     # ------------------------------------------------------------------
 
@@ -210,12 +248,13 @@ class TrainingPipeline:
             num_classes = int(train_y.max()) + 1
 
         profiler = PhaseProfiler()
+        parallel = None
         if self.bagging is None:
             classifiers, histories = self._train_single(
                 train_x, train_y, num_classes, profiler,
             )
         else:
-            classifiers, histories = self._train_bagged(
+            classifiers, histories, parallel = self._train_bagged(
                 train_x, train_y, num_classes, profiler,
             )
 
@@ -230,6 +269,7 @@ class TrainingPipeline:
             classifiers=classifiers,
             histories=histories,
             profiler=profiler,
+            parallel=parallel,
         )
 
     # ------------------------------------------------------------------
@@ -253,51 +293,59 @@ class TrainingPipeline:
         return [classifier], [history]
 
     def _train_bagged(self, train_x, train_y, num_classes, profiler):
+        """Train the bagging sub-models, concurrently when configured.
+
+        Each sub-model task draws all of its randomness from a child
+        generator spawned from the pipeline seed and accumulates its
+        phase charges on a private profiler; charges merge into the
+        run profiler in task order afterwards.  Both choices make the
+        result — weights *and* phase totals — bit-identical for any
+        worker count.  Tasks close over shared pipeline state (compile
+        cache, cost model), so the pool is always thread-backed here.
+        """
         config = self.bagging
         subset_size = max(1, int(round(config.dataset_ratio * len(train_x))))
         kept = max(
             1, int(round(config.feature_ratio * train_x.shape[1]))
         )
-        classifiers: list[HDCClassifier] = []
-        histories: list[TrainingHistory] = []
-        for _ in range(config.num_models):
-            if config.replace:
-                indices = self._rng.integers(0, len(train_x), size=subset_size)
-            else:
-                indices = self._rng.choice(
-                    len(train_x), size=min(subset_size, len(train_x)),
-                    replace=False,
-                )
-            mask = np.zeros(train_x.shape[1], dtype=bool)
-            if kept >= train_x.shape[1]:
-                mask[:] = True
-            else:
-                mask[self._rng.choice(train_x.shape[1], size=kept,
-                                      replace=False)] = True
+
+        def train_one(rng):
+            local = PhaseProfiler()
+            indices = draw_bootstrap_subset(
+                rng, len(train_x), subset_size, config.replace,
+            )
+            mask = draw_feature_mask(rng, train_x.shape[1], kept)
             encoder = NonlinearEncoder(
                 train_x.shape[1], config.effective_sub_dimension,
-                seed=self._rng,
+                seed=rng,
                 feature_mask=None if mask.all() else mask,
             )
-            subset_x = train_x[indices]
             encoded = self._encode_on_device(
-                encoder, subset_x, train_x, profiler,
+                encoder, train_x[indices], train_x, local,
             )
             classifier = HDCClassifier(
                 dimension=config.effective_sub_dimension, encoder=encoder,
                 learning_rate=config.learning_rate,
-                chunk_size=config.chunk_size, seed=self._rng,
+                chunk_size=config.chunk_size, seed=rng,
             )
             history = classifier.fit(
                 encoded, train_y[indices], iterations=config.iterations,
                 num_classes=num_classes, encoded=True,
             )
             self._charge_update(
-                history, config.effective_sub_dimension, num_classes, profiler,
+                history, config.effective_sub_dimension, num_classes, local,
             )
-            classifiers.append(classifier)
-            histories.append(history)
-        return classifiers, histories
+            return classifier, history, local
+
+        pool = WorkerPool(self.executor.workers, backend="thread")
+        results = pool.map(train_one, spawn_rngs(self._rng, config.num_models))
+        for _, _, local in results:
+            for phase, seconds in local.breakdown().items():
+                if seconds:
+                    profiler.charge(phase, seconds)
+        classifiers = [classifier for classifier, _, _ in results]
+        histories = [history for _, history, _ in results]
+        return classifiers, histories, pool.last_report
 
     def _encode_on_device(self, encoder, samples, calibration, profiler):
         """Compile the encoder model, stream ``samples`` through the device.
@@ -388,17 +436,36 @@ class InferencePipeline:
             :class:`TrainingPipeline` result.
         host: Host CPU model charging the argmax fallback.
         batch: Samples per invocation (1 = the paper's real-time mode).
+        executor: Parallelism knobs.  With ``num_devices > 1`` or an
+            explicit ``micro_batch``, requests go through the
+            :class:`~repro.runtime.executor.MicroBatchDispatcher` over
+            a replicated :class:`~repro.edgetpu.multidevice.DevicePool`
+            (host tail overlapped with device dispatch); the default
+            keeps the original single-device sequential loop.
     """
 
     def __init__(self, compiled: CompiledModel, host: Platform | None = None,
-                 batch: int = 1):
+                 batch: int = 1, executor: ExecutorConfig | int | None = None):
         if batch < 1:
             raise ValueError(f"batch must be >= 1, got {batch}")
         self.compiled = compiled
         self.host = host if host is not None else MobileCpu()
         self.batch = batch
-        self.device = EdgeTpuDevice(compiled.arch)
-        self.model_load_seconds = self.device.load_model(compiled)
+        self.executor = ExecutorConfig.coerce(executor)
+        self.dispatcher: MicroBatchDispatcher | None = None
+        if self.executor.num_devices > 1 or \
+                self.executor.micro_batch is not None:
+            pool = DevicePool(self.executor.num_devices, compiled.arch)
+            self.model_load_seconds = pool.load_replicated(compiled)
+            self.dispatcher = MicroBatchDispatcher(
+                pool, host=self.host,
+                micro_batch=self.executor.micro_batch or batch,
+                placement="replicate",
+            )
+            self.device = pool.devices[0]
+        else:
+            self.device = EdgeTpuDevice(compiled.arch)
+            self.model_load_seconds = self.device.load_model(compiled)
 
     def run(self, test_x: np.ndarray,
             test_y: np.ndarray | None = None) -> InferenceResult:
@@ -406,6 +473,14 @@ class InferencePipeline:
         test_x = np.asarray(test_x, dtype=np.float32)
         if test_x.ndim != 2:
             raise ValueError(f"expected 2-D samples, got shape {test_x.shape}")
+        if self.dispatcher is not None:
+            dispatched = self.dispatcher.dispatch(test_x, test_y)
+            return InferenceResult(
+                predictions=dispatched.predictions,
+                seconds=dispatched.makespan_seconds,
+                accuracy=dispatched.accuracy,
+                breakdown=dict(dispatched.breakdown),
+            )
         model = self.compiled.model
         quantized = model.input_spec.qparams.quantize(test_x)
         seconds = 0.0
@@ -440,11 +515,4 @@ class InferencePipeline:
 
     def _cpu_op_seconds(self, op, rows: int, width: int) -> float:
         """Host cost of one CPU-fallback op, charged by its actual kind."""
-        if op.kind == "ARGMAX":
-            return self.host.argmax_seconds(rows, width)
-        if op.kind == "TANH":
-            return self.host.tanh_seconds(rows * width)
-        if op.kind == "FULLY_CONNECTED":
-            return self.host.matmul_seconds(rows, width, op.output_dim(width))
-        # Dequantize/requantize-style tails: plain elementwise traffic.
-        return self.host.elementwise_seconds(rows * width)
+        return cpu_op_seconds(self.host, op, rows, width)

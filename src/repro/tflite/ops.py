@@ -15,6 +15,8 @@ real device, where the compiler embeds the same quantized parameters.
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 
 from repro.tflite.quantization import (
@@ -32,6 +34,26 @@ TANH_OUTPUT_QPARAMS = QuantParams(scale=1.0 / 128.0, zero_point=0, dtype="int8")
 
 _INT32_MIN = -(2**31)
 _INT32_MAX = 2**31 - 1
+
+
+@functools.lru_cache(maxsize=None)
+def _tanh_lut(scale: float, zero_point: int, dtype: str) -> np.ndarray:
+    """Shared int8 tanh lookup table for one input quantization grid.
+
+    The table is a pure function of the input qparams (the output grid
+    is TFLite's fixed one), so instances with the same input grid — in
+    practice every encoder compiled from the same calibration data, and
+    every bagging sub-model op — share one read-only array instead of
+    rebuilding 256 tanh evaluations per op instance.
+    """
+    input_qparams = QuantParams(scale=scale, zero_point=zero_point,
+                                dtype=dtype)
+    # LUT indexed by (q - qmin): dequantize every possible int8 code,
+    # apply float tanh, requantize into the fixed output grid.
+    codes = np.arange(-128, 128, dtype=np.int32)
+    lut = TANH_OUTPUT_QPARAMS.quantize(np.tanh(input_qparams.dequantize(codes)))
+    lut.setflags(write=False)
+    return lut
 
 
 class Op:
@@ -218,11 +240,10 @@ class TanhOp(Op):
         self.input_qparams = input_qparams
         self.output_qparams = TANH_OUTPUT_QPARAMS
         self.name = name
-        # LUT indexed by (q - qmin): dequantize every possible int8 code,
-        # apply float tanh, requantize into the fixed output grid.
-        codes = np.arange(-128, 128, dtype=np.int32)
-        real = input_qparams.dequantize(codes)
-        self.lut = self.output_qparams.quantize(np.tanh(real))
+        self.lut = _tanh_lut(
+            input_qparams.scale, input_qparams.zero_point,
+            input_qparams.dtype,
+        )
 
     def output_dim(self, input_dim: int) -> int:
         return input_dim

@@ -90,6 +90,22 @@ class TestDevicePool:
             result.makespan_s + 0.5
         )
 
+    def test_load_replicated(self, ensemble):
+        ds, _, compiled = ensemble
+        pool = DevicePool(3)
+        slowest = pool.load_replicated(compiled[0])
+        assert slowest > 0
+        assert slowest == max(pool.load_seconds)
+        assert len(pool.models) == 3
+        assert all(model is compiled[0] for model in pool.models)
+        # Every device answers with the same outputs as a lone device.
+        quantized = compiled[0].model.input_spec.qparams.quantize(
+            ds.test_x[:4]
+        )
+        outputs = [d.invoke(quantized).outputs for d in pool.devices]
+        for out in outputs[1:]:
+            np.testing.assert_array_equal(out, outputs[0])
+
     def test_rejects_1d_batch(self, ensemble):
         _, _, compiled = ensemble
         pool = DevicePool(3)

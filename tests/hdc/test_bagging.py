@@ -6,6 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.hdc import BaggingConfig, BaggingHDCTrainer, FusedHDCModel
+from repro.runtime.executor import ExecutorConfig
 
 
 def _blobs(num_samples=400, num_features=10, num_classes=3, seed=0):
@@ -213,6 +214,68 @@ class TestFusion:
         fused = BaggingHDCTrainer(cfg, seed=0).fit(x, y).fuse()
         with pytest.raises(ValueError, match="features"):
             fused.predict(np.zeros((2, 7)))
+
+
+class TestParallelTraining:
+    """The worker-pool determinism contract: bit-identical any-N."""
+
+    def _fused(self, executor, seed=7):
+        x, y = _blobs(num_samples=300)
+        cfg = BaggingConfig(num_models=4, dimension=512, iterations=2)
+        trainer = BaggingHDCTrainer(cfg, seed=seed, executor=executor)
+        trainer.fit(x, y)
+        return trainer, trainer.fuse()
+
+    def test_workers_1_vs_4_bit_identical(self):
+        _, serial = self._fused(None)
+        _, parallel = self._fused(ExecutorConfig(workers=4))
+        np.testing.assert_array_equal(serial.base_matrix,
+                                      parallel.base_matrix)
+        np.testing.assert_array_equal(serial.class_matrix,
+                                      parallel.class_matrix)
+
+    def test_process_backend_bit_identical(self):
+        _, serial = self._fused(None)
+        _, parallel = self._fused(
+            ExecutorConfig(workers=4, backend="process")
+        )
+        np.testing.assert_array_equal(serial.base_matrix,
+                                      parallel.base_matrix)
+        np.testing.assert_array_equal(serial.class_matrix,
+                                      parallel.class_matrix)
+
+    def test_bookkeeping_identical(self):
+        serial_trainer, _ = self._fused(None)
+        parallel_trainer, _ = self._fused(ExecutorConfig(workers=2))
+        for a, b in zip(serial_trainer.sample_indices,
+                        parallel_trainer.sample_indices):
+            np.testing.assert_array_equal(a, b)
+        for a, b in zip(serial_trainer.histories,
+                        parallel_trainer.histories):
+            assert a.train_accuracy == b.train_accuracy
+            assert a.updates == b.updates
+
+    def test_more_workers_than_models(self):
+        _, serial = self._fused(None)
+        _, parallel = self._fused(ExecutorConfig(workers=16))
+        np.testing.assert_array_equal(serial.class_matrix,
+                                      parallel.class_matrix)
+
+    def test_workers_as_plain_int(self):
+        trainer, _ = self._fused(2)
+        assert trainer.executor.workers == 2
+
+    def test_parallel_report_populated(self):
+        trainer, _ = self._fused(ExecutorConfig(workers=4))
+        report = trainer.last_parallel_report
+        assert report.workers == 4
+        assert len(report.task_seconds) == 4
+        assert report.speedup > 1.0
+
+    def test_different_seeds_still_differ(self):
+        _, a = self._fused(ExecutorConfig(workers=4), seed=7)
+        _, b = self._fused(ExecutorConfig(workers=4), seed=8)
+        assert not np.array_equal(a.class_matrix, b.class_matrix)
 
 
 @given(

@@ -5,6 +5,7 @@ import pytest
 
 from repro.hdc import BaggingConfig, HDCClassifier
 from repro.runtime import InferencePipeline, TrainingPipeline
+from repro.runtime.executor import ExecutorConfig
 from repro.runtime.pipeline import CompileCache
 
 
@@ -57,6 +58,33 @@ class TestTrainingPipeline:
         result = pipeline.run(ds.train_x, ds.train_y)
         accuracy = result.fused.score(ds.test_x, ds.test_y)
         assert accuracy > 0.75
+
+    def test_parallel_bagged_training_bit_identical(self, ds):
+        # The executor determinism contract, through the whole pipeline:
+        # same fused weights AND same phase accounting for any workers.
+        config = BaggingConfig(num_models=4, dimension=512, iterations=2)
+        serial = TrainingPipeline(
+            dimension=512, bagging=config, seed=0,
+        ).run(ds.train_x, ds.train_y)
+        parallel = TrainingPipeline(
+            dimension=512, bagging=config, seed=0,
+            executor=ExecutorConfig(workers=4),
+        ).run(ds.train_x, ds.train_y)
+        np.testing.assert_array_equal(serial.fused.base_matrix,
+                                      parallel.fused.base_matrix)
+        np.testing.assert_array_equal(serial.fused.class_matrix,
+                                      parallel.fused.class_matrix)
+        assert serial.profiler.breakdown() == parallel.profiler.breakdown()
+        assert parallel.parallel is not None
+        assert parallel.parallel.workers == 4
+        assert len(parallel.parallel.task_seconds) == 4
+        assert serial.parallel.workers == 1
+
+    def test_single_model_run_has_no_parallel_report(self, ds):
+        result = TrainingPipeline(dimension=256, iterations=1, seed=0).run(
+            ds.train_x[:100], ds.train_y[:100], num_classes=ds.num_classes,
+        )
+        assert result.parallel is None
 
     def test_histories_returned(self, ds):
         pipeline = TrainingPipeline(dimension=512, iterations=3, seed=0)

@@ -127,6 +127,18 @@ class TestTanh:
         with pytest.raises(ValueError, match="int8"):
             TanhOp(qparams_asymmetric(-1, 1, dtype="int16"))
 
+    def test_lut_shared_across_instances(self):
+        # Ops with the same input grid share one cached read-only table;
+        # a different grid gets a different table.
+        a = TanhOp(qparams_asymmetric(-4.0, 4.0))
+        b = TanhOp(qparams_asymmetric(-4.0, 4.0))
+        c = TanhOp(qparams_asymmetric(-2.0, 2.0))
+        assert a.lut is b.lut
+        assert c.lut is not a.lut
+        assert not a.lut.flags.writeable
+        with pytest.raises(ValueError):
+            a.lut[0] = 0
+
 
 class TestArgmax:
     def test_picks_max_logit(self):
