@@ -1,0 +1,119 @@
+"""Online serving: deadline-aware batching, fault tolerance, hot swap.
+
+Walks the serving subsystem end to end on the virtual clock:
+
+1. train an HDC classifier on a drifting synthetic stream and compile
+   it for the Edge TPU simulator;
+2. generate a timestamped request trace (Poisson arrivals, per-request
+   latency deadline) and serve it with deadline-aware dynamic batching
+   on a small device pool, reporting p50/p95/p99 latency;
+3. compare against a fixed-size batcher that waits for full batches;
+4. inject a USB stall on one device mid-stream and show the server
+   completing the trace via retry + CPU fallback with bit-identical
+   predictions;
+5. hot-swap in a retrained model mid-stream and show accuracy
+   recovering under drift, versus a static server.
+
+All times are modeled seconds — runs are deterministic per seed.
+
+Run:  python examples/online_serving.py
+"""
+
+import numpy as np
+
+from repro.data.streams import DriftingStream, StreamConfig
+from repro.edgetpu import DevicePool, FailurePlan, compile_model
+from repro.hdc import HDCClassifier
+from repro.nn import from_classifier
+from repro.serving import (
+    ArrivalProcess,
+    DynamicBatcher,
+    FixedSizeBatcher,
+    InferenceServer,
+    ModelSwapper,
+    RequestStream,
+)
+from repro.tflite import convert
+
+
+def train(x, y, num_classes, dimension, seed=0):
+    model = HDCClassifier(dimension=dimension, seed=seed)
+    model.fit(x, y, iterations=4, num_classes=num_classes)
+    network = from_classifier(model, include_argmax=True)
+    return compile_model(convert(network, x[:128]))
+
+
+def main(num_requests: int = 800, dimension: int = 1024,
+         rate_hz: float = 200.0, deadline_s: float = 0.05) -> None:
+    config = StreamConfig(num_features=24, num_classes=4, drift_rate=0.08)
+    stream = DriftingStream(config, seed=11)
+    train_x, train_y = stream.next_batch(400)
+    compiled = train(train_x, train_y, config.num_classes, dimension)
+
+    trace = RequestStream(
+        stream, ArrivalProcess(rate_hz, "poisson", seed=3),
+        deadline_s=deadline_s,
+    ).generate(num_requests)
+    print(f"trace: {num_requests} requests over "
+          f"{trace[-1].arrival_s:.2f} s at {rate_hz:.0f} Hz, "
+          f"deadline {1e3 * deadline_s:.0f} ms")
+
+    # --- Deadline-aware vs fixed-size batching -----------------------
+    def serve(batcher, pool=None, swapper=None):
+        if pool is None:
+            pool = DevicePool(2)
+            pool.load_replicated(compiled)
+        server = InferenceServer(pool, batcher=batcher, swapper=swapper)
+        return server.serve(trace)
+
+    dynamic = serve(DynamicBatcher(max_batch=32, slack_s=0.002))
+    fixed = serve(FixedSizeBatcher(max_batch=32))
+    for name, report in [("deadline-aware", dynamic), ("fixed-size", fixed)]:
+        lat = report.latency
+        print(f"{name:>14}: p50={1e3 * lat.p50:.1f} ms  "
+              f"p95={1e3 * lat.p95:.1f} ms  p99={1e3 * lat.p99:.1f} ms  "
+              f"misses={report.deadline_miss_rate:.1%}  "
+              f"mean batch={report.mean_batch_size:.1f}")
+
+    # --- Fault tolerance: USB stall on device 0 ----------------------
+    pool = DevicePool(2)
+    pool.load_replicated(compiled)
+    pool.schedule_failure(FailurePlan(0, at_s=1.0, mode="usb_stall"))
+    degraded = serve(DynamicBatcher(max_batch=32, slack_s=0.002), pool=pool)
+    identical = np.array_equal(degraded.predictions, dynamic.predictions)
+    print(f"with a USB stall at t=1.0s: served {degraded.served}/"
+          f"{len(trace)} (retried {degraded.retried_batches} batches, "
+          f"{degraded.fallback_batches} on CPU fallback), predictions "
+          f"identical to the healthy run: {identical}")
+
+    # --- Hot swap under drift ----------------------------------------
+    # Retrain on the freshest window so the swapped model tracks the
+    # drifted distribution through the tail of the trace.
+    cut = (7 * num_requests) // 10
+    window = trace[cut - 250:cut]
+    retrained = train(np.stack([r.features for r in window]),
+                      np.array([r.label for r in window], dtype=np.int64),
+                      config.num_classes, dimension, seed=1)
+    pool = DevicePool(2)
+    pool.load_replicated(compiled)
+    swapper = ModelSwapper(pool)
+    swapper.schedule(retrained, at_s=trace[cut].arrival_s)
+    swapped = serve(DynamicBatcher(max_batch=32, slack_s=0.002),
+                    pool=pool, swapper=swapper)
+    record = swapped.swap_records[0]
+    print(f"hot swap: scheduled t={record.scheduled_s:.2f} s, committed "
+          f"t={record.committed_s:.2f} s (modelgen "
+          f"{record.modelgen_seconds:.2f} s + load "
+          f"{1e3 * record.load_seconds:.1f} ms)")
+    static_acc = dynamic.windowed_accuracy(4)
+    swap_acc = swapped.windowed_accuracy(4)
+    print("windowed accuracy, static: "
+          + "  ".join(f"{a:.2f}" for a in static_acc))
+    print("windowed accuracy, swap:   "
+          + "  ".join(f"{a:.2f}" for a in swap_acc))
+    print(f"final-window recovery from the hot swap: "
+          f"{swap_acc[-1] - static_acc[-1]:+.2f}")
+
+
+if __name__ == "__main__":
+    main()

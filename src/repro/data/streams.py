@@ -90,14 +90,46 @@ class DriftingStream:
             x = x + rng.normal(0.0, cfg.noise_std, x.shape)
         return x.astype(np.float32), labels.astype(np.int64)
 
+    def advance(self, steps: int = 1) -> None:
+        """Take ``steps`` drift steps without drawing any samples.
+
+        The serving layer advances drift at per-request granularity
+        while drawing samples one at a time, so the two motions are
+        exposed separately; :meth:`next_batch` composes them.
+        """
+        if steps < 1:
+            raise ValueError(f"steps must be >= 1, got {steps}")
+        for _ in range(steps):
+            self._centroids = self._centroids + self._rng.standard_normal(
+                self._centroids.shape
+            ) * self._step_scale
+            self.steps += 1
+
+    def draw(self, num_samples: int) -> tuple[np.ndarray, np.ndarray]:
+        """Draw labeled samples from the *current* distribution.
+
+        Unlike :meth:`next_batch`, drift does not advance and labels are
+        i.i.d. uniform rather than balanced — the arrival semantics of
+        an online request stream, where each request is one independent
+        observation (a balanced draw of size 1 would always be class 0).
+        """
+        if num_samples < 1:
+            raise ValueError(f"num_samples must be >= 1, got {num_samples}")
+        cfg = self.config
+        labels = self._rng.integers(0, cfg.num_classes, num_samples)
+        latent = self._centroids[labels] + self._rng.standard_normal(
+            (num_samples, cfg.latent_dim)
+        )
+        x = latent @ self._lift
+        if cfg.noise_std > 0:
+            x = x + self._rng.normal(0.0, cfg.noise_std, x.shape)
+        return x.astype(np.float32), labels.astype(np.int64)
+
     def next_batch(self, batch_size: int = 64) -> tuple[np.ndarray, np.ndarray]:
-        """Advance the drift one step and draw a labeled batch."""
+        """Advance the drift one step and draw a balanced labeled batch."""
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
-        self._centroids = self._centroids + self._rng.standard_normal(
-            self._centroids.shape
-        ) * self._step_scale
-        self.steps += 1
+        self.advance(1)
         return self._sample(batch_size, self._rng)
 
     def test_set(self, num_samples: int = 256,

@@ -29,16 +29,23 @@ from repro.edgetpu.compiler import (
 )
 from repro.edgetpu.device import EdgeTpuDevice, InvokeResult
 from repro.edgetpu.delegate import DelegatedExecutor, partition
-from repro.edgetpu.multidevice import DevicePool, ParallelEnsembleResult
+from repro.edgetpu.multidevice import (
+    DeviceFailedError,
+    DevicePool,
+    FailurePlan,
+    ParallelEnsembleResult,
+)
 from repro.edgetpu.program import Instruction, Program, lower
 
 __all__ = [
     "CompileError",
     "CompiledModel",
     "DelegatedExecutor",
+    "DeviceFailedError",
     "DevicePool",
     "EdgeTpuArch",
     "EdgeTpuDevice",
+    "FailurePlan",
     "Instruction",
     "InvokeResult",
     "OpPlan",

@@ -11,6 +11,13 @@ be measured against fusion (``benchmarks/test_ablation_multidevice.py``).
 Timing model: devices run concurrently (makespan = slowest device), the
 host pays one aggregation pass, and every device pays its own model
 load once.
+
+For the online serving layer the pool also models *faults*: a
+:class:`FailurePlan` schedules a USB stall or outright device loss at a
+virtual time, :meth:`DevicePool.try_invoke` trips it on first use after
+that time (raising :class:`DeviceFailedError` with the modeled
+detection cost), and :meth:`DevicePool.unload` /
+:meth:`DevicePool.reload` support hot model swaps.
 """
 
 from __future__ import annotations
@@ -23,7 +30,80 @@ from repro.edgetpu.arch import EdgeTpuArch
 from repro.edgetpu.compiler import CompiledModel
 from repro.edgetpu.device import EdgeTpuDevice
 
-__all__ = ["DevicePool", "ParallelEnsembleResult"]
+__all__ = [
+    "DeviceFailedError",
+    "DevicePool",
+    "FailurePlan",
+    "ParallelEnsembleResult",
+]
+
+# Modeled time for the host runtime to notice each failure mode: a USB
+# stall is only detected when a transfer deadline expires, while losing
+# the device entirely fails the next ioctl almost immediately.
+_FAILURE_MODES = {"usb_stall": 0.05, "device_loss": 0.0}
+
+
+class DeviceFailedError(RuntimeError):
+    """Invocation hit a failed device.
+
+    Attributes:
+        device_index: Pool index of the failed device.
+        mode: Failure mode (``"usb_stall"`` or ``"device_loss"``).
+        detect_seconds: Modeled time the host spent noticing the
+            failure before this error was raised.
+    """
+
+    def __init__(self, device_index: int, mode: str, detect_seconds: float):
+        super().__init__(
+            f"device {device_index} failed ({mode}, "
+            f"detected in {detect_seconds:.3f}s)"
+        )
+        self.device_index = device_index
+        self.mode = mode
+        self.detect_seconds = detect_seconds
+
+
+@dataclass(frozen=True)
+class FailurePlan:
+    """A scheduled device failure on the virtual clock.
+
+    Attributes:
+        device_index: Which pool device fails.
+        at_s: Virtual time after which the next use trips the failure.
+        mode: ``"usb_stall"`` (transfer hangs until a timeout) or
+            ``"device_loss"`` (device drops off the bus).
+        detect_seconds: Modeled detection cost charged to the caller;
+            defaults per mode (stalls pay a timeout, loss is immediate).
+    """
+
+    device_index: int
+    at_s: float
+    mode: str = "usb_stall"
+    detect_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.device_index < 0:
+            raise ValueError(
+                f"device_index must be >= 0, got {self.device_index}"
+            )
+        if self.at_s < 0:
+            raise ValueError(f"at_s must be >= 0, got {self.at_s}")
+        if self.mode not in _FAILURE_MODES:
+            raise ValueError(
+                f"mode must be one of {sorted(_FAILURE_MODES)}, "
+                f"got {self.mode!r}"
+            )
+        if self.detect_seconds is not None and self.detect_seconds < 0:
+            raise ValueError(
+                f"detect_seconds must be >= 0, got {self.detect_seconds}"
+            )
+
+    @property
+    def resolved_detect_seconds(self) -> float:
+        """Detection cost, falling back to the mode default."""
+        if self.detect_seconds is not None:
+            return self.detect_seconds
+        return _FAILURE_MODES[self.mode]
 
 
 @dataclass
@@ -63,11 +143,89 @@ class DevicePool:
         self.devices = [EdgeTpuDevice(self.arch) for _ in range(num_devices)]
         self.models: list[CompiledModel | None] = [None] * num_devices
         self.load_seconds: list[float] = [0.0] * num_devices
+        self.failed: set[int] = set()
+        self._failure_plans: dict[int, FailurePlan] = {}
 
     @property
     def num_devices(self) -> int:
         """Pool size."""
         return len(self.devices)
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+
+    def schedule_failure(self, plan: FailurePlan) -> None:
+        """Arm a failure: the first use of the device at or after
+        ``plan.at_s`` trips it (one plan per device; re-arming replaces).
+        """
+        if plan.device_index >= self.num_devices:
+            raise ValueError(
+                f"device_index {plan.device_index} out of range for a "
+                f"{self.num_devices}-device pool"
+            )
+        self._failure_plans[plan.device_index] = plan
+
+    def healthy_indices(self) -> list[int]:
+        """Devices that hold a model and have not (yet) failed."""
+        return [i for i in range(self.num_devices)
+                if self.models[i] is not None and i not in self.failed]
+
+    def try_invoke(self, index: int, x: np.ndarray, at_s: float = 0.0):
+        """Invoke device ``index`` at virtual time ``at_s``.
+
+        Trips any armed :class:`FailurePlan` whose time has come: the
+        device is marked failed, its model is dropped (a lost device
+        must be re-enumerated and reloaded), and
+        :class:`DeviceFailedError` carries the modeled detection cost.
+
+        Returns:
+            The device's :class:`~repro.edgetpu.device.InvokeResult`.
+        """
+        if not 0 <= index < self.num_devices:
+            raise ValueError(f"device index {index} out of range")
+        if index in self.failed:
+            plan = self._failure_plans.get(index)
+            mode = plan.mode if plan is not None else "device_loss"
+            raise DeviceFailedError(index, mode, 0.0)
+        plan = self._failure_plans.get(index)
+        if plan is not None and at_s >= plan.at_s:
+            self.failed.add(index)
+            self.unload(index)
+            raise DeviceFailedError(
+                index, plan.mode, plan.resolved_detect_seconds
+            )
+        if self.models[index] is None:
+            raise RuntimeError(f"device {index} has no model loaded")
+        return self.devices[index].invoke(x)
+
+    # ------------------------------------------------------------------
+    # Model management
+    # ------------------------------------------------------------------
+
+    def unload(self, index: int) -> None:
+        """Drop the model pinned to device ``index`` (if any)."""
+        if not 0 <= index < self.num_devices:
+            raise ValueError(f"device index {index} out of range")
+        self.models[index] = None
+        self.devices[index].compiled = None
+        self.load_seconds[index] = 0.0
+
+    def reload(self, index: int, compiled: CompiledModel) -> float:
+        """Pin ``compiled`` onto device ``index``; returns load seconds.
+
+        Raises:
+            RuntimeError: If the device has failed (a lost device cannot
+                accept a model until it is physically re-attached).
+        """
+        if not 0 <= index < self.num_devices:
+            raise ValueError(f"device index {index} out of range")
+        if index in self.failed:
+            raise RuntimeError(f"device {index} has failed; cannot reload")
+        seconds = self.devices[index].load_model(compiled)
+        self.models[index] = compiled
+        self.load_seconds[index] = seconds
+        return seconds
 
     def load_models(self, compiled_models: list[CompiledModel]) -> float:
         """Pin one compiled model per device.
@@ -100,10 +258,13 @@ class DevicePool:
         per-device sharding).
 
         Loads happen in parallel across devices, so the modeled cost is
-        the slowest single load.
+        the slowest single load.  Failed devices are skipped (a hot swap
+        mid-stream must not resurrect a lost device).
         """
         slowest = 0.0
         for index, device in enumerate(self.devices):
+            if index in self.failed:
+                continue
             seconds = device.load_model(compiled)
             self.models[index] = compiled
             self.load_seconds[index] = seconds

@@ -36,6 +36,7 @@ _EXPORTS = {
     "HdcTrainingConfig": "repro.runtime.costs",
     "InferencePipeline": "repro.runtime.pipeline",
     "InferenceResult": "repro.runtime.pipeline",
+    "LatencyTracker": "repro.runtime.profiler",
     "MicroBatchDispatcher": "repro.runtime.executor",
     "ParallelReport": "repro.runtime.executor",
     "PhaseBreakdown": "repro.runtime.costs",

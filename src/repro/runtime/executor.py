@@ -289,15 +289,19 @@ class DispatchResult:
     Attributes:
         predictions: int64 class indices, in input order.
         scores: Host-aggregated float scores (sharded placement only).
-        samples: Number of samples dispatched.
+        samples: Number of samples dispatched (0 for an idle queue).
         num_batches: Micro-batches issued.
         makespan_seconds: Modeled wall time with device/host overlap —
             the dispatcher's "inference latency" for the whole stream.
         device_seconds: Per-device busy seconds (no overlap credit).
+        device_idle_seconds: Per-device idle seconds over the dispatch
+            makespan (``makespan - busy``, clamped at 0), so device
+            utilization is computable from the result alone.
         host_seconds: Host busy seconds (dequantize / aggregate / argmax).
         serial_seconds: What the same work would cost with one device
             and no overlap — the speedup baseline.
-        accuracy: Mean accuracy when labels were supplied.
+        accuracy: Mean accuracy when labels were supplied (``None`` for
+            an empty stream).
     """
 
     predictions: np.ndarray
@@ -305,9 +309,10 @@ class DispatchResult:
     samples: int
     num_batches: int
     makespan_seconds: float
-    device_seconds: list
+    device_seconds: list[float]
     host_seconds: float
     serial_seconds: float
+    device_idle_seconds: list[float] = field(default_factory=list)
     accuracy: float | None = None
     breakdown: dict = field(default_factory=dict)
 
@@ -324,6 +329,13 @@ class DispatchResult:
         if self.makespan_seconds <= 0:
             return 1.0
         return self.serial_seconds / self.makespan_seconds
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of pooled device time spent busy (0 when idle)."""
+        busy = sum(self.device_seconds)
+        total = busy + sum(self.device_idle_seconds)
+        return busy / total if total > 0 else 0.0
 
 
 class MicroBatchDispatcher:
@@ -395,18 +407,29 @@ class MicroBatchDispatcher:
         x = np.asarray(x, dtype=np.float32)
         if x.ndim != 2:
             raise ValueError(f"expected 2-D samples, got shape {x.shape}")
-        if len(x) == 0:
-            raise ValueError("cannot dispatch an empty stream")
         loaded = [(i, model) for i, model in enumerate(self.pool.models)
                   if model is not None]
         if not loaded:
             raise RuntimeError("no models loaded; load the pool first")
-
-        with self._lock:
-            if self.placement == "replicate":
-                result = self._dispatch_replicated(x, loaded)
-            else:
-                result = self._dispatch_sharded(x, loaded)
+        if len(x) == 0:
+            # An idle serving queue is not an error: report zero work.
+            result = DispatchResult(
+                predictions=np.empty(0, dtype=np.int64),
+                scores=None,
+                samples=0,
+                num_batches=0,
+                makespan_seconds=0.0,
+                device_seconds=[0.0] * len(loaded),
+                host_seconds=0.0,
+                serial_seconds=0.0,
+                device_idle_seconds=[0.0] * len(loaded),
+            )
+        else:
+            with self._lock:
+                if self.placement == "replicate":
+                    result = self._dispatch_replicated(x, loaded)
+                else:
+                    result = self._dispatch_sharded(x, loaded)
 
         if y is not None:
             y = np.asarray(y, dtype=np.int64)
@@ -414,7 +437,8 @@ class MicroBatchDispatcher:
                 raise ValueError(
                     f"{result.samples} predictions but {len(y)} labels"
                 )
-            result.accuracy = float(np.mean(result.predictions == y))
+            if result.samples:
+                result.accuracy = float(np.mean(result.predictions == y))
         if self.profiler is not None:
             self.profiler.charge("inference", result.makespan_seconds)
         return result
@@ -474,15 +498,17 @@ class MicroBatchDispatcher:
             host_busy += host_cost
         breakdown["host_tail"] = host_busy
 
+        busy = [float(device_busy[i]) for i, _ in loaded]
         return DispatchResult(
             predictions=predictions,
             scores=None,
             samples=len(x),
             num_batches=len(batches),
             makespan_seconds=host_free,
-            device_seconds=[device_busy[i] for i, _ in loaded],
+            device_seconds=busy,
             host_seconds=host_busy,
             serial_seconds=sum(device_busy.values()) + host_busy,
+            device_idle_seconds=[max(0.0, host_free - b) for b in busy],
             breakdown=breakdown,
         )
 
@@ -531,14 +557,16 @@ class MicroBatchDispatcher:
             host_busy += host_cost
         breakdown["host_tail"] = host_busy
 
+        busy = [float(device_busy[i]) for i, _ in loaded]
         return DispatchResult(
             predictions=predictions,
             scores=all_scores,
             samples=len(x),
             num_batches=len(batches),
             makespan_seconds=host_free,
-            device_seconds=[device_busy[i] for i, _ in loaded],
+            device_seconds=busy,
             host_seconds=host_busy,
             serial_seconds=sum(device_busy.values()) + host_busy,
+            device_idle_seconds=[max(0.0, host_free - b) for b in busy],
             breakdown=breakdown,
         )

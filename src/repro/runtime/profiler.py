@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import math
+
 from repro.platforms.base import VirtualClock
 
-__all__ = ["PhaseProfiler"]
+__all__ = ["LatencyTracker", "PhaseProfiler"]
 
 # Canonical phase names shared by pipelines, cost models and reports.
 PHASES = ("encode", "update", "modelgen", "inference")
@@ -46,6 +48,18 @@ class PhaseProfiler:
         ordered.update(raw)
         return ordered
 
+    def percentile_report(self, tracker: "LatencyTracker",
+                          title: str = "latency") -> str:
+        """Human-readable percentile line for a recorded distribution."""
+        if len(tracker) == 0:
+            return f"{title}: no samples"
+        return (
+            f"{title}: p50={tracker.p50 * 1e3:.3f} ms  "
+            f"p95={tracker.p95 * 1e3:.3f} ms  "
+            f"p99={tracker.p99 * 1e3:.3f} ms  "
+            f"max={tracker.max * 1e3:.3f} ms  (n={len(tracker)})"
+        )
+
     def report(self, title: str = "runtime breakdown") -> str:
         """Human-readable per-phase table."""
         lines = [f"{title}:"]
@@ -56,3 +70,85 @@ class PhaseProfiler:
             lines.append(f"  {phase:<10} {seconds:>10.4f} s  ({share:5.1%})")
         lines.append(f"  {'total':<10} {self.total:>10.4f} s")
         return "\n".join(lines)
+
+
+class LatencyTracker:
+    """Records a latency distribution on the virtual clock.
+
+    Percentiles use the nearest-rank definition (the smallest recorded
+    value with at least ``p`` percent of the mass at or below it), so a
+    reported p99 is always an actually-observed latency and the result
+    is exactly reproducible — no interpolation between samples.
+    """
+
+    def __init__(self):
+        self._values: list[float] = []
+        self._sorted: list[float] | None = []
+
+    def record(self, seconds: float) -> None:
+        """Add one observation (seconds, must be >= 0)."""
+        seconds = float(seconds)
+        if not seconds >= 0.0:
+            raise ValueError(f"latency must be >= 0, got {seconds}")
+        self._values.append(seconds)
+        self._sorted = None
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def _ordered(self) -> list[float]:
+        if self._sorted is None:
+            self._sorted = sorted(self._values)
+        return self._sorted
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile ``p`` in [0, 100]."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self._values:
+            raise ValueError("no latencies recorded")
+        ordered = self._ordered()
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    @property
+    def p50(self) -> float:
+        """Median latency."""
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        """95th-percentile latency."""
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile latency — the SLA metric."""
+        return self.percentile(99.0)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean latency."""
+        if not self._values:
+            raise ValueError("no latencies recorded")
+        return sum(self._values) / len(self._values)
+
+    @property
+    def max(self) -> float:
+        """Worst observed latency."""
+        if not self._values:
+            raise ValueError("no latencies recorded")
+        return self._ordered()[-1]
+
+    def summary(self) -> dict:
+        """Machine-readable percentile summary."""
+        if not self._values:
+            return {"count": 0}
+        return {
+            "count": len(self._values),
+            "mean_s": self.mean,
+            "p50_s": self.p50,
+            "p95_s": self.p95,
+            "p99_s": self.p99,
+            "max_s": self.max,
+        }

@@ -1,0 +1,99 @@
+"""Batch-closing policies for the online inference server.
+
+Batching amortizes the Edge TPU's fixed per-invocation dispatch
+overhead (the term that dominates small models in the paper's Fig. 6),
+but every queued request is aging against its deadline.  The policies
+here decide *when a waiting queue must dispatch*:
+
+- :class:`DynamicBatcher` — size-or-deadline: close the batch at
+  ``max_batch``, or at the last moment the *oldest* request's deadline
+  budget still covers the estimated service time.  This is the policy
+  that meets a p99 SLA at loads where pure size-triggered batching
+  cannot.
+- :class:`FixedSizeBatcher` — size-or-timeout: the classic fixed-size
+  baseline.  Without a timeout it waits indefinitely for a full batch
+  (the server still flushes once the trace ends).
+
+Both are pure policies over (queue, now, service estimate): they answer
+"when is this queue ready?" and never mutate anything, so the server's
+event loop stays the single owner of simulation state.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+from repro.serving.arrivals import Request
+
+__all__ = ["DynamicBatcher", "FixedSizeBatcher"]
+
+ServiceEstimate = Callable[[int], float]
+
+
+class DynamicBatcher:
+    """Deadline-aware size-or-deadline batch closing.
+
+    Args:
+        max_batch: Close immediately once this many requests queue.
+        slack_s: Safety margin subtracted from the deadline trigger
+            (covers estimate error and host-tail jitter).
+    """
+
+    def __init__(self, max_batch: int = 32, slack_s: float = 0.0):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if slack_s < 0:
+            raise ValueError(f"slack_s must be >= 0, got {slack_s}")
+        self.max_batch = max_batch
+        self.slack_s = slack_s
+
+    def ready_at(self, queue: Sequence[Request], now: float,
+                 service_estimate: ServiceEstimate) -> float:
+        """Earliest virtual time the queue must dispatch.
+
+        ``now`` when the queue already holds ``max_batch`` requests;
+        otherwise the latest start that still lands the oldest request
+        inside its deadline given the estimated service time of the
+        current batch — further arrivals can only move dispatch earlier
+        (the server re-evaluates after every arrival).
+
+        Returns ``inf`` for an empty queue (nothing to dispatch).
+        """
+        if not queue:
+            return math.inf
+        if len(queue) >= self.max_batch:
+            return now
+        batch = min(len(queue), self.max_batch)
+        forced = queue[0].deadline_s - self.slack_s - service_estimate(batch)
+        return max(now, forced)
+
+
+class FixedSizeBatcher:
+    """Size-or-timeout batch closing (the non-deadline-aware baseline).
+
+    Args:
+        max_batch: Close once this many requests queue.
+        timeout_s: Close ``timeout_s`` after the oldest request arrived
+            even if the batch is short; ``inf`` (default) waits for a
+            full batch.
+    """
+
+    def __init__(self, max_batch: int = 32, timeout_s: float = math.inf):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if timeout_s <= 0:
+            raise ValueError(f"timeout_s must be > 0, got {timeout_s}")
+        self.max_batch = max_batch
+        self.timeout_s = timeout_s
+
+    def ready_at(self, queue: Sequence[Request], now: float,
+                 service_estimate: ServiceEstimate) -> float:
+        """Dispatch when full, or when the oldest request times out."""
+        if not queue:
+            return math.inf
+        if len(queue) >= self.max_batch:
+            return now
+        if math.isinf(self.timeout_s):
+            return math.inf
+        return max(now, queue[0].arrival_s + self.timeout_s)

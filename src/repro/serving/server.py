@@ -1,0 +1,432 @@
+"""The online inference server: event loop, admission, faults, swaps.
+
+:class:`InferenceServer` simulates serving a timestamped request trace
+on the repo's virtual-clock convention.  Each component mirrors a piece
+of a production serving stack:
+
+- **Admission control** — a bounded request queue; arrivals past the
+  bound are dropped and accounted (the graceful-degradation alternative
+  to unbounded latency collapse).
+- **Batching** — a pluggable policy (:mod:`repro.serving.batcher`)
+  decides when the queue closes into a micro-batch; the batch then runs
+  on the earliest-free device of a replicated
+  :class:`~repro.edgetpu.multidevice.DevicePool` with the host
+  dequantize/argmax tail serialized behind it, exactly the timing model
+  of :class:`~repro.runtime.executor.MicroBatchDispatcher`.
+- **Fault tolerance** — device failures injected via
+  :class:`~repro.edgetpu.multidevice.FailurePlan` are detected at
+  dispatch (paying the modeled detection cost), retried once on the
+  next healthy device, and finally served by the existing CPU-fallback
+  op path — the same int8 kernels run on the host, so predictions stay
+  bit-identical and in request order, only slower.
+- **Hot swap** — a :class:`~repro.serving.swap.ModelSwapper` commits a
+  freshly retrained model atomically between batches.
+
+Latency is tracked per request on the virtual clock
+(:class:`~repro.runtime.profiler.LatencyTracker` percentiles), so p99
+against an SLA is a first-class, machine-independent output.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.edgetpu.compiler import CompiledModel
+from repro.edgetpu.multidevice import DeviceFailedError, DevicePool
+from repro.platforms.base import Platform
+from repro.runtime.executor import cpu_op_seconds
+from repro.runtime.profiler import LatencyTracker
+from repro.serving.arrivals import Request
+from repro.serving.batcher import DynamicBatcher
+from repro.serving.swap import ModelSwapper, SwapRecord
+
+__all__ = ["InferenceServer", "ServeReport"]
+
+
+@dataclass
+class ServeReport:
+    """Everything one :meth:`InferenceServer.serve` run produced.
+
+    Attributes:
+        num_requests: Requests in the trace.
+        served: Requests that received a prediction.
+        dropped: Requests rejected by admission control (bounded queue).
+        deadline_misses: Served requests whose completion passed their
+            deadline.
+        predictions: int64 class indices in *request order*; ``-1``
+            marks a dropped request.
+        labels: Ground-truth labels in request order (``None`` when the
+            trace carried no labels).
+        latencies: Per-request completion-minus-arrival seconds in
+            request order (``nan`` for dropped requests).
+        latency: Percentile tracker over served requests.
+        makespan_s: Virtual time of the last completion.
+        num_batches: Batches dispatched.
+        batch_sizes: Size of each dispatched batch, in dispatch order.
+        device_busy_seconds: Per-device busy seconds.
+        device_idle_seconds: Per-device ``makespan - busy`` seconds.
+        host_seconds: Host busy seconds (tails + CPU fallback).
+        retried_batches: Batches that succeeded on a retry device after
+            a failure was detected.
+        fallback_batches: Batches served entirely on the host CPU.
+        failed_devices: Pool indices that failed during the run.
+        swap_records: Committed hot swaps.
+    """
+
+    num_requests: int
+    served: int = 0
+    dropped: int = 0
+    deadline_misses: int = 0
+    predictions: np.ndarray = field(default_factory=lambda: np.empty(0))
+    labels: np.ndarray | None = None
+    latencies: np.ndarray = field(default_factory=lambda: np.empty(0))
+    latency: LatencyTracker = field(default_factory=LatencyTracker)
+    makespan_s: float = 0.0
+    num_batches: int = 0
+    batch_sizes: list[int] = field(default_factory=list)
+    device_busy_seconds: list[float] = field(default_factory=list)
+    device_idle_seconds: list[float] = field(default_factory=list)
+    host_seconds: float = 0.0
+    retried_batches: int = 0
+    fallback_batches: int = 0
+    failed_devices: list[int] = field(default_factory=list)
+    swap_records: list[SwapRecord] = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        """Served requests per virtual second."""
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.served / self.makespan_s
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of the trace rejected by admission control."""
+        if self.num_requests == 0:
+            return 0.0
+        return self.dropped / self.num_requests
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Fraction of *served* requests that finished past deadline."""
+        if self.served == 0:
+            return 0.0
+        return self.deadline_misses / self.served
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of pooled device time spent busy."""
+        busy = sum(self.device_busy_seconds)
+        total = busy + sum(self.device_idle_seconds)
+        return busy / total if total > 0 else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average dispatched batch size."""
+        if not self.batch_sizes:
+            return 0.0
+        return sum(self.batch_sizes) / len(self.batch_sizes)
+
+    @property
+    def accuracy(self) -> float | None:
+        """Mean accuracy over served requests (``None`` without labels)."""
+        if self.labels is None or self.served == 0:
+            return None
+        mask = self.predictions >= 0
+        return float(np.mean(self.predictions[mask] == self.labels[mask]))
+
+    def windowed_accuracy(self, num_windows: int) -> list[float]:
+        """Accuracy over ``num_windows`` equal request-index windows.
+
+        Dropped requests are excluded inside each window; an all-dropped
+        window reports ``nan``.  This is the curve that shows a static
+        server decaying under drift and a swapping server recovering.
+        """
+        if num_windows < 1:
+            raise ValueError(
+                f"num_windows must be >= 1, got {num_windows}"
+            )
+        if self.labels is None:
+            raise ValueError("trace carried no labels")
+        edges = np.linspace(0, self.num_requests, num_windows + 1,
+                            dtype=int)
+        accuracies = []
+        for start, stop in zip(edges[:-1], edges[1:]):
+            preds = self.predictions[start:stop]
+            labels = self.labels[start:stop]
+            mask = preds >= 0
+            if not mask.any():
+                accuracies.append(float("nan"))
+            else:
+                accuracies.append(
+                    float(np.mean(preds[mask] == labels[mask]))
+                )
+        return accuracies
+
+    def summary(self) -> dict:
+        """Machine-readable report (the serving benchmark's JSON rows)."""
+        payload = {
+            "num_requests": self.num_requests,
+            "served": self.served,
+            "dropped": self.dropped,
+            "drop_rate": self.drop_rate,
+            "deadline_misses": self.deadline_misses,
+            "deadline_miss_rate": self.deadline_miss_rate,
+            "throughput_rps": self.throughput,
+            "makespan_s": self.makespan_s,
+            "num_batches": self.num_batches,
+            "mean_batch_size": self.mean_batch_size,
+            "utilization": self.utilization,
+            "host_seconds": self.host_seconds,
+            "retried_batches": self.retried_batches,
+            "fallback_batches": self.fallback_batches,
+            "failed_devices": list(self.failed_devices),
+            "swaps_committed": len(self.swap_records),
+            "swap_seconds": sum(r.modelgen_seconds + r.load_seconds
+                                for r in self.swap_records),
+            "latency": self.latency.summary(),
+        }
+        if self.labels is not None:
+            payload["accuracy"] = self.accuracy
+        return payload
+
+
+class InferenceServer:
+    """Event-loop server over a replicated device pool.
+
+    Args:
+        pool: A :class:`DevicePool` loaded via
+            :meth:`~repro.edgetpu.multidevice.DevicePool.load_replicated`.
+        batcher: Batch-closing policy; defaults to a
+            :class:`~repro.serving.batcher.DynamicBatcher` of 32.
+        host: Host platform charged for tails and CPU fallback;
+            defaults to :class:`~repro.platforms.cpu.MobileCpu`.
+        max_queue: Admission bound — arrivals beyond this queue depth
+            are dropped.
+        swapper: Optional :class:`~repro.serving.swap.ModelSwapper`
+            whose scheduled swaps commit at batch boundaries.
+        profiler: Optional :class:`~repro.runtime.profiler.PhaseProfiler`;
+            the serve makespan is charged under ``inference``.
+    """
+
+    def __init__(self, pool: DevicePool, batcher=None,
+                 host: Platform | None = None, max_queue: int = 256,
+                 swapper: ModelSwapper | None = None, profiler=None):
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if host is None:
+            from repro.platforms.cpu import MobileCpu
+            host = MobileCpu()
+        loaded = [m for m in pool.models if m is not None]
+        if not loaded:
+            raise RuntimeError("no models loaded; load the pool first")
+        for other in loaded[1:]:
+            if other is not loaded[0]:
+                raise ValueError(
+                    "serving requires the replicated placement; use "
+                    "DevicePool.load_replicated()"
+                )
+        if swapper is not None and swapper.pool is not pool:
+            raise ValueError("swapper is bound to a different pool")
+        self.pool = pool
+        self.batcher = batcher if batcher is not None else DynamicBatcher()
+        self.host = host
+        self.max_queue = max_queue
+        self.swapper = swapper
+        self.profiler = profiler
+        self._compiled: CompiledModel = loaded[0]
+
+    # ------------------------------------------------------------------
+    # Cost estimation (drives the deadline-aware batch trigger)
+    # ------------------------------------------------------------------
+
+    def _host_tail_seconds(self, compiled: CompiledModel,
+                           rows: int) -> float:
+        width = compiled.plans[-1].output_dim
+        seconds = 0.0
+        for op in compiled.cpu_ops:
+            seconds += cpu_op_seconds(self.host, op, rows, width)
+            width = op.output_dim(width)
+        if not compiled.model.output_is_index:
+            seconds += self.host.argmax_seconds(rows, width)
+        return seconds
+
+    def service_estimate(self, batch_size: int) -> float:
+        """Modeled device invoke + host tail for one batch."""
+        if batch_size < 1:
+            raise ValueError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
+        compiled = self._compiled
+        return (compiled.invoke_seconds(batch_size)
+                + self._host_tail_seconds(compiled, batch_size))
+
+    # ------------------------------------------------------------------
+    # The event loop
+    # ------------------------------------------------------------------
+
+    def serve(self, requests: list[Request]) -> ServeReport:
+        """Run the trace to completion; returns the serving report.
+
+        Requests must be in arrival order (as
+        :meth:`~repro.serving.arrivals.RequestStream.generate` emits
+        them).  The loop alternates two events — admit the next arrival,
+        or close and dispatch a batch — always taking the earlier one,
+        so batching decisions see exactly the arrivals a real server
+        would have seen by that time.
+        """
+        num_requests = len(requests)
+        report = ServeReport(num_requests=num_requests)
+        report.predictions = np.full(num_requests, -1, dtype=np.int64)
+        report.latencies = np.full(num_requests, np.nan)
+        if num_requests and requests[0].label is not None:
+            report.labels = np.array(
+                [r.label for r in requests], dtype=np.int64
+            )
+        for left, right in zip(requests, requests[1:]):
+            if right.arrival_s < left.arrival_s:
+                raise ValueError("requests must be in arrival order")
+
+        queue: deque[Request] = deque()
+        device_free = [0.0] * self.pool.num_devices
+        device_busy = [0.0] * self.pool.num_devices
+        host_free = 0.0
+        now = 0.0
+        index = 0
+
+        while index < num_requests or queue:
+            next_arrival = (requests[index].arrival_s
+                            if index < num_requests else math.inf)
+            ready = self.batcher.ready_at(queue, now,
+                                          self.service_estimate)
+            if math.isinf(ready) and index >= num_requests and queue:
+                # Trace over, policy would wait forever: flush.
+                ready = now
+            if next_arrival <= ready:
+                now = max(now, next_arrival)
+                if len(queue) >= self.max_queue:
+                    report.dropped += 1
+                else:
+                    queue.append(requests[index])
+                index += 1
+                continue
+            now = max(now, ready)
+            batch = [queue.popleft()
+                     for _ in range(min(self.batcher.max_batch,
+                                        len(queue)))]
+            host_free = self._dispatch_batch(
+                batch, now, device_free, device_busy, host_free, report,
+            )
+
+        report.served = num_requests - report.dropped
+        report.makespan_s = float(
+            np.nanmax(report.latencies
+                      + np.array([r.arrival_s for r in requests]))
+            if report.served else now
+        )
+        report.device_busy_seconds = [float(b) for b in device_busy]
+        report.device_idle_seconds = [
+            max(0.0, report.makespan_s - b) for b in device_busy
+        ]
+        report.failed_devices = sorted(self.pool.failed)
+        if self.swapper is not None:
+            report.swap_records = list(self.swapper.records)
+        if self.profiler is not None:
+            self.profiler.charge("inference", report.makespan_s)
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _dispatch_batch(self, batch, dispatch_t, device_free,
+                        device_busy, host_free, report) -> float:
+        """Serve one closed batch; returns the updated host-free time."""
+        if self.swapper is not None:
+            swapped = self.swapper.poll(dispatch_t)
+            if swapped is not None:
+                self._compiled = swapped
+                # The commit's device load blocks every reloaded device.
+                load = self.swapper.records[-1].load_seconds
+                for i in self.pool.healthy_indices():
+                    device_free[i] = max(device_free[i],
+                                         dispatch_t + load)
+
+        rows = len(batch)
+        compiled = self._compiled
+        x = np.stack([request.features for request in batch])
+        quantized = compiled.model.input_spec.qparams.quantize(x)
+
+        predictions = None
+        completion = None
+        detect_t = dispatch_t
+        attempts = 0
+        failed_once = False
+        while attempts < 2:
+            healthy = self.pool.healthy_indices()
+            if not healthy:
+                break
+            chosen = min(healthy, key=lambda i: (device_free[i], i))
+            start = max(detect_t, device_free[chosen])
+            try:
+                invoke = self.pool.try_invoke(chosen, quantized,
+                                              at_s=start)
+            except DeviceFailedError as err:
+                attempts += 1
+                failed_once = True
+                detect_t = start + err.detect_seconds
+                continue
+            device_done = start + invoke.elapsed_s
+            device_free[chosen] = device_done
+            device_busy[chosen] += invoke.elapsed_s
+            out = invoke.outputs
+            width = compiled.plans[-1].output_dim
+            tail_cost = 0.0
+            for op in compiled.cpu_ops:
+                tail_cost += cpu_op_seconds(self.host, op, rows, width)
+                out = op.run(out)
+                width = op.output_dim(width)
+            if compiled.model.output_is_index:
+                predictions = out[:, 0]
+            else:
+                tail_cost += self.host.argmax_seconds(rows, width)
+                predictions = np.argmax(out, axis=-1)
+            host_free = max(host_free, device_done) + tail_cost
+            report.host_seconds += tail_cost
+            completion = host_free
+            if failed_once:
+                report.retried_batches += 1
+            break
+
+        if predictions is None:
+            # Retry exhausted or no healthy device: the CPU-fallback op
+            # path — the same int8 kernels on the host, bit-identical.
+            out = quantized
+            width = compiled.model.input_spec.size
+            cost = 0.0
+            for op in list(compiled.tpu_ops) + list(compiled.cpu_ops):
+                cost += cpu_op_seconds(self.host, op, rows, width)
+                out = op.run(out)
+                width = op.output_dim(width)
+            if compiled.model.output_is_index:
+                predictions = out[:, 0]
+            else:
+                cost += self.host.argmax_seconds(rows, width)
+                predictions = np.argmax(out, axis=-1)
+            host_free = max(host_free, detect_t) + cost
+            report.host_seconds += cost
+            completion = host_free
+            report.fallback_batches += 1
+
+        report.num_batches += 1
+        report.batch_sizes.append(rows)
+        for request, prediction in zip(batch, predictions):
+            report.predictions[request.request_id] = prediction
+            latency = completion - request.arrival_s
+            report.latencies[request.request_id] = latency
+            report.latency.record(latency)
+            if completion > request.deadline_s:
+                report.deadline_misses += 1
+        return host_free

@@ -106,3 +106,45 @@ class TestDriftingStream:
         centroids = np.stack([x[y == c].mean(axis=0) for c in range(3)])
         distances = ((x[:, None, :] - centroids[None]) ** 2).sum(axis=2)
         assert np.mean(distances.argmin(axis=1) == y) > 0.9
+
+
+class TestAdvanceAndDraw:
+    def test_advance_steps_drift_without_sampling(self):
+        stream = DriftingStream(StreamConfig(drift_rate=0.1), seed=0)
+        before = stream._centroids.copy()
+        stream.advance(5)
+        assert stream.steps == 5
+        assert not np.array_equal(stream._centroids, before)
+
+    def test_next_batch_equals_advance_plus_sample(self):
+        # next_batch is exactly advance(1) followed by a sample draw;
+        # the refactor must not have changed the RNG consumption order.
+        a = DriftingStream(StreamConfig(), seed=3)
+        b = DriftingStream(StreamConfig(), seed=3)
+        xa, ya = a.next_batch(16)
+        b.advance(1)
+        xb, yb = b._sample(16, b._rng)
+        np.testing.assert_array_equal(xa, xb)
+        np.testing.assert_array_equal(ya, yb)
+
+    def test_draw_samples_current_distribution(self):
+        stream = DriftingStream(StreamConfig(num_features=8, num_classes=3),
+                                seed=0)
+        x, y = stream.draw(10)
+        assert x.shape == (10, 8)
+        assert y.shape == (10,)
+        assert stream.steps == 0  # draw never advances drift
+
+    def test_draw_of_one_covers_all_classes(self):
+        # Regression: the balanced sampler always labels a size-1 draw
+        # as class 0; draw() must use i.i.d. labels instead.
+        stream = DriftingStream(StreamConfig(num_classes=4), seed=1)
+        labels = {int(stream.draw(1)[1][0]) for _ in range(100)}
+        assert labels == {0, 1, 2, 3}
+
+    def test_draw_validation(self):
+        stream = DriftingStream(seed=0)
+        with pytest.raises(ValueError):
+            stream.draw(0)
+        with pytest.raises(ValueError):
+            stream.advance(-1)

@@ -112,3 +112,107 @@ class TestDevicePool:
         pool.load_models(compiled)
         with pytest.raises(ValueError, match="2-D"):
             pool.invoke_ensemble(np.zeros(617, dtype=np.float32))
+
+
+class TestFailureInjection:
+    def _quantized(self, ds, compiled, n=4):
+        return compiled.model.input_spec.qparams.quantize(ds.test_x[:n])
+
+    def test_failure_plan_validation(self):
+        from repro.edgetpu import FailurePlan
+        with pytest.raises(ValueError, match="device_index"):
+            FailurePlan(device_index=-1, at_s=1.0)
+        with pytest.raises(ValueError, match="at_s"):
+            FailurePlan(device_index=0, at_s=-0.5)
+        with pytest.raises(ValueError, match="mode"):
+            FailurePlan(device_index=0, at_s=1.0, mode="meteor_strike")
+        with pytest.raises(ValueError, match="detect_seconds"):
+            FailurePlan(device_index=0, at_s=1.0, detect_seconds=-1.0)
+
+    def test_healthy_invoke_passes_through(self, ensemble):
+        ds, _, compiled = ensemble
+        pool = DevicePool(2)
+        pool.load_replicated(compiled[0])
+        quantized = self._quantized(ds, compiled[0])
+        result = pool.try_invoke(0, quantized, at_s=0.0)
+        np.testing.assert_array_equal(
+            result.outputs, pool.devices[1].invoke(quantized).outputs
+        )
+        assert pool.healthy_indices() == [0, 1]
+
+    def test_armed_plan_trips_at_time(self, ensemble):
+        from repro.edgetpu import DeviceFailedError, FailurePlan
+        ds, _, compiled = ensemble
+        pool = DevicePool(2)
+        pool.load_replicated(compiled[0])
+        pool.schedule_failure(FailurePlan(0, at_s=1.0, mode="usb_stall"))
+        quantized = self._quantized(ds, compiled[0])
+        # Before the trip time the device still answers.
+        pool.try_invoke(0, quantized, at_s=0.5)
+        with pytest.raises(DeviceFailedError) as info:
+            pool.try_invoke(0, quantized, at_s=1.2)
+        assert info.value.device_index == 0
+        assert info.value.mode == "usb_stall"
+        assert info.value.detect_seconds == pytest.approx(0.05)
+        assert pool.failed == {0}
+        assert pool.healthy_indices() == [1]
+        assert pool.models[0] is None  # tripped device is unloaded
+
+    def test_already_failed_raises_without_detect_cost(self, ensemble):
+        from repro.edgetpu import DeviceFailedError, FailurePlan
+        ds, _, compiled = ensemble
+        pool = DevicePool(1)
+        pool.load_replicated(compiled[0])
+        pool.schedule_failure(FailurePlan(0, at_s=0.0, mode="device_loss"))
+        quantized = self._quantized(ds, compiled[0])
+        with pytest.raises(DeviceFailedError) as first:
+            pool.try_invoke(0, quantized, at_s=0.1)
+        assert first.value.detect_seconds == 0.0
+        with pytest.raises(DeviceFailedError) as again:
+            pool.try_invoke(0, quantized, at_s=0.2)
+        assert again.value.detect_seconds == 0.0
+
+    def test_custom_detect_seconds(self, ensemble):
+        from repro.edgetpu import DeviceFailedError, FailurePlan
+        ds, _, compiled = ensemble
+        pool = DevicePool(1)
+        pool.load_replicated(compiled[0])
+        pool.schedule_failure(
+            FailurePlan(0, at_s=0.0, mode="usb_stall", detect_seconds=0.2)
+        )
+        with pytest.raises(DeviceFailedError) as info:
+            pool.try_invoke(0, self._quantized(ds, compiled[0]), at_s=0.0)
+        assert info.value.detect_seconds == pytest.approx(0.2)
+
+    def test_unload_and_reload(self, ensemble):
+        ds, _, compiled = ensemble
+        pool = DevicePool(2)
+        pool.load_replicated(compiled[0])
+        pool.unload(0)
+        assert pool.models[0] is None
+        load_s = pool.reload(0, compiled[1])
+        assert load_s > 0
+        assert pool.models[0] is compiled[1]
+
+    def test_reload_refuses_failed_device(self, ensemble):
+        from repro.edgetpu import DeviceFailedError, FailurePlan
+        ds, _, compiled = ensemble
+        pool = DevicePool(2)
+        pool.load_replicated(compiled[0])
+        pool.schedule_failure(FailurePlan(1, at_s=0.0, mode="device_loss"))
+        with pytest.raises(DeviceFailedError):
+            pool.try_invoke(1, self._quantized(ds, compiled[0]), at_s=0.0)
+        with pytest.raises(RuntimeError, match="failed"):
+            pool.reload(1, compiled[0])
+
+    def test_load_replicated_skips_failed(self, ensemble):
+        from repro.edgetpu import DeviceFailedError, FailurePlan
+        ds, _, compiled = ensemble
+        pool = DevicePool(2)
+        pool.load_replicated(compiled[0])
+        pool.schedule_failure(FailurePlan(0, at_s=0.0, mode="device_loss"))
+        with pytest.raises(DeviceFailedError):
+            pool.try_invoke(0, self._quantized(ds, compiled[0]), at_s=0.0)
+        pool.load_replicated(compiled[1])
+        assert pool.models[0] is None
+        assert pool.models[1] is compiled[1]

@@ -77,11 +77,21 @@ class TestExamples:
         assert "R^2" in out
         assert "ridge" in out
 
+    def test_online_serving(self, capsys):
+        module = _load("online_serving")
+        module.main(num_requests=400, dimension=512)
+        out = capsys.readouterr().out
+        assert "deadline-aware" in out
+        assert "fixed-size" in out
+        assert "USB stall" in out
+        assert "identical to the healthy run: True" in out
+        assert "hot swap" in out
+
     @pytest.mark.parametrize("name", [
         "quickstart", "speech_keyword_deployment", "activity_recognition",
         "custom_accelerator_study", "federated_edge_fleet",
         "raw_sensor_pipeline", "dna_sequence_matching",
-        "sensor_regression",
+        "sensor_regression", "online_serving",
     ])
     def test_examples_have_main(self, name):
         module = _load(name)

@@ -219,10 +219,71 @@ class TestMicroBatchDispatcherReplicated:
         dispatcher = MicroBatchDispatcher(pool, micro_batch=8)
         with pytest.raises(ValueError, match="2-D"):
             dispatcher.dispatch(np.zeros(5))
-        with pytest.raises(ValueError, match="empty"):
-            dispatcher.dispatch(np.zeros((0, ds.test_x.shape[1])))
         with pytest.raises(ValueError, match="labels"):
             dispatcher.dispatch(ds.test_x[:8], ds.test_y[:5])
+
+    def test_empty_stream_returns_zero_result(self, fused_setup):
+        # An idle tick in a streaming pipeline: no samples is a valid
+        # dispatch, not an error.
+        ds, _, fused_compiled, _ = fused_setup
+        pool = DevicePool(2)
+        pool.load_replicated(fused_compiled)
+        dispatcher = MicroBatchDispatcher(pool, micro_batch=8)
+        result = dispatcher.dispatch(
+            np.zeros((0, ds.test_x.shape[1]), dtype=ds.test_x.dtype)
+        )
+        assert result.samples == 0
+        assert result.num_batches == 0
+        assert result.predictions.shape == (0,)
+        assert result.predictions.dtype == np.int64
+        assert result.makespan_seconds == 0.0
+        assert result.device_seconds == [0.0, 0.0]
+        assert result.utilization == 0.0
+        assert result.accuracy is None
+
+    def test_remainder_batch(self, fused_setup):
+        # 50 samples at micro_batch=16 -> 3 full batches + one of 2.
+        ds, _, fused_compiled, _ = fused_setup
+        pool = DevicePool(2)
+        pool.load_replicated(fused_compiled)
+        dispatcher = MicroBatchDispatcher(pool, micro_batch=16)
+        result = dispatcher.dispatch(ds.test_x[:50])
+        assert result.num_batches == 4
+        assert result.samples == 50
+        assert result.predictions.shape == (50,)
+
+    def test_micro_batch_larger_than_stream(self, fused_setup):
+        ds, _, fused_compiled, _ = fused_setup
+        pool = DevicePool(3)
+        pool.load_replicated(fused_compiled)
+        dispatcher = MicroBatchDispatcher(pool, micro_batch=256)
+        result = dispatcher.dispatch(ds.test_x[:24])
+        assert result.num_batches == 1
+        assert result.samples == 24
+
+    def test_micro_batch_one_matches_full_batch(self, fused_setup):
+        # Bit-exactness under the finest slicing: per-sample dispatch
+        # must agree with a single full-batch dispatch.
+        ds, _, fused_compiled, _ = fused_setup
+        x = ds.test_x[:32]
+        pool = DevicePool(2)
+        pool.load_replicated(fused_compiled)
+        fine = MicroBatchDispatcher(pool, micro_batch=1).dispatch(x)
+        full = MicroBatchDispatcher(pool, micro_batch=len(x)).dispatch(x)
+        assert fine.num_batches == 32
+        assert full.num_batches == 1
+        np.testing.assert_array_equal(fine.predictions, full.predictions)
+
+    def test_utilization_accounting(self, fused_setup):
+        ds, _, fused_compiled, _ = fused_setup
+        pool = DevicePool(3)
+        pool.load_replicated(fused_compiled)
+        dispatcher = MicroBatchDispatcher(pool, micro_batch=8)
+        result = dispatcher.dispatch(ds.test_x[:64])
+        assert isinstance(result.device_seconds, list)
+        assert len(result.device_idle_seconds) == 3
+        assert all(idle >= 0.0 for idle in result.device_idle_seconds)
+        assert 0.0 < result.utilization <= 1.0
 
     def test_unloaded_pool_rejected(self, fused_setup):
         ds, *_ = fused_setup

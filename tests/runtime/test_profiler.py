@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.runtime.profiler import PHASES, PhaseProfiler
+from repro.runtime.profiler import PHASES, LatencyTracker, PhaseProfiler
 
 
 class TestPhaseProfiler:
@@ -39,3 +39,70 @@ class TestPhaseProfiler:
         profiler.charge("update", 3.0)
         assert profiler.report() == profiler.report()
         assert "update" in profiler.report()
+
+
+class TestLatencyTracker:
+    def test_empty_tracker(self):
+        tracker = LatencyTracker()
+        assert len(tracker) == 0
+        assert tracker.summary() == {"count": 0}
+        with pytest.raises(ValueError):
+            tracker.p50
+        with pytest.raises(ValueError):
+            tracker.mean
+
+    def test_single_sample(self):
+        tracker = LatencyTracker()
+        tracker.record(0.125)
+        assert tracker.p50 == tracker.p95 == tracker.p99 == 0.125
+        assert tracker.mean == 0.125
+
+    def test_nearest_rank_percentiles(self):
+        # 100 samples 0.01..1.00: nearest-rank p50 is the 50th value.
+        tracker = LatencyTracker()
+        for i in range(100, 0, -1):  # insertion order must not matter
+            tracker.record(i / 100.0)
+        assert tracker.p50 == pytest.approx(0.50)
+        assert tracker.p95 == pytest.approx(0.95)
+        assert tracker.p99 == pytest.approx(0.99)
+        assert tracker.max == pytest.approx(1.00)
+        assert tracker.percentile(100.0) == pytest.approx(1.00)
+
+    def test_percentiles_are_observed_values(self):
+        # Nearest-rank reports a value that actually occurred, so the
+        # summary is exactly reproducible -- no interpolation.
+        tracker = LatencyTracker()
+        for value in [0.010, 0.020, 0.400]:
+            tracker.record(value)
+        assert tracker.p50 in (0.010, 0.020, 0.400)
+        assert tracker.p99 == 0.400
+
+    def test_summary_keys(self):
+        tracker = LatencyTracker()
+        tracker.record(0.01)
+        tracker.record(0.03)
+        summary = tracker.summary()
+        assert summary["count"] == 2
+        assert summary["mean_s"] == pytest.approx(0.02)
+        assert set(summary) == {
+            "count", "mean_s", "p50_s", "p95_s", "p99_s", "max_s",
+        }
+
+    def test_rejects_bad_input(self):
+        tracker = LatencyTracker()
+        with pytest.raises(ValueError):
+            tracker.record(-0.1)
+        tracker.record(0.5)
+        with pytest.raises(ValueError):
+            tracker.percentile(-1.0)
+        with pytest.raises(ValueError):
+            tracker.percentile(101.0)
+
+    def test_percentile_report_line(self):
+        profiler = PhaseProfiler()
+        tracker = LatencyTracker()
+        assert "no samples" in profiler.percentile_report(tracker)
+        tracker.record(0.002)
+        line = profiler.percentile_report(tracker, title="serve")
+        assert line.startswith("serve:")
+        assert "p99=2.000 ms" in line

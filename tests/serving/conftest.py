@@ -1,0 +1,43 @@
+"""Shared fixtures: a small trained + compiled model and request traces."""
+
+import numpy as np
+import pytest
+
+from repro.data.streams import DriftingStream, StreamConfig
+from repro.edgetpu import compile_model
+from repro.hdc.encoder import NonlinearEncoder
+from repro.hdc.model import HDCClassifier
+from repro.nn import from_classifier
+from repro.serving import ArrivalProcess, RequestStream
+from repro.tflite import convert
+
+NUM_FEATURES = 16
+NUM_CLASSES = 3
+DIMENSION = 256
+
+
+def train_compiled(x, y, seed=0, dimension=DIMENSION):
+    rng = np.random.default_rng(seed)
+    encoder = NonlinearEncoder(x.shape[1], dimension, seed=rng)
+    classifier = HDCClassifier(dimension=dimension, encoder=encoder,
+                               seed=rng)
+    classifier.fit(x, y, iterations=4, num_classes=NUM_CLASSES)
+    return compile_model(
+        convert(from_classifier(classifier, include_argmax=True), x[:96])
+    )
+
+
+@pytest.fixture(scope="package")
+def serving_setup():
+    """A stationary stream, a compiled model, and a 300-request trace."""
+    stream = DriftingStream(
+        StreamConfig(num_features=NUM_FEATURES, num_classes=NUM_CLASSES,
+                     drift_rate=0.0),
+        seed=2,
+    )
+    train_x, train_y = stream.next_batch(300)
+    compiled = train_compiled(train_x, train_y)
+    arrivals = ArrivalProcess(300.0, "poisson", seed=5)
+    trace = RequestStream(stream, arrivals, deadline_s=0.04,
+                          drift_every=1).generate(300)
+    return stream, compiled, trace

@@ -1,0 +1,117 @@
+"""Tests for arrival processes and request-stream generation."""
+
+import numpy as np
+import pytest
+
+from repro.data.streams import DriftingStream, StreamConfig
+from repro.serving import ArrivalProcess, Request, RequestStream
+
+
+class TestArrivalProcess:
+    def test_poisson_mean_rate(self):
+        gaps = ArrivalProcess(100.0, "poisson", seed=0).inter_arrivals(5000)
+        assert gaps.min() > 0
+        assert np.mean(gaps) == pytest.approx(0.01, rel=0.1)
+
+    def test_times_strictly_increase(self):
+        times = ArrivalProcess(50.0, "poisson", seed=1).times(200)
+        assert np.all(np.diff(times) > 0)
+
+    def test_deterministic_per_seed(self):
+        a = ArrivalProcess(100.0, "bursty", seed=7).times(300)
+        b = ArrivalProcess(100.0, "bursty", seed=7).times(300)
+        np.testing.assert_array_equal(a, b)
+
+    def test_bursty_is_burstier_than_poisson(self):
+        # Coefficient of variation of inter-arrivals: 1 for Poisson,
+        # strictly larger for the modulated process.
+        poisson = ArrivalProcess(100.0, "poisson", seed=3
+                                 ).inter_arrivals(4000)
+        bursty = ArrivalProcess(100.0, "bursty", seed=3,
+                                burst_factor=10.0).inter_arrivals(4000)
+        cv = lambda g: np.std(g) / np.mean(g)  # noqa: E731
+        assert cv(bursty) > cv(poisson)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(rate_hz=0.0),
+        dict(rate_hz=10.0, kind="uniform"),
+        dict(rate_hz=10.0, burst_factor=0.5),
+        dict(rate_hz=10.0, burst_length=0),
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            ArrivalProcess(**kwargs)
+
+    def test_rejects_zero_requests(self):
+        with pytest.raises(ValueError):
+            ArrivalProcess(10.0, seed=0).inter_arrivals(0)
+
+
+class TestRequestStream:
+    def _stream(self, drift_rate=0.05):
+        return DriftingStream(
+            StreamConfig(num_features=8, num_classes=3,
+                         drift_rate=drift_rate),
+            seed=0,
+        )
+
+    def test_generate_shape_and_order(self):
+        rs = RequestStream(self._stream(),
+                           ArrivalProcess(100.0, seed=1), deadline_s=0.05)
+        trace = rs.generate(50)
+        assert len(trace) == 50
+        assert [r.request_id for r in trace] == list(range(50))
+        arrivals = [r.arrival_s for r in trace]
+        assert arrivals == sorted(arrivals)
+        for request in trace:
+            assert request.features.shape == (8,)
+            assert 0 <= request.label < 3
+            assert request.deadline_s == pytest.approx(
+                request.arrival_s + 0.05
+            )
+            assert request.budget_s == pytest.approx(0.05)
+
+    def test_drift_advances_per_request(self):
+        stream = self._stream()
+        RequestStream(stream, ArrivalProcess(100.0, seed=1),
+                      deadline_s=0.05, drift_every=1).generate(40)
+        assert stream.steps == 40
+
+    def test_drift_every_zero_freezes(self):
+        stream = self._stream()
+        RequestStream(stream, ArrivalProcess(100.0, seed=1),
+                      deadline_s=0.05, drift_every=0).generate(40)
+        assert stream.steps == 0
+
+    def test_deterministic_trace(self):
+        def build():
+            rs = RequestStream(self._stream(),
+                               ArrivalProcess(100.0, seed=1),
+                               deadline_s=0.05)
+            return rs.generate(30)
+
+        a, b = build(), build()
+        for left, right in zip(a, b):
+            assert left.arrival_s == right.arrival_s
+            assert left.label == right.label
+            np.testing.assert_array_equal(left.features, right.features)
+
+    def test_labels_cover_classes(self):
+        trace = RequestStream(self._stream(),
+                              ArrivalProcess(100.0, seed=1),
+                              deadline_s=0.05).generate(200)
+        assert set(r.label for r in trace) == {0, 1, 2}
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(deadline_s=0.0),
+        dict(deadline_s=0.1, drift_every=-1),
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            RequestStream(self._stream(), ArrivalProcess(10.0, seed=0),
+                          **kwargs)
+
+    def test_request_dataclass(self):
+        request = Request(request_id=0, arrival_s=1.0, deadline_s=1.5,
+                          features=np.zeros(4), label=2)
+        assert request.budget_s == pytest.approx(0.5)

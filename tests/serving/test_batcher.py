@@ -1,0 +1,81 @@
+"""Tests for the batch-closing policies."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.serving import DynamicBatcher, FixedSizeBatcher, Request
+
+
+def _request(request_id, arrival_s, budget_s=0.1):
+    return Request(request_id=request_id, arrival_s=arrival_s,
+                   deadline_s=arrival_s + budget_s,
+                   features=np.zeros(4), label=0)
+
+
+def _estimate(batch_size):
+    return 0.01 * batch_size
+
+
+class TestDynamicBatcher:
+    def test_empty_queue_never_ready(self):
+        batcher = DynamicBatcher(max_batch=4)
+        assert math.isinf(batcher.ready_at([], 0.0, _estimate))
+
+    def test_full_queue_ready_now(self):
+        batcher = DynamicBatcher(max_batch=2)
+        queue = [_request(0, 0.0), _request(1, 0.001)]
+        assert batcher.ready_at(queue, 0.005, _estimate) == 0.005
+
+    def test_deadline_forces_dispatch(self):
+        batcher = DynamicBatcher(max_batch=32, slack_s=0.0)
+        queue = [_request(0, 0.0, budget_s=0.1)]
+        # Deadline 0.1, service estimate 0.01 -> must dispatch by 0.09.
+        assert batcher.ready_at(queue, 0.0, _estimate) == pytest.approx(0.09)
+
+    def test_slack_moves_trigger_earlier(self):
+        loose = DynamicBatcher(max_batch=32, slack_s=0.0)
+        tight = DynamicBatcher(max_batch=32, slack_s=0.02)
+        queue = [_request(0, 0.0, budget_s=0.1)]
+        assert tight.ready_at(queue, 0.0, _estimate) == pytest.approx(
+            loose.ready_at(queue, 0.0, _estimate) - 0.02
+        )
+
+    def test_overdue_queue_ready_now(self):
+        batcher = DynamicBatcher(max_batch=32)
+        queue = [_request(0, 0.0, budget_s=0.01)]
+        assert batcher.ready_at(queue, 0.5, _estimate) == 0.5
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(max_batch=0),
+        dict(max_batch=4, slack_s=-0.1),
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            DynamicBatcher(**kwargs)
+
+
+class TestFixedSizeBatcher:
+    def test_waits_for_full_batch(self):
+        batcher = FixedSizeBatcher(max_batch=4)
+        queue = [_request(0, 0.0), _request(1, 0.001)]
+        assert math.isinf(batcher.ready_at(queue, 1.0, _estimate))
+
+    def test_full_queue_ready_now(self):
+        batcher = FixedSizeBatcher(max_batch=2)
+        queue = [_request(0, 0.0), _request(1, 0.001)]
+        assert batcher.ready_at(queue, 0.002, _estimate) == 0.002
+
+    def test_timeout_triggers(self):
+        batcher = FixedSizeBatcher(max_batch=8, timeout_s=0.05)
+        queue = [_request(0, 0.1)]
+        assert batcher.ready_at(queue, 0.1, _estimate) == pytest.approx(0.15)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(max_batch=0),
+        dict(max_batch=4, timeout_s=0.0),
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            FixedSizeBatcher(**kwargs)

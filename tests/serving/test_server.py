@@ -1,0 +1,230 @@
+"""Tests for the online inference server event loop."""
+
+import numpy as np
+import pytest
+
+from repro.edgetpu import (
+    DevicePool,
+    EdgeTpuDevice,
+    FailurePlan,
+    compile_model,
+)
+from repro.runtime import PhaseProfiler
+from repro.serving import (
+    DynamicBatcher,
+    FixedSizeBatcher,
+    InferenceServer,
+    ModelSwapper,
+)
+
+
+def _offline_predictions(compiled, trace):
+    """Reference: the whole trace as one batch on one device."""
+    x = np.stack([r.features for r in trace])
+    device = EdgeTpuDevice()
+    device.load_model(compiled)
+    out = device.invoke(compiled.model.input_spec.qparams.quantize(x)).outputs
+    for op in compiled.cpu_ops:
+        out = op.run(out)
+    return out[:, 0] if compiled.model.output_is_index \
+        else np.argmax(out, axis=-1)
+
+
+def _serve(compiled, trace, num_devices=2, batcher=None, **kwargs):
+    pool = DevicePool(num_devices)
+    pool.load_replicated(compiled)
+    server = InferenceServer(
+        pool,
+        batcher=batcher or DynamicBatcher(16, slack_s=0.001),
+        **kwargs,
+    )
+    return server.serve(trace), pool
+
+
+class TestServe:
+    def test_serves_whole_trace_in_order(self, serving_setup):
+        _, compiled, trace = serving_setup
+        report, _ = _serve(compiled, trace)
+        assert report.served == len(trace)
+        assert report.dropped == 0
+        # Predictions are bit-identical to an offline run, in request
+        # order — micro-batching/queueing changes timing, never values.
+        np.testing.assert_array_equal(
+            report.predictions, _offline_predictions(compiled, trace)
+        )
+
+    def test_latency_accounting(self, serving_setup):
+        _, compiled, trace = serving_setup
+        report, _ = _serve(compiled, trace)
+        assert len(report.latency) == report.served
+        assert np.all(report.latencies[~np.isnan(report.latencies)] > 0)
+        assert report.latency.p50 <= report.latency.p95 <= report.latency.p99
+        assert report.makespan_s >= trace[-1].arrival_s
+        assert report.throughput > 0
+
+    def test_device_utilization_fields(self, serving_setup):
+        _, compiled, trace = serving_setup
+        report, pool = _serve(compiled, trace, num_devices=3)
+        assert len(report.device_busy_seconds) == 3
+        assert len(report.device_idle_seconds) == 3
+        assert 0.0 < report.utilization < 1.0
+        for busy, idle in zip(report.device_busy_seconds,
+                              report.device_idle_seconds):
+            assert busy + idle == pytest.approx(report.makespan_s)
+
+    def test_admission_control_drops(self, serving_setup):
+        _, compiled, trace = serving_setup
+        # A tiny queue with a policy that never dispatches until full
+        # load forces drops under this arrival rate.
+        report, _ = _serve(compiled, trace, num_devices=1,
+                           batcher=FixedSizeBatcher(max_batch=16),
+                           max_queue=8)
+        assert report.dropped > 0
+        assert report.served + report.dropped == len(trace)
+        dropped_mask = report.predictions == -1
+        assert dropped_mask.sum() == report.dropped
+        assert np.isnan(report.latencies[dropped_mask]).all()
+
+    def test_deadline_aware_beats_fixed_p99(self, serving_setup):
+        _, compiled, trace = serving_setup
+        dynamic, _ = _serve(compiled, trace,
+                            batcher=DynamicBatcher(32, slack_s=0.001))
+        fixed, _ = _serve(compiled, trace,
+                          batcher=FixedSizeBatcher(32))
+        assert dynamic.latency.p99 < fixed.latency.p99
+        assert dynamic.deadline_miss_rate < fixed.deadline_miss_rate
+
+    def test_deterministic_reports(self, serving_setup):
+        _, compiled, trace = serving_setup
+        a, _ = _serve(compiled, trace)
+        b, _ = _serve(compiled, trace)
+        assert a.summary() == b.summary()
+        np.testing.assert_array_equal(a.predictions, b.predictions)
+        np.testing.assert_array_equal(a.latencies, b.latencies)
+
+    def test_profiler_charged(self, serving_setup):
+        _, compiled, trace = serving_setup
+        profiler = PhaseProfiler()
+        report, _ = _serve(compiled, trace, profiler=profiler)
+        assert profiler.seconds("inference") == report.makespan_s
+
+    def test_windowed_accuracy(self, serving_setup):
+        _, compiled, trace = serving_setup
+        report, _ = _serve(compiled, trace)
+        windows = report.windowed_accuracy(5)
+        assert len(windows) == 5
+        assert all(0.0 <= w <= 1.0 for w in windows)
+        assert report.accuracy == pytest.approx(
+            np.mean(report.predictions == report.labels)
+        )
+
+
+class TestFaultTolerance:
+    def test_retry_on_second_device(self, serving_setup):
+        _, compiled, trace = serving_setup
+        pool = DevicePool(2)
+        pool.load_replicated(compiled)
+        pool.schedule_failure(FailurePlan(0, at_s=0.2, mode="usb_stall"))
+        server = InferenceServer(pool,
+                                 batcher=DynamicBatcher(16, slack_s=0.001))
+        report = server.serve(trace)
+        healthy, _ = _serve(compiled, trace)
+        assert report.served == len(trace)
+        assert report.retried_batches >= 1
+        assert report.fallback_batches == 0
+        assert report.failed_devices == [0]
+        np.testing.assert_array_equal(report.predictions,
+                                      healthy.predictions)
+
+    def test_cpu_fallback_when_pool_lost(self, serving_setup):
+        _, compiled, trace = serving_setup
+        pool = DevicePool(1)
+        pool.load_replicated(compiled)
+        pool.schedule_failure(FailurePlan(0, at_s=0.2,
+                                          mode="device_loss"))
+        server = InferenceServer(pool,
+                                 batcher=DynamicBatcher(16, slack_s=0.001))
+        report = server.serve(trace)
+        healthy, _ = _serve(compiled, trace)
+        assert report.served == len(trace)
+        assert report.fallback_batches > 0
+        # Graceful degradation: the fallback is slower but bit-exact.
+        np.testing.assert_array_equal(report.predictions,
+                                      healthy.predictions)
+        assert report.host_seconds > healthy.host_seconds
+
+    def test_stall_detection_costs_latency(self, serving_setup):
+        _, compiled, trace = serving_setup
+
+        def p99(mode):
+            pool = DevicePool(2)
+            pool.load_replicated(compiled)
+            pool.schedule_failure(
+                FailurePlan(0, at_s=0.2, mode=mode)
+            )
+            server = InferenceServer(
+                pool, batcher=DynamicBatcher(16, slack_s=0.001)
+            )
+            return server.serve(trace).latency.max
+
+        # A USB stall pays a detection timeout that device loss skips.
+        assert p99("usb_stall") > p99("device_loss")
+
+
+class TestValidation:
+    def test_unloaded_pool_rejected(self):
+        with pytest.raises(RuntimeError, match="load"):
+            InferenceServer(DevicePool(2))
+
+    def test_mixed_models_rejected(self, serving_setup):
+        stream, compiled, _ = serving_setup
+        train_x, train_y = stream.test_set(200)
+        from tests.serving.conftest import train_compiled
+        other = train_compiled(train_x, train_y, seed=9)
+        pool = DevicePool(2)
+        pool.load_models([compiled, other])
+        with pytest.raises(ValueError, match="replicated"):
+            InferenceServer(pool)
+
+    def test_bad_max_queue(self, serving_setup):
+        _, compiled, _ = serving_setup
+        pool = DevicePool(1)
+        pool.load_replicated(compiled)
+        with pytest.raises(ValueError, match="max_queue"):
+            InferenceServer(pool, max_queue=0)
+
+    def test_foreign_swapper_rejected(self, serving_setup):
+        _, compiled, _ = serving_setup
+        pool = DevicePool(1)
+        pool.load_replicated(compiled)
+        other_pool = DevicePool(1)
+        other_pool.load_replicated(compiled)
+        with pytest.raises(ValueError, match="pool"):
+            InferenceServer(pool, swapper=ModelSwapper(other_pool))
+
+    def test_out_of_order_trace_rejected(self, serving_setup):
+        _, compiled, trace = serving_setup
+        pool = DevicePool(1)
+        pool.load_replicated(compiled)
+        server = InferenceServer(pool)
+        with pytest.raises(ValueError, match="arrival order"):
+            server.serve([trace[1], trace[0]])
+
+    def test_empty_trace(self, serving_setup):
+        _, compiled, _ = serving_setup
+        pool = DevicePool(1)
+        pool.load_replicated(compiled)
+        report = InferenceServer(pool).serve([])
+        assert report.served == 0
+        assert report.num_batches == 0
+        assert report.makespan_s == 0.0
+
+    def test_service_estimate_positive(self, serving_setup):
+        _, compiled, _ = serving_setup
+        pool = DevicePool(1)
+        pool.load_replicated(compiled)
+        server = InferenceServer(pool)
+        assert server.service_estimate(1) > 0
+        assert server.service_estimate(32) > server.service_estimate(1)
+        with pytest.raises(ValueError):
+            server.service_estimate(0)

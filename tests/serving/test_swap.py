@@ -1,0 +1,163 @@
+"""Tests for the hot model swapper."""
+
+import numpy as np
+import pytest
+
+from repro.data.streams import DriftingStream, StreamConfig
+from repro.edgetpu import DevicePool, FailurePlan
+from repro.serving import (
+    ArrivalProcess,
+    DynamicBatcher,
+    InferenceServer,
+    ModelSwapper,
+    RequestStream,
+)
+from tests.serving.conftest import (
+    NUM_CLASSES,
+    NUM_FEATURES,
+    train_compiled,
+)
+
+
+@pytest.fixture(scope="module")
+def drift_setup():
+    """A drifting stream, an initial model, and a 600-request trace."""
+    stream = DriftingStream(
+        StreamConfig(num_features=NUM_FEATURES, num_classes=NUM_CLASSES,
+                     drift_rate=0.1),
+        seed=4,
+    )
+    train_x, train_y = stream.next_batch(300)
+    compiled = train_compiled(train_x, train_y)
+    arrivals = ArrivalProcess(300.0, "poisson", seed=6)
+    trace = RequestStream(stream, arrivals, deadline_s=0.04,
+                          drift_every=1).generate(600)
+    cut = 300
+    window = trace[cut - 200:cut]
+    retrained = train_compiled(
+        np.stack([r.features for r in window]),
+        np.array([r.label for r in window], dtype=np.int64),
+        seed=8,
+    )
+    return compiled, retrained, trace, cut
+
+
+class TestModelSwapper:
+    def test_schedule_charges_modelgen(self, drift_setup):
+        compiled, retrained, _, _ = drift_setup
+        pool = DevicePool(1)
+        pool.load_replicated(compiled)
+        swapper = ModelSwapper(pool)
+        ready = swapper.schedule(retrained, at_s=1.0)
+        assert ready == pytest.approx(
+            1.0 + swapper.modelgen_seconds(retrained)
+        )
+        assert swapper.modelgen_seconds(retrained) > 0
+        assert swapper.pending == 1
+
+    def test_poll_before_ready_is_noop(self, drift_setup):
+        compiled, retrained, _, _ = drift_setup
+        pool = DevicePool(1)
+        pool.load_replicated(compiled)
+        swapper = ModelSwapper(pool)
+        ready = swapper.schedule(retrained, at_s=1.0)
+        assert swapper.poll(ready - 1e-6) is None
+        assert pool.models[0] is compiled
+        assert swapper.poll(ready) is retrained
+        assert pool.models[0] is retrained
+        assert swapper.pending == 0
+        assert swapper.swaps_committed == 1
+        assert swapper.total_swap_seconds > 0
+
+    def test_stacked_swaps_commit_newest(self, drift_setup):
+        compiled, retrained, _, _ = drift_setup
+        pool = DevicePool(1)
+        pool.load_replicated(compiled)
+        swapper = ModelSwapper(pool)
+        swapper.schedule(retrained, at_s=0.0)
+        newer = train_compiled(
+            *DriftingStream(
+                StreamConfig(num_features=NUM_FEATURES,
+                             num_classes=NUM_CLASSES),
+                seed=11,
+            ).next_batch(200),
+            seed=12,
+        )
+        swapper.schedule(newer, at_s=0.1)
+        committed = swapper.poll(1e9)
+        assert committed is newer
+        assert swapper.pending == 0
+        assert swapper.swaps_committed == 1
+
+    def test_commit_skips_failed_devices(self, drift_setup):
+        compiled, retrained, _, _ = drift_setup
+        pool = DevicePool(2)
+        pool.load_replicated(compiled)
+        pool.schedule_failure(FailurePlan(0, at_s=0.0,
+                                          mode="device_loss"))
+        with pytest.raises(Exception):
+            pool.try_invoke(
+                0,
+                compiled.model.input_spec.qparams.quantize(
+                    np.zeros((1, NUM_FEATURES), dtype=np.float32)
+                ),
+                at_s=0.5,
+            )
+        swapper = ModelSwapper(pool)
+        swapper.schedule(retrained, at_s=0.0)
+        swapper.poll(1e9)
+        assert pool.models[0] is None
+        assert pool.models[1] is retrained
+
+    def test_invalid_schedule_time(self, drift_setup):
+        compiled, retrained, _, _ = drift_setup
+        pool = DevicePool(1)
+        pool.load_replicated(compiled)
+        with pytest.raises(ValueError):
+            ModelSwapper(pool).schedule(retrained, at_s=-1.0)
+
+
+class TestServedSwap:
+    def _serve(self, drift_setup, swap):
+        compiled, retrained, trace, cut = drift_setup
+        pool = DevicePool(2)
+        pool.load_replicated(compiled)
+        swapper = ModelSwapper(pool) if swap else None
+        server = InferenceServer(
+            pool, batcher=DynamicBatcher(16, slack_s=0.001),
+            swapper=swapper,
+        )
+        if swap:
+            swapper.schedule(retrained, at_s=trace[cut].arrival_s)
+        return server.serve(trace)
+
+    def test_swap_recovers_accuracy(self, drift_setup):
+        static = self._serve(drift_setup, swap=False)
+        swapped = self._serve(drift_setup, swap=True)
+        assert len(swapped.swap_records) == 1
+        record = swapped.swap_records[0]
+        assert record.committed_s >= record.scheduled_s
+        assert record.modelgen_seconds > 0
+        assert record.load_seconds > 0
+        static_windows = static.windowed_accuracy(4)
+        swap_windows = swapped.windowed_accuracy(4)
+        assert swap_windows[-1] > static_windows[-1]
+
+    def test_old_model_serves_until_commit(self, drift_setup):
+        compiled, retrained, trace, cut = drift_setup
+        static = self._serve(drift_setup, swap=False)
+        swapped = self._serve(drift_setup, swap=True)
+        commit = swapped.swap_records[0].committed_s
+        before = [r.request_id for r in trace
+                  if r.arrival_s < commit - 0.05]
+        # Requests completed well before the commit saw the old model.
+        early = np.array(before[:len(before) // 2])
+        np.testing.assert_array_equal(
+            swapped.predictions[early], static.predictions[early]
+        )
+
+    def test_swap_report_summary(self, drift_setup):
+        swapped = self._serve(drift_setup, swap=True)
+        summary = swapped.summary()
+        assert summary["swaps_committed"] == 1
+        assert summary["swap_seconds"] > 0
