@@ -19,7 +19,13 @@ from dataclasses import dataclass, field
 from repro.edgetpu.arch import EdgeTpuArch
 from repro.edgetpu.systolic import systolic_cycles
 from repro.tflite.flatmodel import FlatModel
-from repro.tflite.ops import ArgmaxOp, FullyConnectedOp, Op, TanhOp
+from repro.tflite.ops import (
+    ArgmaxOp,
+    FullyConnectedOp,
+    Op,
+    TanhOp,
+    fused_stages,
+)
 
 __all__ = [
     "CompileError",
@@ -140,16 +146,40 @@ class CompiledModel:
 
         Terms: fixed dispatch overhead, input transfer, parameter
         streaming for oversized models, compute, output transfer.
+        The result is memoized per batch size — the plan is immutable —
+        so per-batch callers (the device simulator, the serving event
+        loop's ``service_estimate``) stop re-deriving the latency plan
+        on every call.
         """
         if batch < 1:
             raise ValueError(f"batch must be >= 1, got {batch}")
-        arch = self.arch
-        seconds = arch.invoke_overhead_s
-        seconds += arch.transfer_time(batch * self.tpu_input_bytes)
-        seconds += arch.transfer_time(self.streamed_bytes_per_invoke)
-        seconds += arch.cycles_to_seconds(self.compute_cycles(batch))
-        seconds += arch.transfer_time(batch * self.tpu_output_bytes)
+        cache: dict[int, float] = self.__dict__.setdefault(
+            "_invoke_seconds_cache", {}
+        )
+        seconds = cache.get(batch)
+        if seconds is None:
+            arch = self.arch
+            seconds = arch.invoke_overhead_s
+            seconds += arch.transfer_time(batch * self.tpu_input_bytes)
+            seconds += arch.transfer_time(self.streamed_bytes_per_invoke)
+            seconds += arch.cycles_to_seconds(self.compute_cycles(batch))
+            seconds += arch.transfer_time(batch * self.tpu_output_bytes)
+            cache[batch] = seconds
         return seconds
+
+    def host_stages(self) -> list:
+        """Fused execution stages for the *whole* model on the host CPU.
+
+        The serving CPU-fallback path runs ``tpu_ops + cpu_ops`` through
+        the same fused kernels the device simulator uses, so degraded
+        predictions stay bit-identical.  Built lazily once per compiled
+        model (the op chain is immutable).
+        """
+        stages = self.__dict__.get("_host_stages")
+        if stages is None:
+            stages = fused_stages(list(self.tpu_ops) + list(self.cpu_ops))
+            self.__dict__["_host_stages"] = stages
+        return stages
 
     def load_seconds(self) -> float:
         """Modeled one-time cost of pushing the model to the device."""

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.edgetpu.arch import EdgeTpuArch
 from repro.edgetpu.compiler import CompiledModel
+from repro.tflite.ops import fused_stages
 
 __all__ = ["EdgeTpuDevice", "InvokeResult"]
 
@@ -67,6 +68,8 @@ class EdgeTpuDevice:
         self.arch = arch if arch is not None else EdgeTpuArch()
         self.compiled: CompiledModel | None = None
         self.stats = DeviceStats()
+        self._stages: list = []
+        self._breakdown_cache: dict[int, dict] = {}
 
     def load_model(self, compiled: CompiledModel) -> float:
         """Load a compiled model; returns the modeled load time in seconds.
@@ -80,6 +83,10 @@ class EdgeTpuDevice:
                 "model was compiled for a different EdgeTpuArch; recompile"
             )
         self.compiled = compiled
+        # The op chain compiles once into fused stages, and the latency
+        # plan is re-derived per batch size, not per invocation.
+        self._stages = fused_stages(compiled.tpu_ops)
+        self._breakdown_cache = {}
         seconds = compiled.load_seconds()
         self.stats.models_loaded += 1
         self.stats.busy_seconds += seconds
@@ -115,24 +122,31 @@ class EdgeTpuDevice:
             raise ValueError("cannot invoke with an empty batch")
 
         out = x
-        for op in self.compiled.tpu_ops:
-            out = op.run(out)
+        for stage in self._stages:
+            out = stage(out)
 
-        arch = self.arch
         compiled = self.compiled
-        breakdown = {
-            "overhead": arch.invoke_overhead_s,
-            "input_transfer": arch.transfer_time(
-                batch * compiled.tpu_input_bytes
-            ),
-            "weight_streaming": arch.transfer_time(
-                compiled.streamed_bytes_per_invoke
-            ),
-            "compute": arch.cycles_to_seconds(compiled.compute_cycles(batch)),
-            "output_transfer": arch.transfer_time(
-                batch * compiled.tpu_output_bytes
-            ),
-        }
+        cached = self._breakdown_cache.get(batch)
+        if cached is None:
+            arch = self.arch
+            cached = {
+                "overhead": arch.invoke_overhead_s,
+                "input_transfer": arch.transfer_time(
+                    batch * compiled.tpu_input_bytes
+                ),
+                "weight_streaming": arch.transfer_time(
+                    compiled.streamed_bytes_per_invoke
+                ),
+                "compute": arch.cycles_to_seconds(
+                    compiled.compute_cycles(batch)
+                ),
+                "output_transfer": arch.transfer_time(
+                    batch * compiled.tpu_output_bytes
+                ),
+            }
+            self._breakdown_cache[batch] = cached
+        # Callers receive a private copy (InvokeResult exposes the dict).
+        breakdown = dict(cached)
         elapsed = sum(breakdown.values())
 
         self.stats.invocations += 1

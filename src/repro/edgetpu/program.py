@@ -57,7 +57,7 @@ class Program:
         batch: Rows per invocation the trace was lowered for.
     """
 
-    instructions: list
+    instructions: list[Instruction]
     compiled: CompiledModel
     batch: int
 
@@ -96,6 +96,10 @@ class Program:
 def lower(compiled: CompiledModel, batch: int = 1) -> Program:
     """Lower a compiled model into its per-invocation instruction trace.
 
+    Lowering is memoized per ``(compiled, batch)`` — the plan is pure in
+    both — so repeat callers (inspection tooling, per-batch serving
+    paths) get the cached :class:`Program` back; treat it as read-only.
+
     Args:
         compiled: The compiled model.
         batch: Rows per invocation.
@@ -105,6 +109,12 @@ def lower(compiled: CompiledModel, batch: int = 1) -> Program:
     """
     if batch < 1:
         raise ValueError(f"batch must be >= 1, got {batch}")
+    cache: dict[int, Program] = compiled.__dict__.setdefault(
+        "_program_cache", {}
+    )
+    cached = cache.get(batch)
+    if cached is not None:
+        return cached
     arch = compiled.arch
     instructions: list[Instruction] = []
     instructions.append(Instruction(
@@ -157,4 +167,7 @@ def lower(compiled: CompiledModel, batch: int = 1) -> Program:
         "DMA_OUT", "output activations",
         bytes=batch * compiled.tpu_output_bytes,
     ))
-    return Program(instructions=instructions, compiled=compiled, batch=batch)
+    program = Program(instructions=instructions, compiled=compiled,
+                      batch=batch)
+    cache[batch] = program
+    return program

@@ -100,16 +100,22 @@ class SystolicArray:
         rows, cols = self.rows, self.cols
         weights = self.weights
         # Register state: a[r, c] is the input value sitting in PE (r, c)
-        # this cycle; p[r, c] the partial sum it just produced.
+        # this cycle; p[r, c] the partial sum it just produced.  The
+        # per-cycle scratch (the MAC products and the next partial-sum
+        # grid) is preallocated once and reused — the loop body performs
+        # no per-cycle array allocation.
         a = np.zeros((rows, cols), dtype=np.int64)
         p = np.zeros((rows, cols), dtype=np.int64)
+        p_next = np.empty((rows, cols), dtype=np.int64)
+        mac = np.empty((rows, cols), dtype=np.int64)
         output = np.zeros((batch, cols), dtype=np.int64)
         # Precomputed injection/drain index arrays: at cycle t, row r
         # injects x[t - r, r] (the input skew) and column c drains
         # output (t - (rows - 1) - c, c).  One extra zero row appended
-        # to x lets out-of-range injections gather a harmless 0 instead
-        # of branching per row.
+        # to x lets out-of-range injections (clipped to the pad row on
+        # either side) gather a harmless 0 instead of branching per row.
         inject_rows = np.arange(rows)
+        inject_idx = np.empty(rows, dtype=np.intp)
         drain_cols = np.arange(cols)
         x_padded = np.vstack([x, np.zeros((1, rows), dtype=np.int64)])
         produced = 0
@@ -118,15 +124,16 @@ class SystolicArray:
         while produced < batch * cols:
             # Shift inputs one PE to the right; inject the skewed column 0.
             a[:, 1:] = a[:, :-1]
-            inject_batch = cycle - inject_rows
-            inject_valid = (inject_batch >= 0) & (inject_batch < batch)
-            a[:, 0] = x_padded[
-                np.where(inject_valid, inject_batch, batch), inject_rows
-            ]
+            np.subtract(cycle, inject_rows, out=inject_idx)
+            # Row `batch` of x_padded is all zeros, reachable as index
+            # -1 too, so clipping maps every out-of-range cycle to it.
+            np.clip(inject_idx, -1, batch, out=inject_idx)
+            a[:, 0] = x_padded[inject_idx, inject_rows]
             # Partial sums from the row above, plus this PE's MAC.
-            p_above = np.vstack([np.zeros((1, cols), dtype=np.int64),
-                                 p[:-1, :]])
-            p = p_above + a * weights
+            np.multiply(a, weights, out=mac)
+            np.add(p[:-1, :], mac[1:, :], out=p_next[1:, :])
+            p_next[0, :] = mac[0, :]
+            p, p_next = p_next, p
             # Bottom-row sums that correspond to a real (batch, col) pair
             # drain this cycle: output (b, c) completes at cycle b + rows
             # - 1 + c.

@@ -50,6 +50,7 @@ __all__ = [
     "ParallelReport",
     "WorkerPool",
     "cpu_op_seconds",
+    "run_host_tail",
     "simulate_makespan",
     "spawn_rngs",
 ]
@@ -282,6 +283,38 @@ def cpu_op_seconds(host: Platform, op, rows: int, width: int) -> float:
     return host.elementwise_seconds(rows * width)
 
 
+def run_host_tail(compiled, outputs: np.ndarray,
+                  host: "Platform") -> tuple[np.ndarray, float]:
+    """Run a compiled model's CPU tail on device outputs.
+
+    Executes the trailing ``cpu_ops`` (for the paper's models, the
+    final ARGMAX) on the host and reduces to per-sample class
+    predictions, charging each op by its actual kind plus the final
+    argmax for models whose last op emits activations.  This is the one
+    implementation of the device→host hand-off shared by the
+    micro-batch dispatcher and the serving event loop, so their modeled
+    tails can never drift apart.
+
+    Returns:
+        ``(predictions, seconds)`` — int64 class indices for the rows
+        of ``outputs``, and the modeled host seconds.
+    """
+    rows = len(outputs)
+    width = compiled.plans[-1].output_dim
+    out = outputs
+    seconds = 0.0
+    for op in compiled.cpu_ops:
+        seconds += cpu_op_seconds(host, op, rows, width)
+        out = op.run(out)
+        width = op.output_dim(width)
+    if compiled.model.output_is_index:
+        predictions = out[:, 0]
+    else:
+        seconds += host.argmax_seconds(rows, width)
+        predictions = np.argmax(out, axis=-1)
+    return predictions, seconds
+
+
 @dataclass
 class DispatchResult:
     """Outcome of one :meth:`MicroBatchDispatcher.dispatch` call.
@@ -459,7 +492,6 @@ class MicroBatchDispatcher:
                 )
         model = compiled.model
         quantized = model.input_spec.qparams.quantize(x)
-        tail_width = compiled.plans[-1].output_dim
         predictions = np.empty(len(x), dtype=np.int64)
 
         batches = self._batches(len(x))
@@ -478,19 +510,9 @@ class MicroBatchDispatcher:
             for key, value in invoke.breakdown.items():
                 breakdown[key] = breakdown.get(key, 0.0) + value
 
-            rows = stop - start
-            out = invoke.outputs
-            width = tail_width
-            host_cost = 0.0
-            for op in compiled.cpu_ops:
-                host_cost += cpu_op_seconds(self.host, op, rows, width)
-                out = op.run(out)
-                width = op.output_dim(width)
-            if model.output_is_index:
-                predictions[start:stop] = out[:, 0]
-            else:
-                host_cost += self.host.argmax_seconds(rows, width)
-                predictions[start:stop] = np.argmax(out, axis=-1)
+            predictions[start:stop], host_cost = run_host_tail(
+                compiled, invoke.outputs, self.host,
+            )
             # The host tail waits for this batch's device *and* for the
             # previous batch's tail — that serialization is the overlap
             # model (host works on batch j while devices run j+1...).

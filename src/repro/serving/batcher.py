@@ -59,13 +59,18 @@ class DynamicBatcher:
         (the server re-evaluates after every arrival).
 
         Returns ``inf`` for an empty queue (nothing to dispatch).
+
+        ``ready_at`` runs once per arrival event, so ``service_estimate``
+        should be cheap to re-call with a repeated batch size —
+        :meth:`InferenceServer.service_estimate` memoizes per batch size
+        for exactly this loop.
         """
         if not queue:
             return math.inf
         if len(queue) >= self.max_batch:
             return now
-        batch = min(len(queue), self.max_batch)
-        forced = queue[0].deadline_s - self.slack_s - service_estimate(batch)
+        forced = (queue[0].deadline_s - self.slack_s
+                  - service_estimate(len(queue)))
         return max(now, forced)
 
 

@@ -38,7 +38,7 @@ import numpy as np
 from repro.edgetpu.compiler import CompiledModel
 from repro.edgetpu.multidevice import DeviceFailedError, DevicePool
 from repro.platforms.base import Platform
-from repro.runtime.executor import cpu_op_seconds
+from repro.runtime.executor import cpu_op_seconds, run_host_tail
 from repro.runtime.profiler import LatencyTracker
 from repro.serving.arrivals import Request
 from repro.serving.batcher import DynamicBatcher
@@ -239,6 +239,11 @@ class InferenceServer:
         self.swapper = swapper
         self.profiler = profiler
         self._compiled: CompiledModel = loaded[0]
+        # Per-batch-size service estimates are pure in (compiled model,
+        # batch); the event loop re-evaluates the batch trigger after
+        # every arrival, so memoize instead of re-deriving the latency
+        # plan each time.  Invalidated on hot swap.
+        self._estimate_cache: dict[int, float] = {}
 
     # ------------------------------------------------------------------
     # Cost estimation (drives the deadline-aware batch trigger)
@@ -256,14 +261,18 @@ class InferenceServer:
         return seconds
 
     def service_estimate(self, batch_size: int) -> float:
-        """Modeled device invoke + host tail for one batch."""
+        """Modeled device invoke + host tail for one batch (memoized)."""
         if batch_size < 1:
             raise ValueError(
                 f"batch_size must be >= 1, got {batch_size}"
             )
-        compiled = self._compiled
-        return (compiled.invoke_seconds(batch_size)
-                + self._host_tail_seconds(compiled, batch_size))
+        estimate = self._estimate_cache.get(batch_size)
+        if estimate is None:
+            compiled = self._compiled
+            estimate = (compiled.invoke_seconds(batch_size)
+                        + self._host_tail_seconds(compiled, batch_size))
+            self._estimate_cache[batch_size] = estimate
+        return estimate
 
     # ------------------------------------------------------------------
     # The event loop
@@ -348,6 +357,7 @@ class InferenceServer:
             swapped = self.swapper.poll(dispatch_t)
             if swapped is not None:
                 self._compiled = swapped
+                self._estimate_cache = {}
                 # The commit's device load blocks every reloaded device.
                 load = self.swapper.records[-1].load_seconds
                 for i in self.pool.healthy_indices():
@@ -381,18 +391,9 @@ class InferenceServer:
             device_done = start + invoke.elapsed_s
             device_free[chosen] = device_done
             device_busy[chosen] += invoke.elapsed_s
-            out = invoke.outputs
-            width = compiled.plans[-1].output_dim
-            tail_cost = 0.0
-            for op in compiled.cpu_ops:
-                tail_cost += cpu_op_seconds(self.host, op, rows, width)
-                out = op.run(out)
-                width = op.output_dim(width)
-            if compiled.model.output_is_index:
-                predictions = out[:, 0]
-            else:
-                tail_cost += self.host.argmax_seconds(rows, width)
-                predictions = np.argmax(out, axis=-1)
+            predictions, tail_cost = run_host_tail(
+                compiled, invoke.outputs, self.host,
+            )
             host_free = max(host_free, device_done) + tail_cost
             report.host_seconds += tail_cost
             completion = host_free
@@ -402,14 +403,17 @@ class InferenceServer:
 
         if predictions is None:
             # Retry exhausted or no healthy device: the CPU-fallback op
-            # path — the same int8 kernels on the host, bit-identical.
-            out = quantized
+            # path — the same fused int8 kernels on the host,
+            # bit-identical.  Modeled cost stays per-op (fusion is
+            # execution dispatch, not a timing change).
             width = compiled.model.input_spec.size
             cost = 0.0
             for op in list(compiled.tpu_ops) + list(compiled.cpu_ops):
                 cost += cpu_op_seconds(self.host, op, rows, width)
-                out = op.run(out)
                 width = op.output_dim(width)
+            out = quantized
+            for stage in compiled.host_stages():
+                out = stage(out)
             if compiled.model.output_is_index:
                 predictions = out[:, 0]
             else:

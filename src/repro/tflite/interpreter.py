@@ -10,12 +10,18 @@ from __future__ import annotations
 import numpy as np
 
 from repro.tflite.flatmodel import FlatModel
+from repro.tflite.ops import fused_stages
 
 __all__ = ["Interpreter"]
 
 
 class Interpreter:
     """Executes a quantized flat model.
+
+    The op chain is compiled once into fused execution stages
+    (``FC→TANH`` / ``FC→requant→ARGMAX`` pairs collapse, skipping the
+    intermediate int8 tensors); outputs are bit-identical to running
+    ``op.run`` op by op, which the tests assert.
 
     Args:
         model: The flat model to execute.
@@ -29,6 +35,7 @@ class Interpreter:
 
     def __init__(self, model: FlatModel):
         self.model = model
+        self._stages = fused_stages(model.ops)
 
     def run_quantized(self, x: np.ndarray) -> np.ndarray:
         """Run on already-quantized input.
@@ -52,8 +59,8 @@ class Interpreter:
                 f"expected input width {self.model.input_spec.size}, "
                 f"got shape {x.shape}"
             )
-        for op in self.model.ops:
-            x = op.run(x)
+        for stage in self._stages:
+            x = stage(x)
         return x[0] if single else x
 
     def run(self, x: np.ndarray) -> np.ndarray:

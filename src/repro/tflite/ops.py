@@ -11,11 +11,37 @@ Three ops cover the paper's models:
 The Edge TPU simulator executes these exact kernels, so accelerator
 results are bit-identical to the CPU reference interpreter — as on the
 real device, where the compiler embeds the same quantized parameters.
+
+Fast path
+---------
+
+``FullyConnectedOp`` precomputes, once per op (weights are immutable):
+
+- widened ``int64``/``float64`` copies of the weight matrix, so ``run``
+  never re-casts parameters per invocation;
+- a per-column offset ``-in_zp * W.sum(axis=0) (+ bias)`` folding the
+  input zero-point centering out of the matmul, so the kernel consumes
+  raw int8 codes;
+- static worst-case accumulator bounds from the weights.  When the
+  bound proves the int32 accumulator can never overflow, the per-invoke
+  ``O(batch·d)`` min/max scan is skipped; when it proves every partial
+  sum fits a float64 mantissa (``< 2^53`` — true by orders of magnitude
+  for d = 10,000 int8 layers), the matmul runs in float64 via BLAS and
+  the result is *bit-identical* to the integer path, which is kept as
+  the fallback (and, as :meth:`FullyConnectedOp.run_reference`, as the
+  frozen seed oracle the equivalence tests and benchmarks compare
+  against).
+
+:func:`fused_stages` additionally fuses ``FC→TANH`` and
+``FC→requant→ARGMAX`` pairs so executors skip materializing the
+intermediate int8 tensor; the interpreter, the Edge TPU device
+simulator and the serving CPU fallback all dispatch through it.
 """
 
 from __future__ import annotations
 
 import functools
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -26,7 +52,7 @@ from repro.tflite.quantization import (
     qparams_symmetric,
 )
 
-__all__ = ["ArgmaxOp", "FullyConnectedOp", "Op", "TanhOp"]
+__all__ = ["ArgmaxOp", "FullyConnectedOp", "Op", "TanhOp", "fused_stages"]
 
 # TFLite fixes int8 tanh output quantization to scale=1/128, zero_point=0,
 # so the representable range is [-1, 127/128].
@@ -34,6 +60,12 @@ TANH_OUTPUT_QPARAMS = QuantParams(scale=1.0 / 128.0, zero_point=0, dtype="int8")
 
 _INT32_MIN = -(2**31)
 _INT32_MAX = 2**31 - 1
+
+# Integer sums are exact in float64 as long as every partial sum stays
+# below the 53-bit mantissa, regardless of the association order BLAS
+# picks.  Module-level so tests can shrink it to force the integer
+# fallback on layers far too small to exceed the real bound.
+_FLOAT64_EXACT_LIMIT = 2**53
 
 
 @functools.lru_cache(maxsize=None)
@@ -52,6 +84,20 @@ def _tanh_lut(scale: float, zero_point: int, dtype: str) -> np.ndarray:
     # apply float tanh, requantize into the fixed output grid.
     codes = np.arange(-128, 128, dtype=np.int32)
     lut = TANH_OUTPUT_QPARAMS.quantize(np.tanh(input_qparams.dequantize(codes)))
+    lut.setflags(write=False)
+    return lut
+
+
+@functools.lru_cache(maxsize=None)
+def _tanh_lut_u8view(scale: float, zero_point: int, dtype: str) -> np.ndarray:
+    """The tanh LUT rotated to be indexed by the uint8 *view* of int8 codes.
+
+    ``int8 -> uint8`` reinterpretation maps code ``q`` to ``q mod 256``,
+    so rotating the ``(q + 128)``-indexed table by 128 lets ``run``
+    gather straight from ``x.view(np.uint8)`` with no
+    ``astype(int32) + 128`` temporary.
+    """
+    lut = np.roll(_tanh_lut(scale, zero_point, dtype), -128)
     lut.setflags(write=False)
     return lut
 
@@ -84,6 +130,10 @@ class Op:
 
 class FullyConnectedOp(Op):
     """int8 fully connected: ``y = requant((x - in_zp) @ W + bias)``.
+
+    Weights and bias are treated as immutable after construction (the
+    op caches widened copies and precomputed bounds); the stored views
+    are read-only to enforce that.
 
     Args:
         weights: Quantized int8 weights, shape ``(input_dim, output_dim)``.
@@ -124,6 +174,10 @@ class FullyConnectedOp(Op):
                     f"bias shape {bias.shape} does not match output dim "
                     f"{weights.shape[1]}"
                 )
+            bias = bias.view()
+            bias.setflags(write=False)
+        weights = weights.view()
+        weights.setflags(write=False)
         self.weights = weights
         self.bias = bias
         self.input_qparams = input_qparams
@@ -143,6 +197,39 @@ class FullyConnectedOp(Op):
                 input_qparams.scale * weight_qparams.scale
                 / output_qparams.scale
             )
+        # --- fast-path precomputation (weights are immutable) ---------
+        zp = input_qparams.zero_point
+        self._weights_i64 = weights.astype(np.int64)
+        self._weights_f64 = weights.astype(np.float64)
+        column_sum = self._weights_i64.sum(axis=0)
+        # Fold the input zero-point centering into a per-column offset so
+        # the matmul consumes raw int8 codes:
+        #   (x - zp) @ W + b  ==  x @ W + (-zp * W.sum(axis=0) + b)
+        offset = -zp * column_sum
+        if bias is not None:
+            offset = offset + bias.astype(np.int64)
+        self._offset_i64 = offset
+        self._offset_f64 = offset.astype(np.float64)
+        # Static worst-case accumulator bound, per column:
+        #   |acc_j| <= max|x - zp| * sum_i |W_ij| + |b_j|
+        column_abs_sum = np.abs(self._weights_i64).sum(axis=0)
+        max_centered = max(abs(input_qparams.qmin - zp),
+                           abs(input_qparams.qmax - zp))
+        acc_bound = max_centered * column_abs_sum
+        if bias is not None:
+            acc_bound = acc_bound + np.abs(bias.astype(np.int64))
+        self._acc_abs_bound = int(acc_bound.max(initial=0))
+        # When the static bound already proves the int32 accumulator
+        # cannot overflow, the per-invoke min/max scan is skipped.
+        self._static_int32_safe = self._acc_abs_bound <= _INT32_MAX
+        # The BLAS path computes x @ W in float64 on raw codes.  Every
+        # partial sum (in any association order) is bounded by
+        # max|x| * sum_i |W_ij|, and the offset addition by that plus
+        # |offset_j|; if the worst column stays below 2^53 every
+        # intermediate is an exactly-representable integer.
+        max_raw = max(abs(input_qparams.qmin), abs(input_qparams.qmax))
+        raw_bound = max_raw * column_abs_sum + np.abs(offset)
+        self._blas_exact = int(raw_bound.max(initial=0)) < _FLOAT64_EXACT_LIMIT
 
     @classmethod
     def from_float(cls, weights: np.ndarray, input_qparams: QuantParams,
@@ -199,8 +286,48 @@ class FullyConnectedOp(Op):
     def macs_per_sample(self) -> int:
         return self.weights.size
 
+    # ------------------------------------------------------------------
+    # Accumulation: BLAS fast path, integer fallback, frozen oracle
+    # ------------------------------------------------------------------
+
+    def _acc_f64(self, x: np.ndarray) -> np.ndarray:
+        """The accumulator as exact integers in float64, overflow-checked.
+
+        Dispatches to the BLAS path when the static bound proves float64
+        exactness, else to the cached-int64 fallback; either way the
+        values equal the int32 accumulator TFLite would produce (the
+        fallback and :meth:`accumulate_reference` assert as much in
+        tests).
+        """
+        if x.dtype != np.int8:
+            raise TypeError(f"input must be int8, got {x.dtype}")
+        if self._blas_exact:
+            acc = x.astype(np.float64) @ self._weights_f64
+            acc += self._offset_f64
+        else:
+            acc = (x.astype(np.int64) @ self._weights_i64
+                   + self._offset_i64).astype(np.float64)
+        if not self._static_int32_safe:
+            if acc.min(initial=0) < _INT32_MIN or acc.max(initial=0) > _INT32_MAX:
+                raise OverflowError(
+                    f"op {self.name!r}: int32 accumulator overflow "
+                    f"(range [{acc.min()}, {acc.max()}])"
+                )
+        return acc
+
     def accumulate(self, x: np.ndarray) -> np.ndarray:
         """The int32 accumulator values (pre-requantization), for testing."""
+        return self._acc_f64(x).astype(np.int32)
+
+    def accumulate_reference(self, x: np.ndarray) -> np.ndarray:
+        """The seed implementation, frozen as the bit-exactness oracle.
+
+        Re-casts weights per call and scans the accumulator range per
+        invoke — exactly the pre-fast-path kernel.  Kept (and exercised
+        by the equivalence tests and the fastpath benchmark) so any
+        divergence in the optimized paths is caught against unchanged
+        code rather than against a refactor of itself.
+        """
         if x.dtype != np.int8:
             raise TypeError(f"input must be int8, got {x.dtype}")
         # int64 accumulation guards against overflow in numpy; TFLite's
@@ -217,13 +344,51 @@ class FullyConnectedOp(Op):
             )
         return acc.astype(np.int32)
 
+    def _requantize(self, acc: np.ndarray) -> np.ndarray:
+        """Float64 accumulator -> requantized float64 codes (in place)."""
+        out = acc * self._multiplier
+        np.round(out, out=out)
+        out += self.output_qparams.zero_point
+        np.clip(out, self.output_qparams.qmin, self.output_qparams.qmax,
+                out=out)
+        return out
+
     def run(self, x: np.ndarray) -> np.ndarray:
-        acc = self.accumulate(x)
+        return self._requantize(self._acc_f64(x)).astype(np.int8)
+
+    def run_reference(self, x: np.ndarray) -> np.ndarray:
+        """The seed ``run``, frozen alongside :meth:`accumulate_reference`."""
+        acc = self.accumulate_reference(x)
         out = np.round(acc.astype(np.float64) * self._multiplier)
         out = out + self.output_qparams.zero_point
         return np.clip(
             out, self.output_qparams.qmin, self.output_qparams.qmax
         ).astype(np.int8)
+
+    # ------------------------------------------------------------------
+    # Fused kernels (internal dispatch via :func:`fused_stages`)
+    # ------------------------------------------------------------------
+
+    def run_tanh_fused(self, x: np.ndarray, tanh: "TanhOp") -> np.ndarray:
+        """``FC -> TANH`` without materializing the intermediate int8 tensor.
+
+        The requantized codes stay float64 (exact integers in
+        ``[-128, 127]``) and index the tanh LUT directly; bit-identical
+        to ``tanh.run(self.run(x))``.
+        """
+        codes = self._requantize(self._acc_f64(x))
+        codes += 128
+        return tanh.lut[codes.astype(np.intp)]
+
+    def run_argmax_fused(self, x: np.ndarray) -> np.ndarray:
+        """``FC -> requant -> ARGMAX`` without the int8 intermediate.
+
+        ``argmax`` over the clipped float64 codes picks the same (first)
+        maximum as over their int8 cast, so this is bit-identical to
+        ``argmax.run(self.run(x))``.
+        """
+        codes = self._requantize(self._acc_f64(x))
+        return np.argmax(codes, axis=-1, keepdims=True).astype(np.int64)
 
 
 class TanhOp(Op):
@@ -244,6 +409,12 @@ class TanhOp(Op):
             input_qparams.scale, input_qparams.zero_point,
             input_qparams.dtype,
         )
+        # Rotation of `lut` gathered via the uint8 reinterpretation of
+        # the int8 input, skipping the `astype(int32) + 128` temporary.
+        self._lut_u8 = _tanh_lut_u8view(
+            input_qparams.scale, input_qparams.zero_point,
+            input_qparams.dtype,
+        )
 
     def output_dim(self, input_dim: int) -> int:
         return input_dim
@@ -255,7 +426,7 @@ class TanhOp(Op):
     def run(self, x: np.ndarray) -> np.ndarray:
         if x.dtype != np.int8:
             raise TypeError(f"input must be int8, got {x.dtype}")
-        return self.lut[x.astype(np.int32) + 128]
+        return self._lut_u8[x.view(np.uint8)]
 
 
 class ArgmaxOp(Op):
@@ -277,3 +448,33 @@ class ArgmaxOp(Op):
         if x.dtype != np.int8:
             raise TypeError(f"input must be int8, got {x.dtype}")
         return np.argmax(x, axis=-1, keepdims=True).astype(np.int64)
+
+
+def fused_stages(ops: Sequence[Op]) -> list[Callable[[np.ndarray], np.ndarray]]:
+    """Compile an op chain into fused execution stages.
+
+    ``FULLY_CONNECTED`` immediately followed by ``TANH`` or ``ARGMAX``
+    collapses into one stage that never materializes the intermediate
+    int8 tensor; every other op becomes its own ``op.run`` stage.  The
+    stage list is pure dispatch — outputs are bit-identical to running
+    the ops one by one — so executors (the reference interpreter, the
+    Edge TPU device simulator, the serving CPU fallback) can share it
+    without changing any public surface.  Callers should build the list
+    once per op chain and reuse it across invocations.
+    """
+    stages: list[Callable[[np.ndarray], np.ndarray]] = []
+    index = 0
+    ops = list(ops)
+    while index < len(ops):
+        op = ops[index]
+        nxt = ops[index + 1] if index + 1 < len(ops) else None
+        if isinstance(op, FullyConnectedOp) and isinstance(nxt, TanhOp):
+            stages.append(functools.partial(op.run_tanh_fused, tanh=nxt))
+            index += 2
+        elif isinstance(op, FullyConnectedOp) and isinstance(nxt, ArgmaxOp):
+            stages.append(op.run_argmax_fused)
+            index += 2
+        else:
+            stages.append(op.run)
+            index += 1
+    return stages

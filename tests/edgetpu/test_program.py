@@ -88,3 +88,40 @@ class TestLower:
         exposed = [inst for inst in program.instructions
                    if inst.opcode == "LOAD_TILE" and "hidden" not in inst.operand]
         assert all(inst.cycles == compiled.arch.mxu_rows for inst in exposed)
+
+    def test_instructions_are_typed(self, compiled):
+        from repro.edgetpu.program import Instruction, Program
+        assert Program.__annotations__["instructions"] == "list[Instruction]"
+        program = lower(compiled, batch=3)
+        assert all(isinstance(inst, Instruction)
+                   for inst in program.instructions)
+
+
+class TestLowerMemoization:
+    @pytest.fixture()
+    def compiled(self, rng):
+        # Multi-tile: 100 x 512 spans 2 x 8 MXU tiles, 512 x 10 spans 8.
+        return compile_model(_model(rng))
+
+    def test_lower_is_memoized_per_batch(self, compiled):
+        assert lower(compiled, batch=4) is lower(compiled, batch=4)
+        assert lower(compiled, batch=4) is not lower(compiled, batch=5)
+
+    def test_distinct_compilations_do_not_share(self, rng):
+        a = compile_model(_model(rng))
+        b = compile_model(_model(rng))
+        assert lower(a, batch=2) is not lower(b, batch=2)
+
+    def test_seconds_match_memoized_invoke_seconds(self, compiled):
+        # invoke_seconds is itself memoized per batch; the cached
+        # Program's seconds() must agree exactly with both the first
+        # (computing) and second (cache-hit) calls, for a multi-tile
+        # model.
+        for batch in (1, 7, 32):
+            first = compiled.invoke_seconds(batch)
+            again = compiled.invoke_seconds(batch)
+            assert first == again
+            program = lower(compiled, batch=batch)
+            assert program.seconds() == pytest.approx(first)
+            assert lower(compiled, batch=batch).seconds() == \
+                pytest.approx(first)

@@ -17,6 +17,26 @@ class TestSystolicArray:
         y, _ = arr.matmul(x)
         np.testing.assert_array_equal(y, x @ w)
 
+    def test_preallocated_buffers_bit_for_bit(self, rng):
+        # The cycle loop reuses preallocated scratch (no per-cycle
+        # vstack): outputs and cycle counts must be bit-for-bit what the
+        # allocating implementation produced — the int64 product oracle
+        # and the closed-form count, including saturated int8 codes.
+        for rows, cols, batch in [(4, 4, 1), (8, 3, 6), (3, 9, 11),
+                                  (1, 1, 3)]:
+            arr = SystolicArray(rows, cols)
+            w = rng.integers(-128, 128, (rows, cols)).astype(np.int8)
+            arr.load_weights(w)
+            x = rng.integers(-128, 128, (batch, rows)).astype(np.int8)
+            x[0, :] = 127
+            x[-1, :] = -128
+            y, cycles = arr.matmul(x)
+            assert y.dtype == np.int64
+            assert y.tobytes() == (
+                x.astype(np.int64) @ w.astype(np.int64)
+            ).tobytes()
+            assert cycles == batch + rows + cols - 2
+
     def test_rectangular_arrays(self, rng):
         for rows, cols in [(3, 7), (7, 3), (1, 5), (5, 1)]:
             arr = SystolicArray(rows, cols)
