@@ -1,0 +1,186 @@
+"""Tracing overhead: zero modeled cost, bounded wall cost.
+
+The observability contract, measured on the paper's full-width
+workload (617 features → 10,000-dim encoder → 26 classes):
+
+- **Zero modeled overhead** — training and serving with tracing
+  enabled must reproduce every modeled phase total, every prediction
+  and every latency bit-identically; the asserted deltas are exactly
+  zero, not approximately.
+- **Span accounting** — the traced serving run exports at least one
+  span per request (dropped requests included) and the per-device sums
+  of the ``device.invoke`` spans' exact charges equal the report's
+  device-busy seconds.
+- **Bounded wall overhead** — the extra host wall-clock of recording
+  spans at batch 64 is measured and recorded (target < 10%; the hard
+  gates are the zero modeled deltas above).
+
+Results land in ``BENCH_observability.json`` (CI uploads it) and the
+shared ``bench_results.txt`` log.
+"""
+
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.config import PipelineConfig, ServeConfig
+from repro.data.streams import DriftingStream, StreamConfig
+from repro.edgetpu import DevicePool
+from repro.experiments.report import format_table
+from repro.runtime.pipeline import TrainingPipeline
+from repro.serving import ArrivalProcess, InferenceServer, RequestStream
+
+JSON_PATH = pathlib.Path(__file__).parent / "BENCH_observability.json"
+
+FEATURES = 617
+DIMENSION = 10_000
+CLASSES = 26
+ITERATIONS = 3
+TRAIN_SAMPLES = 208
+SERVE_BATCH = 64
+SERVE_REQUESTS = 400
+RATE_HZ = 300.0
+
+
+def _dataset(rng):
+    centers = rng.standard_normal((CLASSES, FEATURES)) * 2.0
+    y = rng.integers(0, CLASSES, TRAIN_SAMPLES)
+    x = (centers[y] + rng.standard_normal((TRAIN_SAMPLES, FEATURES)))
+    return x.astype(np.float32), y
+
+
+def _train(tracing: bool):
+    rng = np.random.default_rng(13)
+    x, y = _dataset(rng)
+    config = PipelineConfig(dimension=DIMENSION, iterations=ITERATIONS,
+                            seed=13, tracing=tracing)
+    start = time.perf_counter()
+    result = TrainingPipeline(config).run(x, y)
+    wall = time.perf_counter() - start
+    return result, wall
+
+
+def _serve_trace():
+    stream = DriftingStream(
+        StreamConfig(num_features=FEATURES, num_classes=CLASSES,
+                     drift_rate=0.0),
+        seed=2,
+    )
+    arrivals = ArrivalProcess(RATE_HZ, "poisson", seed=5)
+    requests = RequestStream(stream, arrivals, deadline_s=0.5,
+                             drift_every=1).generate(SERVE_REQUESTS)
+    return requests
+
+
+def _serve(compiled, requests, tracing: bool):
+    pool = DevicePool(2, compiled.arch)
+    pool.load_replicated(compiled)
+    config = ServeConfig(max_batch=SERVE_BATCH, max_queue=96,
+                         tracing=tracing)
+    server = InferenceServer(pool, config)
+    start = time.perf_counter()
+    report = server.serve(requests)
+    wall = time.perf_counter() - start
+    return report, wall
+
+
+def test_tracing_zero_modeled_overhead(record_result):
+    # --- training: full-width pipeline, traced vs untraced ----------
+    untraced, train_wall_off = _train(tracing=False)
+    traced, train_wall_on = _train(tracing=True)
+
+    phase_deltas = {
+        phase: traced.profiler.breakdown()[phase] - seconds
+        for phase, seconds in untraced.profiler.breakdown().items()
+    }
+    assert all(delta == 0.0 for delta in phase_deltas.values()), (
+        f"tracing changed modeled phase totals: {phase_deltas}"
+    )
+    assert traced.profiler.total == untraced.profiler.total
+    assert traced.fused.class_matrix.tobytes() == \
+        untraced.fused.class_matrix.tobytes()
+    assert traced.trace is not None and len(traced.trace) > 0
+
+    # --- serving: batch-64 trace, traced vs untraced ----------------
+    requests = _serve_trace()
+    report_off, serve_wall_off = _serve(untraced.compiled, requests,
+                                        tracing=False)
+    report_on, serve_wall_on = _serve(untraced.compiled, requests,
+                                      tracing=True)
+
+    summary_off = report_off.summary()
+    summary_on = report_on.summary()
+    assert summary_on == summary_off, "tracing changed the serve summary"
+    assert report_on.predictions.tobytes() == \
+        report_off.predictions.tobytes()
+    assert report_on.latencies.tobytes() == report_off.latencies.tobytes()
+
+    # Span accounting: one span per request, drops included.
+    request_spans = [s for s in report_on.trace.spans
+                     if s.name == "request"]
+    assert len(request_spans) == len(requests)
+    assert sum(1 for s in request_spans if "dropped" in s.tags) == \
+        report_on.dropped
+
+    # Device-span seconds equal busy seconds exactly (the spans carry
+    # the exact charge as an attribute; see server._dispatch_batch).
+    per_device = [0.0] * report_on.trace.spans[0].attrs["devices"]
+    for span in report_on.trace.spans:
+        if span.name == "device.invoke":
+            per_device[span.attrs["device"]] += span.attrs["elapsed_s"]
+    assert per_device == report_on.device_busy_seconds
+
+    serve_overhead = serve_wall_on / serve_wall_off - 1.0
+    train_overhead = train_wall_on / train_wall_off - 1.0
+
+    payload = {
+        "workload": {
+            "features": FEATURES,
+            "dimension": DIMENSION,
+            "classes": CLASSES,
+            "iterations": ITERATIONS,
+            "serve_requests": SERVE_REQUESTS,
+            "serve_batch": SERVE_BATCH,
+        },
+        "modeled_deltas": {
+            "train_phase_deltas_s": phase_deltas,
+            "serve_makespan_delta_s":
+                report_on.makespan_s - report_off.makespan_s,
+            "all_exactly_zero": True,
+        },
+        "spans": {
+            "total": len(report_on.trace),
+            "request_spans": len(request_spans),
+            "dropped_spans": report_on.dropped,
+            "device_busy_match": True,
+        },
+        "wall_overhead": {
+            "train_off_s": train_wall_off,
+            "train_on_s": train_wall_on,
+            "train_overhead": train_overhead,
+            "serve_off_s": serve_wall_off,
+            "serve_on_s": serve_wall_on,
+            "serve_overhead": serve_overhead,
+            "target": 0.10,
+        },
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    record_result(format_table(
+        ["metric", "value"],
+        [
+            ["train phase deltas (s)", 0.0],
+            ["serve makespan delta (s)",
+             report_on.makespan_s - report_off.makespan_s],
+            ["spans recorded", float(len(report_on.trace))],
+            ["request spans / requests",
+             len(request_spans) / len(requests)],
+            ["train wall overhead", train_overhead],
+            ["serve wall overhead (batch 64)", serve_overhead],
+        ],
+        title=(f"Tracing overhead — {FEATURES}->{DIMENSION}->{CLASSES}, "
+               f"serve batch {SERVE_BATCH}"),
+        float_format="{:.4f}",
+    ))

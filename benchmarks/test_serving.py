@@ -32,11 +32,10 @@ from repro.hdc.model import HDCClassifier
 from repro.nn import from_classifier
 from repro.serving import (
     ArrivalProcess,
-    DynamicBatcher,
-    FixedSizeBatcher,
     InferenceServer,
     ModelSwapper,
     RequestStream,
+    ServeConfig,
 )
 from repro.tflite import convert
 
@@ -53,6 +52,10 @@ SLA_REQUESTS = 500
 DRIFT_REQUESTS = 1200
 WINDOWS = 6
 
+DYNAMIC = ServeConfig(batcher="dynamic", max_batch=MAX_BATCH,
+                      slack_s=SLACK_S, max_queue=2048)
+FIXED = ServeConfig(batcher="fixed", max_batch=MAX_BATCH, max_queue=2048)
+
 
 def _train_compiled(x, y, seed):
     rng = np.random.default_rng(seed)
@@ -65,15 +68,14 @@ def _train_compiled(x, y, seed):
     )
 
 
-def _server(compiled, batcher, num_devices=2, max_queue=2048,
-            failure=None, swapper_for=None):
+def _server(compiled, config, num_devices=2, failure=None,
+            swapper_for=None):
     pool = DevicePool(num_devices)
     pool.load_replicated(compiled)
     if failure is not None:
         pool.schedule_failure(failure)
     swapper = ModelSwapper(pool) if swapper_for else None
-    server = InferenceServer(pool, batcher=batcher, max_queue=max_queue,
-                             swapper=swapper)
+    server = InferenceServer(pool, config, swapper=swapper)
     return server, swapper
 
 
@@ -94,11 +96,9 @@ def _stationary_trace(num_requests):
 def _sla_section():
     """(a) deadline-aware meets the p99 SLA where fixed-size misses."""
     compiled, trace = _stationary_trace(SLA_REQUESTS)
-    dyn_server, _ = _server(
-        compiled, DynamicBatcher(MAX_BATCH, slack_s=SLACK_S)
-    )
+    dyn_server, _ = _server(compiled, DYNAMIC)
     dynamic = dyn_server.serve(trace)
-    fixed_server, _ = _server(compiled, FixedSizeBatcher(MAX_BATCH))
+    fixed_server, _ = _server(compiled, FIXED)
     fixed = fixed_server.serve(trace)
 
     assert dynamic.dropped == 0 and fixed.dropped == 0
@@ -124,16 +124,12 @@ def _failure_section(baseline):
     """(b) one device failure: completed via fallback, in order."""
     compiled, trace = _stationary_trace(SLA_REQUESTS)
     server, _ = _server(
-        compiled, DynamicBatcher(MAX_BATCH, slack_s=SLACK_S),
-        num_devices=1,
+        compiled, DYNAMIC, num_devices=1,
         failure=FailurePlan(device_index=0, at_s=1.0, mode="usb_stall"),
     )
     report = server.serve(trace)
 
-    healthy_server, _ = _server(
-        compiled, DynamicBatcher(MAX_BATCH, slack_s=SLACK_S),
-        num_devices=1,
-    )
+    healthy_server, _ = _server(compiled, DYNAMIC, num_devices=1)
     healthy = healthy_server.serve(trace)
 
     assert report.dropped == 0
@@ -173,11 +169,10 @@ def _swap_section():
         return compiled, trace
 
     compiled, trace = build_trace()
-    batcher = DynamicBatcher(MAX_BATCH, slack_s=SLACK_S)
-    static_server, _ = _server(compiled, batcher)
+    static_server, _ = _server(compiled, DYNAMIC)
     static = static_server.serve(trace)
 
-    swap_server, swapper = _server(compiled, batcher, swapper_for=True)
+    swap_server, swapper = _server(compiled, DYNAMIC, swapper_for=True)
     # Retrain on the most recent served window (labels are known in the
     # prequential setting) and schedule the swap when retraining data is
     # complete; modelgen cost delays readiness, commit lands at the next

@@ -27,11 +27,10 @@ from repro.hdc import HDCClassifier
 from repro.nn import from_classifier
 from repro.serving import (
     ArrivalProcess,
-    DynamicBatcher,
-    FixedSizeBatcher,
     InferenceServer,
     ModelSwapper,
     RequestStream,
+    ServeConfig,
 )
 from repro.tflite import convert
 
@@ -59,15 +58,18 @@ def main(num_requests: int = 800, dimension: int = 1024,
           f"deadline {1e3 * deadline_s:.0f} ms")
 
     # --- Deadline-aware vs fixed-size batching -----------------------
-    def serve(batcher, pool=None, swapper=None):
+    deadline_aware = ServeConfig(batcher="dynamic", max_batch=32,
+                                 slack_s=0.002)
+
+    def serve(config, pool=None, swapper=None):
         if pool is None:
             pool = DevicePool(2)
             pool.load_replicated(compiled)
-        server = InferenceServer(pool, batcher=batcher, swapper=swapper)
+        server = InferenceServer(pool, config, swapper=swapper)
         return server.serve(trace)
 
-    dynamic = serve(DynamicBatcher(max_batch=32, slack_s=0.002))
-    fixed = serve(FixedSizeBatcher(max_batch=32))
+    dynamic = serve(deadline_aware)
+    fixed = serve(ServeConfig(batcher="fixed", max_batch=32))
     for name, report in [("deadline-aware", dynamic), ("fixed-size", fixed)]:
         lat = report.latency
         print(f"{name:>14}: p50={1e3 * lat.p50:.1f} ms  "
@@ -79,7 +81,7 @@ def main(num_requests: int = 800, dimension: int = 1024,
     pool = DevicePool(2)
     pool.load_replicated(compiled)
     pool.schedule_failure(FailurePlan(0, at_s=1.0, mode="usb_stall"))
-    degraded = serve(DynamicBatcher(max_batch=32, slack_s=0.002), pool=pool)
+    degraded = serve(deadline_aware, pool=pool)
     identical = np.array_equal(degraded.predictions, dynamic.predictions)
     print(f"with a USB stall at t=1.0s: served {degraded.served}/"
           f"{len(trace)} (retried {degraded.retried_batches} batches, "
@@ -98,8 +100,7 @@ def main(num_requests: int = 800, dimension: int = 1024,
     pool.load_replicated(compiled)
     swapper = ModelSwapper(pool)
     swapper.schedule(retrained, at_s=trace[cut].arrival_s)
-    swapped = serve(DynamicBatcher(max_batch=32, slack_s=0.002),
-                    pool=pool, swapper=swapper)
+    swapped = serve(deadline_aware, pool=pool, swapper=swapper)
     record = swapped.swap_records[0]
     print(f"hot swap: scheduled t={record.scheduled_s:.2f} s, committed "
           f"t={record.committed_s:.2f} s (modelgen "

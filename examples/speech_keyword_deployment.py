@@ -15,6 +15,7 @@ Run:  python examples/speech_keyword_deployment.py
 import tempfile
 from pathlib import Path
 
+from repro import PipelineConfig
 from repro.data import isolet
 from repro.hdc import BaggingConfig
 from repro.runtime import InferencePipeline, TrainingPipeline
@@ -36,12 +37,16 @@ def train_and_report(name: str, pipeline: TrainingPipeline, dataset):
 def main(max_samples: int = 3000, dimension: int = 4096) -> None:
     dataset = isolet(max_samples=max_samples, seed=7).normalized()
 
-    plain = TrainingPipeline(dimension=dimension, iterations=10, seed=7)
+    plain = TrainingPipeline(
+        PipelineConfig(dimension=dimension, iterations=10, seed=7)
+    )
     plain_result, _ = train_and_report("plain", plain, dataset)
 
     bagging = BaggingConfig(num_models=4, dimension=dimension, iterations=4,
                             dataset_ratio=0.6)
-    bagged = TrainingPipeline(dimension=dimension, bagging=bagging, seed=7)
+    bagged = TrainingPipeline(
+        PipelineConfig(dimension=dimension, bagging=bagging, seed=7)
+    )
     bagged_result, _ = train_and_report("bagged", bagged, dataset)
 
     speedup = (plain_result.profiler.seconds("update")

@@ -23,6 +23,16 @@ The package implements the paper's full stack from scratch:
   datasets (FACE, ISOLET, UCIHAR, MNIST, PAMAP2).
 - :mod:`repro.experiments` — one driver per paper table/figure.
 
+- :mod:`repro.serving` — the online inference server (dynamic batching,
+  admission control, failover, hot model swap).
+- :mod:`repro.observability` — span tracing on the virtual clock,
+  metrics, and trace exporters (JSONL / Chrome ``trace_event`` /
+  flamegraph).
+- :mod:`repro.api` — the top-level facade re-exported here:
+  :func:`~repro.api.train` → :func:`~repro.api.deploy` →
+  :func:`~repro.api.serve` on frozen :class:`~repro.config.PipelineConfig`
+  / :class:`~repro.config.ServeConfig` objects.
+
 Quickstart::
 
     from repro.data import isolet
@@ -32,8 +42,58 @@ Quickstart::
     model = HDCClassifier(dimension=4096, seed=7)
     model.fit(ds.train_x, ds.train_y, iterations=10)
     accuracy = model.score(ds.test_x, ds.test_y)
+
+Or through the facade::
+
+    import repro
+
+    result = repro.train(ds.train_x, ds.train_y,
+                         config=repro.PipelineConfig(seed=7))
 """
 
 from repro._version import __version__
 
-__all__ = ["__version__"]
+__all__ = [
+    "MetricsRegistry",
+    "PipelineConfig",
+    "ServeConfig",
+    "Tracer",
+    "__version__",
+    "api",
+    "deploy",
+    "serve",
+    "train",
+]
+
+# Lazy facade exports (PEP 562): `import repro` stays cheap for callers
+# that only want a submodule, and the numpy-heavy pipeline stack loads
+# on first use of repro.train / repro.PipelineConfig / ...
+_LAZY = {
+    "MetricsRegistry": ("repro.observability.metrics", "MetricsRegistry"),
+    "PipelineConfig": ("repro.config", "PipelineConfig"),
+    "ServeConfig": ("repro.config", "ServeConfig"),
+    "Tracer": ("repro.observability.trace", "Tracer"),
+    "api": ("repro.api", None),
+    "deploy": ("repro.api", "deploy"),
+    "serve": ("repro.api", "serve"),
+    "train": ("repro.api", "train"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = module if attr is None else getattr(module, attr)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

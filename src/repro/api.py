@@ -1,0 +1,174 @@
+"""The top-level facade: ``train`` → ``deploy`` → ``serve``.
+
+One import gives the whole co-design flow on validated, frozen
+configs::
+
+    import repro
+
+    result = repro.train(x, y, config=repro.PipelineConfig(seed=7))
+    deployment = repro.deploy(result, num_devices=4)
+    report = repro.serve(deployment, requests,
+                         config=repro.ServeConfig(tracing=True))
+
+Every object these functions return follows the repo's **result
+protocol** (:class:`Result`):
+
+- ``summary()`` returns a flat, JSON-ready dict.  Schema convention,
+  shared by every summary in the repo: a ``"schema"`` key versions the
+  layout (``repro.train/1``, ``repro.infer/1``, ``repro.serve/1``);
+  modeled durations are seconds suffixed ``_s``; rates are suffixed
+  ``_rate`` (or ``_rps`` for per-second throughputs); counts are bare
+  nouns; the canonical phase map (exactly
+  :meth:`~repro.runtime.profiler.PhaseProfiler.breakdown`) sits under
+  ``"phases"``.
+- ``trace`` carries the run's :class:`~repro.observability.trace.Tracer`
+  when tracing was enabled, else ``None``.
+
+The class-based API (:class:`~repro.runtime.pipeline.TrainingPipeline`,
+:class:`~repro.serving.server.InferenceServer`, ...) remains the
+extension surface; this module is the short path through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.config import PipelineConfig, ServeConfig
+from repro.edgetpu.compiler import CompiledModel
+from repro.edgetpu.multidevice import DevicePool
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.trace import Tracer
+from repro.runtime.pipeline import (
+    CompileCache,
+    PipelineResult,
+    TrainingPipeline,
+)
+from repro.serving.arrivals import Request
+from repro.serving.server import InferenceServer, ServeReport
+from repro.serving.swap import ModelSwapper
+
+__all__ = ["Deployment", "Result", "deploy", "serve", "train"]
+
+
+@runtime_checkable
+class Result(Protocol):
+    """What every run result exposes: a summary dict and a trace.
+
+    :class:`~repro.runtime.pipeline.PipelineResult`,
+    :class:`~repro.runtime.pipeline.InferenceResult`,
+    :class:`~repro.serving.server.ServeReport` and :class:`Deployment`
+    all satisfy this protocol (see the module docstring for the
+    ``summary()`` schema convention).
+    """
+
+    trace: Tracer | None
+
+    def summary(self) -> dict:
+        """Flat, JSON-ready report of the run."""
+        ...
+
+
+def train(train_x: np.ndarray, train_y: np.ndarray, *,
+          config: PipelineConfig | None = None,
+          num_classes: int | None = None,
+          compile_cache: CompileCache | None = None) -> PipelineResult:
+    """Train an HDC model end to end (encode → update → modelgen).
+
+    Args:
+        train_x: Float samples ``(num_samples, num_features)``.
+        train_y: Integer labels ``(num_samples,)``.
+        config: The full run configuration; defaults to the paper
+            baseline (``d=10000``, 20 iterations, no bagging).
+        num_classes: Class count when the training set may not contain
+            every class.
+        compile_cache: Share one :class:`CompileCache` across calls to
+            skip recompiling identical models.
+
+    Returns:
+        The :class:`~repro.runtime.pipeline.PipelineResult` (a
+        :class:`Result`: ``.summary()`` / ``.trace``).
+    """
+    if config is None:
+        config = PipelineConfig()
+    pipeline = TrainingPipeline(config, compile_cache=compile_cache)
+    return pipeline.run(train_x, train_y, num_classes=num_classes)
+
+
+@dataclass
+class Deployment:
+    """A trained model pinned onto a replicated device pool.
+
+    Attributes:
+        pool: The loaded :class:`DevicePool` (replicated placement).
+        compiled: The compiled inference model every device holds.
+        load_s: Modeled load time (parallel across devices, so the
+            slowest single load).
+        trace: Always ``None`` — loading records no spans; present for
+            the :class:`Result` protocol.
+    """
+
+    pool: DevicePool
+    compiled: CompiledModel
+    load_s: float
+    trace: Tracer | None = None
+
+    def summary(self) -> dict:
+        """Flat, JSON-ready deployment report."""
+        return {
+            "schema": "repro.deploy/1",
+            "num_devices": self.pool.num_devices,
+            "load_s": self.load_s,
+            "weight_bytes": self.compiled.weight_bytes,
+        }
+
+
+def deploy(trained: PipelineResult, *, num_devices: int = 1) -> Deployment:
+    """Load a training result's inference model onto a device pool.
+
+    Args:
+        trained: A :func:`train` result (its ``compiled`` model is what
+            gets replicated).
+        num_devices: Pool size.
+
+    Returns:
+        A :class:`Deployment` ready for :func:`serve`.
+    """
+    pool = DevicePool(num_devices, trained.compiled.arch)
+    load_s = pool.load_replicated(trained.compiled)
+    return Deployment(pool=pool, compiled=trained.compiled, load_s=load_s)
+
+
+def serve(deployment: Deployment, requests: list[Request], *,
+          config: ServeConfig | None = None, host=None,
+          swapper: ModelSwapper | None = None,
+          tracer: Tracer | None = None,
+          metrics: MetricsRegistry | None = None) -> ServeReport:
+    """Serve a timestamped request trace on a deployment.
+
+    Args:
+        deployment: A :func:`deploy` result.
+        requests: Arrival-ordered trace (see
+            :class:`~repro.serving.arrivals.RequestStream`).
+        config: Batching/admission knobs; defaults to
+            :class:`~repro.config.ServeConfig`.
+            ``ServeConfig(tracing=True)`` records per-request spans onto
+            :attr:`ServeReport.trace <repro.serving.server.ServeReport>`.
+        host: Host platform for tails and CPU fallback.
+        swapper: Optional hot-swap scheduler bound to the deployment's
+            pool.
+        tracer: Record into this tracer instead of a fresh one.
+        metrics: Registry for the server's ``serve.*`` instruments.
+
+    Returns:
+        The :class:`~repro.serving.server.ServeReport` (a
+        :class:`Result`: ``.summary()`` / ``.trace``).
+    """
+    if config is None:
+        config = ServeConfig()
+    server = InferenceServer(deployment.pool, config=config, host=host,
+                             swapper=swapper, tracer=tracer,
+                             metrics=metrics)
+    return server.serve(requests)

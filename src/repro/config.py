@@ -1,0 +1,137 @@
+"""Validated, frozen configuration objects for the top-level API.
+
+The pipelines and the server accreted keyword sprawl
+(``TrainingPipeline(dimension=..., iterations=..., executor=...)``,
+``InferenceServer(pool, batcher, host, max_queue, ...)``).  These
+dataclasses collapse each sprawl into one immutable, validated value
+that can be stored, compared, hashed into experiment manifests and
+passed across the :mod:`repro.api` facade:
+
+- :class:`PipelineConfig` — everything a training run needs.
+- :class:`ServeConfig` — everything the online server needs.
+
+Both validate at construction (a bad config fails before any work
+runs) and are frozen (a config can never drift mid-run).  The old
+keyword constructors still work through deprecation shims on
+:class:`~repro.runtime.pipeline.TrainingPipeline` and
+:class:`~repro.serving.server.InferenceServer`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.edgetpu.arch import EdgeTpuArch
+from repro.hdc.bagging import BaggingConfig
+from repro.platforms.base import Platform
+from repro.runtime.executor import ExecutorConfig
+
+__all__ = ["PipelineConfig", "ServeConfig"]
+
+_BATCHERS = ("dynamic", "fixed")
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """One training run, fully specified.
+
+    Attributes:
+        dimension: Full hypervector width ``d``.
+        iterations: Training passes (paper baseline 20; with bagging
+            the sub-model iterations come from ``bagging.iterations``).
+        bagging: The paper's bagging optimization; ``None`` trains one
+            full-width model.
+        learning_rate: Update scale.
+        train_batch: Samples per device invocation while encoding.
+        seed: Seed for hypervectors, bootstrap draws and shuffling.
+        host: Host CPU cost model (:class:`~repro.platforms.cpu.MobileCpu`
+            when ``None``).
+        arch: Edge TPU architecture (defaults when ``None``).
+        executor: Parallelism knobs; an int is shorthand for that many
+            workers.  Normalized to an
+            :class:`~repro.runtime.executor.ExecutorConfig` at
+            construction.
+        tracing: Record a span-level trace of the run (zero modeled
+            cost either way; the trace rides on
+            :attr:`PipelineResult.trace <repro.runtime.pipeline.PipelineResult>`).
+    """
+
+    dimension: int = 10_000
+    iterations: int = 20
+    bagging: BaggingConfig | None = None
+    learning_rate: float = 0.035
+    train_batch: int = 256
+    seed: int | None = None
+    host: Platform | None = None
+    arch: EdgeTpuArch | None = None
+    executor: ExecutorConfig | int | None = None
+    tracing: bool = False
+
+    def __post_init__(self) -> None:
+        if self.dimension < 1 or self.iterations < 1 or self.train_batch < 1:
+            raise ValueError(
+                "dimension, iterations, train_batch must be >= 1"
+            )
+        if not self.learning_rate > 0:
+            raise ValueError(
+                f"learning_rate must be > 0, got {self.learning_rate}"
+            )
+        object.__setattr__(
+            self, "executor", ExecutorConfig.coerce(self.executor)
+        )
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """One online-serving deployment, fully specified.
+
+    Attributes:
+        batcher: ``"dynamic"`` (deadline-aware size-or-deadline) or
+            ``"fixed"`` (size-or-timeout baseline).
+        max_batch: Close a batch at this many queued requests.
+        slack_s: Safety margin the dynamic batcher subtracts from the
+            deadline trigger.
+        timeout_s: Fixed batcher's age trigger; ``inf`` waits for a
+            full batch.
+        max_queue: Admission bound — arrivals beyond this queue depth
+            are dropped.
+        tracing: Record per-request spans
+            (arrival → queue → batch → device → host tail).
+    """
+
+    batcher: str = "dynamic"
+    max_batch: int = 32
+    slack_s: float = 0.0
+    timeout_s: float = math.inf
+    max_queue: int = 256
+    tracing: bool = False
+
+    def __post_init__(self) -> None:
+        if self.batcher not in _BATCHERS:
+            raise ValueError(
+                f"batcher must be one of {_BATCHERS}, got {self.batcher!r}"
+            )
+        if self.max_batch < 1:
+            raise ValueError(
+                f"max_batch must be >= 1, got {self.max_batch}"
+            )
+        if self.slack_s < 0:
+            raise ValueError(f"slack_s must be >= 0, got {self.slack_s}")
+        if self.timeout_s <= 0:
+            raise ValueError(
+                f"timeout_s must be > 0, got {self.timeout_s}"
+            )
+        if self.max_queue < 1:
+            raise ValueError(
+                f"max_queue must be >= 1, got {self.max_queue}"
+            )
+
+    def make_batcher(self):
+        """Instantiate the configured batch-closing policy."""
+        from repro.serving.batcher import DynamicBatcher, FixedSizeBatcher
+        if self.batcher == "dynamic":
+            return DynamicBatcher(max_batch=self.max_batch,
+                                  slack_s=self.slack_s)
+        return FixedSizeBatcher(max_batch=self.max_batch,
+                                timeout_s=self.timeout_s)

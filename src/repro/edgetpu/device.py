@@ -30,11 +30,15 @@ class InvokeResult:
         elapsed_s: Modeled seconds for this invocation.
         breakdown: Per-term seconds: ``overhead``, ``input_transfer``,
             ``weight_streaming``, ``compute``, ``output_transfer``.
+        bytes_in: Activation bytes shipped to the device this invoke.
+        bytes_out: Activation bytes returned by the device this invoke.
     """
 
     outputs: np.ndarray
     elapsed_s: float
     breakdown: dict
+    bytes_in: int = 0
+    bytes_out: int = 0
 
 
 @dataclass
@@ -149,14 +153,17 @@ class EdgeTpuDevice:
         breakdown = dict(cached)
         elapsed = sum(breakdown.values())
 
+        bytes_in = batch * compiled.tpu_input_bytes
+        bytes_out = batch * compiled.tpu_output_bytes
         self.stats.invocations += 1
         self.stats.samples += batch
         self.stats.busy_seconds += elapsed
-        self.stats.bytes_in += batch * compiled.tpu_input_bytes
-        self.stats.bytes_out += batch * compiled.tpu_output_bytes
+        self.stats.bytes_in += bytes_in
+        self.stats.bytes_out += bytes_out
         for key, value in breakdown.items():
             self.stats.breakdown[key] = self.stats.breakdown.get(key, 0.0) + value
-        return InvokeResult(outputs=out, elapsed_s=elapsed, breakdown=breakdown)
+        return InvokeResult(outputs=out, elapsed_s=elapsed, breakdown=breakdown,
+                            bytes_in=bytes_in, bytes_out=bytes_out)
 
     def energy_joules(self) -> float:
         """Energy consumed while busy (active power x busy time)."""

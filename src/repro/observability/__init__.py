@@ -1,0 +1,58 @@
+"""Structured observability: span tracing, metrics, trace exporters.
+
+The paper's contribution is a *cost breakdown* — encode vs. update vs.
+modelgen vs. inference (Fig. 5/6).  This package generalizes that
+breakdown from four flat totals to a full trace of the modeled
+execution:
+
+- :mod:`repro.observability.trace` — :class:`Tracer` records
+  hierarchical :class:`Span` intervals on the virtual clock
+  (``pipeline.train > submodel[3] > encode > device.invoke``), each
+  carrying phase, device id, batch size, byte counts and
+  cache-hit/fallback/retry tags.  Disabled tracing is zero-overhead on
+  the modeled clock; enabled tracing changes no modeled second and no
+  prediction (the determinism suite asserts both).
+- :mod:`repro.observability.metrics` — :class:`MetricsRegistry` of
+  named counters/gauges/histograms, with
+  :class:`~repro.runtime.profiler.LatencyTracker` as the one histogram
+  primitive.
+- :mod:`repro.observability.export` — JSON-lines archive, Chrome
+  ``trace_event`` for ``about://tracing``/Perfetto, and a text
+  flamegraph.
+
+:class:`~repro.runtime.profiler.PhaseProfiler` is a thin view over a
+:class:`Tracer`'s phase clock, so every existing phase total flows
+through here bit-identically.
+"""
+
+from repro.observability.export import (
+    flamegraph,
+    read_jsonl,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    LatencyTracker,
+    MetricsRegistry,
+)
+from repro.observability.trace import Span, Tracer, format_seconds
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "LatencyTracker",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "flamegraph",
+    "format_seconds",
+    "read_jsonl",
+    "to_chrome_trace",
+    "to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,197 @@
+"""Trace exporters: JSON-lines, Chrome ``trace_event``, text flamegraph.
+
+Three consumers, three formats:
+
+- :func:`to_jsonl` / :func:`read_jsonl` — one span per line, loss-less
+  round trip; the machine-readable archive format (and the schema the
+  determinism suite asserts on).
+- :func:`to_chrome_trace` — the Chrome ``trace_event`` JSON that
+  ``about://tracing`` / Perfetto render: complete (``"ph": "X"``)
+  events with microsecond timestamps, one track per device plus a host
+  track, so device overlap is visible on real serving traces.
+- :func:`flamegraph` — an aggregated text tree (span paths merged by
+  name, durations summed, call counts shown); the quick look that
+  replaces nothing but answers "where did the modeled time go" without
+  leaving the terminal.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.observability.trace import Span, Tracer, format_seconds
+
+__all__ = [
+    "flamegraph",
+    "read_jsonl",
+    "to_chrome_trace",
+    "to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+
+def _spans(trace: Tracer | Iterable[Span]) -> list[Span]:
+    if isinstance(trace, Tracer):
+        return list(trace.spans)
+    return list(trace)
+
+
+# ----------------------------------------------------------------------
+# JSON lines
+# ----------------------------------------------------------------------
+
+def to_jsonl(trace: Tracer | Iterable[Span]) -> str:
+    """Serialize spans as newline-delimited JSON (one span per line)."""
+    return "\n".join(
+        json.dumps(span.to_dict(), sort_keys=True) for span in _spans(trace)
+    )
+
+
+def write_jsonl(trace: Tracer | Iterable[Span], path) -> int:
+    """Write :func:`to_jsonl` output to ``path``; returns span count."""
+    spans = _spans(trace)
+    with open(path, "w", encoding="utf-8") as handle:
+        text = to_jsonl(spans)
+        if text:
+            handle.write(text + "\n")
+    return len(spans)
+
+
+def read_jsonl(source) -> list[Span]:
+    """Parse spans back from JSONL text or a file path.
+
+    Accepts either a string of newline-delimited JSON or a path-like;
+    the round trip ``read_jsonl(to_jsonl(t)) == t.spans`` is exact.
+    """
+    if hasattr(source, "read"):
+        text = source.read()
+    else:
+        text = str(source)
+        if text.strip() and "\n" not in text \
+                and not text.lstrip().startswith("{"):
+            with open(text, encoding="utf-8") as handle:
+                text = handle.read()
+    spans = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            spans.append(Span.from_dict(json.loads(line)))
+    return spans
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event format
+# ----------------------------------------------------------------------
+
+def _track(span: Span) -> tuple[int, str]:
+    """Map a span to a (tid, track name) pair.
+
+    Device spans get one track per device index (overlap across devices
+    stays visible); everything else renders on the host track.
+    """
+    device = span.attrs.get("device")
+    if device is not None:
+        return int(device) + 1, f"device {int(device)}"
+    return 0, "host"
+
+
+def to_chrome_trace(trace: Tracer | Iterable[Span]) -> dict:
+    """Build a Chrome ``trace_event`` document (JSON-ready dict).
+
+    Every span becomes a complete event (``"ph": "X"``) with
+    microsecond ``ts``/``dur`` on the virtual timeline; ``args`` carry
+    the span's phase, attrs and tags.  Load the written file in
+    ``about://tracing`` or https://ui.perfetto.dev.
+    """
+    events = []
+    tracks: dict[int, str] = {}
+    for span in _spans(trace):
+        tid, track = _track(span)
+        tracks.setdefault(tid, track)
+        args = {"span_id": span.span_id, "parent_id": span.parent_id}
+        if span.phase is not None:
+            args["phase"] = span.phase
+        if span.attrs:
+            args.update(span.attrs)
+        if span.tags:
+            args["tags"] = list(span.tags)
+        events.append({
+            "name": span.name,
+            "ph": "X",
+            "ts": span.start_s * 1e6,
+            "dur": span.duration_s * 1e6,
+            "pid": 0,
+            "tid": tid,
+            "cat": span.phase if span.phase is not None else "span",
+            "args": args,
+        })
+    metadata = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": tid,
+            "args": {"name": track},
+        }
+        for tid, track in sorted(tracks.items())
+    ]
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(trace: Tracer | Iterable[Span], path) -> int:
+    """Write :func:`to_chrome_trace` to ``path``; returns event count."""
+    document = to_chrome_trace(trace)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1)
+    return len(document["traceEvents"])
+
+
+# ----------------------------------------------------------------------
+# Text flamegraph
+# ----------------------------------------------------------------------
+
+def flamegraph(trace: Tracer | Iterable[Span], *,
+               max_depth: int = 8) -> str:
+    """Aggregated call-tree summary of a trace.
+
+    Sibling spans with the same name merge into one line (duration
+    summed, count shown); children indent under their parent.  Shares
+    are relative to the total duration of the root spans, so the tree
+    reads like the paper's Fig. 5 breakdown at span granularity.
+    """
+    spans = _spans(trace)
+    if not spans:
+        return "(empty trace)"
+    children: dict[int | None, list[Span]] = {}
+    for span in spans:
+        children.setdefault(span.parent_id, []).append(span)
+    roots = children.get(None, [])
+    total = sum(span.duration_s for span in roots)
+
+    lines: list[str] = []
+
+    def emit(group: list[Span], depth: int) -> None:
+        if depth >= max_depth:
+            return
+        merged: dict[str, list[Span]] = {}
+        for span in group:
+            merged.setdefault(span.name, []).append(span)
+        for name, same in merged.items():
+            seconds = sum(span.duration_s for span in same)
+            share = seconds / total if total else 0.0
+            count = f" x{len(same)}" if len(same) > 1 else ""
+            label = f"{'  ' * depth}{name}{count}"
+            lines.append(
+                f"{label:<44} {format_seconds(seconds):>12}  "
+                f"({share:5.1%})"
+            )
+            nested: list[Span] = []
+            for span in same:
+                nested.extend(children.get(span.span_id, ()))
+            if nested:
+                emit(nested, depth + 1)
+
+    emit(roots, 0)
+    return "\n".join(lines)

@@ -1,0 +1,204 @@
+"""Named counters, gauges and histograms for the serving layers.
+
+A :class:`MetricsRegistry` is the flat, aggregate companion to the
+span-level :class:`~repro.observability.trace.Tracer`: spans answer
+"where did this request's time go", metrics answer "how many, how big,
+how fast" across the whole run.  :class:`LatencyTracker` — the repo's
+one percentile primitive (nearest-rank, exactly reproducible) — lives
+here as the histogram implementation, so a metric's p99 and a
+:class:`~repro.serving.server.ServeReport` p99 can never disagree
+about what a percentile means (:mod:`repro.runtime.profiler`
+re-exports it for its original callers).
+
+Everything is deterministic and virtual-clock-valued; there is no
+background thread, no sampling, no wall time.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["Counter", "Gauge", "LatencyTracker", "MetricsRegistry"]
+
+
+class LatencyTracker:
+    """Records a latency distribution on the virtual clock.
+
+    Percentiles use the nearest-rank definition (the smallest recorded
+    value with at least ``p`` percent of the mass at or below it), so a
+    reported p99 is always an actually-observed latency and the result
+    is exactly reproducible — no interpolation between samples.
+    """
+
+    def __init__(self):
+        self._values: list[float] = []
+        self._sorted: list[float] | None = []
+
+    def record(self, seconds: float) -> None:
+        """Add one observation (seconds, must be >= 0)."""
+        seconds = float(seconds)
+        if not seconds >= 0.0:
+            raise ValueError(f"latency must be >= 0, got {seconds}")
+        self._values.append(seconds)
+        self._sorted = None
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def _ordered(self) -> list[float]:
+        if self._sorted is None:
+            self._sorted = sorted(self._values)
+        return self._sorted
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile ``p`` in [0, 100]."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self._values:
+            raise ValueError("no latencies recorded")
+        ordered = self._ordered()
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    @property
+    def p50(self) -> float:
+        """Median latency."""
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        """95th-percentile latency."""
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile latency — the SLA metric."""
+        return self.percentile(99.0)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean latency."""
+        if not self._values:
+            raise ValueError("no latencies recorded")
+        return sum(self._values) / len(self._values)
+
+    @property
+    def max(self) -> float:
+        """Worst observed latency."""
+        if not self._values:
+            raise ValueError("no latencies recorded")
+        return self._ordered()[-1]
+
+    def summary(self) -> dict:
+        """Machine-readable percentile summary."""
+        if not self._values:
+            return {"count": 0}
+        return {
+            "count": len(self._values),
+            "mean_s": self.mean,
+            "p50_s": self.p50,
+            "p95_s": self.p95,
+            "p99_s": self.p99,
+            "max_s": self.max,
+        }
+
+
+class Counter:
+    """A monotonically increasing count.
+
+    Attributes:
+        name: Registry key.
+        value: Current count.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0 — counters never go down)."""
+        if amount < 0:
+            raise ValueError(f"counters only increase, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (queue depth, pool size, model version).
+
+    Attributes:
+        name: Registry key.
+        value: Last set value (``None`` until first set).
+        peak: Largest value ever set (``None`` until first set).
+    """
+
+    __slots__ = ("name", "value", "peak")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float | None = None
+        self.peak: float | None = None
+
+    def set(self, value: float) -> None:
+        """Record the current value (and track the peak)."""
+        value = float(value)
+        self.value = value
+        self.peak = value if self.peak is None else max(self.peak, value)
+
+
+class MetricsRegistry:
+    """Lazily-created named metrics with one machine-readable summary.
+
+    Example::
+
+        metrics = MetricsRegistry()
+        metrics.counter("serve.dropped").inc()
+        metrics.histogram("serve.latency_s").record(0.004)
+        metrics.summary()
+
+    Instrument names are namespaced by convention
+    (``<subsystem>.<what>``, seconds-valued histograms suffixed
+    ``_s``) — the catalog lives in ``docs/architecture.md``.
+    """
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, LatencyTracker] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name)
+        return gauge
+
+    def histogram(self, name: str) -> LatencyTracker:
+        """Get or create the histogram ``name`` (a LatencyTracker)."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = LatencyTracker()
+        return histogram
+
+    def __len__(self) -> int:
+        return (len(self._counters) + len(self._gauges)
+                + len(self._histograms))
+
+    def summary(self) -> dict:
+        """All instruments, keyed by kind then name (sorted)."""
+        return {
+            "counters": {name: c.value for name, c
+                         in sorted(self._counters.items())},
+            "gauges": {name: {"value": g.value, "peak": g.peak}
+                       for name, g in sorted(self._gauges.items())},
+            "histograms": {name: h.summary() for name, h
+                           in sorted(self._histograms.items())},
+        }

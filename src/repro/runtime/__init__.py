@@ -47,6 +47,7 @@ _EXPORTS = {
     "TrainingPipeline": "repro.runtime.pipeline",
     "WorkerPool": "repro.runtime.executor",
     "Workload": "repro.runtime.costs",
+    "format_seconds": "repro.runtime.profiler",
     "simulate_makespan": "repro.runtime.executor",
     "spawn_rngs": "repro.runtime.executor",
     "tpu_feature_crossover": "repro.runtime.placement",

@@ -425,13 +425,19 @@ class MicroBatchDispatcher:
 
     # ------------------------------------------------------------------
 
-    def dispatch(self, x: np.ndarray,
-                 y: np.ndarray | None = None) -> DispatchResult:
+    def dispatch(self, x: np.ndarray, y: np.ndarray | None = None,
+                 tracer=None) -> DispatchResult:
         """Run the request stream ``x`` through the pool.
 
         Args:
             x: Float samples ``(num_samples, num_features)``.
             y: Optional labels for accuracy reporting.
+            tracer: Optional :class:`~repro.observability.trace.Tracer`;
+                when enabled, the dispatch records explicitly-timed
+                ``device.invoke`` / ``host.tail`` spans on the per-device
+                virtual timelines under a ``dispatch`` root, then
+                advances the tracer cursor past the makespan.  Timing
+                and predictions are identical with or without it.
 
         Returns:
             A :class:`DispatchResult` with predictions in input order
@@ -460,9 +466,11 @@ class MicroBatchDispatcher:
         else:
             with self._lock:
                 if self.placement == "replicate":
-                    result = self._dispatch_replicated(x, loaded)
+                    result = self._dispatch_replicated(x, loaded, tracer)
                 else:
-                    result = self._dispatch_sharded(x, loaded)
+                    result = self._dispatch_sharded(x, loaded, tracer)
+            if tracer is not None:
+                tracer.advance(result.makespan_seconds)
 
         if y is not None:
             y = np.asarray(y, dtype=np.int64)
@@ -482,7 +490,7 @@ class MicroBatchDispatcher:
         return [(start, min(start + self.micro_batch, n))
                 for start in range(0, n, self.micro_batch)]
 
-    def _dispatch_replicated(self, x, loaded) -> DispatchResult:
+    def _dispatch_replicated(self, x, loaded, tracer=None) -> DispatchResult:
         compiled = loaded[0][1]
         for _, other in loaded[1:]:
             if other is not compiled:
@@ -495,6 +503,12 @@ class MicroBatchDispatcher:
         predictions = np.empty(len(x), dtype=np.int64)
 
         batches = self._batches(len(x))
+        base = tracer.cursor_s if tracer is not None else 0.0
+        root = None
+        if tracer is not None:
+            root = tracer.add("dispatch", base, base,
+                              placement="replicate", samples=len(x),
+                              num_batches=len(batches))
         device_free = {i: 0.0 for i, _ in loaded}
         device_busy = {i: 0.0 for i, _ in loaded}
         host_free = 0.0
@@ -504,7 +518,8 @@ class MicroBatchDispatcher:
             index, _ = loaded[j % len(loaded)]
             device = self.pool.devices[index]
             invoke = device.invoke(quantized[start:stop])
-            device_done = device_free[index] + invoke.elapsed_s
+            device_start = device_free[index]
+            device_done = device_start + invoke.elapsed_s
             device_free[index] = device_done
             device_busy[index] += invoke.elapsed_s
             for key, value in invoke.breakdown.items():
@@ -516,9 +531,22 @@ class MicroBatchDispatcher:
             # The host tail waits for this batch's device *and* for the
             # previous batch's tail — that serialization is the overlap
             # model (host works on batch j while devices run j+1...).
-            host_free = max(host_free, device_done) + host_cost
+            tail_start = max(host_free, device_done)
+            host_free = tail_start + host_cost
             host_busy += host_cost
+            if tracer is not None:
+                tracer.add("device.invoke", base + device_start,
+                           base + device_done, parent_id=root,
+                           phase="inference", device=index,
+                           batch=stop - start, elapsed_s=invoke.elapsed_s,
+                           bytes_in=invoke.bytes_in,
+                           bytes_out=invoke.bytes_out)
+                tracer.add("host.tail", base + tail_start, base + host_free,
+                           parent_id=root, phase="inference",
+                           batch=stop - start)
         breakdown["host_tail"] = host_busy
+        if tracer is not None:
+            tracer.finish(root, base + host_free)
 
         busy = [float(device_busy[i]) for i, _ in loaded]
         return DispatchResult(
@@ -534,11 +562,17 @@ class MicroBatchDispatcher:
             breakdown=breakdown,
         )
 
-    def _dispatch_sharded(self, x, loaded) -> DispatchResult:
+    def _dispatch_sharded(self, x, loaded, tracer=None) -> DispatchResult:
         # Pre-quantize once per shard (each has its own input grid).
         quantized = {i: m.model.input_spec.qparams.quantize(x)
                      for i, m in loaded}
         batches = self._batches(len(x))
+        base = tracer.cursor_s if tracer is not None else 0.0
+        root = None
+        if tracer is not None:
+            root = tracer.add("dispatch", base, base,
+                              placement="shard", samples=len(x),
+                              num_batches=len(batches))
         predictions = np.empty(len(x), dtype=np.int64)
         all_scores = None
         device_free = {i: 0.0 for i, _ in loaded}
@@ -554,12 +588,20 @@ class MicroBatchDispatcher:
             for index, compiled in loaded:
                 device = self.pool.devices[index]
                 invoke = device.invoke(quantized[index][start:stop])
-                device_done = device_free[index] + invoke.elapsed_s
+                device_start = device_free[index]
+                device_done = device_start + invoke.elapsed_s
                 device_free[index] = device_done
                 device_busy[index] += invoke.elapsed_s
                 batch_device_done = max(batch_device_done, device_done)
                 for key, value in invoke.breakdown.items():
                     breakdown[key] = breakdown.get(key, 0.0) + value
+                if tracer is not None:
+                    tracer.add("device.invoke", base + device_start,
+                               base + device_done, parent_id=root,
+                               phase="inference", device=index, batch=rows,
+                               elapsed_s=invoke.elapsed_s,
+                               bytes_in=invoke.bytes_in,
+                               bytes_out=invoke.bytes_out)
                 out_qparams = compiled.tpu_ops[-1].output_qparams
                 scores = out_qparams.dequantize(invoke.outputs)
                 host_cost += self.host.elementwise_seconds(scores.size)
@@ -575,9 +617,15 @@ class MicroBatchDispatcher:
             predictions[start:stop] = np.argmax(batch_scores, axis=-1)
             all_scores = batch_scores if all_scores is None \
                 else np.vstack([all_scores, batch_scores])
-            host_free = max(host_free, batch_device_done) + host_cost
+            tail_start = max(host_free, batch_device_done)
+            host_free = tail_start + host_cost
             host_busy += host_cost
+            if tracer is not None:
+                tracer.add("host.tail", base + tail_start, base + host_free,
+                           parent_id=root, phase="inference", batch=rows)
         breakdown["host_tail"] = host_busy
+        if tracer is not None:
+            tracer.finish(root, base + host_free)
 
         busy = [float(device_busy[i]) for i, _ in loaded]
         return DispatchResult(

@@ -23,10 +23,12 @@ from __future__ import annotations
 
 import hashlib
 import threading
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.config import PipelineConfig
 from repro.edgetpu.arch import EdgeTpuArch
 from repro.edgetpu.compiler import CompiledModel, compile_model
 from repro.edgetpu.device import EdgeTpuDevice
@@ -51,6 +53,7 @@ from repro.runtime.executor import (
     cpu_op_seconds,
     spawn_rngs,
 )
+from repro.observability.trace import Tracer
 from repro.runtime.profiler import PhaseProfiler
 from repro.tflite.converter import convert
 from repro.tflite.flatmodel import FlatModel
@@ -160,6 +163,36 @@ class PipelineResult:
     profiler: PhaseProfiler
     parallel: ParallelReport | None = None
 
+    @property
+    def trace(self) -> Tracer | None:
+        """The run's span trace (``None`` unless tracing was enabled)."""
+        tracer = self.profiler.tracer
+        return tracer if tracer.enabled else None
+
+    def summary(self) -> dict:
+        """Machine-readable run report (see docs/architecture.md schema).
+
+        Durations are seconds with an ``_s`` suffix; the canonical
+        phase map sits under ``"phases"`` exactly as
+        :meth:`PhaseProfiler.breakdown` returns it.
+        """
+        payload = {
+            "schema": "repro.train/1",
+            "total_s": self.profiler.total,
+            "phases": self.profiler.breakdown(),
+            "num_submodels": len(self.classifiers),
+            "weight_bytes": self.compiled.weight_bytes,
+        }
+        if self.parallel is not None:
+            payload["parallel"] = {
+                "workers": self.parallel.workers,
+                "backend": self.parallel.backend,
+                "makespan_s": self.parallel.makespan_seconds,
+                "serial_s": self.parallel.serial_seconds,
+                "speedup": self.parallel.speedup,
+            }
+        return payload
+
 
 @dataclass
 class InferenceResult:
@@ -175,6 +208,7 @@ class InferenceResult:
     seconds: float
     accuracy: float | None = None
     breakdown: dict = field(default_factory=dict)
+    trace: Tracer | None = None
 
     @property
     def throughput(self) -> float:
@@ -183,55 +217,96 @@ class InferenceResult:
             return 0.0
         return len(self.predictions) / self.seconds
 
+    def summary(self) -> dict:
+        """Machine-readable run report (see docs/architecture.md schema)."""
+        payload = {
+            "schema": "repro.infer/1",
+            "samples": len(self.predictions),
+            "total_s": self.seconds,
+            "throughput_rps": self.throughput,
+            "breakdown": dict(self.breakdown),
+        }
+        if self.accuracy is not None:
+            payload["accuracy"] = self.accuracy
+        return payload
+
 
 class TrainingPipeline:
     """Trains an HDC model with Edge TPU encoding and host updates.
 
+    The supported constructor takes one validated
+    :class:`~repro.config.PipelineConfig`::
+
+        TrainingPipeline(PipelineConfig(dimension=4096, seed=7))
+
+    or, equivalently, ``TrainingPipeline(config=...)``.  The historical
+    keyword sprawl (``dimension=``, ``iterations=``, ...) still works
+    through a shim that builds the config for you and emits a
+    :class:`DeprecationWarning`.
+
     Args:
-        dimension: Full hypervector width ``d``.
-        iterations: Training passes (paper baseline 20; with bagging the
-            sub-model iterations come from ``bagging.iterations``).
-        bagging: Enable the paper's bagging optimization with this
-            config; ``None`` trains one full-width model.
-        host: Host CPU cost model.
-        arch: Edge TPU architecture.
-        learning_rate: Update scale.
-        train_batch: Samples per device invocation while encoding.
-        seed: Seed for hypervectors, bootstrap draws and shuffling.
+        config: The full training configuration (see
+            :class:`~repro.config.PipelineConfig` for every knob,
+            including ``executor`` parallelism and ``tracing``).
         compile_cache: A :class:`CompileCache` to reuse compiled models
             across runs (pass one instance to several pipelines to share
             it); each pipeline gets its own private cache by default.
-        executor: Parallelism knobs (worker count for bagged sub-model
-            training).  Defaults to sequential training; any worker
-            count produces bit-identical results because every
-            sub-model draws its randomness from a spawned child seed.
-            Sub-model tasks share the compile cache and profiler, so
-            the pipeline always uses the thread backend.
+            An operational resource, not configuration — hence not part
+            of the config object.
     """
 
-    def __init__(self, dimension: int = 10_000, iterations: int = 20,
-                 bagging: BaggingConfig | None = None,
-                 host: Platform | None = None,
-                 arch: EdgeTpuArch | None = None,
-                 learning_rate: float = 0.035, train_batch: int = 256,
-                 seed: int | None = None,
-                 compile_cache: CompileCache | None = None,
-                 executor: ExecutorConfig | int | None = None):
-        if dimension < 1 or iterations < 1 or train_batch < 1:
-            raise ValueError("dimension, iterations, train_batch must be >= 1")
-        self.dimension = dimension
-        self.iterations = iterations
-        self.bagging = bagging
-        self.host = host if host is not None else MobileCpu()
-        self.arch = arch if arch is not None else EdgeTpuArch()
-        self.learning_rate = learning_rate
-        self.train_batch = train_batch
-        self._rng = np.random.default_rng(seed)
-        self._costs = CostModel(host=self.host, train_batch=train_batch)
+    def __init__(self, dimension=None, iterations=None, bagging=None,
+                 host=None, arch=None, learning_rate=None, train_batch=None,
+                 seed=None, compile_cache: CompileCache | None = None,
+                 executor=None, *, config: PipelineConfig | None = None):
+        if isinstance(dimension, PipelineConfig):
+            if config is not None:
+                raise TypeError("pass the config positionally or as "
+                                "config=, not both")
+            config = dimension
+            dimension = None
+        legacy = {
+            key: value for key, value in {
+                "dimension": dimension,
+                "iterations": iterations,
+                "bagging": bagging,
+                "host": host,
+                "arch": arch,
+                "learning_rate": learning_rate,
+                "train_batch": train_batch,
+                "seed": seed,
+                "executor": executor,
+            }.items() if value is not None
+        }
+        if config is None:
+            if legacy:
+                warnings.warn(
+                    "keyword construction of TrainingPipeline is "
+                    "deprecated; pass a repro.config.PipelineConfig "
+                    "(or use repro.api.train)",
+                    DeprecationWarning, stacklevel=2,
+                )
+            config = PipelineConfig(**legacy)
+        elif legacy:
+            raise TypeError(
+                "pass either a PipelineConfig or legacy keywords, not both"
+            )
+        self.config = config
+        self.dimension = config.dimension
+        self.iterations = config.iterations
+        self.bagging = config.bagging
+        self.host = config.host if config.host is not None else MobileCpu()
+        self.arch = config.arch if config.arch is not None else EdgeTpuArch()
+        self.learning_rate = config.learning_rate
+        self.train_batch = config.train_batch
+        self._rng = np.random.default_rng(config.seed)
+        self._costs = CostModel(host=self.host,
+                                train_batch=config.train_batch)
         self.compile_cache = (
             compile_cache if compile_cache is not None else CompileCache()
         )
-        self.executor = ExecutorConfig.coerce(executor)
+        self.executor = config.executor
+        self.tracing = config.tracing
 
     # ------------------------------------------------------------------
 
@@ -247,21 +322,25 @@ class TrainingPipeline:
         if num_classes is None:
             num_classes = int(train_y.max()) + 1
 
-        profiler = PhaseProfiler()
+        profiler = PhaseProfiler(Tracer(enabled=self.tracing))
         parallel = None
-        if self.bagging is None:
-            classifiers, histories = self._train_single(
-                train_x, train_y, num_classes, profiler,
-            )
-        else:
-            classifiers, histories, parallel = self._train_bagged(
-                train_x, train_y, num_classes, profiler,
-            )
+        with profiler.tracer.span(
+            "pipeline.train", samples=len(train_x),
+            dimension=self.dimension, num_classes=num_classes,
+        ):
+            if self.bagging is None:
+                classifiers, histories = self._train_single(
+                    train_x, train_y, num_classes, profiler,
+                )
+            else:
+                classifiers, histories, parallel = self._train_bagged(
+                    train_x, train_y, num_classes, profiler,
+                )
 
-        fused = self._fuse(classifiers, num_classes)
-        inference_model, compiled = self._deploy_inference_model(
-            fused, train_x, profiler,
-        )
+            fused = self._fuse(classifiers, num_classes)
+            inference_model, compiled = self._deploy_inference_model(
+                fused, train_x, profiler,
+            )
         return PipelineResult(
             inference_model=inference_model,
             compiled=compiled,
@@ -308,9 +387,10 @@ class TrainingPipeline:
         kept = max(
             1, int(round(config.feature_ratio * train_x.shape[1]))
         )
+        tracing = profiler.tracer.enabled
 
         def train_one(rng):
-            local = PhaseProfiler()
+            local = PhaseProfiler(Tracer(enabled=tracing))
             indices = draw_bootstrap_subset(
                 rng, len(train_x), subset_size, config.replace,
             )
@@ -339,10 +419,9 @@ class TrainingPipeline:
 
         pool = WorkerPool(self.executor.workers, backend="thread")
         results = pool.map(train_one, spawn_rngs(self._rng, config.num_models))
-        for _, _, local in results:
-            for phase, seconds in local.breakdown().items():
-                if seconds:
-                    profiler.charge(phase, seconds)
+        for index, (_, _, local) in enumerate(results):
+            profiler.absorb(local, f"submodel[{index}]",
+                            sub_dimension=config.effective_sub_dimension)
         classifiers = [classifier for classifier, _, _ in results]
         histories = [history for _, history, _ in results]
         return classifiers, histories, pool.last_report
@@ -358,35 +437,50 @@ class TrainingPipeline:
             network, calibration[:_CALIBRATION_SAMPLES], self.arch, "encoder",
         )
         device = EdgeTpuDevice(self.arch)
+        cache_tag = ("cache_hit",) if cached else ()
         # A cache hit skips the host-side generation cost but the device
         # still has to load the (cached) compiled model.
         if not cached:
-            profiler.charge("modelgen", self._modelgen_seconds(flat, compiled))
-        profiler.charge("modelgen", device.load_model(compiled))
+            profiler.charge("modelgen", self._modelgen_seconds(flat, compiled),
+                            name="modelgen.compile", model="encoder")
+        profiler.charge("modelgen", device.load_model(compiled),
+                        name="device.load", tags=cache_tag, model="encoder",
+                        bytes_in=compiled.model.size_bytes())
 
         quantized_in = flat.input_spec.qparams.quantize(samples)
         pieces = []
-        for start in range(0, len(samples), self.train_batch):
-            result = device.invoke(quantized_in[start:start + self.train_batch])
-            profiler.charge("encode", result.elapsed_s)
-            pieces.append(result.outputs)
-        encoded_q = np.vstack(pieces)
-        # Host-side dequantization of the returned hypervectors.
-        out_qparams = compiled.tpu_ops[-1].output_qparams
-        profiler.charge(
-            "encode", self.host.elementwise_seconds(encoded_q.size),
-        )
+        with profiler.tracer.span("encode", phase="encode",
+                                  samples=len(samples)):
+            for start in range(0, len(samples), self.train_batch):
+                result = device.invoke(
+                    quantized_in[start:start + self.train_batch]
+                )
+                profiler.charge("encode", result.elapsed_s,
+                                name="device.invoke", device=0,
+                                batch=len(result.outputs),
+                                bytes_in=result.bytes_in,
+                                bytes_out=result.bytes_out)
+                pieces.append(result.outputs)
+            encoded_q = np.vstack(pieces)
+            # Host-side dequantization of the returned hypervectors.
+            out_qparams = compiled.tpu_ops[-1].output_qparams
+            profiler.charge(
+                "encode", self.host.elementwise_seconds(encoded_q.size),
+                name="host.dequantize", elements=encoded_q.size,
+            )
         return out_qparams.dequantize(encoded_q)
 
     def _charge_update(self, history, dimension, num_classes, profiler):
         """Charge the host update phase from measured per-pass statistics."""
-        for samples, updates in zip(history.samples_seen, history.updates):
+        for iteration, (samples, updates) in enumerate(
+                zip(history.samples_seen, history.updates)):
             mistake_fraction = updates / max(1, samples)
             profiler.charge("update", self._costs.update_seconds(
                 samples, dimension, num_classes, iterations=1,
                 mistake_fraction=mistake_fraction,
                 chunk_size=64, platform=self.host,
-            ))
+            ), name="host.update", iteration=iteration, samples=samples,
+                updates=updates)
 
     def _fuse(self, classifiers, num_classes) -> FusedHDCModel:
         base = np.hstack([c.encoder.base_hypervectors for c in classifiers])
@@ -408,7 +502,14 @@ class TrainingPipeline:
             "hdc-inference",
         )
         if not cached:
-            profiler.charge("modelgen", self._modelgen_seconds(flat, compiled))
+            profiler.charge("modelgen", self._modelgen_seconds(flat, compiled),
+                            name="modelgen.compile", model="hdc-inference")
+        elif profiler.tracer:
+            profiler.tracer.add(
+                "modelgen.compile", profiler.tracer.cursor_s,
+                profiler.tracer.cursor_s, tags=("cache_hit",),
+                model="hdc-inference",
+            )
         return flat, compiled
 
     def _modelgen_seconds(self, flat: FlatModel, compiled: CompiledModel
@@ -442,16 +543,20 @@ class InferencePipeline:
             a replicated :class:`~repro.edgetpu.multidevice.DevicePool`
             (host tail overlapped with device dispatch); the default
             keeps the original single-device sequential loop.
+        tracing: Record a span per device invocation and host-tail op;
+            the trace rides on :attr:`InferenceResult.trace`.
     """
 
     def __init__(self, compiled: CompiledModel, host: Platform | None = None,
-                 batch: int = 1, executor: ExecutorConfig | int | None = None):
+                 batch: int = 1, executor: ExecutorConfig | int | None = None,
+                 tracing: bool = False):
         if batch < 1:
             raise ValueError(f"batch must be >= 1, got {batch}")
         self.compiled = compiled
         self.host = host if host is not None else MobileCpu()
         self.batch = batch
         self.executor = ExecutorConfig.coerce(executor)
+        self.tracing = tracing
         self.dispatcher: MicroBatchDispatcher | None = None
         if self.executor.num_devices > 1 or \
                 self.executor.micro_batch is not None:
@@ -473,33 +578,54 @@ class InferencePipeline:
         test_x = np.asarray(test_x, dtype=np.float32)
         if test_x.ndim != 2:
             raise ValueError(f"expected 2-D samples, got shape {test_x.shape}")
+        tracer = Tracer(enabled=True) if self.tracing else None
         if self.dispatcher is not None:
-            dispatched = self.dispatcher.dispatch(test_x, test_y)
+            dispatched = self.dispatcher.dispatch(test_x, test_y,
+                                                  tracer=tracer)
             return InferenceResult(
                 predictions=dispatched.predictions,
                 seconds=dispatched.makespan_seconds,
                 accuracy=dispatched.accuracy,
                 breakdown=dict(dispatched.breakdown),
+                trace=tracer,
             )
         model = self.compiled.model
         quantized = model.input_spec.qparams.quantize(test_x)
         seconds = 0.0
         predictions = np.empty(len(test_x), dtype=np.int64)
         tail_width = self.compiled.plans[-1].output_dim
+        root = (tracer.add("pipeline.infer", 0.0, 0.0,
+                           samples=len(test_x), batch=self.batch)
+                if tracer else None)
         for start in range(0, len(test_x), self.batch):
             chunk = quantized[start:start + self.batch]
             result = self.device.invoke(chunk)
+            if tracer:
+                tracer.add("device.invoke", seconds,
+                           seconds + result.elapsed_s, parent_id=root,
+                           phase="inference", device=0, batch=len(chunk),
+                           elapsed_s=result.elapsed_s,
+                           bytes_in=result.bytes_in,
+                           bytes_out=result.bytes_out)
             seconds += result.elapsed_s
             out = result.outputs
             width = tail_width
             for op in self.compiled.cpu_ops:
-                seconds += self._cpu_op_seconds(op, len(chunk), width)
+                cost = self._cpu_op_seconds(op, len(chunk), width)
+                if tracer:
+                    tracer.add(f"host.{op.kind.lower()}", seconds,
+                               seconds + cost, parent_id=root,
+                               phase="inference", batch=len(chunk))
+                seconds += cost
                 out = op.run(out)
                 width = op.output_dim(width)
             if model.output_is_index:
                 predictions[start:start + self.batch] = out[:, 0]
             else:
                 predictions[start:start + self.batch] = np.argmax(out, axis=-1)
+        if tracer:
+            tracer.finish(root, seconds)
+            tracer.advance(seconds)
         accuracy = None
         if test_y is not None:
             test_y = np.asarray(test_y, dtype=np.int64)
@@ -511,6 +637,7 @@ class InferencePipeline:
         return InferenceResult(
             predictions=predictions, seconds=seconds, accuracy=accuracy,
             breakdown=dict(self.device.stats.breakdown),
+            trace=tracer,
         )
 
     def _cpu_op_seconds(self, op, rows: int, width: int) -> float:

@@ -1,12 +1,24 @@
-"""Phase-level runtime profiler for the co-design pipelines."""
+"""Phase-level runtime profiler for the co-design pipelines.
+
+Since the observability subsystem landed, :class:`PhaseProfiler` is a
+thin *view* over a :class:`~repro.observability.trace.Tracer`: every
+``charge`` flows through the tracer's phase clock (and, when tracing is
+enabled, records a leaf span), and every total the profiler reports is
+read back from that clock.  The float accumulation order is unchanged
+from the pre-tracer implementation and identical whether tracing is on
+or off, so all phase totals stay bit-identical.
+
+:class:`LatencyTracker` (the percentile primitive) lives in
+:mod:`repro.observability.metrics` now; it is re-exported here for its
+original import path.
+"""
 
 from __future__ import annotations
 
-import math
+from repro.observability.metrics import LatencyTracker
+from repro.observability.trace import Tracer, format_seconds
 
-from repro.platforms.base import VirtualClock
-
-__all__ = ["LatencyTracker", "PhaseProfiler"]
+__all__ = ["LatencyTracker", "PhaseProfiler", "format_seconds"]
 
 # Canonical phase names shared by pipelines, cost models and reports.
 PHASES = ("encode", "update", "modelgen", "inference")
@@ -15,49 +27,82 @@ PHASES = ("encode", "update", "modelgen", "inference")
 class PhaseProfiler:
     """Accumulates modeled seconds under the paper's phase names.
 
-    A thin wrapper over :class:`VirtualClock` adding the canonical phase
-    vocabulary (``encode``, ``update``, ``modelgen``, ``inference``) and
-    a printable report matching the Fig. 5 breakdown.
+    A view over a :class:`~repro.observability.trace.Tracer` adding the
+    canonical phase vocabulary (``encode``, ``update``, ``modelgen``,
+    ``inference``) and a printable report matching the Fig. 5
+    breakdown.  The default tracer is disabled — identical behavior and
+    overhead to the original clock-only profiler; pass an enabled
+    tracer to capture a span per charge alongside the totals.
+
+    Args:
+        tracer: The tracer to charge through; a fresh disabled tracer
+            when omitted.  Never share one tracer between profilers —
+            the phase clock is part of the tracer.
     """
 
-    def __init__(self):
-        self._clock = VirtualClock()
+    def __init__(self, tracer: Tracer | None = None):
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
 
-    def charge(self, phase: str, seconds: float) -> None:
-        """Add ``seconds`` under ``phase``."""
-        self._clock.charge(phase, seconds)
+    def charge(self, phase: str, seconds: float, *, name: str | None = None,
+               tags: tuple = (), **attrs) -> None:
+        """Add ``seconds`` under ``phase``.
+
+        ``name``, ``tags`` and ``attrs`` label the recorded span when
+        tracing is enabled (the span is named after the phase by
+        default); they have no effect on the accumulated totals.
+        """
+        self.tracer.charge(phase, seconds, name=name, tags=tags, **attrs)
 
     def seconds(self, phase: str) -> float:
         """Accumulated seconds for ``phase``."""
-        return self._clock.phase(phase)
+        return self.tracer.phase_seconds(phase)
 
     @property
     def total(self) -> float:
         """Total accumulated seconds across phases."""
-        return self._clock.elapsed()
+        return self.tracer.total_charged
 
     def breakdown(self) -> dict:
         """Per-phase seconds (canonical phases first, zeros included).
 
-        Read-only: works on a copy of the clock's phase map, so calling
-        it never perturbs accumulated state (the ``pop`` below must not
-        reach a live internal dict).
+        Read-only: works on a copy of the tracer's phase map, so
+        calling it never perturbs accumulated state (the ``pop`` below
+        must not reach a live internal dict).
         """
-        raw = dict(self._clock.phases())
+        raw = self.tracer.phase_totals()
         ordered = {name: raw.pop(name, 0.0) for name in PHASES}
         ordered.update(raw)
         return ordered
 
+    def absorb(self, other: "PhaseProfiler", label: str, **attrs) -> None:
+        """Merge a task-local profiler: spans spliced, totals replayed.
+
+        Call in task order (the worker-order-invariance convention):
+        the other profiler's spans graft under a wrapper span named
+        ``label``, and its per-phase totals charge this profiler's
+        clock phase-by-phase — the same two-level float summation the
+        pipelines used before the tracer existed, so merged totals are
+        bit-identical to that code for any worker count.
+        """
+        self.tracer.splice(other.tracer, name=label, **attrs)
+        for phase, seconds in other.breakdown().items():
+            if seconds:
+                self.tracer.charge(phase, seconds, record=False)
+
     def percentile_report(self, tracker: "LatencyTracker",
                           title: str = "latency") -> str:
-        """Human-readable percentile line for a recorded distribution."""
+        """Human-readable percentile line for a recorded distribution.
+
+        Units adapt to magnitude (µs / ms / s), so sub-microsecond
+        device spans no longer print as ``0.000 ms``.
+        """
         if len(tracker) == 0:
             return f"{title}: no samples"
         return (
-            f"{title}: p50={tracker.p50 * 1e3:.3f} ms  "
-            f"p95={tracker.p95 * 1e3:.3f} ms  "
-            f"p99={tracker.p99 * 1e3:.3f} ms  "
-            f"max={tracker.max * 1e3:.3f} ms  (n={len(tracker)})"
+            f"{title}: p50={format_seconds(tracker.p50)}  "
+            f"p95={format_seconds(tracker.p95)}  "
+            f"p99={format_seconds(tracker.p99)}  "
+            f"max={format_seconds(tracker.max)}  (n={len(tracker)})"
         )
 
     def report(self, title: str = "runtime breakdown") -> str:
@@ -70,85 +115,3 @@ class PhaseProfiler:
             lines.append(f"  {phase:<10} {seconds:>10.4f} s  ({share:5.1%})")
         lines.append(f"  {'total':<10} {self.total:>10.4f} s")
         return "\n".join(lines)
-
-
-class LatencyTracker:
-    """Records a latency distribution on the virtual clock.
-
-    Percentiles use the nearest-rank definition (the smallest recorded
-    value with at least ``p`` percent of the mass at or below it), so a
-    reported p99 is always an actually-observed latency and the result
-    is exactly reproducible — no interpolation between samples.
-    """
-
-    def __init__(self):
-        self._values: list[float] = []
-        self._sorted: list[float] | None = []
-
-    def record(self, seconds: float) -> None:
-        """Add one observation (seconds, must be >= 0)."""
-        seconds = float(seconds)
-        if not seconds >= 0.0:
-            raise ValueError(f"latency must be >= 0, got {seconds}")
-        self._values.append(seconds)
-        self._sorted = None
-
-    def __len__(self) -> int:
-        return len(self._values)
-
-    def _ordered(self) -> list[float]:
-        if self._sorted is None:
-            self._sorted = sorted(self._values)
-        return self._sorted
-
-    def percentile(self, p: float) -> float:
-        """Nearest-rank percentile ``p`` in [0, 100]."""
-        if not 0.0 <= p <= 100.0:
-            raise ValueError(f"percentile must be in [0, 100], got {p}")
-        if not self._values:
-            raise ValueError("no latencies recorded")
-        ordered = self._ordered()
-        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
-        return ordered[rank - 1]
-
-    @property
-    def p50(self) -> float:
-        """Median latency."""
-        return self.percentile(50.0)
-
-    @property
-    def p95(self) -> float:
-        """95th-percentile latency."""
-        return self.percentile(95.0)
-
-    @property
-    def p99(self) -> float:
-        """99th-percentile latency — the SLA metric."""
-        return self.percentile(99.0)
-
-    @property
-    def mean(self) -> float:
-        """Arithmetic mean latency."""
-        if not self._values:
-            raise ValueError("no latencies recorded")
-        return sum(self._values) / len(self._values)
-
-    @property
-    def max(self) -> float:
-        """Worst observed latency."""
-        if not self._values:
-            raise ValueError("no latencies recorded")
-        return self._ordered()[-1]
-
-    def summary(self) -> dict:
-        """Machine-readable percentile summary."""
-        if not self._values:
-            return {"count": 0}
-        return {
-            "count": len(self._values),
-            "mean_s": self.mean,
-            "p50_s": self.p50,
-            "p95_s": self.p95,
-            "p99_s": self.p99,
-            "max_s": self.max,
-        }

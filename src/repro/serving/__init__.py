@@ -23,6 +23,7 @@ convention:
 attainment, failure recovery, drift recovery via hot swap).
 """
 
+from repro.config import ServeConfig
 from repro.serving.arrivals import ArrivalProcess, Request, RequestStream
 from repro.serving.batcher import DynamicBatcher, FixedSizeBatcher
 from repro.serving.server import InferenceServer, ServeReport
@@ -37,6 +38,7 @@ __all__ = [
     "PendingSwap",
     "Request",
     "RequestStream",
+    "ServeConfig",
     "ServeReport",
     "SwapRecord",
 ]

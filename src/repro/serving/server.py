@@ -30,13 +30,17 @@ against an SLA is a first-class, machine-independent output.
 from __future__ import annotations
 
 import math
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.config import ServeConfig
 from repro.edgetpu.compiler import CompiledModel
 from repro.edgetpu.multidevice import DeviceFailedError, DevicePool
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.trace import Tracer
 from repro.platforms.base import Platform
 from repro.runtime.executor import cpu_op_seconds, run_host_tail
 from repro.runtime.profiler import LatencyTracker
@@ -75,6 +79,8 @@ class ServeReport:
         fallback_batches: Batches served entirely on the host CPU.
         failed_devices: Pool indices that failed during the run.
         swap_records: Committed hot swaps.
+        trace: The span trace of the run (``None`` unless the server was
+            given a tracer / ``ServeConfig(tracing=True)``).
     """
 
     num_requests: int
@@ -95,6 +101,7 @@ class ServeReport:
     fallback_batches: int = 0
     failed_devices: list[int] = field(default_factory=list)
     swap_records: list[SwapRecord] = field(default_factory=list)
+    trace: Tracer | None = None
 
     @property
     def throughput(self) -> float:
@@ -168,8 +175,15 @@ class ServeReport:
         return accuracies
 
     def summary(self) -> dict:
-        """Machine-readable report (the serving benchmark's JSON rows)."""
+        """Machine-readable report (the serving benchmark's JSON rows).
+
+        Keys follow the repo-wide result-schema convention (see
+        :mod:`repro.api`): modeled durations end in ``_s``, rates in
+        ``_rate``, counts are bare nouns, and a ``schema`` key versions
+        the layout.
+        """
         payload = {
+            "schema": "repro.serve/1",
             "num_requests": self.num_requests,
             "served": self.served,
             "dropped": self.dropped,
@@ -181,13 +195,13 @@ class ServeReport:
             "num_batches": self.num_batches,
             "mean_batch_size": self.mean_batch_size,
             "utilization": self.utilization,
-            "host_seconds": self.host_seconds,
+            "host_s": self.host_seconds,
             "retried_batches": self.retried_batches,
             "fallback_batches": self.fallback_batches,
             "failed_devices": list(self.failed_devices),
             "swaps_committed": len(self.swap_records),
-            "swap_seconds": sum(r.modelgen_seconds + r.load_seconds
-                                for r in self.swap_records),
+            "swap_s": sum(r.modelgen_seconds + r.load_seconds
+                          for r in self.swap_records),
             "latency": self.latency.summary(),
         }
         if self.labels is not None:
@@ -198,24 +212,69 @@ class ServeReport:
 class InferenceServer:
     """Event-loop server over a replicated device pool.
 
+    The preferred construction is ``InferenceServer(pool, config)`` with
+    a :class:`~repro.config.ServeConfig` (or :func:`repro.api.serve`,
+    which builds everything).  The original keyword form
+    (``batcher=...``, ``max_queue=...``) still works through a
+    deprecation shim.
+
     Args:
         pool: A :class:`DevicePool` loaded via
             :meth:`~repro.edgetpu.multidevice.DevicePool.load_replicated`.
-        batcher: Batch-closing policy; defaults to a
+        batcher: A :class:`~repro.config.ServeConfig` (preferred), or a
+            batch-closing policy instance (deprecated); defaults to a
             :class:`~repro.serving.batcher.DynamicBatcher` of 32.
         host: Host platform charged for tails and CPU fallback;
             defaults to :class:`~repro.platforms.cpu.MobileCpu`.
         max_queue: Admission bound — arrivals beyond this queue depth
-            are dropped.
+            are dropped (deprecated; set it on the config).
         swapper: Optional :class:`~repro.serving.swap.ModelSwapper`
             whose scheduled swaps commit at batch boundaries.
         profiler: Optional :class:`~repro.runtime.profiler.PhaseProfiler`;
             the serve makespan is charged under ``inference``.
+        config: The :class:`~repro.config.ServeConfig`, when not passed
+            positionally.  ``config.tracing=True`` records per-request
+            spans onto :attr:`ServeReport.trace`.
+        tracer: Explicit :class:`~repro.observability.trace.Tracer` to
+            record into (overrides ``config.tracing``).
+        metrics: Optional
+            :class:`~repro.observability.metrics.MetricsRegistry`;
+            the serve loop maintains ``serve.*`` counters, the queue
+            depth gauge and latency/batch-size histograms in it.
     """
 
     def __init__(self, pool: DevicePool, batcher=None,
-                 host: Platform | None = None, max_queue: int = 256,
-                 swapper: ModelSwapper | None = None, profiler=None):
+                 host: Platform | None = None, max_queue: int | None = None,
+                 swapper: ModelSwapper | None = None, profiler=None, *,
+                 config: ServeConfig | None = None,
+                 tracer: Tracer | None = None,
+                 metrics: MetricsRegistry | None = None):
+        if isinstance(batcher, ServeConfig):
+            if config is not None:
+                raise TypeError(
+                    "pass the ServeConfig positionally or as config=, "
+                    "not both"
+                )
+            config = batcher
+            batcher = None
+        if config is not None:
+            if batcher is not None or max_queue is not None:
+                raise TypeError(
+                    "config= cannot be combined with the deprecated "
+                    "batcher=/max_queue= keywords"
+                )
+            batcher = config.make_batcher()
+            max_queue = config.max_queue
+            if tracer is None and config.tracing:
+                tracer = Tracer(enabled=True)
+        elif batcher is not None or max_queue is not None:
+            warnings.warn(
+                "keyword construction of InferenceServer is deprecated; "
+                "pass a repro.config.ServeConfig (or use repro.api.serve)",
+                DeprecationWarning, stacklevel=2,
+            )
+        if max_queue is None:
+            max_queue = 256
         if max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
         if host is None:
@@ -233,11 +292,14 @@ class InferenceServer:
         if swapper is not None and swapper.pool is not pool:
             raise ValueError("swapper is bound to a different pool")
         self.pool = pool
+        self.config = config
         self.batcher = batcher if batcher is not None else DynamicBatcher()
         self.host = host
         self.max_queue = max_queue
         self.swapper = swapper
         self.profiler = profiler
+        self.tracer = tracer
+        self.metrics = metrics
         self._compiled: CompiledModel = loaded[0]
         # Per-batch-size service estimates are pure in (compiled model,
         # batch); the event loop re-evaluates the batch trigger after
@@ -300,6 +362,11 @@ class InferenceServer:
             if right.arrival_s < left.arrival_s:
                 raise ValueError("requests must be in arrival order")
 
+        tracer = self.tracer
+        metrics = self.metrics
+        root = (tracer.add("serve", 0.0, 0.0, requests=num_requests,
+                           devices=self.pool.num_devices)
+                if tracer is not None else None)
         queue: deque[Request] = deque()
         device_free = [0.0] * self.pool.num_devices
         device_busy = [0.0] * self.pool.num_devices
@@ -317,18 +384,35 @@ class InferenceServer:
                 ready = now
             if next_arrival <= ready:
                 now = max(now, next_arrival)
+                request = requests[index]
+                if metrics is not None:
+                    metrics.counter("serve.requests").inc()
                 if len(queue) >= self.max_queue:
                     report.dropped += 1
+                    if tracer is not None:
+                        # Zero-duration marker: the request arrived and
+                        # was rejected at the same virtual instant.
+                        tracer.add("request", request.arrival_s,
+                                   request.arrival_s, parent_id=root,
+                                   tags=("dropped",),
+                                   request_id=request.request_id)
+                    if metrics is not None:
+                        metrics.counter("serve.dropped").inc()
                 else:
-                    queue.append(requests[index])
+                    queue.append(request)
+                if metrics is not None:
+                    metrics.gauge("serve.queue_depth").set(len(queue))
                 index += 1
                 continue
             now = max(now, ready)
             batch = [queue.popleft()
                      for _ in range(min(self.batcher.max_batch,
                                         len(queue)))]
+            if metrics is not None:
+                metrics.gauge("serve.queue_depth").set(len(queue))
             host_free = self._dispatch_batch(
                 batch, now, device_free, device_busy, host_free, report,
+                tracer, root,
             )
 
         report.served = num_requests - report.dropped
@@ -344,6 +428,17 @@ class InferenceServer:
         report.failed_devices = sorted(self.pool.failed)
         if self.swapper is not None:
             report.swap_records = list(self.swapper.records)
+        if tracer is not None:
+            tracer.finish(root, report.makespan_s)
+            tracer.advance(report.makespan_s)
+            report.trace = tracer if tracer.enabled else None
+        if metrics is not None:
+            metrics.counter("serve.batches").inc(report.num_batches)
+            metrics.counter("serve.retries").inc(report.retried_batches)
+            metrics.counter("serve.fallbacks").inc(report.fallback_batches)
+            metrics.counter("serve.deadline_misses").inc(
+                report.deadline_misses
+            )
         if self.profiler is not None:
             self.profiler.charge("inference", report.makespan_s)
         return report
@@ -351,7 +446,8 @@ class InferenceServer:
     # ------------------------------------------------------------------
 
     def _dispatch_batch(self, batch, dispatch_t, device_free,
-                        device_busy, host_free, report) -> float:
+                        device_busy, host_free, report, tracer=None,
+                        root=None) -> float:
         """Serve one closed batch; returns the updated host-free time."""
         if self.swapper is not None:
             swapped = self.swapper.poll(dispatch_t)
@@ -363,12 +459,19 @@ class InferenceServer:
                 for i in self.pool.healthy_indices():
                     device_free[i] = max(device_free[i],
                                          dispatch_t + load)
+                if tracer is not None:
+                    tracer.add("model.swap", dispatch_t,
+                               dispatch_t + load, parent_id=root,
+                               tags=("swap",), load_s=load)
 
         rows = len(batch)
         compiled = self._compiled
         x = np.stack([request.features for request in batch])
         quantized = compiled.model.input_spec.qparams.quantize(x)
 
+        batch_span = (tracer.add("serve.batch", dispatch_t, dispatch_t,
+                                 parent_id=root, batch=rows)
+                      if tracer is not None else None)
         predictions = None
         completion = None
         detect_t = dispatch_t
@@ -387,6 +490,10 @@ class InferenceServer:
                 attempts += 1
                 failed_once = True
                 detect_t = start + err.detect_seconds
+                if tracer is not None:
+                    tracer.add("device.detect", start, detect_t,
+                               parent_id=batch_span, tags=("failure",),
+                               device=chosen)
                 continue
             device_done = start + invoke.elapsed_s
             device_free[chosen] = device_done
@@ -394,11 +501,25 @@ class InferenceServer:
             predictions, tail_cost = run_host_tail(
                 compiled, invoke.outputs, self.host,
             )
-            host_free = max(host_free, device_done) + tail_cost
+            tail_start = max(host_free, device_done)
+            host_free = tail_start + tail_cost
             report.host_seconds += tail_cost
             completion = host_free
             if failed_once:
                 report.retried_batches += 1
+            if tracer is not None:
+                # elapsed_s carries the exact device charge: recomputing
+                # it as end_s - start_s can differ in the last float bit.
+                tracer.add("device.invoke", start, device_done,
+                           parent_id=batch_span, phase="inference",
+                           device=chosen, batch=rows,
+                           elapsed_s=invoke.elapsed_s,
+                           bytes_in=invoke.bytes_in,
+                           bytes_out=invoke.bytes_out,
+                           tags=("retry",) if failed_once else ())
+                tracer.add("host.tail", tail_start, host_free,
+                           parent_id=batch_span, phase="inference",
+                           batch=rows)
             break
 
         if predictions is None:
@@ -419,18 +540,37 @@ class InferenceServer:
             else:
                 cost += self.host.argmax_seconds(rows, width)
                 predictions = np.argmax(out, axis=-1)
-            host_free = max(host_free, detect_t) + cost
+            fallback_start = max(host_free, detect_t)
+            host_free = fallback_start + cost
             report.host_seconds += cost
             completion = host_free
             report.fallback_batches += 1
+            if tracer is not None:
+                tracer.add("host.fallback", fallback_start, host_free,
+                           parent_id=batch_span, phase="inference",
+                           tags=("fallback",), batch=rows)
 
         report.num_batches += 1
         report.batch_sizes.append(rows)
+        if tracer is not None:
+            tracer.finish(batch_span, completion)
+        if self.metrics is not None:
+            self.metrics.histogram("serve.batch_size").record(rows)
         for request, prediction in zip(batch, predictions):
             report.predictions[request.request_id] = prediction
             latency = completion - request.arrival_s
             report.latencies[request.request_id] = latency
             report.latency.record(latency)
-            if completion > request.deadline_s:
+            missed = completion > request.deadline_s
+            if missed:
                 report.deadline_misses += 1
+            if tracer is not None:
+                span = tracer.add("request", request.arrival_s, completion,
+                                  parent_id=root,
+                                  tags=("deadline_miss",) if missed else (),
+                                  request_id=request.request_id, batch=rows)
+                tracer.add("queue.wait", request.arrival_s, dispatch_t,
+                           parent_id=span, request_id=request.request_id)
+            if self.metrics is not None:
+                self.metrics.histogram("serve.latency_s").record(latency)
         return host_free

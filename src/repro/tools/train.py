@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import argparse
 
+from repro.config import PipelineConfig
 from repro.data import load
 from repro.data.datasets import TABLE_I
 from repro.hdc import BaggingConfig
@@ -57,12 +58,12 @@ def main(argv: list[str] | None = None) -> int:
             iterations=args.bagging_iterations,
             dataset_ratio=args.dataset_ratio,
         )
-    pipeline = TrainingPipeline(
+    pipeline = TrainingPipeline(PipelineConfig(
         dimension=args.dimension,
         iterations=args.iterations,
         bagging=bagging,
         seed=args.seed,
-    )
+    ))
     result = pipeline.run(dataset.train_x, dataset.train_y,
                           num_classes=dataset.num_classes)
     print(result.profiler.report("training (modeled)"))

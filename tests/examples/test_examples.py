@@ -87,11 +87,21 @@ class TestExamples:
         assert "identical to the healthy run: True" in out
         assert "hot swap" in out
 
+    def test_tracing_demo(self, capsys):
+        module = _load("tracing_demo")
+        module.main(num_requests=150, dimension=512)
+        out = capsys.readouterr().out
+        assert "pipeline.train" in out
+        assert "device.invoke" in out
+        assert "spans recorded" in out
+        assert "Chrome trace" in out
+        assert "losslessly" in out
+
     @pytest.mark.parametrize("name", [
         "quickstart", "speech_keyword_deployment", "activity_recognition",
         "custom_accelerator_study", "federated_edge_fleet",
         "raw_sensor_pipeline", "dna_sequence_matching",
-        "sensor_regression", "online_serving",
+        "sensor_regression", "online_serving", "tracing_demo",
     ])
     def test_examples_have_main(self, name):
         module = _load(name)

@@ -1,0 +1,111 @@
+"""Exporter schemas: JSONL round trip, Chrome trace_event, flamegraph."""
+
+import json
+
+from repro.observability.export import (
+    flamegraph,
+    read_jsonl,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.observability.trace import Tracer
+
+
+def _sample_tracer() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("pipeline.train", samples=8):
+        tracer.charge("encode", 1.0, name="device.invoke", device=0,
+                      batch=8, tags=("cache_hit",))
+        tracer.charge("update", 0.5, name="host.update")
+    return tracer
+
+
+class TestJsonl:
+    def test_round_trip_exact(self):
+        tracer = _sample_tracer()
+        assert read_jsonl(to_jsonl(tracer)) == tracer.spans
+
+    def test_one_line_per_span(self):
+        tracer = _sample_tracer()
+        assert len(to_jsonl(tracer).splitlines()) == len(tracer.spans)
+
+    def test_file_round_trip(self, tmp_path):
+        tracer = _sample_tracer()
+        path = tmp_path / "trace.jsonl"
+        count = write_jsonl(tracer, path)
+        assert count == len(tracer.spans)
+        assert read_jsonl(path) == tracer.spans
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert write_jsonl(Tracer(), path) == 0
+        assert read_jsonl(path.read_text()) == []
+
+
+class TestChromeTrace:
+    def test_structure(self):
+        document = to_chrome_trace(_sample_tracer())
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert len(complete) == 3
+        assert {e["name"] for e in metadata} == {"thread_name"}
+
+    def test_microsecond_timestamps(self):
+        events = to_chrome_trace(_sample_tracer())["traceEvents"]
+        invoke = next(e for e in events if e["name"] == "device.invoke")
+        assert invoke["ts"] == 0.0
+        assert invoke["dur"] == 1e6  # 1.0 s
+
+    def test_device_spans_get_their_own_track(self):
+        events = to_chrome_trace(_sample_tracer())["traceEvents"]
+        invoke = next(e for e in events if e["name"] == "device.invoke")
+        update = next(e for e in events if e["name"] == "host.update")
+        assert invoke["tid"] == 1
+        assert update["tid"] == 0
+        names = {e["tid"]: e["args"]["name"] for e in events
+                 if e["ph"] == "M"}
+        assert names == {0: "host", 1: "device 0"}
+
+    def test_args_carry_attrs_and_tags(self):
+        events = to_chrome_trace(_sample_tracer())["traceEvents"]
+        invoke = next(e for e in events if e["name"] == "device.invoke")
+        assert invoke["args"]["batch"] == 8
+        assert invoke["args"]["tags"] == ["cache_hit"]
+        assert invoke["cat"] == "encode"
+
+    def test_written_file_is_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(_sample_tracer(), path)
+        parsed = json.loads(path.read_text())
+        assert len(parsed["traceEvents"]) == count
+
+
+class TestFlamegraph:
+    def test_tree_with_counts_and_shares(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            tracer.charge("encode", 1.0, name="device.invoke")
+            tracer.charge("encode", 1.0, name="device.invoke")
+        text = flamegraph(tracer)
+        lines = text.splitlines()
+        assert lines[0].startswith("root")
+        assert "(100.0%)" in lines[0]
+        assert "device.invoke x2" in lines[1]
+        assert "2.000 s" in lines[1]
+
+    def test_empty(self):
+        assert flamegraph(Tracer()) == "(empty trace)"
+
+    def test_max_depth_truncates(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                tracer.charge("encode", 1.0, name="c")
+        text = flamegraph(tracer, max_depth=2)
+        assert "c" not in text.splitlines()[-1].split()[0] or \
+            len(text.splitlines()) == 2
+        assert len(text.splitlines()) == 2

@@ -1,0 +1,71 @@
+"""Counters, gauges, the registry, and the histogram re-export."""
+
+import pytest
+
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    LatencyTracker,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("serve.requests")
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="only increase"):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_tracks_value_and_peak(self):
+        gauge = Gauge("serve.queue_depth")
+        assert gauge.value is None and gauge.peak is None
+        gauge.set(3)
+        gauge.set(7)
+        gauge.set(2)
+        assert gauge.value == 2.0
+        assert gauge.peak == 7.0
+
+
+class TestRegistry:
+    def test_lazily_creates_and_reuses(self):
+        metrics = MetricsRegistry()
+        assert metrics.counter("a") is metrics.counter("a")
+        assert metrics.gauge("b") is metrics.gauge("b")
+        assert metrics.histogram("c") is metrics.histogram("c")
+        assert len(metrics) == 3
+
+    def test_summary_structure(self):
+        metrics = MetricsRegistry()
+        metrics.counter("serve.dropped").inc(2)
+        metrics.gauge("serve.queue_depth").set(5)
+        metrics.histogram("serve.latency_s").record(0.004)
+        summary = metrics.summary()
+        assert summary["counters"] == {"serve.dropped": 2}
+        assert summary["gauges"] == {
+            "serve.queue_depth": {"value": 5.0, "peak": 5.0}
+        }
+        assert summary["histograms"]["serve.latency_s"]["count"] == 1
+        assert summary["histograms"]["serve.latency_s"]["p99_s"] == 0.004
+
+    def test_summary_sorted_by_name(self):
+        metrics = MetricsRegistry()
+        metrics.counter("b").inc()
+        metrics.counter("a").inc()
+        assert list(metrics.summary()["counters"]) == ["a", "b"]
+
+
+class TestLatencyTrackerHome:
+    def test_profiler_reexport_is_same_class(self):
+        from repro.runtime.profiler import LatencyTracker as reexported
+        assert reexported is LatencyTracker
+
+    def test_histogram_is_latency_tracker(self):
+        metrics = MetricsRegistry()
+        assert isinstance(metrics.histogram("h"), LatencyTracker)

@@ -1,0 +1,205 @@
+"""Tracer core semantics: spans, cursor, charging, splice, pickling."""
+
+import pickle
+
+import pytest
+
+from repro.observability.trace import Span, Tracer, format_seconds
+
+
+class TestFormatSeconds:
+    def test_zero(self):
+        assert format_seconds(0.0) == "0.000 s"
+
+    def test_microseconds(self):
+        assert format_seconds(2.5e-6) == "2.500 µs"
+
+    def test_milliseconds(self):
+        assert format_seconds(0.002) == "2.000 ms"
+
+    def test_seconds(self):
+        assert format_seconds(1.5) == "1.500 s"
+
+    def test_negative_follows_magnitude(self):
+        assert format_seconds(-0.002) == "-2.000 ms"
+
+
+class TestPhaseClock:
+    def test_charge_accumulates_without_spans_when_disabled(self):
+        tracer = Tracer(enabled=False)
+        tracer.charge("encode", 1.0)
+        tracer.charge("encode", 2.0)
+        tracer.charge("update", 0.5)
+        assert tracer.phase_seconds("encode") == 3.0
+        assert tracer.total_charged == 3.5
+        assert len(tracer) == 0
+        assert not tracer
+
+    def test_clock_identical_enabled_vs_disabled(self):
+        charges = [("encode", 0.1), ("update", 0.2), ("encode", 0.3),
+                   ("modelgen", 0.05)]
+        on, off = Tracer(enabled=True), Tracer(enabled=False)
+        for phase, seconds in charges:
+            on.charge(phase, seconds)
+            off.charge(phase, seconds)
+        assert on.phase_totals() == off.phase_totals()
+        assert on.total_charged == off.total_charged
+
+    def test_charge_records_leaf_span_at_cursor(self):
+        tracer = Tracer()
+        tracer.charge("encode", 1.5, name="device.invoke", device=0)
+        tracer.charge("update", 0.5)
+        first, second = tracer.spans
+        assert first.name == "device.invoke"
+        assert (first.start_s, first.end_s) == (0.0, 1.5)
+        assert first.phase == "encode"
+        assert first.attrs == {"device": 0}
+        assert second.name == "update"
+        assert (second.start_s, second.end_s) == (1.5, 2.0)
+        assert tracer.cursor_s == 2.0
+
+    def test_charge_record_false_clock_only(self):
+        tracer = Tracer()
+        tracer.charge("encode", 1.0, record=False)
+        assert tracer.phase_seconds("encode") == 1.0
+        assert len(tracer) == 0
+        assert tracer.cursor_s == 0.0
+
+
+class TestStructuralSpans:
+    def test_nesting_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("pipeline.train"):
+            with tracer.span("submodel[0]"):
+                tracer.charge("encode", 1.0)
+            tracer.charge("update", 0.5)
+        root, sub, encode, update = tracer.spans
+        assert root.parent_id is None
+        assert sub.parent_id == root.span_id
+        assert encode.parent_id == sub.span_id
+        assert update.parent_id == root.span_id
+        assert root.end_s == 1.5
+        assert sub.end_s == 1.0
+
+    def test_handle_set_and_tag(self):
+        tracer = Tracer()
+        with tracer.span("encode", samples=4) as span:
+            span.set(batch=2)
+            span.tag("cache_hit")
+        recorded = tracer.spans[0]
+        assert recorded.attrs == {"samples": 4, "batch": 2}
+        assert recorded.tags == ("cache_hit",)
+
+    def test_disabled_span_is_noop(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("anything") as span:
+            span.set(a=1)
+            span.tag("t")
+        assert len(tracer) == 0
+
+
+class TestExplicitSpans:
+    def test_add_and_finish(self):
+        tracer = Tracer()
+        span_id = tracer.add("serve", 0.0, 0.0, requests=3)
+        tracer.add("request", 0.5, 2.0, parent_id=span_id)
+        tracer.finish(span_id, 2.5)
+        serve = tracer.spans[0]
+        assert serve.end_s == 2.5
+        assert tracer.spans[1].parent_id == span_id
+
+    def test_add_defaults_parent_to_open_structural_span(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            tracer.add("timed", 1.0, 2.0)
+        outer, timed = tracer.spans
+        assert timed.parent_id == outer.span_id
+
+    def test_add_rejects_reversed_interval(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError, match="before it starts"):
+            tracer.add("bad", 2.0, 1.0)
+
+    def test_finish_unknown_id(self):
+        tracer = Tracer()
+        with pytest.raises(KeyError):
+            tracer.finish(99, 1.0)
+
+    def test_disabled_add_returns_none(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.add("x", 0.0, 1.0) is None
+        tracer.finish(None, 2.0)  # no-op, no raise
+
+    def test_advance_moves_cursor(self):
+        tracer = Tracer()
+        tracer.advance(1.5)
+        assert tracer.cursor_s == 1.5
+        with pytest.raises(ValueError):
+            tracer.advance(-0.1)
+
+
+class TestSplice:
+    def test_grafts_shifted_spans_under_wrapper(self):
+        child = Tracer()
+        child.charge("encode", 1.0)
+        child.charge("update", 0.5)
+
+        parent = Tracer()
+        parent.charge("modelgen", 2.0)
+        parent.splice(child, "submodel[0]", sub_dimension=128)
+
+        wrapper = parent.spans[1]
+        assert wrapper.name == "submodel[0]"
+        assert (wrapper.start_s, wrapper.end_s) == (2.0, 3.5)
+        assert wrapper.attrs == {"sub_dimension": 128}
+        grafted = parent.spans[2:]
+        assert [s.name for s in grafted] == ["encode", "update"]
+        assert all(s.parent_id == wrapper.span_id for s in grafted)
+        assert grafted[0].start_s == 2.0
+        assert grafted[1].end_s == 3.5
+        assert parent.cursor_s == 3.5
+
+    def test_does_not_merge_phase_totals(self):
+        child = Tracer()
+        child.charge("encode", 1.0)
+        parent = Tracer()
+        parent.splice(child, "sub")
+        assert parent.phase_seconds("encode") == 0.0
+
+    def test_remaps_nested_parent_ids(self):
+        child = Tracer()
+        with child.span("inner"):
+            child.charge("encode", 1.0)
+        parent = Tracer()
+        parent.splice(child, "wrap")
+        wrap, inner, encode = parent.spans
+        assert inner.parent_id == wrap.span_id
+        assert encode.parent_id == inner.span_id
+        assert len({s.span_id for s in parent.spans}) == 3
+
+    def test_disabled_either_side_is_noop(self):
+        child = Tracer(enabled=True)
+        child.charge("encode", 1.0)
+        parent = Tracer(enabled=False)
+        parent.splice(child, "sub")
+        assert len(parent) == 0
+
+
+class TestPickling:
+    def test_round_trip(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            tracer.charge("encode", 1.0, device=0)
+        clone = pickle.loads(pickle.dumps(tracer))
+        assert clone.phase_totals() == tracer.phase_totals()
+        assert [s.to_dict() for s in clone.spans] == \
+            [s.to_dict() for s in tracer.spans]
+
+
+class TestSpanDataclass:
+    def test_dict_round_trip(self):
+        span = Span(span_id=3, parent_id=1, name="device.invoke",
+                    start_s=0.5, end_s=1.5, phase="inference",
+                    attrs={"device": 2}, tags=("retry",))
+        assert Span.from_dict(span.to_dict()) == span
+        assert span.duration_s == 1.0

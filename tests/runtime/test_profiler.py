@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.observability.trace import Tracer
 from repro.runtime.profiler import PHASES, LatencyTracker, PhaseProfiler
 
 
@@ -39,6 +40,48 @@ class TestPhaseProfiler:
         profiler.charge("update", 3.0)
         assert profiler.report() == profiler.report()
         assert "update" in profiler.report()
+
+
+class TestTracerView:
+    def test_default_tracer_is_disabled(self):
+        profiler = PhaseProfiler()
+        profiler.charge("encode", 1.0)
+        assert not profiler.tracer
+        assert len(profiler.tracer) == 0
+        assert profiler.seconds("encode") == 1.0
+
+    def test_enabled_tracer_records_span_per_charge(self):
+        profiler = PhaseProfiler(Tracer())
+        profiler.charge("encode", 1.0, name="device.invoke", device=0)
+        profiler.charge("update", 0.5)
+        assert [s.name for s in profiler.tracer.spans] == \
+            ["device.invoke", "update"]
+        assert profiler.breakdown()["encode"] == 1.0
+
+    def test_absorb_replays_totals_and_splices_spans(self):
+        child = PhaseProfiler(Tracer())
+        child.charge("encode", 1.0)
+        child.charge("update", 0.5)
+        parent = PhaseProfiler(Tracer())
+        parent.charge("modelgen", 2.0)
+        parent.absorb(child, "submodel[0]", sub_dimension=64)
+        assert parent.seconds("encode") == 1.0
+        assert parent.seconds("update") == 0.5
+        assert parent.total == 3.5
+        wrapper = next(s for s in parent.tracer.spans
+                       if s.name == "submodel[0]")
+        assert wrapper.attrs == {"sub_dimension": 64}
+
+    def test_absorb_totals_match_direct_charging_when_disabled(self):
+        # The pre-tracer merge path: absorb on disabled tracers must be
+        # the exact two-level summation the pipelines always used.
+        child = PhaseProfiler()
+        child.charge("encode", 0.1)
+        child.charge("encode", 0.2)
+        parent = PhaseProfiler()
+        parent.absorb(child, "sub")
+        assert parent.seconds("encode") == 0.1 + 0.2
+        assert len(parent.tracer) == 0
 
 
 class TestLatencyTracker:
@@ -106,3 +149,19 @@ class TestLatencyTracker:
         line = profiler.percentile_report(tracker, title="serve")
         assert line.startswith("serve:")
         assert "p99=2.000 ms" in line
+
+    def test_percentile_report_microsecond_units(self):
+        # Regression: sub-millisecond device latencies used to print as
+        # "0.000 ms"; units now adapt to the magnitude.
+        profiler = PhaseProfiler()
+        tracker = LatencyTracker()
+        tracker.record(2.5e-6)
+        line = profiler.percentile_report(tracker)
+        assert "p99=2.500 µs" in line
+        assert "0.000" not in line
+
+    def test_percentile_report_second_units(self):
+        profiler = PhaseProfiler()
+        tracker = LatencyTracker()
+        tracker.record(1.5)
+        assert "p99=1.500 s" in profiler.percentile_report(tracker)

@@ -160,4 +160,4 @@ class TestServedSwap:
         swapped = self._serve(drift_setup, swap=True)
         summary = swapped.summary()
         assert summary["swaps_committed"] == 1
-        assert summary["swap_seconds"] > 0
+        assert summary["swap_s"] > 0
