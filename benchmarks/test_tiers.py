@@ -1,0 +1,189 @@
+"""Compression tiers: graceful degradation under bursty overload.
+
+Two measurements back the tier ladder's design, on the virtual clock
+(bit-reproducible across machines and runs):
+
+- **Ladder build** — one trained d=4096 model compressed post-training
+  into three co-resident serving tiers (full, DPQ-pruned d=512 at
+  4-bit, LDC-distilled d=256).  Each tier's accuracy is measured at
+  build time through the compiled int8 ops; both degraded tiers must
+  land within 5 points of full width.
+- **Graceful degradation** — under a bursty MMPP overload whose
+  sustained rate exceeds the full tier's single-device capacity, the
+  tiered server sheds overflow batches to the cheaper resident tiers
+  while the untiered server (same pool, same trace) queues and blows
+  deadlines.  Tiering must cut the combined SLA-violation rate
+  (deadline misses + drops) at equal load, with per-tier served
+  accuracy recorded.
+
+Results are written machine-readable to ``BENCH_tiers.json`` (built
+twice and compared, so the file is proven run-to-run deterministic) and
+human-readable to the shared ``bench_results.txt`` log.
+"""
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.compression.tiers import TierSpec, build_tiers
+from repro.config import ServeConfig, TierPolicy
+from repro.data.streams import DriftingStream, StreamConfig
+from repro.edgetpu import DevicePool
+from repro.experiments.report import format_table
+from repro.hdc.bagging import BaggingConfig, BaggingHDCTrainer
+from repro.serving import ArrivalProcess, InferenceServer, RequestStream
+
+JSON_PATH = pathlib.Path(__file__).parent / "BENCH_tiers.json"
+
+NUM_FEATURES = 16
+NUM_CLASSES = 3
+DIMENSION = 4096
+NUM_REQUESTS = 3200
+# Sustained MMPP load between the full tier's single-device capacity
+# (~530k req/s at batch 64) and the tiny tier's (~660k req/s): the
+# untiered server falls behind during bursts, the tiered one sheds.
+RATE_HZ = 440_000.0
+DEADLINE_S = 0.001
+ACCURACY_BUDGET = 0.05
+
+SPECS = (
+    TierSpec("full"),
+    TierSpec("compressed", "dpq", dimension=512, bits=4),
+    TierSpec("tiny", "ldc", dimension=256),
+)
+POLICY = TierPolicy(queue_high=16, headroom_s=0.0001)
+
+
+def _trained_ladder():
+    stream = DriftingStream(
+        StreamConfig(num_features=NUM_FEATURES, num_classes=NUM_CLASSES,
+                     drift_rate=0.0),
+        seed=9,
+    )
+    x, y = stream.next_batch(400)
+    trainer = BaggingHDCTrainer(
+        BaggingConfig(num_models=4, dimension=DIMENSION, iterations=3),
+        seed=0,
+    )
+    trainer.fit(x, y)
+    ladder = build_tiers(trainer.fuse(), x[:128], specs=SPECS,
+                         evaluation=(x, y))
+    trace = RequestStream(
+        stream,
+        ArrivalProcess(RATE_HZ, "bursty", seed=3, burst_factor=8.0,
+                       burst_length=64, calm_length=128),
+        deadline_s=DEADLINE_S, drift_every=0,
+    ).generate(NUM_REQUESTS)
+    return ladder, trace
+
+
+def _serve(ladder, trace, tiered):
+    pool = DevicePool(1, ladder[0].compiled.arch)
+    pool.load_replicated(ladder[0].compiled)
+    config = ServeConfig(max_batch=64, max_queue=256,
+                         tiers=POLICY if tiered else None)
+    server = InferenceServer(pool, config=config,
+                             tiers=ladder if tiered else None)
+    return server.serve(trace)
+
+
+def _violation_rate(report):
+    return (report.deadline_misses + report.dropped) / report.num_requests
+
+
+def _ladder_section(ladder):
+    """(a) post-training compression holds accuracy within budget."""
+    full = ladder[0].build_accuracy
+    for tier in ladder:
+        assert tier.build_accuracy >= full - ACCURACY_BUDGET, (
+            f"tier {tier.name!r} lost more than {ACCURACY_BUDGET:.2f} "
+            f"accuracy at build time"
+        )
+    return {
+        "specs": [
+            {"name": s.name, "kind": s.kind, "dimension": s.dimension,
+             "bits": s.bits}
+            for s in SPECS
+        ],
+        "ladder": ladder.summary(),
+        "accuracy_budget": ACCURACY_BUDGET,
+    }
+
+
+def _degradation_section(ladder, trace):
+    """(b) shedding to resident tiers beats queueing under overload."""
+    tiered = _serve(ladder, trace, tiered=True)
+    untiered = _serve(ladder, trace, tiered=False)
+
+    assert tiered.tier_sheds > 0, "the overload never triggered a shed"
+    assert untiered.deadline_misses > 0, (
+        "the untiered server met the SLA; raise the load to restore "
+        "the contrast"
+    )
+    assert tiered.deadline_misses < untiered.deadline_misses
+    assert tiered.dropped <= untiered.dropped
+    assert _violation_rate(tiered) < _violation_rate(untiered)
+    # Degrading keeps the answer quality close to full width.
+    per_tier = tiered.tier_accuracy()
+    assert per_tier[0] is not None
+    return {
+        "rate_hz": RATE_HZ,
+        "deadline_s": DEADLINE_S,
+        "num_requests": NUM_REQUESTS,
+        "policy": {"queue_high": POLICY.queue_high,
+                   "headroom_s": POLICY.headroom_s},
+        "tiered": tiered.summary(),
+        "untiered": untiered.summary(),
+        "tiered_violation_rate": _violation_rate(tiered),
+        "untiered_violation_rate": _violation_rate(untiered),
+        "tier_accuracy": per_tier,
+    }
+
+
+def _build_payload():
+    ladder, trace = _trained_ladder()
+    return {
+        "ladder": _ladder_section(ladder),
+        "degradation": _degradation_section(ladder, trace),
+    }
+
+
+def test_compression_tiers(benchmark, record_result):
+    payload = benchmark.pedantic(_build_payload, rounds=1, iterations=1)
+
+    # Acceptance: the whole benchmark is virtual-clock deterministic —
+    # a second build must serialize to the identical JSON.
+    again = json.dumps(_build_payload(), indent=2, sort_keys=True)
+    first = json.dumps(payload, indent=2, sort_keys=True)
+    assert first == again, "tiers benchmark is not run-deterministic"
+
+    JSON_PATH.write_text(first + "\n")
+
+    ladder = payload["ladder"]["ladder"]["tiers"]
+    deg = payload["degradation"]
+    tiers = deg["tiered"]["tiers"]
+    record_result(format_table(
+        ["metric", "value"],
+        [
+            *[
+                [f"{t['name']} build accuracy (d={t['dimension']})",
+                 t["build_accuracy"]]
+                for t in ladder
+            ],
+            ["tiered deadline misses",
+             deg["tiered"]["deadline_misses"]],
+            ["untiered deadline misses",
+             deg["untiered"]["deadline_misses"]],
+            ["tiered SLA-violation rate", deg["tiered_violation_rate"]],
+            ["untiered SLA-violation rate",
+             deg["untiered_violation_rate"]],
+            ["shed batches", tiers["sheds"]],
+            *[
+                [f"{name} served", served]
+                for name, served in zip(tiers["names"], tiers["served"])
+            ],
+        ],
+        title="Compression tiers — graceful degradation under overload",
+        float_format="{:.3f}",
+    ))

@@ -12,7 +12,10 @@ Walks the serving subsystem end to end on the virtual clock:
    completing the trace via retry + CPU fallback with bit-identical
    predictions;
 5. hot-swap in a retrained model mid-stream and show accuracy
-   recovering under drift, versus a static server.
+   recovering under drift, versus a static server;
+6. compress the model into a resident tier ladder and show the server
+   shedding overload bursts to cheaper tiers instead of missing
+   deadlines.
 
 All times are modeled seconds — runs are deterministic per seed.
 
@@ -114,6 +117,60 @@ def main(num_requests: int = 800, dimension: int = 1024,
           + "  ".join(f"{a:.2f}" for a in swap_acc))
     print(f"final-window recovery from the hot swap: "
           f"{swap_acc[-1] - static_acc[-1]:+.2f}")
+
+    # --- Tiered graceful degradation under overload ------------------
+    # Compress the trained model post-training into co-resident tiers
+    # (full / DPQ-pruned / LDC-distilled), then overload one device
+    # with sustained bursts: the tiered server sheds hot batches down
+    # the ladder, the untiered one queues until deadlines blow.
+    from repro.compression import TierSpec, build_tiers
+    from repro.config import TierPolicy
+    from repro.hdc.bagging import BaggingConfig, BaggingHDCTrainer
+
+    calm_stream = DriftingStream(
+        StreamConfig(num_features=24, num_classes=4, drift_rate=0.0),
+        seed=11,
+    )
+    x, y = calm_stream.next_batch(400)
+    trainer = BaggingHDCTrainer(
+        BaggingConfig(num_models=4, dimension=4096, iterations=3), seed=0,
+    )
+    trainer.fit(x, y)
+    ladder = build_tiers(
+        trainer.fuse(), x[:128],
+        specs=(TierSpec("full"),
+               TierSpec("compressed", "dpq", dimension=1024),
+               TierSpec("tiny", "ldc", dimension=256)),
+        evaluation=(x, y),
+    )
+    print("tier ladder: " + "  ".join(
+        f"{t.name}(d={t.dimension}, acc={t.build_accuracy:.2f})"
+        for t in ladder
+    ))
+    burst_trace = RequestStream(
+        calm_stream,
+        ArrivalProcess(480_000.0, "bursty", seed=3, burst_factor=8.0,
+                       burst_length=64, calm_length=128),
+        deadline_s=0.001, drift_every=0,
+    ).generate(2000)
+    overload = ServeConfig(max_batch=64, max_queue=256,
+                           tiers=TierPolicy(queue_high=16,
+                                            headroom_s=0.0001))
+    for tiered in (True, False):
+        pool = DevicePool(1, ladder[0].compiled.arch)
+        pool.load_replicated(ladder[0].compiled)
+        server = InferenceServer(
+            pool,
+            config=overload if tiered else ServeConfig(max_batch=64,
+                                                       max_queue=256),
+            tiers=ladder if tiered else None,
+        )
+        report = server.serve(burst_trace)
+        name = "tiered" if tiered else "untiered"
+        mix = ("  mix=" + "/".join(map(str, report.tier_served))
+               if tiered else "")
+        print(f"{name:>9}: misses={report.deadline_miss_rate:.1%}  "
+              f"drops={report.drop_rate:.1%}{mix}")
 
 
 if __name__ == "__main__":

@@ -23,8 +23,12 @@ The package implements the paper's full stack from scratch:
   datasets (FACE, ISOLET, UCIHAR, MNIST, PAMAP2).
 - :mod:`repro.experiments` — one driver per paper table/figure.
 
+- :mod:`repro.compression` — post-training model compression (DPQ-HD
+  prune + sub-int8 quantization, LDC-style distillation) and the
+  compiled serving tier ladder.
 - :mod:`repro.serving` — the online inference server (dynamic batching,
-  admission control, failover, hot model swap).
+  admission control, failover, hot model swap, compression-tiered
+  graceful degradation).
 - :mod:`repro.observability` — span tracing on the virtual clock,
   metrics, and trace exporters (JSONL / Chrome ``trace_event`` /
   flamegraph).
@@ -57,9 +61,12 @@ __all__ = [
     "MetricsRegistry",
     "PipelineConfig",
     "ServeConfig",
+    "TierPolicy",
+    "TierSpec",
     "Tracer",
     "__version__",
     "api",
+    "compress",
     "deploy",
     "serve",
     "train",
@@ -72,8 +79,11 @@ _LAZY = {
     "MetricsRegistry": ("repro.observability.metrics", "MetricsRegistry"),
     "PipelineConfig": ("repro.config", "PipelineConfig"),
     "ServeConfig": ("repro.config", "ServeConfig"),
+    "TierPolicy": ("repro.config", "TierPolicy"),
+    "TierSpec": ("repro.compression.tiers", "TierSpec"),
     "Tracer": ("repro.observability.trace", "Tracer"),
     "api": ("repro.api", None),
+    "compress": ("repro.api", "compress"),
     "deploy": ("repro.api", "deploy"),
     "serve": ("repro.api", "serve"),
     "train": ("repro.api", "train"),

@@ -36,6 +36,7 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
+from repro.compression.tiers import TierSet, TierSpec, build_tiers
 from repro.config import PipelineConfig, ServeConfig
 from repro.edgetpu.compiler import CompiledModel
 from repro.edgetpu.multidevice import DevicePool
@@ -50,7 +51,7 @@ from repro.serving.arrivals import Request
 from repro.serving.server import InferenceServer, ServeReport
 from repro.serving.swap import ModelSwapper
 
-__all__ = ["Deployment", "Result", "deploy", "serve", "train"]
+__all__ = ["Deployment", "Result", "compress", "deploy", "serve", "train"]
 
 
 @runtime_checkable
@@ -95,6 +96,38 @@ def train(train_x: np.ndarray, train_y: np.ndarray, *,
         config = PipelineConfig()
     pipeline = TrainingPipeline(config, compile_cache=compile_cache)
     return pipeline.run(train_x, train_y, num_classes=num_classes)
+
+
+def compress(trained: PipelineResult, calibration: np.ndarray, *,
+             specs: tuple[TierSpec, ...] | list[TierSpec] | None = None,
+             evaluation: tuple[np.ndarray, np.ndarray] | None = None,
+             seed: int | None = 0) -> TierSet:
+    """Build the compiled serving tier ladder for a training result.
+
+    Tier 0 reuses ``trained.compiled`` (the artifact :func:`deploy`
+    pins onto the pool), so ``serve(deployment, ..., tiers=ladder)``
+    serves exactly the deployed model at full accuracy and sheds to
+    the compressed tiers only under load.
+
+    Args:
+        trained: A :func:`train` result.
+        calibration: Representative float batch for int8 conversion of
+            the degraded tiers (and the distillation set for ``"ldc"``
+            tiers).
+        specs: Ladder recipe; defaults to
+            :data:`~repro.compression.tiers.DEFAULT_TIER_SPECS`.
+        evaluation: Optional labeled ``(x, y)`` set; records each
+            tier's build-time accuracy through the compiled int8 ops.
+        seed: Seed for distilled-tier training.
+
+    Returns:
+        The :class:`~repro.compression.tiers.TierSet` for
+        :func:`serve`.
+    """
+    return build_tiers(
+        trained.fused, calibration, specs=specs, evaluation=evaluation,
+        compiled_full=trained.compiled, seed=seed,
+    )
 
 
 @dataclass
@@ -144,6 +177,7 @@ def deploy(trained: PipelineResult, *, num_devices: int = 1) -> Deployment:
 def serve(deployment: Deployment, requests: list[Request], *,
           config: ServeConfig | None = None, host=None,
           swapper: ModelSwapper | None = None,
+          tiers: TierSet | None = None,
           tracer: Tracer | None = None,
           metrics: MetricsRegistry | None = None) -> ServeReport:
     """Serve a timestamped request trace on a deployment.
@@ -155,10 +189,15 @@ def serve(deployment: Deployment, requests: list[Request], *,
         config: Batching/admission knobs; defaults to
             :class:`~repro.config.ServeConfig`.
             ``ServeConfig(tracing=True)`` records per-request spans onto
-            :attr:`ServeReport.trace <repro.serving.server.ServeReport>`.
+            :attr:`ServeReport.trace <repro.serving.server.ServeReport>`;
+            ``ServeConfig(tiers=TierPolicy(...))`` tunes when tiered
+            serving sheds.
         host: Host platform for tails and CPU fallback.
         swapper: Optional hot-swap scheduler bound to the deployment's
             pool.
+        tiers: Optional :func:`compress` ladder; degraded tiers become
+            co-resident on the pool and overloaded batches shed to them
+            instead of dropping.
         tracer: Record into this tracer instead of a fresh one.
         metrics: Registry for the server's ``serve.*`` instruments.
 
@@ -169,6 +208,6 @@ def serve(deployment: Deployment, requests: list[Request], *,
     if config is None:
         config = ServeConfig()
     server = InferenceServer(deployment.pool, config=config, host=host,
-                             swapper=swapper, tracer=tracer,
+                             swapper=swapper, tiers=tiers, tracer=tracer,
                              metrics=metrics)
     return server.serve(requests)

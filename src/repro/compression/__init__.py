@@ -1,0 +1,41 @@
+"""Post-training model compression and the serving tier ladder.
+
+- :mod:`repro.compression.dpq` — DPQ-HD-style decomposition, magnitude
+  pruning and sub-int8 class-weight quantization (no retraining).
+- :mod:`repro.compression.ldc` — LDC-style low-dimensional student
+  distilled from the trained teacher.
+- :mod:`repro.compression.tiers` — compiles one trained model into an
+  ordered ladder of serving tiers with build-time accuracy.
+"""
+
+from repro.compression.dpq import (
+    CompressedModel,
+    compress,
+    dimension_saliency,
+    prune_dimensions,
+    quantize_class_matrix,
+)
+from repro.compression.ldc import distill
+from repro.compression.tiers import (
+    DEFAULT_TIER_SPECS,
+    Tier,
+    TierSet,
+    TierSpec,
+    build_tiers,
+    compiled_predict,
+)
+
+__all__ = [
+    "CompressedModel",
+    "DEFAULT_TIER_SPECS",
+    "Tier",
+    "TierSet",
+    "TierSpec",
+    "build_tiers",
+    "compiled_predict",
+    "compress",
+    "dimension_saliency",
+    "distill",
+    "prune_dimensions",
+    "quantize_class_matrix",
+]

@@ -1,0 +1,254 @@
+"""DPQ-HD-style post-training compression of a fused HDC model.
+
+The DPQ-HD pipeline (decomposition + pruning + quantization, see
+PAPERS.md) compresses a trained hyperdimensional classifier *without
+retraining*: hypervector dimensions whose class weights carry little
+magnitude are pruned away, and the surviving class weights are
+re-quantized below int8.  Both transforms act purely on the trained
+``(base, class)`` matrix pair, so the result is just a narrower
+:class:`~repro.hdc.bagging.FusedHDCModel` that flows through the
+existing ``inference_network → convert → compile_model`` path.
+
+Everything here is exact and deterministic: pruning keeps precisely
+the top-``keep`` saliency dimensions (ties broken toward the lower
+index), and quantization is symmetric round-to-nearest with a
+per-class scale, so the dequantization error is bounded by half a
+quantization step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hdc.bagging import FusedHDCModel
+
+__all__ = [
+    "CompressedModel",
+    "compress",
+    "dimension_saliency",
+    "prune_dimensions",
+    "quantize_class_matrix",
+]
+
+
+def dimension_saliency(class_matrix: np.ndarray) -> np.ndarray:
+    """Per-dimension saliency: L2 norm of the class weights.
+
+    A hypervector dimension only influences a prediction through its
+    row of the class matrix; a row near zero contributes (almost)
+    nothing to any class score, so its dimension can be dropped from
+    both matrices without retraining.
+
+    Args:
+        class_matrix: ``(dimension, num_classes)`` trained weights.
+
+    Returns:
+        ``(dimension,)`` non-negative saliency scores.
+    """
+    class_matrix = np.asarray(class_matrix)
+    if class_matrix.ndim != 2:
+        raise ValueError(
+            f"class_matrix must be 2-D, got shape {class_matrix.shape}"
+        )
+    return np.sqrt(np.sum(
+        np.square(class_matrix.astype(np.float64)), axis=1,
+    ))
+
+
+def _top_k(saliency: np.ndarray, keep: int) -> np.ndarray:
+    """Indices of the ``keep`` largest saliencies, ascending.
+
+    Exact top-k with a deterministic tie-break: among equal
+    saliencies the *lower* index wins (lexsort on (-saliency, index)),
+    so two runs can never disagree about which dimensions survive.
+    """
+    order = np.lexsort((np.arange(len(saliency)), -saliency))
+    return np.sort(order[:keep])
+
+
+def _apportion(keep: int, widths: list[int]) -> list[int]:
+    """Split a global budget across blocks, proportionally to width.
+
+    Largest-remainder apportionment: every block gets
+    ``floor(keep * width / total)`` and the leftover slots go to the
+    largest fractional remainders (ties toward the lower block index).
+    The result sums to exactly ``keep`` and never exceeds any block's
+    width.
+    """
+    total = sum(widths)
+    quotas = [keep * w / total for w in widths]
+    counts = [min(w, int(q)) for q, w in zip(quotas, widths)]
+    remainders = sorted(
+        range(len(widths)),
+        key=lambda i: (-(quotas[i] - int(quotas[i])), i),
+    )
+    short = keep - sum(counts)
+    cursor = 0
+    while short > 0:
+        i = remainders[cursor % len(widths)]
+        if counts[i] < widths[i]:
+            counts[i] += 1
+            short -= 1
+        cursor += 1
+    return counts
+
+
+def prune_dimensions(fused: FusedHDCModel, keep: int,
+                     decompose: bool = True
+                     ) -> tuple[FusedHDCModel, np.ndarray]:
+    """Keep the ``keep`` highest-saliency hypervector dimensions.
+
+    Args:
+        fused: The trained full-width model.
+        keep: Dimensions to survive (``1 <= keep <= fused.dimension``).
+        decompose: Apportion the budget across the fused model's
+            sub-model blocks (``sub_widths``) before ranking — the
+            DPQ-HD decomposition step, which preserves every
+            sub-model's voice in the ensemble.  ``False`` (or a model
+            without block bookkeeping) ranks globally.
+
+    Returns:
+        ``(pruned_model, kept_indices)`` where ``kept_indices`` is the
+        ascending index array into the original dimension axis.
+    """
+    if not 1 <= keep <= fused.dimension:
+        raise ValueError(
+            f"keep must be in [1, {fused.dimension}], got {keep}"
+        )
+    saliency = dimension_saliency(fused.class_matrix)
+    blocks = fused.sub_widths if decompose else []
+    if blocks and sum(blocks) == fused.dimension and len(blocks) > 1:
+        counts = _apportion(keep, list(blocks))
+        kept_parts = []
+        offset = 0
+        for width, count in zip(blocks, counts):
+            if count:
+                local = _top_k(saliency[offset:offset + width], count)
+                kept_parts.append(local + offset)
+            offset += width
+        kept = np.concatenate(kept_parts)
+        new_widths = [c for c in counts if c]
+    else:
+        kept = _top_k(saliency, keep)
+        new_widths = [keep]
+    pruned = FusedHDCModel(
+        base_matrix=np.ascontiguousarray(fused.base_matrix[:, kept]),
+        class_matrix=np.ascontiguousarray(fused.class_matrix[kept, :]),
+        num_classes=fused.num_classes,
+        sub_widths=new_widths,
+    )
+    return pruned, kept
+
+
+def quantize_class_matrix(class_matrix: np.ndarray, bits: int
+                          ) -> tuple[np.ndarray, np.ndarray]:
+    """Symmetric per-class quantization of the class weights.
+
+    Each class column is mapped onto the signed integer grid
+    ``[-(2**(bits-1) - 1), 2**(bits-1) - 1]`` with its own scale
+    (``max |w| / levels``), round-to-nearest.  An all-zero column gets
+    scale 0 and quantizes to zeros.
+
+    Args:
+        class_matrix: ``(dimension, num_classes)`` float weights.
+        bits: Integer width, ``2..8`` (DPQ-HD's sub-int8 step).
+
+    Returns:
+        ``(codes, scales)``: int8-held codes of the same shape and the
+        ``(num_classes,)`` per-class scales, with the guarantee
+        ``|codes * scales - class_matrix| <= scales / 2`` elementwise.
+    """
+    if not 2 <= bits <= 8:
+        raise ValueError(f"bits must be in [2, 8], got {bits}")
+    class_matrix = np.asarray(class_matrix, dtype=np.float64)
+    if class_matrix.ndim != 2:
+        raise ValueError(
+            f"class_matrix must be 2-D, got shape {class_matrix.shape}"
+        )
+    levels = 2 ** (bits - 1) - 1
+    peaks = np.max(np.abs(class_matrix), axis=0)
+    scales = peaks / levels
+    safe = np.where(scales > 0, scales, 1.0)
+    codes = np.rint(class_matrix / safe)
+    codes = np.clip(codes, -levels, levels).astype(np.int8)
+    return codes, scales
+
+
+def dequantize_class_matrix(codes: np.ndarray, scales: np.ndarray
+                            ) -> np.ndarray:
+    """Reconstruct float class weights from codes and per-class scales."""
+    return (np.asarray(codes, dtype=np.float64)
+            * np.asarray(scales)[None, :]).astype(np.float32)
+
+
+@dataclass
+class CompressedModel:
+    """A pruned + re-quantized model, plus its compression record.
+
+    Attributes:
+        model: The compressed :class:`FusedHDCModel` (dequantized class
+            weights, ready for the normal compile path).
+        kept_indices: Ascending original-dimension indices that
+            survived pruning.
+        bits: Class-weight integer width after re-quantization.
+        codes: The sub-int8 class-weight codes actually stored
+            (``(keep, num_classes)`` int8).
+        scales: Per-class dequantization scales.
+        original_dimension: Width before pruning.
+    """
+
+    model: FusedHDCModel
+    kept_indices: np.ndarray
+    bits: int
+    codes: np.ndarray
+    scales: np.ndarray
+    original_dimension: int
+    sub_widths: list[int] = field(default_factory=list)
+
+    @property
+    def dimension(self) -> int:
+        """Surviving hypervector width."""
+        return self.model.dimension
+
+    @property
+    def compression_ratio(self) -> float:
+        """Class-weight size reduction vs. the float32 original."""
+        original = self.original_dimension * 32
+        compressed = self.dimension * self.bits
+        return original / compressed if compressed else float("inf")
+
+
+def compress(fused: FusedHDCModel, target_dim: int, *, bits: int = 4,
+             decompose: bool = True) -> CompressedModel:
+    """One-shot DPQ-HD compression: decompose → prune → quantize.
+
+    Args:
+        fused: The trained full-width model (never modified).
+        target_dim: Hypervector width to keep.
+        bits: Sub-int8 width for the surviving class weights.
+        decompose: Apportion pruning across sub-model blocks.
+
+    Returns:
+        The :class:`CompressedModel`; ``result.model`` drops into the
+        existing compile/serve path like any fused model.
+    """
+    pruned, kept = prune_dimensions(fused, target_dim,
+                                    decompose=decompose)
+    codes, scales = quantize_class_matrix(pruned.class_matrix, bits)
+    model = FusedHDCModel(
+        base_matrix=pruned.base_matrix,
+        class_matrix=dequantize_class_matrix(codes, scales),
+        num_classes=pruned.num_classes,
+        sub_widths=list(pruned.sub_widths),
+    )
+    return CompressedModel(
+        model=model,
+        kept_indices=kept,
+        bits=bits,
+        codes=codes,
+        scales=scales,
+        original_dimension=fused.dimension,
+        sub_widths=list(pruned.sub_widths),
+    )

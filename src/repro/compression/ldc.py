@@ -1,0 +1,78 @@
+"""LDC-style distillation: a low-dimensional student of a trained model.
+
+Where :mod:`repro.compression.dpq` shrinks the trained model *in
+place* (no retraining), the LDC line of work (see PAPERS.md) trains a
+very low-dimensional classifier from scratch.  This module gets the
+best of both for the serving stack's cheapest tier: a tiny
+:class:`~repro.hdc.model.HDCClassifier` is *distilled* against the
+trained teacher's predictions, so it needs no labels — only the
+unlabeled calibration set the compile path already requires — and it
+inherits the teacher's decision surface rather than re-learning from
+raw data.
+
+The student is returned as a plain
+:class:`~repro.hdc.bagging.FusedHDCModel`, so it compiles through the
+same ``inference_network → convert → compile_model`` path as every
+other tier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hdc.bagging import FusedHDCModel
+from repro.hdc.encoder import NonlinearEncoder
+from repro.hdc.model import HDCClassifier
+
+__all__ = ["distill"]
+
+
+def distill(fused: FusedHDCModel, x: np.ndarray, *, dimension: int = 256,
+            iterations: int = 4, learning_rate: float = 0.035,
+            seed: int | None = 0) -> FusedHDCModel:
+    """Train a low-dimensional student against the teacher's labels.
+
+    Args:
+        fused: The trained teacher (never modified).
+        x: Unlabeled distillation samples
+            ``(num_samples, num_features)`` — the teacher's hard
+            predictions on these become the student's targets.
+        dimension: Student hypervector width (LDC territory: hundreds,
+            not thousands).
+        iterations: Student training passes.
+        learning_rate: Student update scale.
+        seed: Seed for the student's base hypervectors and shuffles.
+
+    Returns:
+        The student as a :class:`FusedHDCModel` of width ``dimension``.
+    """
+    x = np.asarray(x, dtype=np.float32)
+    if x.ndim != 2:
+        raise ValueError(f"expected 2-D samples, got shape {x.shape}")
+    if x.shape[1] != fused.num_features:
+        raise ValueError(
+            f"teacher expects {fused.num_features} features, "
+            f"got {x.shape[1]}"
+        )
+    if not 1 <= dimension <= fused.dimension:
+        raise ValueError(
+            f"dimension must be in [1, {fused.dimension}], "
+            f"got {dimension}"
+        )
+    targets = fused.predict(x).astype(np.int64)
+    rng = np.random.default_rng(seed)
+    encoder = NonlinearEncoder(x.shape[1], dimension, seed=rng)
+    student = HDCClassifier(
+        dimension=dimension, encoder=encoder,
+        learning_rate=learning_rate, seed=rng,
+    )
+    student.fit(x, targets, iterations=iterations,
+                num_classes=fused.num_classes)
+    return FusedHDCModel(
+        base_matrix=encoder.base_hypervectors.astype(np.float32,
+                                                     copy=False),
+        class_matrix=student.class_hypervectors.T.astype(np.float32,
+                                                         copy=False),
+        num_classes=fused.num_classes,
+        sub_widths=[dimension],
+    )

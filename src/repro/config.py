@@ -27,9 +27,43 @@ from repro.hdc.bagging import BaggingConfig
 from repro.platforms.base import Platform
 from repro.runtime.executor import ExecutorConfig
 
-__all__ = ["PipelineConfig", "ServeConfig"]
+__all__ = ["PipelineConfig", "ServeConfig", "TierPolicy"]
 
 _BATCHERS = ("dynamic", "fixed")
+
+
+@dataclass(frozen=True)
+class TierPolicy:
+    """When the server sheds a batch to a cheaper resident tier.
+
+    The server evaluates the policy at every batch dispatch: the full
+    tier serves unless the queue is deep or the batch's predicted
+    completion (earliest device availability plus the full tier's
+    service estimate) would land within ``headroom_s`` of its earliest
+    deadline — then the batch is shed to the lowest-index degraded
+    tier that restores the headroom (or the cheapest tier if none
+    does).
+
+    Attributes:
+        queue_high: Queue depth at dispatch at or above which the batch
+            sheds regardless of deadline headroom (sustained-overload
+            pressure valve).
+        headroom_s: Slack the full tier's predicted completion must
+            leave before the batch's earliest deadline.
+    """
+
+    queue_high: int = 64
+    headroom_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.queue_high < 1:
+            raise ValueError(
+                f"queue_high must be >= 1, got {self.queue_high}"
+            )
+        if self.headroom_s < 0:
+            raise ValueError(
+                f"headroom_s must be >= 0, got {self.headroom_s}"
+            )
 
 
 @dataclass(frozen=True)
@@ -98,6 +132,10 @@ class ServeConfig:
             are dropped.
         tracing: Record per-request spans
             (arrival → queue → batch → device → host tail).
+        tiers: Load-shedding policy for a server given a compression
+            tier ladder (``InferenceServer(..., tiers=...)``); ``None``
+            uses the default :class:`TierPolicy` when tiers are
+            present.
     """
 
     batcher: str = "dynamic"
@@ -106,8 +144,15 @@ class ServeConfig:
     timeout_s: float = math.inf
     max_queue: int = 256
     tracing: bool = False
+    tiers: TierPolicy | None = None
 
     def __post_init__(self) -> None:
+        if self.tiers is not None and not isinstance(self.tiers,
+                                                     TierPolicy):
+            raise TypeError(
+                f"tiers must be a TierPolicy or None, "
+                f"got {type(self.tiers).__name__}"
+            )
         if self.batcher not in _BATCHERS:
             raise ValueError(
                 f"batcher must be one of {_BATCHERS}, got {self.batcher!r}"

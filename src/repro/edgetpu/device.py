@@ -73,10 +73,19 @@ class EdgeTpuDevice:
         self.compiled: CompiledModel | None = None
         self.stats = DeviceStats()
         self._stages: list = []
-        self._breakdown_cache: dict[int, dict] = {}
+        # Co-resident models (serving tiers): id(compiled) -> (model,
+        # fused stages).  Residents survive load_model — a hot swap of
+        # the primary must not evict the degradation ladder.
+        self._resident: dict[int, tuple[CompiledModel, list]] = {}
+        # Latency-plan cache keyed by (model identity, batch).  The
+        # keyed model object is strongly held (``compiled`` or
+        # ``_resident``) while its entries can hit, so an id is stable.
+        self._breakdown_cache: dict[tuple[int, int], dict] = {}
 
     def load_model(self, compiled: CompiledModel) -> float:
         """Load a compiled model; returns the modeled load time in seconds.
+
+        Co-resident models (:meth:`load_resident`) stay loaded.
 
         Raises:
             ValueError: If the model was compiled for a different
@@ -90,33 +99,74 @@ class EdgeTpuDevice:
         # The op chain compiles once into fused stages, and the latency
         # plan is re-derived per batch size, not per invocation.
         self._stages = fused_stages(compiled.tpu_ops)
-        self._breakdown_cache = {}
         seconds = compiled.load_seconds()
         self.stats.models_loaded += 1
         self.stats.busy_seconds += seconds
         self.stats.bytes_in += compiled.model.size_bytes()
         return seconds
 
-    def invoke(self, x: np.ndarray) -> InvokeResult:
+    def load_resident(self, compiled: CompiledModel) -> float:
+        """Co-load a second model next to the primary; returns load time.
+
+        Most Edge TPUs serve one model at a time, but Coral's runtime
+        supports model *co-tenancy* with parameter-cache partitioning —
+        this models that: the resident model pays its own load transfer
+        once and can then be invoked by passing it to :meth:`invoke`,
+        without evicting the primary.  Loading the same object again is
+        free (it is already on the device).
+        """
+        if compiled.arch != self.arch:
+            raise ValueError(
+                "model was compiled for a different EdgeTpuArch; recompile"
+            )
+        if id(compiled) in self._resident:
+            return 0.0
+        self._resident[id(compiled)] = (compiled,
+                                        fused_stages(compiled.tpu_ops))
+        seconds = compiled.load_seconds()
+        self.stats.models_loaded += 1
+        self.stats.busy_seconds += seconds
+        self.stats.bytes_in += compiled.model.size_bytes()
+        return seconds
+
+    def invoke(self, x: np.ndarray,
+               compiled: CompiledModel | None = None) -> InvokeResult:
         """Run one batch through the TPU subgraph.
 
         Args:
             x: int8 input of shape ``(batch, input_dim)``.
+            compiled: Which loaded model to run — the primary when
+                omitted, else a model made co-resident with
+                :meth:`load_resident`.
 
         Returns:
             The :class:`InvokeResult` with outputs of the last TPU op.
 
         Raises:
-            RuntimeError: If no model is loaded.
+            RuntimeError: If no model is loaded (or the requested model
+                is not resident on this device).
         """
-        if self.compiled is None:
-            raise RuntimeError("no model loaded; call load_model() first")
+        if compiled is None or compiled is self.compiled:
+            if self.compiled is None:
+                raise RuntimeError(
+                    "no model loaded; call load_model() first"
+                )
+            compiled = self.compiled
+            stages = self._stages
+        else:
+            entry = self._resident.get(id(compiled))
+            if entry is None:
+                raise RuntimeError(
+                    "model is not resident on this device; call "
+                    "load_resident() first"
+                )
+            stages = entry[1]
         x = np.asarray(x)
         if x.dtype != np.int8:
             raise TypeError(f"device input must be int8, got {x.dtype}")
         if x.ndim != 2:
             raise ValueError(f"device input must be 2-D, got shape {x.shape}")
-        expected = self.compiled.model.input_spec.size
+        expected = compiled.model.input_spec.size
         if x.shape[1] != expected:
             raise ValueError(
                 f"expected input width {expected}, got {x.shape[1]}"
@@ -126,11 +176,10 @@ class EdgeTpuDevice:
             raise ValueError("cannot invoke with an empty batch")
 
         out = x
-        for stage in self._stages:
+        for stage in stages:
             out = stage(out)
 
-        compiled = self.compiled
-        cached = self._breakdown_cache.get(batch)
+        cached = self._breakdown_cache.get((id(compiled), batch))
         if cached is None:
             arch = self.arch
             cached = {
@@ -148,7 +197,7 @@ class EdgeTpuDevice:
                     batch * compiled.tpu_output_bytes
                 ),
             }
-            self._breakdown_cache[batch] = cached
+            self._breakdown_cache[(id(compiled), batch)] = cached
         # Callers receive a private copy (InvokeResult exposes the dict).
         breakdown = dict(cached)
         elapsed = sum(breakdown.values())

@@ -171,13 +171,21 @@ class DevicePool:
         return [i for i in range(self.num_devices)
                 if self.models[i] is not None and i not in self.failed]
 
-    def try_invoke(self, index: int, x: np.ndarray, at_s: float = 0.0):
+    def try_invoke(self, index: int, x: np.ndarray, at_s: float = 0.0,
+                   model: CompiledModel | None = None):
         """Invoke device ``index`` at virtual time ``at_s``.
 
         Trips any armed :class:`FailurePlan` whose time has come: the
         device is marked failed, its model is dropped (a lost device
         must be re-enumerated and reloaded), and
         :class:`DeviceFailedError` carries the modeled detection cost.
+
+        Args:
+            index: Pool device to invoke.
+            x: int8 batch.
+            at_s: Virtual invocation time (drives fault injection).
+            model: Run this co-resident model (see
+                :meth:`load_resident`) instead of the device's primary.
 
         Returns:
             The device's :class:`~repro.edgetpu.device.InvokeResult`.
@@ -197,7 +205,7 @@ class DevicePool:
             )
         if self.models[index] is None:
             raise RuntimeError(f"device {index} has no model loaded")
-        return self.devices[index].invoke(x)
+        return self.devices[index].invoke(x, compiled=model)
 
     # ------------------------------------------------------------------
     # Model management
@@ -269,6 +277,22 @@ class DevicePool:
             self.models[index] = compiled
             self.load_seconds[index] = seconds
             slowest = max(slowest, seconds)
+        return slowest
+
+    def load_resident(self, compiled: CompiledModel) -> float:
+        """Co-load ``compiled`` next to the primary on every healthy
+        device (the serving tiers' placement: the degradation ladder
+        rides along with the replicated primary).
+
+        Loads happen in parallel across devices, so the modeled cost is
+        the slowest single load; devices already holding the model are
+        free.  Failed devices are skipped.
+        """
+        slowest = 0.0
+        for index, device in enumerate(self.devices):
+            if index in self.failed:
+                continue
+            slowest = max(slowest, device.load_resident(compiled))
         return slowest
 
     def invoke_ensemble(self, x: np.ndarray,

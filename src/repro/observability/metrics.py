@@ -32,7 +32,9 @@ class LatencyTracker:
 
     def __init__(self):
         self._values: list[float] = []
-        self._sorted: list[float] | None = []
+        # The cache protocol is "None means invalid"; an empty tracker
+        # has nothing cached yet, so it starts invalid too.
+        self._sorted: list[float] | None = None
 
     def record(self, seconds: float) -> None:
         """Add one observation (seconds, must be >= 0)."""

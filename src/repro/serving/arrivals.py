@@ -128,10 +128,12 @@ class RequestStream:
     """Binds an arrival process to a drifting payload distribution.
 
     Args:
-        stream: Payload source; drift advances one step every
-            ``drift_every`` requests, and each request draws one sample
-            from the then-current distribution
-            (:meth:`~repro.data.streams.DriftingStream.draw`).
+        stream: Payload source; each request draws one sample from the
+            then-current distribution
+            (:meth:`~repro.data.streams.DriftingStream.draw`), and the
+            drift advances one step after every ``drift_every``-request
+            block — the first block always samples the stream's initial
+            distribution.
         arrivals: Arrival-time generator.
         deadline_s: Per-request latency budget (deadline = arrival +
             budget).
@@ -161,9 +163,14 @@ class RequestStream:
         times = self.arrivals.times(num_requests)
         requests = []
         for index in range(num_requests):
-            if self.drift_every and index % self.drift_every == 0:
-                self.stream.advance(1)
+            # Drift advances *after* each block of ``drift_every``
+            # requests: request 0 always samples the stream's initial
+            # distribution, so a drifting trace and a stationary one
+            # agree on sample 0 (advancing before the first draw used
+            # to fire at index 0 and skip the initial distribution).
             x, y = self.stream.draw(1)
+            if self.drift_every and (index + 1) % self.drift_every == 0:
+                self.stream.advance(1)
             arrival = float(times[index])
             requests.append(Request(
                 request_id=index,

@@ -21,6 +21,13 @@ of a production serving stack:
   bit-identical and in request order, only slower.
 - **Hot swap** — a :class:`~repro.serving.swap.ModelSwapper` commits a
   freshly retrained model atomically between batches.
+- **Tiered degradation** — given a compression tier ladder
+  (:class:`~repro.compression.tiers.TierSet`), overload sheds batches
+  to a cheaper co-resident tier instead of dropping them: when the
+  queue is deep or the full tier's predicted completion threatens the
+  earliest deadline (per the :class:`~repro.config.TierPolicy`), the
+  batch runs on a compressed or distilled model already loaded next to
+  the primary, trading a few accuracy points for meeting the SLA.
 
 Latency is tracked per request on the virtual clock
 (:class:`~repro.runtime.profiler.LatencyTracker` percentiles), so p99
@@ -36,7 +43,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.config import ServeConfig
+from repro.config import ServeConfig, TierPolicy
 from repro.edgetpu.compiler import CompiledModel
 from repro.edgetpu.multidevice import DeviceFailedError, DevicePool
 from repro.observability.metrics import MetricsRegistry
@@ -72,13 +79,30 @@ class ServeReport:
         num_batches: Batches dispatched.
         batch_sizes: Size of each dispatched batch, in dispatch order.
         device_busy_seconds: Per-device busy seconds.
-        device_idle_seconds: Per-device ``makespan - busy`` seconds.
+        device_swap_seconds: Per-device seconds spent blocked reloading
+            a hot-swapped model (commit blocks every healthy device for
+            the load time; without this field that time would read as
+            idle).
+        device_idle_seconds: Per-device
+            ``makespan - busy - swap_load`` seconds.
         host_seconds: Host busy seconds (tails + CPU fallback).
         retried_batches: Batches that succeeded on a retry device after
             a failure was detected.
         fallback_batches: Batches served entirely on the host CPU.
         failed_devices: Pool indices that failed during the run.
         swap_records: Committed hot swaps.
+        tier_names: Tier ladder names when the server ran tiered
+            (empty otherwise — the payload shape is unchanged for
+            untiered runs).
+        tier_batches: Batches dispatched per tier, by tier index.
+        tier_served: Requests served per tier, by tier index.
+        tier_sheds: Batches served on a degraded tier (index > 0).
+        tier_build_accuracy: Each tier's build-time accuracy (from
+            :attr:`Tier.build_accuracy <repro.compression.tiers.Tier>`;
+            entries may be ``None``).
+        request_tiers: Per-request tier index in request order (``-1``
+            for dropped requests); ``None`` for untiered runs.
+        tier_latency: Per-tier latency trackers over served requests.
         trace: The span trace of the run (``None`` unless the server was
             given a tracer / ``ServeConfig(tracing=True)``).
     """
@@ -95,12 +119,20 @@ class ServeReport:
     num_batches: int = 0
     batch_sizes: list[int] = field(default_factory=list)
     device_busy_seconds: list[float] = field(default_factory=list)
+    device_swap_seconds: list[float] = field(default_factory=list)
     device_idle_seconds: list[float] = field(default_factory=list)
     host_seconds: float = 0.0
     retried_batches: int = 0
     fallback_batches: int = 0
     failed_devices: list[int] = field(default_factory=list)
     swap_records: list[SwapRecord] = field(default_factory=list)
+    tier_names: list[str] = field(default_factory=list)
+    tier_batches: list[int] = field(default_factory=list)
+    tier_served: list[int] = field(default_factory=list)
+    tier_sheds: int = 0
+    tier_build_accuracy: list[float | None] = field(default_factory=list)
+    request_tiers: np.ndarray | None = None
+    tier_latency: list[LatencyTracker] = field(default_factory=list)
     trace: Tracer | None = None
 
     @property
@@ -126,9 +158,14 @@ class ServeReport:
 
     @property
     def utilization(self) -> float:
-        """Fraction of pooled device time spent busy."""
+        """Fraction of pooled device time spent busy.
+
+        Swap-reload time counts toward the denominator (the device was
+        occupied, not serving) but never toward busy time.
+        """
         busy = sum(self.device_busy_seconds)
-        total = busy + sum(self.device_idle_seconds)
+        total = (busy + sum(self.device_idle_seconds)
+                 + sum(self.device_swap_seconds))
         return busy / total if total > 0 else 0.0
 
     @property
@@ -145,6 +182,34 @@ class ServeReport:
             return None
         mask = self.predictions >= 0
         return float(np.mean(self.predictions[mask] == self.labels[mask]))
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of dispatched batches served on a degraded tier."""
+        if self.num_batches == 0:
+            return 0.0
+        return self.tier_sheds / self.num_batches
+
+    def tier_accuracy(self) -> list[float | None]:
+        """Served accuracy per tier index (``None`` for unused tiers).
+
+        Raises:
+            ValueError: If the run was untiered or carried no labels.
+        """
+        if self.request_tiers is None:
+            raise ValueError("run was not tiered")
+        if self.labels is None:
+            raise ValueError("trace carried no labels")
+        accuracies: list[float | None] = []
+        for index in range(len(self.tier_names)):
+            mask = self.request_tiers == index
+            if not mask.any():
+                accuracies.append(None)
+            else:
+                accuracies.append(float(np.mean(
+                    self.predictions[mask] == self.labels[mask]
+                )))
+        return accuracies
 
     def windowed_accuracy(self, num_windows: int) -> list[float]:
         """Accuracy over ``num_windows`` equal request-index windows.
@@ -202,10 +267,24 @@ class ServeReport:
             "swaps_committed": len(self.swap_records),
             "swap_s": sum(r.modelgen_seconds + r.load_seconds
                           for r in self.swap_records),
+            "swap_load_s": sum(self.device_swap_seconds),
             "latency": self.latency.summary(),
         }
         if self.labels is not None:
             payload["accuracy"] = self.accuracy
+        if self.tier_names:
+            tiers: dict = {
+                "names": list(self.tier_names),
+                "batches": list(self.tier_batches),
+                "served": list(self.tier_served),
+                "sheds": self.tier_sheds,
+                "shed_rate": self.shed_rate,
+                "build_accuracy": list(self.tier_build_accuracy),
+                "latency": [t.summary() for t in self.tier_latency],
+            }
+            if self.labels is not None:
+                tiers["accuracy"] = self.tier_accuracy()
+            payload["tiers"] = tiers
         return payload
 
 
@@ -235,6 +314,14 @@ class InferenceServer:
         config: The :class:`~repro.config.ServeConfig`, when not passed
             positionally.  ``config.tracing=True`` records per-request
             spans onto :attr:`ServeReport.trace`.
+        tiers: Optional compression tier ladder
+            (:class:`~repro.compression.tiers.TierSet` or a list of
+            tiers).  Tier 0's compiled model must be the one the pool
+            already serves; degraded tiers are made co-resident on
+            every healthy device at construction (a deployment-time
+            load, like the primary's).  ``config.tiers`` (a
+            :class:`~repro.config.TierPolicy`) controls when batches
+            shed; the default policy applies when unset.
         tracer: Explicit :class:`~repro.observability.trace.Tracer` to
             record into (overrides ``config.tracing``).
         metrics: Optional
@@ -247,6 +334,7 @@ class InferenceServer:
                  host: Platform | None = None, max_queue: int | None = None,
                  swapper: ModelSwapper | None = None, profiler=None, *,
                  config: ServeConfig | None = None,
+                 tiers=None,
                  tracer: Tracer | None = None,
                  metrics: MetricsRegistry | None = None):
         if isinstance(batcher, ServeConfig):
@@ -306,6 +394,39 @@ class InferenceServer:
         # every arrival, so memoize instead of re-deriving the latency
         # plan each time.  Invalidated on hot swap.
         self._estimate_cache: dict[int, float] = {}
+        self._tiers = None
+        self._tier_policy: TierPolicy | None = None
+        self.tier_load_s = 0.0
+        # Degraded-tier estimates never invalidate: a hot swap replaces
+        # only the primary (tier 0), the ladder stays resident.
+        self._degraded_estimates: dict[tuple[int, int], float] = {}
+        self._active_tier = 0
+        if tiers is not None:
+            tier_list = list(tiers)
+            if not tier_list:
+                raise ValueError("tiers must contain at least one tier")
+            if tier_list[0].compiled is not self._compiled:
+                raise ValueError(
+                    "tier 0 must be the model the pool already serves; "
+                    "load_replicated(tiers[0].compiled) first"
+                )
+            self._tier_policy = (config.tiers
+                                 if config is not None
+                                 and config.tiers is not None
+                                 else TierPolicy())
+            # Deployment-time load: the ladder rides along with the
+            # primary before serving starts, so it is not charged to
+            # the serve makespan (exactly like the primary's load).
+            for tier in tier_list[1:]:
+                self.tier_load_s = max(
+                    self.tier_load_s, pool.load_resident(tier.compiled)
+                )
+            self._tiers = tier_list
+        elif config is not None and config.tiers is not None:
+            raise ValueError(
+                "config.tiers sets a shedding policy but no tier "
+                "ladder was provided; pass tiers="
+            )
 
     # ------------------------------------------------------------------
     # Cost estimation (drives the deadline-aware batch trigger)
@@ -335,6 +456,47 @@ class InferenceServer:
                         + self._host_tail_seconds(compiled, batch_size))
             self._estimate_cache[batch_size] = estimate
         return estimate
+
+    def _tier_estimate(self, tier_index: int, batch_size: int) -> float:
+        """Service estimate on tier ``tier_index`` (memoized)."""
+        if tier_index == 0:
+            return self.service_estimate(batch_size)
+        key = (tier_index, batch_size)
+        estimate = self._degraded_estimates.get(key)
+        if estimate is None:
+            compiled = self._tiers[tier_index].compiled
+            estimate = (compiled.invoke_seconds(batch_size)
+                        + self._host_tail_seconds(compiled, batch_size))
+            self._degraded_estimates[key] = estimate
+        return estimate
+
+    def _select_tier(self, batch, dispatch_t, device_free,
+                     queue_depth) -> int:
+        """Pick the serving tier for one closed batch.
+
+        Pure in the modeled state (earliest device availability, queue
+        depth, deadlines), so tier choice is deterministic per trace.
+        The full tier serves unless the policy trips; then the
+        lowest-index degraded tier whose predicted completion restores
+        the headroom wins, falling back to the cheapest tier.
+        """
+        if self._tiers is None:
+            return 0
+        policy = self._tier_policy
+        healthy = self.pool.healthy_indices()
+        earliest = min(
+            (max(dispatch_t, device_free[i]) for i in healthy),
+            default=dispatch_t,
+        )
+        budget = min(r.deadline_s for r in batch) - policy.headroom_s
+        rows = len(batch)
+        if (queue_depth < policy.queue_high
+                and earliest + self._tier_estimate(0, rows) <= budget):
+            return 0
+        for index in range(1, len(self._tiers)):
+            if earliest + self._tier_estimate(index, rows) <= budget:
+                return index
+        return len(self._tiers) - 1
 
     # ------------------------------------------------------------------
     # The event loop
@@ -367,9 +529,23 @@ class InferenceServer:
         root = (tracer.add("serve", 0.0, 0.0, requests=num_requests,
                            devices=self.pool.num_devices)
                 if tracer is not None else None)
+        self._active_tier = 0
+        if self._tiers is not None:
+            report.tier_names = [t.name for t in self._tiers]
+            report.tier_batches = [0] * len(self._tiers)
+            report.tier_served = [0] * len(self._tiers)
+            report.tier_build_accuracy = [t.build_accuracy
+                                          for t in self._tiers]
+            report.request_tiers = np.full(num_requests, -1,
+                                           dtype=np.int64)
+            report.tier_latency = [LatencyTracker()
+                                   for _ in self._tiers]
+            if metrics is not None:
+                metrics.gauge("serve.tier_active").set(0)
         queue: deque[Request] = deque()
         device_free = [0.0] * self.pool.num_devices
         device_busy = [0.0] * self.pool.num_devices
+        device_swap = [0.0] * self.pool.num_devices
         host_free = 0.0
         now = 0.0
         index = 0
@@ -411,8 +587,9 @@ class InferenceServer:
             if metrics is not None:
                 metrics.gauge("serve.queue_depth").set(len(queue))
             host_free = self._dispatch_batch(
-                batch, now, device_free, device_busy, host_free, report,
-                tracer, root,
+                batch, now, device_free, device_busy, device_swap,
+                host_free, report, tracer, root,
+                queue_depth=len(queue),
             )
 
         report.served = num_requests - report.dropped
@@ -422,8 +599,10 @@ class InferenceServer:
             if report.served else now
         )
         report.device_busy_seconds = [float(b) for b in device_busy]
+        report.device_swap_seconds = [float(s) for s in device_swap]
         report.device_idle_seconds = [
-            max(0.0, report.makespan_s - b) for b in device_busy
+            max(0.0, report.makespan_s - b - s)
+            for b, s in zip(device_busy, device_swap)
         ]
         report.failed_devices = sorted(self.pool.failed)
         if self.swapper is not None:
@@ -446,8 +625,8 @@ class InferenceServer:
     # ------------------------------------------------------------------
 
     def _dispatch_batch(self, batch, dispatch_t, device_free,
-                        device_busy, host_free, report, tracer=None,
-                        root=None) -> float:
+                        device_busy, device_swap, host_free, report,
+                        tracer=None, root=None, queue_depth=0) -> float:
         """Serve one closed batch; returns the updated host-free time."""
         if self.swapper is not None:
             swapped = self.swapper.poll(dispatch_t)
@@ -457,6 +636,15 @@ class InferenceServer:
                 # The commit's device load blocks every reloaded device.
                 load = self.swapper.records[-1].load_seconds
                 for i in self.pool.healthy_indices():
+                    # Account the non-overlapped part of the reload
+                    # window (report-only: a device still finishing a
+                    # batch absorbs part of the reload into busy time,
+                    # and the event times below are unchanged).
+                    device_swap[i] += max(
+                        0.0,
+                        dispatch_t + load
+                        - max(dispatch_t, device_free[i]),
+                    )
                     device_free[i] = max(device_free[i],
                                          dispatch_t + load)
                 if tracer is not None:
@@ -465,12 +653,47 @@ class InferenceServer:
                                tags=("swap",), load_s=load)
 
         rows = len(batch)
-        compiled = self._compiled
+        tier_index = self._select_tier(batch, dispatch_t, device_free,
+                                       queue_depth)
+        if tier_index == 0:
+            # Tier 0 is whatever the pool currently serves as primary
+            # (it tracks hot swaps); degraded tiers are fixed resident
+            # models.
+            compiled = self._compiled
+            invoke_model = None
+        else:
+            compiled = self._tiers[tier_index].compiled
+            invoke_model = compiled
+        if self._tiers is not None:
+            report.tier_batches[tier_index] += 1
+            if tier_index != 0:
+                report.tier_sheds += 1
+            if self.metrics is not None:
+                name = self._tiers[tier_index].name
+                self.metrics.counter(
+                    f"serve.tier_batches.{name}"
+                ).inc()
+                self.metrics.counter(
+                    f"serve.tier_served.{name}"
+                ).inc(rows)
+                self.metrics.gauge("serve.tier_active").set(tier_index)
+                if tier_index != 0:
+                    self.metrics.counter("serve.tier_sheds").inc()
+            if tracer is not None and tier_index != self._active_tier:
+                # Zero-duration marker: the policy changed the serving
+                # tier at this batch boundary.
+                tracer.add("tier.switch", dispatch_t, dispatch_t,
+                           parent_id=root, tags=("tier",),
+                           from_tier=self._active_tier,
+                           to_tier=tier_index,
+                           tier=self._tiers[tier_index].name)
+            self._active_tier = tier_index
         x = np.stack([request.features for request in batch])
         quantized = compiled.model.input_spec.qparams.quantize(x)
 
         batch_span = (tracer.add("serve.batch", dispatch_t, dispatch_t,
-                                 parent_id=root, batch=rows)
+                                 parent_id=root, batch=rows,
+                                 tier=tier_index)
                       if tracer is not None else None)
         predictions = None
         completion = None
@@ -485,7 +708,8 @@ class InferenceServer:
             start = max(detect_t, device_free[chosen])
             try:
                 invoke = self.pool.try_invoke(chosen, quantized,
-                                              at_s=start)
+                                              at_s=start,
+                                              model=invoke_model)
             except DeviceFailedError as err:
                 attempts += 1
                 failed_once = True
@@ -561,6 +785,10 @@ class InferenceServer:
             latency = completion - request.arrival_s
             report.latencies[request.request_id] = latency
             report.latency.record(latency)
+            if report.request_tiers is not None:
+                report.request_tiers[request.request_id] = tier_index
+                report.tier_served[tier_index] += 1
+                report.tier_latency[tier_index].record(latency)
             missed = completion > request.deadline_s
             if missed:
                 report.deadline_misses += 1

@@ -114,15 +114,24 @@ class ModelSwapper:
         """Commit the newest due swap, if any; returns the new model.
 
         Called by the server at batch boundaries.  All due swaps
-        collapse into one commit of the *latest* (a stale intermediate
-        model never reaches the devices); the pool load cost is charged
-        once.  Returns ``None`` when nothing is due.
+        collapse into one commit of the *latest-scheduled* one (the
+        most recent retrain; a stale intermediate model never reaches
+        the devices) and the pool load cost is charged once.  "Latest"
+        is by ``scheduled_s``, not ``ready_s``: a small retrain can
+        finish modelgen before an older, bigger one, and the older
+        artifact must not win just because it became ready last.
+        Pending swaps scheduled before the committed one are discarded
+        — committing them later would roll the pool back to an older
+        model.  Returns ``None`` when nothing is due.
         """
         due = [p for p in self._pending if p.ready_s <= now]
         if not due:
             return None
-        self._pending = [p for p in self._pending if p.ready_s > now]
-        newest = due[-1]
+        newest = max(due, key=lambda p: (p.scheduled_s, p.ready_s))
+        self._pending = [
+            p for p in self._pending
+            if p.ready_s > now and p.scheduled_s > newest.scheduled_s
+        ]
         load_seconds = self.pool.load_replicated(newest.compiled)
         self.records.append(SwapRecord(
             scheduled_s=newest.scheduled_s,

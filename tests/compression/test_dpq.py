@@ -1,0 +1,180 @@
+"""Property tests for DPQ-HD pruning and sub-int8 quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.dpq import (
+    CompressedModel,
+    compress,
+    dequantize_class_matrix,
+    dimension_saliency,
+    prune_dimensions,
+    quantize_class_matrix,
+)
+from repro.hdc.bagging import FusedHDCModel
+
+
+def _fused(rng, features=8, dimension=40, classes=3, widths=None):
+    return FusedHDCModel(
+        base_matrix=rng.normal(size=(features, dimension)).astype(
+            np.float32),
+        class_matrix=rng.normal(size=(dimension, classes)).astype(
+            np.float32),
+        num_classes=classes,
+        sub_widths=list(widths) if widths else [],
+    )
+
+
+class TestSaliency:
+    def test_l2_over_classes(self):
+        matrix = np.array([[3.0, 4.0], [0.0, 0.0], [1.0, 0.0]])
+        np.testing.assert_allclose(dimension_saliency(matrix),
+                                   [5.0, 0.0, 1.0])
+
+    def test_rejects_vector(self):
+        with pytest.raises(ValueError):
+            dimension_saliency(np.zeros(4))
+
+
+class TestPruning:
+    @given(st.integers(min_value=0, max_value=2 ** 32 - 1),
+           st.integers(min_value=1, max_value=40))
+    @settings(max_examples=30, deadline=None)
+    def test_keeps_exactly_the_top_k_magnitudes(self, seed, keep):
+        # The kept saliencies are *exactly* the k largest — not an
+        # approximation, for any seed and any budget.
+        rng = np.random.default_rng(seed)
+        fused = _fused(rng)
+        saliency = dimension_saliency(fused.class_matrix)
+        _, kept = prune_dimensions(fused, keep, decompose=False)
+        assert len(kept) == keep
+        assert len(np.unique(kept)) == keep
+        np.testing.assert_allclose(
+            np.sort(saliency[kept]), np.sort(saliency)[-keep:],
+        )
+
+    def test_ties_break_toward_lower_index(self):
+        rng = np.random.default_rng(0)
+        fused = _fused(rng, dimension=6)
+        fused.class_matrix[:] = 1.0  # all saliencies equal
+        _, kept = prune_dimensions(fused, 3, decompose=False)
+        np.testing.assert_array_equal(kept, [0, 1, 2])
+
+    def test_pruned_weights_are_the_original_slices(self):
+        rng = np.random.default_rng(1)
+        fused = _fused(rng)
+        pruned, kept = prune_dimensions(fused, 10, decompose=False)
+        np.testing.assert_array_equal(pruned.base_matrix,
+                                      fused.base_matrix[:, kept])
+        np.testing.assert_array_equal(pruned.class_matrix,
+                                      fused.class_matrix[kept, :])
+
+    def test_block_decomposition_respects_sub_widths(self):
+        rng = np.random.default_rng(2)
+        fused = _fused(rng, dimension=40, widths=[10, 10, 10, 10])
+        pruned, kept = prune_dimensions(fused, 20)
+        # Proportional apportionment: 5 survivors per equal block.
+        assert pruned.sub_widths == [5, 5, 5, 5]
+        for block in range(4):
+            lo, hi = block * 10, (block + 1) * 10
+            block_kept = kept[(kept >= lo) & (kept < hi)]
+            assert len(block_kept) == 5
+            saliency = dimension_saliency(fused.class_matrix[lo:hi])
+            np.testing.assert_allclose(
+                np.sort(saliency[block_kept - lo]),
+                np.sort(saliency)[-5:],
+            )
+
+    @pytest.mark.parametrize("keep", [0, 41])
+    def test_invalid_budget(self, keep):
+        fused = _fused(np.random.default_rng(3))
+        with pytest.raises(ValueError):
+            prune_dimensions(fused, keep)
+
+
+class TestQuantization:
+    @given(st.integers(min_value=0, max_value=2 ** 32 - 1),
+           st.integers(min_value=2, max_value=8))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_error_bounded_by_half_step(self, seed, bits):
+        rng = np.random.default_rng(seed)
+        matrix = rng.normal(size=(30, 4)) * rng.uniform(0.01, 10.0)
+        codes, scales = quantize_class_matrix(matrix, bits)
+        assert codes.dtype == np.int8
+        levels = 2 ** (bits - 1) - 1
+        assert np.abs(codes).max() <= levels
+        restored = dequantize_class_matrix(codes, scales)
+        # Symmetric round-to-nearest: error <= scale / 2 per class.
+        error = np.abs(restored.astype(np.float64) - matrix)
+        assert np.all(error <= scales[None, :] / 2 + 1e-12)
+
+    def test_zero_column_is_exact(self):
+        matrix = np.zeros((5, 2))
+        matrix[:, 1] = [1.0, -2.0, 0.5, 0.0, 2.0]
+        codes, scales = quantize_class_matrix(matrix, 4)
+        assert scales[0] == 0.0
+        np.testing.assert_array_equal(codes[:, 0], 0)
+        np.testing.assert_array_equal(
+            dequantize_class_matrix(codes, scales)[:, 0], 0.0
+        )
+
+    def test_peaks_survive_exactly(self):
+        # The per-class extremes land on the top quantization level, so
+        # dequantization reproduces every column's peak magnitude.
+        rng = np.random.default_rng(5)
+        matrix = rng.normal(size=(20, 3))
+        codes, scales = quantize_class_matrix(matrix, 4)
+        restored = dequantize_class_matrix(codes, scales)
+        np.testing.assert_allclose(np.max(np.abs(restored), axis=0),
+                                   np.max(np.abs(matrix), axis=0),
+                                   rtol=1e-6)
+
+    @pytest.mark.parametrize("bits", [1, 9])
+    def test_invalid_bits(self, bits):
+        with pytest.raises(ValueError):
+            quantize_class_matrix(np.zeros((4, 2)), bits)
+
+
+class TestCompress:
+    def test_compress_pipeline(self):
+        rng = np.random.default_rng(7)
+        fused = _fused(rng, dimension=40, widths=[20, 20])
+        result = compress(fused, 16, bits=4)
+        assert isinstance(result, CompressedModel)
+        assert result.dimension == 16
+        assert result.model.dimension == 16
+        assert result.original_dimension == 40
+        assert result.compression_ratio == pytest.approx(
+            (40 * 32) / (16 * 4)
+        )
+        # The model's class weights are exactly the dequantized codes.
+        np.testing.assert_array_equal(
+            result.model.class_matrix,
+            dequantize_class_matrix(result.codes, result.scales),
+        )
+        # The original is untouched.
+        assert fused.dimension == 40
+
+    def test_accuracy_monotone_in_budget(self):
+        # On an easy synthetic task, a bigger kept-dimension budget
+        # never hurts (the top-k rankings are nested).
+        rng = np.random.default_rng(11)
+        centers = rng.normal(size=(3, 12)) * 2.0
+        labels = rng.integers(0, 3, size=400)
+        x = (centers[labels]
+             + rng.normal(size=(400, 12)) * 0.7).astype(np.float32)
+        base = rng.normal(size=(12, 256)).astype(np.float32)
+        encoded = np.tanh(x @ base)
+        classes = np.stack([encoded[labels == k].sum(axis=0)
+                            for k in range(3)], axis=1)
+        fused = FusedHDCModel(base_matrix=base,
+                              class_matrix=classes.astype(np.float32),
+                              num_classes=3)
+        accuracies = [
+            compress(fused, keep, bits=6).model.score(x, labels)
+            for keep in (16, 64, 256)
+        ]
+        assert accuracies == sorted(accuracies)
+        assert accuracies[-1] >= fused.score(x, labels) - 0.02

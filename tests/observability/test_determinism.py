@@ -18,6 +18,7 @@ from repro.runtime.executor import ExecutorConfig, WorkerPool
 from repro.runtime.pipeline import InferencePipeline, TrainingPipeline
 from repro.serving.arrivals import Request
 from repro.serving.server import InferenceServer
+from repro.serving.swap import ModelSwapper
 from repro.hdc.bagging import BaggingConfig
 
 
@@ -165,6 +166,42 @@ class TestServingDeterminism:
         np.testing.assert_array_equal(on.predictions, off.predictions)
         np.testing.assert_array_equal(on.latencies, off.latencies)
         assert off.trace is None
+
+    def test_traced_equals_untraced_with_swap(self, compiled, data):
+        # Hot swap commits mid-run (and now charges per-device
+        # swap-load accounting); tracing must still be purely additive.
+        x, y = data
+        retrained = TrainingPipeline(
+            PipelineConfig(dimension=256, iterations=2, seed=9)
+        ).run(x, y).compiled
+        gen_s = ModelSwapper(DevicePool(1)).modelgen_seconds(retrained)
+        # Stretch the trace to ~3x the modelgen time so the swap
+        # scheduled at t=0 commits well inside the run.
+        requests = _requests(x, y, rate_rps=60 / (3 * gen_s), n=60,
+                             budget_s=gen_s)
+
+        def run(tracing):
+            pool = self._pool(compiled)
+            swapper = ModelSwapper(pool)
+            swapper.schedule(retrained, at_s=0.0)
+            server = InferenceServer(
+                pool,
+                ServeConfig(max_batch=8, max_queue=64, tracing=tracing),
+                swapper=swapper,
+            )
+            return server.serve(requests)
+
+        off, on = run(False), run(True)
+        assert len(off.swap_records) == 1
+        assert on.summary() == off.summary()
+        assert on.device_swap_seconds == off.device_swap_seconds
+        assert sum(on.device_swap_seconds) > 0
+        np.testing.assert_array_equal(on.predictions, off.predictions)
+        np.testing.assert_array_equal(on.latencies, off.latencies)
+        assert off.trace is None
+        swaps = [s for s in on.trace.spans if s.name == "model.swap"]
+        assert len(swaps) == 1
+        assert swaps[0].attrs["load_s"] > 0
 
     def test_span_per_request_including_drops(self, compiled, data):
         x, y = data

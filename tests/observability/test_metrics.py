@@ -61,6 +61,35 @@ class TestRegistry:
         assert list(metrics.summary()["counters"]) == ["a", "b"]
 
 
+class TestLatencyTrackerEdges:
+    def test_empty_summary(self):
+        assert LatencyTracker().summary() == {"count": 0}
+        assert len(LatencyTracker()) == 0
+
+    def test_empty_statistics_raise(self):
+        tracker = LatencyTracker()
+        with pytest.raises(ValueError, match="no latencies"):
+            tracker.percentile(50.0)
+        with pytest.raises(ValueError, match="no latencies"):
+            tracker.mean
+        with pytest.raises(ValueError, match="no latencies"):
+            tracker.max
+
+    def test_cache_starts_invalid(self):
+        # The cache protocol is "None means stale": a fresh tracker
+        # must start stale, not with a cached (empty) sort that a first
+        # record() would have to know to invalidate.
+        assert LatencyTracker()._sorted is None
+
+    def test_record_after_read_invalidates_cache(self):
+        tracker = LatencyTracker()
+        tracker.record(0.002)
+        assert tracker.percentile(100.0) == 0.002
+        tracker.record(0.005)
+        assert tracker.percentile(100.0) == 0.005
+        assert tracker.p50 == 0.002
+
+
 class TestLatencyTrackerHome:
     def test_profiler_reexport_is_same_class(self):
         from repro.runtime.profiler import LatencyTracker as reexported

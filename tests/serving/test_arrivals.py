@@ -77,6 +77,31 @@ class TestRequestStream:
                       deadline_s=0.05, drift_every=1).generate(40)
         assert stream.steps == 40
 
+    def test_first_request_samples_initial_distribution(self):
+        # Request 0 must come from the stream's initial distribution:
+        # a drifting trace and a stationary one agree on sample 0.
+        # (The drift used to advance *before* the first draw, so the
+        # initial distribution was never served.)
+        def first(drift_every):
+            rs = RequestStream(self._stream(drift_rate=0.5),
+                               ArrivalProcess(100.0, seed=1),
+                               deadline_s=0.05, drift_every=drift_every)
+            return rs.generate(1)[0]
+
+        drifting, stationary = first(1), first(0)
+        np.testing.assert_array_equal(drifting.features,
+                                      stationary.features)
+        assert drifting.label == stationary.label
+
+    def test_drift_advances_after_each_full_block(self):
+        # drift_every=4 over 7 requests: one full block (requests 0-3)
+        # has finished, so exactly one drift step — not two (a step
+        # before request 0 plus one at request 4, the old off-by-one).
+        stream = self._stream()
+        RequestStream(stream, ArrivalProcess(100.0, seed=1),
+                      deadline_s=0.05, drift_every=4).generate(7)
+        assert stream.steps == 1
+
     def test_drift_every_zero_freezes(self):
         stream = self._stream()
         RequestStream(stream, ArrivalProcess(100.0, seed=1),

@@ -42,6 +42,25 @@ def drift_setup():
     return compiled, retrained, trace, cut
 
 
+@pytest.fixture(scope="module")
+def sized_models(drift_setup):
+    """An initial model plus a big and a small retrain candidate.
+
+    The big model's modelgen cost exceeds the small one's, so a swap
+    scheduled later (small) can become ready *earlier* than one
+    scheduled first (big) — the inversion the staleness tests need.
+    """
+    compiled, _, _, _ = drift_setup
+    stream = DriftingStream(
+        StreamConfig(num_features=NUM_FEATURES, num_classes=NUM_CLASSES),
+        seed=21,
+    )
+    x, y = stream.next_batch(200)
+    big = train_compiled(x, y, seed=22, dimension=512)
+    small = train_compiled(x, y, seed=23, dimension=64)
+    return compiled, big, small
+
+
 class TestModelSwapper:
     def test_schedule_charges_modelgen(self, drift_setup):
         compiled, retrained, _, _ = drift_setup
@@ -87,6 +106,50 @@ class TestModelSwapper:
         committed = swapper.poll(1e9)
         assert committed is newer
         assert swapper.pending == 0
+        assert swapper.swaps_committed == 1
+
+    def test_inverted_ready_order_commits_latest_scheduled(
+            self, sized_models):
+        # A big retrain scheduled first, a small one scheduled later:
+        # the small artifact finishes modelgen first, so ready order
+        # inverts schedule order.  The later-*scheduled* model is the
+        # fresher retrain and must win the commit.
+        compiled, big, small = sized_models
+        pool = DevicePool(1)
+        pool.load_replicated(compiled)
+        swapper = ModelSwapper(pool)
+        gen_big = swapper.modelgen_seconds(big)
+        gen_small = swapper.modelgen_seconds(small)
+        assert gen_small < gen_big
+        ready_big = swapper.schedule(big, at_s=0.0)
+        ready_small = swapper.schedule(small,
+                                       at_s=(gen_big - gen_small) / 2)
+        assert ready_small < ready_big
+        committed = swapper.poll(ready_big + 1.0)
+        assert committed is small
+        assert pool.models[0] is small
+        assert swapper.pending == 0
+        assert swapper.swaps_committed == 1
+
+    def test_commit_discards_earlier_scheduled_pending(self, sized_models):
+        # The small retrain commits while the big, *earlier-scheduled*
+        # one is still baking; when the big artifact later becomes
+        # ready it must be discarded — committing it would roll the
+        # pool back to an older model.
+        compiled, big, small = sized_models
+        pool = DevicePool(1)
+        pool.load_replicated(compiled)
+        swapper = ModelSwapper(pool)
+        gen_big = swapper.modelgen_seconds(big)
+        gen_small = swapper.modelgen_seconds(small)
+        ready_big = swapper.schedule(big, at_s=0.0)
+        ready_small = swapper.schedule(small,
+                                       at_s=(gen_big - gen_small) / 2)
+        assert ready_small < ready_big
+        assert swapper.poll((ready_small + ready_big) / 2) is small
+        assert swapper.pending == 0
+        assert swapper.poll(ready_big + 1.0) is None
+        assert pool.models[0] is small
         assert swapper.swaps_committed == 1
 
     def test_commit_skips_failed_devices(self, drift_setup):
@@ -161,3 +224,25 @@ class TestServedSwap:
         summary = swapped.summary()
         assert summary["swaps_committed"] == 1
         assert summary["swap_s"] > 0
+
+    def test_swap_load_accounted_per_device(self, drift_setup):
+        static = self._serve(drift_setup, swap=False)
+        swapped = self._serve(drift_setup, swap=True)
+        # No swap, no swap-load time.
+        assert static.device_swap_seconds == [0.0, 0.0]
+        # The commit blocked both healthy devices for the reload; that
+        # time is charged as swap-load, not silently folded into idle.
+        assert len(swapped.device_swap_seconds) == 2
+        assert sum(swapped.device_swap_seconds) > 0
+        assert swapped.summary()["swap_load_s"] == pytest.approx(
+            sum(swapped.device_swap_seconds)
+        )
+        # busy + swap-load + idle tiles the makespan on every device.
+        for busy, load, idle in zip(swapped.device_busy_seconds,
+                                    swapped.device_swap_seconds,
+                                    swapped.device_idle_seconds):
+            assert busy + load + idle == pytest.approx(swapped.makespan_s)
+        # Accounting is report-only: modeled completions are unchanged
+        # relative to the same run's event times (utilization only adds
+        # the swap window to the denominator).
+        assert swapped.utilization < 1.0

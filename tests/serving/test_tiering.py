@@ -1,0 +1,259 @@
+"""Tests for compression-tiered graceful degradation in the server."""
+
+import numpy as np
+import pytest
+
+from repro.compression.tiers import TierSpec, build_tiers
+from repro.config import ServeConfig, TierPolicy
+from repro.data.streams import DriftingStream, StreamConfig
+from repro.edgetpu import DevicePool
+from repro.hdc.bagging import BaggingConfig, BaggingHDCTrainer
+from repro.observability.metrics import MetricsRegistry
+from repro.serving import ArrivalProcess, InferenceServer, RequestStream
+
+NUM_FEATURES = 16
+NUM_CLASSES = 3
+
+
+BURST_POLICY = TierPolicy(queue_high=16, headroom_s=0.0001)
+
+
+@pytest.fixture(scope="module")
+def tier_setup():
+    """A trained model, its tier ladder, and calm + bursty traces.
+
+    The full model is wide (d=4096) so the per-batch invoke gap
+    between tiers is large against the fixed USB/host overhead; the
+    bursty trace's sustained 64-request showers overrun one device's
+    full-tier capacity, which is what forces shedding.
+    """
+    stream = DriftingStream(
+        StreamConfig(num_features=NUM_FEATURES, num_classes=NUM_CLASSES,
+                     drift_rate=0.0),
+        seed=9,
+    )
+    x, y = stream.next_batch(300)
+    trainer = BaggingHDCTrainer(
+        BaggingConfig(num_models=4, dimension=4096, iterations=3),
+        seed=7,
+    )
+    trainer.fit(x, y)
+    fused = trainer.fuse()
+    ladder = build_tiers(
+        fused, x[:96],
+        specs=(TierSpec("full"),
+               TierSpec("compressed", "dpq", dimension=512),
+               TierSpec("tiny", "ldc", dimension=256)),
+        evaluation=(x, y),
+    )
+    calm = RequestStream(
+        stream, ArrivalProcess(2000.0, "poisson", seed=5),
+        deadline_s=0.01, drift_every=0,
+    ).generate(200)
+    bursty = RequestStream(
+        stream, ArrivalProcess(300000.0, "bursty", seed=6,
+                               burst_factor=8.0, burst_length=64,
+                               calm_length=128),
+        deadline_s=0.0004, drift_every=0,
+    ).generate(1200)
+    return ladder, calm, bursty
+
+
+def _server(ladder, policy=None, metrics=None, tracing=False):
+    pool = DevicePool(1, ladder[0].compiled.arch)
+    pool.load_replicated(ladder[0].compiled)
+    config = ServeConfig(max_batch=64, tiers=policy, tracing=tracing)
+    return InferenceServer(pool, config=config, tiers=ladder,
+                           metrics=metrics)
+
+
+class TestTierSelection:
+    def test_never_sheds_with_ample_headroom(self, tier_setup):
+        ladder, calm, _ = tier_setup
+        report = _server(ladder).serve(calm)
+        assert report.tier_names == ["full", "compressed", "tiny"]
+        assert report.tier_sheds == 0
+        assert report.tier_batches[0] == report.num_batches
+        assert set(np.unique(report.request_tiers)) == {0}
+        assert report.tier_served == [report.served, 0, 0]
+
+    def test_matches_untiered_server_when_never_shedding(self,
+                                                         tier_setup):
+        ladder, calm, _ = tier_setup
+        tiered = _server(ladder).serve(calm)
+        pool = DevicePool(1, ladder[0].compiled.arch)
+        pool.load_replicated(ladder[0].compiled)
+        untiered = InferenceServer(
+            pool, config=ServeConfig(max_batch=64),
+        ).serve(calm)
+        np.testing.assert_array_equal(tiered.predictions,
+                                      untiered.predictions)
+        np.testing.assert_array_equal(tiered.latencies,
+                                      untiered.latencies)
+        assert tiered.makespan_s == untiered.makespan_s
+
+    def test_sheds_under_burst(self, tier_setup):
+        ladder, _, bursty = tier_setup
+        report = _server(ladder, policy=BURST_POLICY).serve(bursty)
+        assert report.tier_sheds > 0
+        assert report.shed_rate > 0
+        degraded = int(sum(report.tier_served[1:]))
+        assert degraded > 0
+        # Shedding degrades batches; it does not abandon the full tier.
+        assert report.tier_served[0] > 0
+        # Every served request has a tier; dropped requests have -1.
+        served_mask = report.predictions >= 0
+        assert np.all(report.request_tiers[served_mask] >= 0)
+        assert np.all(report.request_tiers[~served_mask] == -1)
+
+    def test_shedding_beats_dropping(self, tier_setup):
+        # Same overload, same pool: the tiered server keeps the SLA
+        # the untiered one misses.  This is the feature's whole point.
+        ladder, _, bursty = tier_setup
+        tiered = _server(ladder, policy=BURST_POLICY).serve(bursty)
+        pool = DevicePool(1, ladder[0].compiled.arch)
+        pool.load_replicated(ladder[0].compiled)
+        untiered = InferenceServer(
+            pool, config=ServeConfig(max_batch=64),
+        ).serve(bursty)
+        assert untiered.deadline_misses > 0
+        assert tiered.deadline_misses < untiered.deadline_misses
+        assert tiered.dropped <= untiered.dropped
+
+    def test_tier_choice_deterministic(self, tier_setup):
+        ladder, _, bursty = tier_setup
+        a = _server(ladder, policy=BURST_POLICY).serve(bursty)
+        b = _server(ladder, policy=BURST_POLICY).serve(bursty)
+        np.testing.assert_array_equal(a.request_tiers, b.request_tiers)
+        np.testing.assert_array_equal(a.predictions, b.predictions)
+        assert a.summary() == b.summary()
+
+    def test_degraded_tier_cuts_service_time(self, tier_setup):
+        ladder, _, _ = tier_setup
+        server = _server(ladder)
+        for rows in (1, 16, 64):
+            full = server._tier_estimate(0, rows)
+            assert server._tier_estimate(1, rows) < full
+            assert server._tier_estimate(2, rows) < full
+
+
+class TestTierAccounting:
+    @pytest.fixture(scope="class")
+    def shed_report(self, tier_setup):
+        ladder, _, bursty = tier_setup
+        metrics = MetricsRegistry()
+        report = _server(ladder, policy=BURST_POLICY, metrics=metrics,
+                         tracing=True).serve(bursty)
+        return report, metrics
+
+    def test_counts_are_consistent(self, shed_report):
+        report, _ = shed_report
+        assert sum(report.tier_batches) == report.num_batches
+        assert sum(report.tier_served) == report.served
+        assert report.tier_sheds == sum(report.tier_batches[1:])
+        for index, tracker in enumerate(report.tier_latency):
+            assert len(tracker) == report.tier_served[index]
+
+    def test_tier_accuracy_by_index(self, shed_report):
+        report, _ = shed_report
+        accuracies = report.tier_accuracy()
+        assert len(accuracies) == 3
+        mask = report.request_tiers == 0
+        assert accuracies[0] == pytest.approx(float(np.mean(
+            report.predictions[mask] == report.labels[mask]
+        )))
+
+    def test_summary_tiers_section(self, shed_report):
+        report, _ = shed_report
+        tiers = report.summary()["tiers"]
+        assert tiers["names"] == ["full", "compressed", "tiny"]
+        assert tiers["sheds"] == report.tier_sheds
+        assert tiers["batches"] == report.tier_batches
+        assert tiers["served"] == report.tier_served
+        assert len(tiers["build_accuracy"]) == 3
+        assert tiers["latency"][0]["count"] == report.tier_served[0]
+        assert tiers["accuracy"] == report.tier_accuracy()
+
+    def test_untiered_summary_shape_unchanged(self, tier_setup):
+        ladder, calm, _ = tier_setup
+        pool = DevicePool(1, ladder[0].compiled.arch)
+        pool.load_replicated(ladder[0].compiled)
+        summary = InferenceServer(
+            pool, config=ServeConfig(max_batch=64),
+        ).serve(calm).summary()
+        assert "tiers" not in summary
+
+    def test_metrics_instruments(self, shed_report):
+        report, metrics = shed_report
+        counters = metrics.summary()["counters"]
+        assert counters["serve.tier_sheds"] == report.tier_sheds
+        assert counters["serve.tier_batches.full"] == \
+            report.tier_batches[0]
+        served = sum(
+            counters.get(f"serve.tier_served.{name}", 0)
+            for name in report.tier_names
+        )
+        assert served == report.served
+        gauges = metrics.summary()["gauges"]
+        assert gauges["serve.tier_active"]["peak"] >= 1
+
+    def test_switch_spans(self, shed_report):
+        report, _ = shed_report
+        switches = [s for s in report.trace.spans
+                    if s.name == "tier.switch"]
+        assert switches
+        assert all("tier" in s.tags for s in switches)
+        assert all(s.duration_s == 0.0 for s in switches)
+        assert all(s.attrs["from_tier"] != s.attrs["to_tier"]
+                   for s in switches)
+        # Batch counts by tier are recoverable from the batch spans.
+        batch_tiers = [s.attrs["tier"] for s in report.trace.spans
+                       if s.name == "serve.batch"]
+        for index in range(3):
+            assert batch_tiers.count(index) == report.tier_batches[index]
+
+    def test_traced_equals_untraced_tiered(self, tier_setup):
+        ladder, _, bursty = tier_setup
+        off = _server(ladder, policy=BURST_POLICY).serve(bursty)
+        on = _server(ladder, policy=BURST_POLICY,
+                     tracing=True).serve(bursty)
+        assert on.summary() == off.summary()
+        np.testing.assert_array_equal(on.request_tiers,
+                                      off.request_tiers)
+        np.testing.assert_array_equal(on.predictions, off.predictions)
+
+
+class TestTierValidation:
+    def test_tier_zero_must_be_loaded_model(self, tier_setup):
+        ladder, _, _ = tier_setup
+        pool = DevicePool(1, ladder[1].compiled.arch)
+        pool.load_replicated(ladder[1].compiled)  # degraded, not tier 0
+        with pytest.raises(ValueError, match="tier 0"):
+            InferenceServer(pool, config=ServeConfig(), tiers=ladder)
+
+    def test_policy_without_ladder_rejected(self, tier_setup):
+        ladder, _, _ = tier_setup
+        pool = DevicePool(1, ladder[0].compiled.arch)
+        pool.load_replicated(ladder[0].compiled)
+        with pytest.raises(ValueError, match="tiers="):
+            InferenceServer(
+                pool, config=ServeConfig(tiers=TierPolicy()),
+            )
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            TierPolicy(queue_high=0)
+        with pytest.raises(ValueError):
+            TierPolicy(headroom_s=-0.1)
+        with pytest.raises(TypeError):
+            ServeConfig(tiers=3)
+
+    def test_resident_ladder_survives_on_devices(self, tier_setup):
+        ladder, calm, _ = tier_setup
+        server = _server(ladder)
+        assert server.tier_load_s > 0
+        server.serve(calm)
+        # Serving did not evict the ladder: reloading is free.
+        pool = server.pool
+        assert pool.load_resident(ladder[1].compiled) == 0.0
+        assert pool.load_resident(ladder[2].compiled) == 0.0
