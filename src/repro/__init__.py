@@ -60,6 +60,7 @@ from repro._version import __version__
 __all__ = [
     "MetricsRegistry",
     "PipelineConfig",
+    "PlanConfig",
     "ServeConfig",
     "TierPolicy",
     "TierSpec",
@@ -78,6 +79,7 @@ __all__ = [
 _LAZY = {
     "MetricsRegistry": ("repro.observability.metrics", "MetricsRegistry"),
     "PipelineConfig": ("repro.config", "PipelineConfig"),
+    "PlanConfig": ("repro.config", "PlanConfig"),
     "ServeConfig": ("repro.config", "ServeConfig"),
     "TierPolicy": ("repro.config", "TierPolicy"),
     "TierSpec": ("repro.compression.tiers", "TierSpec"),

@@ -171,14 +171,34 @@ class TierSet:
         }
 
 
-def compiled_predict(compiled: CompiledModel, x: np.ndarray) -> np.ndarray:
+def compiled_predict(compiled: CompiledModel, x: np.ndarray, *,
+                     plan=None) -> np.ndarray:
     """Predict through the compiled int8 op chain on the host.
 
     This is the same fused-stage path the server's CPU fallback runs —
     bit-identical to what a device returns — so build-time accuracy is
     exactly served accuracy, not a float approximation of it.
+
+    Args:
+        compiled: The compiled model to run.
+        x: Float feature batch.
+        plan: Optional :class:`~repro.runtime.plan.ModelPlan` or
+            :class:`~repro.runtime.plan.ServingPlan` — predictions route
+            through its arenas (bucket by bucket, still bit-identical)
+            instead of allocating per stage.  A ``ServingPlan`` that
+            does not serve ``compiled`` falls back to the classic path.
     """
     x = np.asarray(x, dtype=np.float32)
+    if plan is not None:
+        model_plan = plan.plan_for(compiled) if hasattr(plan, "plan_for") \
+            else plan
+        if model_plan is not None:
+            out = np.empty(len(x), dtype=np.int64)
+            step = model_plan.buckets[-1]
+            for start in range(0, len(x), step):
+                chunk = x[start:start + step]
+                out[start:start + len(chunk)] = model_plan.predict(chunk)
+            return out
     out = compiled.model.input_spec.qparams.quantize(x)
     for stage in compiled.host_stages():
         out = stage(out)

@@ -27,9 +27,47 @@ from repro.hdc.bagging import BaggingConfig
 from repro.platforms.base import Platform
 from repro.runtime.executor import ExecutorConfig
 
-__all__ = ["PipelineConfig", "ServeConfig", "TierPolicy"]
+__all__ = ["PipelineConfig", "PlanConfig", "ServeConfig", "TierPolicy"]
 
 _BATCHERS = ("dynamic", "fixed")
+
+
+@dataclass(frozen=True)
+class PlanConfig:
+    """Ahead-of-time serving-plan knobs (``ServeConfig.plan``).
+
+    When set, the server compiles a
+    :class:`~repro.runtime.plan.ServingPlan` at construction: every
+    tier's op chain is resolved into arena-backed kernels, scratch
+    buffers are preallocated for a power-of-two bucket ladder, and the
+    per-``(model, batch)`` latency memos (``lower()``,
+    ``invoke_seconds``) are prewarmed — so the steady-state dispatch
+    path performs no heap allocations and no cold cache fills.
+
+    Attributes:
+        max_bucket: Largest padded batch the arena is sized for; the
+            bucket ladder is the powers of two up to it (plus itself
+            when not a power of two).  ``None`` uses the server's
+            ``max_batch``.
+        native: Allow the AVX-512 VNNI kernels (:mod:`repro.native`)
+            for stages that prove int32-safe; bit-identical either
+            way, so this only trades speed.  Disabled automatically on
+            unsupported CPUs.
+        prewarm: Pre-fill the ``lower()`` / ``invoke_seconds`` /
+            ``invoke_breakdown`` memos for every (tier, bucket) pair
+            at plan build, keeping the serve loop free of cold-path
+            fills.
+    """
+
+    max_bucket: int | None = None
+    native: bool = True
+    prewarm: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_bucket is not None and self.max_bucket < 1:
+            raise ValueError(
+                f"max_bucket must be >= 1, got {self.max_bucket}"
+            )
 
 
 @dataclass(frozen=True)
@@ -129,13 +167,17 @@ class ServeConfig:
         timeout_s: Fixed batcher's age trigger; ``inf`` waits for a
             full batch.
         max_queue: Admission bound — arrivals beyond this queue depth
-            are dropped.
+            are dropped.  ``0`` rejects everything (an admission-closed
+            server; useful for drain tests).
         tracing: Record per-request spans
             (arrival → queue → batch → device → host tail).
         tiers: Load-shedding policy for a server given a compression
             tier ladder (``InferenceServer(..., tiers=...)``); ``None``
             uses the default :class:`TierPolicy` when tiers are
             present.
+        plan: Ahead-of-time serving-plan knobs (:class:`PlanConfig`);
+            ``None`` keeps the classic allocate-per-batch dispatch
+            path.
     """
 
     batcher: str = "dynamic"
@@ -145,6 +187,7 @@ class ServeConfig:
     max_queue: int = 256
     tracing: bool = False
     tiers: TierPolicy | None = None
+    plan: PlanConfig | None = None
 
     def __post_init__(self) -> None:
         if self.tiers is not None and not isinstance(self.tiers,
@@ -152,6 +195,12 @@ class ServeConfig:
             raise TypeError(
                 f"tiers must be a TierPolicy or None, "
                 f"got {type(self.tiers).__name__}"
+            )
+        if self.plan is not None and not isinstance(self.plan,
+                                                    PlanConfig):
+            raise TypeError(
+                f"plan must be a PlanConfig or None, "
+                f"got {type(self.plan).__name__}"
             )
         if self.batcher not in _BATCHERS:
             raise ValueError(
@@ -167,9 +216,9 @@ class ServeConfig:
             raise ValueError(
                 f"timeout_s must be > 0, got {self.timeout_s}"
             )
-        if self.max_queue < 1:
+        if self.max_queue < 0:
             raise ValueError(
-                f"max_queue must be >= 1, got {self.max_queue}"
+                f"max_queue must be >= 0, got {self.max_queue}"
             )
 
     def make_batcher(self):

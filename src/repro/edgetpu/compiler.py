@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 from repro.edgetpu.arch import EdgeTpuArch
 from repro.edgetpu.systolic import systolic_cycles
+from repro.runtime.cache import LruCache
 from repro.tflite.flatmodel import FlatModel
 from repro.tflite.ops import (
     ArgmaxOp,
@@ -38,6 +39,14 @@ __all__ = [
 
 class CompileError(Exception):
     """Raised when a model cannot be mapped to the Edge TPU at all."""
+
+
+# Per-(compiled, batch) memo caches are bounded: a long-running server
+# fed adversarial batch sizes must not grow them without limit.  The
+# entries are pure recomputable derivations, so eviction only costs a
+# recomputation, never correctness.  The bound comfortably covers the
+# power-of-two bucket ladder the serving plan restricts batches to.
+_MEMO_CACHE_SIZE = 64
 
 
 def is_op_supported(op: Op) -> bool:
@@ -141,31 +150,85 @@ class CompiledModel:
         """MXU + vector-unit cycles for one invocation of ``batch`` rows."""
         return sum(plan.cycles(batch) for plan in self.plans)
 
-    def invoke_seconds(self, batch: int) -> float:
-        """Modeled wall time of one ``invoke()`` with ``batch`` rows.
+    def invoke_breakdown(self, batch: int) -> dict:
+        """Per-term modeled seconds of one ``invoke()`` with ``batch`` rows.
 
-        Terms: fixed dispatch overhead, input transfer, parameter
-        streaming for oversized models, compute, output transfer.
-        The result is memoized per batch size — the plan is immutable —
-        so per-batch callers (the device simulator, the serving event
-        loop's ``service_estimate``) stop re-deriving the latency plan
-        on every call.
+        Keys (in accumulation order): ``overhead``, ``input_transfer``,
+        ``weight_streaming``, ``compute``, ``output_transfer``.  This is
+        the *shared* latency-plan cache — every device in a pool invokes
+        through it, so loading the same compiled model onto eight
+        devices derives each ``(model, batch)`` plan once, not eight
+        times.  Memoized in a small LRU (the plan is immutable; evicted
+        entries recompute bit-identically).  Treat the returned dict as
+        read-only; callers that expose it must copy.
         """
         if batch < 1:
             raise ValueError(f"batch must be >= 1, got {batch}")
-        cache: dict[int, float] = self.__dict__.setdefault(
-            "_invoke_seconds_cache", {}
-        )
+        cache: LruCache = self.__dict__.get("_breakdown_cache")
+        if cache is None:
+            cache = LruCache(_MEMO_CACHE_SIZE)
+            self.__dict__["_breakdown_cache"] = cache
+        breakdown = cache.get(batch)
+        if breakdown is None:
+            arch = self.arch
+            breakdown = {
+                "overhead": arch.invoke_overhead_s,
+                "input_transfer": arch.transfer_time(
+                    batch * self.tpu_input_bytes
+                ),
+                "weight_streaming": arch.transfer_time(
+                    self.streamed_bytes_per_invoke
+                ),
+                "compute": arch.cycles_to_seconds(
+                    self.compute_cycles(batch)
+                ),
+                "output_transfer": arch.transfer_time(
+                    batch * self.tpu_output_bytes
+                ),
+            }
+            cache.put(batch, breakdown)
+        return breakdown
+
+    def invoke_seconds(self, batch: int) -> float:
+        """Modeled wall time of one ``invoke()`` with ``batch`` rows.
+
+        The sum of :meth:`invoke_breakdown`'s terms (fixed dispatch
+        overhead, input transfer, parameter streaming for oversized
+        models, compute, output transfer).  Memoized per batch size in
+        a bounded LRU — the plan is immutable — so per-batch callers
+        (the device simulator, the serving event loop's
+        ``service_estimate``) stop re-deriving the latency plan on
+        every call.
+        """
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        cache: LruCache = self.__dict__.get("_invoke_seconds_cache")
+        if cache is None:
+            cache = LruCache(_MEMO_CACHE_SIZE)
+            self.__dict__["_invoke_seconds_cache"] = cache
         seconds = cache.get(batch)
         if seconds is None:
-            arch = self.arch
-            seconds = arch.invoke_overhead_s
-            seconds += arch.transfer_time(batch * self.tpu_input_bytes)
-            seconds += arch.transfer_time(self.streamed_bytes_per_invoke)
-            seconds += arch.cycles_to_seconds(self.compute_cycles(batch))
-            seconds += arch.transfer_time(batch * self.tpu_output_bytes)
-            cache[batch] = seconds
+            seconds = sum(self.invoke_breakdown(batch).values())
+            cache.put(batch, seconds)
         return seconds
+
+    def stages(self) -> list:
+        """Fused execution stages for the *device-mapped* ops.
+
+        One list per compiled model, built on first use and reused by
+        every executor that runs this model's TPU subgraph (each pool
+        device, the serving plan) — ``fused_stages`` is documented as
+        "build once and reuse", and this is the once.  The cache is
+        keyed by the op-chain identity, so the unlikely event of the
+        ``tpu_ops`` list being replaced rebuilds rather than serving a
+        stale chain.
+        """
+        key = tuple(id(op) for op in self.tpu_ops)
+        cached = self.__dict__.get("_stages")
+        if cached is None or cached[0] != key:
+            cached = (key, fused_stages(self.tpu_ops))
+            self.__dict__["_stages"] = cached
+        return cached[1]
 
     def host_stages(self) -> list:
         """Fused execution stages for the *whole* model on the host CPU.

@@ -15,7 +15,6 @@ import numpy as np
 
 from repro.edgetpu.arch import EdgeTpuArch
 from repro.edgetpu.compiler import CompiledModel
-from repro.tflite.ops import fused_stages
 
 __all__ = ["EdgeTpuDevice", "InvokeResult"]
 
@@ -77,10 +76,6 @@ class EdgeTpuDevice:
         # fused stages).  Residents survive load_model — a hot swap of
         # the primary must not evict the degradation ladder.
         self._resident: dict[int, tuple[CompiledModel, list]] = {}
-        # Latency-plan cache keyed by (model identity, batch).  The
-        # keyed model object is strongly held (``compiled`` or
-        # ``_resident``) while its entries can hit, so an id is stable.
-        self._breakdown_cache: dict[tuple[int, int], dict] = {}
 
     def load_model(self, compiled: CompiledModel) -> float:
         """Load a compiled model; returns the modeled load time in seconds.
@@ -96,9 +91,10 @@ class EdgeTpuDevice:
                 "model was compiled for a different EdgeTpuArch; recompile"
             )
         self.compiled = compiled
-        # The op chain compiles once into fused stages, and the latency
-        # plan is re-derived per batch size, not per invocation.
-        self._stages = fused_stages(compiled.tpu_ops)
+        # The op chain compiles once into fused stages (shared across
+        # every device running this model), and the latency plan is
+        # re-derived per batch size, not per invocation.
+        self._stages = compiled.stages()
         seconds = compiled.load_seconds()
         self.stats.models_loaded += 1
         self.stats.busy_seconds += seconds
@@ -121,8 +117,7 @@ class EdgeTpuDevice:
             )
         if id(compiled) in self._resident:
             return 0.0
-        self._resident[id(compiled)] = (compiled,
-                                        fused_stages(compiled.tpu_ops))
+        self._resident[id(compiled)] = (compiled, compiled.stages())
         seconds = compiled.load_seconds()
         self.stats.models_loaded += 1
         self.stats.busy_seconds += seconds
@@ -130,7 +125,8 @@ class EdgeTpuDevice:
         return seconds
 
     def invoke(self, x: np.ndarray,
-               compiled: CompiledModel | None = None) -> InvokeResult:
+               compiled: CompiledModel | None = None,
+               executor=None) -> InvokeResult:
         """Run one batch through the TPU subgraph.
 
         Args:
@@ -138,6 +134,12 @@ class EdgeTpuDevice:
             compiled: Which loaded model to run — the primary when
                 omitted, else a model made co-resident with
                 :meth:`load_resident`.
+            executor: Optional callable ``executor(x) -> int8 outputs``
+                replacing the interpreted stage loop — the hook a
+                precompiled :class:`~repro.runtime.plan.ModelPlan` uses
+                to run its arena-backed kernels under the *same* device
+                timing model.  The executor must be bit-identical to
+                the stage loop; latency charging is unchanged.
 
         Returns:
             The :class:`InvokeResult` with outputs of the last TPU op.
@@ -175,31 +177,17 @@ class EdgeTpuDevice:
         if batch == 0:
             raise ValueError("cannot invoke with an empty batch")
 
-        out = x
-        for stage in stages:
-            out = stage(out)
+        if executor is not None:
+            out = executor(x)
+        else:
+            out = x
+            for stage in stages:
+                out = stage(out)
 
-        cached = self._breakdown_cache.get((id(compiled), batch))
-        if cached is None:
-            arch = self.arch
-            cached = {
-                "overhead": arch.invoke_overhead_s,
-                "input_transfer": arch.transfer_time(
-                    batch * compiled.tpu_input_bytes
-                ),
-                "weight_streaming": arch.transfer_time(
-                    compiled.streamed_bytes_per_invoke
-                ),
-                "compute": arch.cycles_to_seconds(
-                    compiled.compute_cycles(batch)
-                ),
-                "output_transfer": arch.transfer_time(
-                    batch * compiled.tpu_output_bytes
-                ),
-            }
-            self._breakdown_cache[(id(compiled), batch)] = cached
-        # Callers receive a private copy (InvokeResult exposes the dict).
-        breakdown = dict(cached)
+        # Callers receive a private copy (InvokeResult exposes the dict);
+        # the latency plan itself is memoized on the compiled model and
+        # shared by every device running it.
+        breakdown = dict(compiled.invoke_breakdown(batch))
         elapsed = sum(breakdown.values())
 
         bytes_in = batch * compiled.tpu_input_bytes

@@ -172,7 +172,8 @@ class DevicePool:
                 if self.models[i] is not None and i not in self.failed]
 
     def try_invoke(self, index: int, x: np.ndarray, at_s: float = 0.0,
-                   model: CompiledModel | None = None):
+                   model: CompiledModel | None = None,
+                   executor=None):
         """Invoke device ``index`` at virtual time ``at_s``.
 
         Trips any armed :class:`FailurePlan` whose time has come: the
@@ -186,6 +187,9 @@ class DevicePool:
             at_s: Virtual invocation time (drives fault injection).
             model: Run this co-resident model (see
                 :meth:`load_resident`) instead of the device's primary.
+            executor: Optional bit-identical stage-loop replacement,
+                forwarded to :meth:`EdgeTpuDevice.invoke` (the serving
+                plan's arena-kernel hook).
 
         Returns:
             The device's :class:`~repro.edgetpu.device.InvokeResult`.
@@ -205,7 +209,8 @@ class DevicePool:
             )
         if self.models[index] is None:
             raise RuntimeError(f"device {index} has no model loaded")
-        return self.devices[index].invoke(x, compiled=model)
+        return self.devices[index].invoke(x, compiled=model,
+                                          executor=executor)
 
     # ------------------------------------------------------------------
     # Model management

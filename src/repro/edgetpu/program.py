@@ -16,9 +16,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.edgetpu.compiler import CompiledModel
+from repro.runtime.cache import LruCache
 from repro.tflite.ops import FullyConnectedOp, TanhOp
 
 __all__ = ["Instruction", "Program", "lower"]
+
+# Lowered programs are large (one Instruction per MXU tile), so the
+# per-model memo is tighter than the scalar latency caches — 16 batch
+# sizes still covers a power-of-two bucket ladder with room to spare.
+_PROGRAM_CACHE_SIZE = 16
 
 
 @dataclass(frozen=True)
@@ -99,6 +105,8 @@ def lower(compiled: CompiledModel, batch: int = 1) -> Program:
     Lowering is memoized per ``(compiled, batch)`` — the plan is pure in
     both — so repeat callers (inspection tooling, per-batch serving
     paths) get the cached :class:`Program` back; treat it as read-only.
+    The memo is a small LRU: lowering is deterministic, so an evicted
+    batch size relowers to an identical trace.
 
     Args:
         compiled: The compiled model.
@@ -109,9 +117,10 @@ def lower(compiled: CompiledModel, batch: int = 1) -> Program:
     """
     if batch < 1:
         raise ValueError(f"batch must be >= 1, got {batch}")
-    cache: dict[int, Program] = compiled.__dict__.setdefault(
-        "_program_cache", {}
-    )
+    cache: LruCache = compiled.__dict__.get("_program_cache")
+    if cache is None:
+        cache = LruCache(_PROGRAM_CACHE_SIZE)
+        compiled.__dict__["_program_cache"] = cache
     cached = cache.get(batch)
     if cached is not None:
         return cached
@@ -169,5 +178,5 @@ def lower(compiled: CompiledModel, batch: int = 1) -> Program:
     ))
     program = Program(instructions=instructions, compiled=compiled,
                       batch=batch)
-    cache[batch] = program
+    cache.put(batch, program)
     return program

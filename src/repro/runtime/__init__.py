@@ -37,17 +37,23 @@ _EXPORTS = {
     "InferencePipeline": "repro.runtime.pipeline",
     "InferenceResult": "repro.runtime.pipeline",
     "LatencyTracker": "repro.runtime.profiler",
+    "LruCache": "repro.runtime.cache",
     "MicroBatchDispatcher": "repro.runtime.executor",
+    "ModelPlan": "repro.runtime.plan",
     "ParallelReport": "repro.runtime.executor",
     "PhaseBreakdown": "repro.runtime.costs",
     "PhaseProfiler": "repro.runtime.profiler",
     "PipelineResult": "repro.runtime.pipeline",
     "PlacementAdvisor": "repro.runtime.placement",
     "PlacementDecision": "repro.runtime.placement",
+    "ServingPlan": "repro.runtime.plan",
+    "SharedArray": "repro.runtime.executor",
     "TrainingPipeline": "repro.runtime.pipeline",
     "WorkerPool": "repro.runtime.executor",
     "Workload": "repro.runtime.costs",
+    "bucket_ladder": "repro.runtime.plan",
     "format_seconds": "repro.runtime.profiler",
+    "resolve_shared": "repro.runtime.executor",
     "simulate_makespan": "repro.runtime.executor",
     "spawn_rngs": "repro.runtime.executor",
     "tpu_feature_crossover": "repro.runtime.placement",

@@ -48,8 +48,10 @@ __all__ = [
     "ExecutorConfig",
     "MicroBatchDispatcher",
     "ParallelReport",
+    "SharedArray",
     "WorkerPool",
     "cpu_op_seconds",
+    "resolve_shared",
     "run_host_tail",
     "simulate_makespan",
     "spawn_rngs",
@@ -219,6 +221,100 @@ def _timed_call(fn, task):
     start = time.perf_counter()
     result = fn(task)
     return result, time.perf_counter() - start
+
+
+class SharedArray:
+    """A read-only numpy array in shared memory, picklable by name.
+
+    Process-backed :class:`WorkerPool` tasks that carry the same large
+    array (e.g. the bagging training set, shipped to every sub-model
+    task) pay a pickle/unpickle of the full buffer *per task*.  Wrapping
+    the array in a :class:`SharedArray` ships only ``(name, shape,
+    dtype)``; workers attach to the one shared segment and view it
+    zero-copy.
+
+    Lifecycle: the creating process calls :meth:`create`, passes the
+    handle into its tasks, and calls :meth:`unlink` once the pool has
+    drained — the segment is then reclaimed as soon as the last
+    attached process drops its mapping.  Workers only ever attach.
+    CPython (until 3.13's ``track=False``) registers attachments and
+    creations alike with the ``resource_tracker``; spawned workers
+    share the parent's tracker, whose name cache is a set, so the
+    worker's duplicate registration is a no-op and the creator's
+    :meth:`unlink` settles the single entry.
+
+    Treat the contents as immutable: every attacher sees the same
+    memory.
+    """
+
+    __slots__ = ("name", "shape", "dtype", "_shm", "_view")
+
+    def __init__(self, name: str, shape: tuple, dtype: str):
+        self.name = name
+        self.shape = tuple(shape)
+        self.dtype = dtype
+        self._shm = None
+        self._view = None
+
+    @classmethod
+    def create(cls, array: np.ndarray) -> "SharedArray":
+        """Copy ``array`` into a fresh shared segment; returns the handle.
+
+        Raises:
+            OSError: When shared memory is unavailable (callers should
+                fall back to plain in-task arrays).
+        """
+        from multiprocessing import shared_memory
+        array = np.ascontiguousarray(array)
+        shm = shared_memory.SharedMemory(create=True,
+                                         size=max(1, array.nbytes))
+        handle = cls(shm.name, array.shape, str(array.dtype))
+        handle._shm = shm
+        handle._view = np.ndarray(array.shape, dtype=array.dtype,
+                                  buffer=shm.buf)
+        handle._view[...] = array
+        return handle
+
+    def array(self) -> np.ndarray:
+        """The shared buffer as an ndarray (attaching on first call)."""
+        if self._view is None:
+            from multiprocessing import shared_memory
+            # Attaching re-registers the name with the (shared, inherited)
+            # resource tracker; the cache is a set, so this dedupes and the
+            # creator's unlink() settles the one entry.  Explicitly
+            # unregistering here would strip the creator's registration.
+            shm = shared_memory.SharedMemory(name=self.name)
+            self._shm = shm
+            self._view = np.ndarray(self.shape, dtype=self.dtype,
+                                    buffer=shm.buf)
+        return self._view
+
+    def unlink(self) -> None:
+        """Destroy the segment (creator side); safe to call twice."""
+        if self._shm is not None:
+            view, self._view = self._view, None
+            del view
+            try:
+                self._shm.close()
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+            self._shm = None
+
+    def __reduce__(self):
+        # Workers rebuild a detached handle and re-attach lazily.
+        return (SharedArray, (self.name, self.shape, self.dtype))
+
+    def __repr__(self) -> str:
+        return (f"SharedArray(name={self.name!r}, shape={self.shape}, "
+                f"dtype={self.dtype})")
+
+
+def resolve_shared(value):
+    """``SharedArray`` -> attached ndarray; anything else passes through."""
+    if isinstance(value, SharedArray):
+        return value.array()
+    return value
 
 
 class WorkerPool:

@@ -49,6 +49,7 @@ from repro.edgetpu.multidevice import DeviceFailedError, DevicePool
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.trace import Tracer
 from repro.platforms.base import Platform
+from repro.runtime.cache import LruCache
 from repro.runtime.executor import cpu_op_seconds, run_host_tail
 from repro.runtime.profiler import LatencyTracker
 from repro.serving.arrivals import Request
@@ -363,8 +364,8 @@ class InferenceServer:
             )
         if max_queue is None:
             max_queue = 256
-        if max_queue < 1:
-            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
         if host is None:
             from repro.platforms.cpu import MobileCpu
             host = MobileCpu()
@@ -392,14 +393,15 @@ class InferenceServer:
         # Per-batch-size service estimates are pure in (compiled model,
         # batch); the event loop re-evaluates the batch trigger after
         # every arrival, so memoize instead of re-deriving the latency
-        # plan each time.  Invalidated on hot swap.
-        self._estimate_cache: dict[int, float] = {}
+        # plan each time.  Bounded LRUs (evicted entries recompute
+        # identically); invalidated on hot swap.
+        self._estimate_cache: LruCache = LruCache(128)
         self._tiers = None
         self._tier_policy: TierPolicy | None = None
         self.tier_load_s = 0.0
         # Degraded-tier estimates never invalidate: a hot swap replaces
         # only the primary (tier 0), the ladder stays resident.
-        self._degraded_estimates: dict[tuple[int, int], float] = {}
+        self._degraded_estimates: LruCache = LruCache(256)
         self._active_tier = 0
         if tiers is not None:
             tier_list = list(tiers)
@@ -427,6 +429,26 @@ class InferenceServer:
                 "config.tiers sets a shedding policy but no tier "
                 "ladder was provided; pass tiers="
             )
+        self._plan = None
+        if config is not None and config.plan is not None:
+            from repro.runtime.plan import ServingPlan
+            plan_cfg = config.plan
+            max_bucket = (plan_cfg.max_bucket
+                          if plan_cfg.max_bucket is not None
+                          else config.max_batch)
+            if max_bucket < config.max_batch:
+                raise ValueError(
+                    f"plan.max_bucket {max_bucket} is smaller than "
+                    f"max_batch {config.max_batch}; the plan could not "
+                    f"hold a full batch"
+                )
+            tier_models = ([t.compiled for t in self._tiers]
+                           if self._tiers is not None
+                           else [self._compiled])
+            self._plan = ServingPlan(
+                tier_models, max_bucket=max_bucket,
+                allow_native=plan_cfg.native, prewarm=plan_cfg.prewarm,
+            )
 
     # ------------------------------------------------------------------
     # Cost estimation (drives the deadline-aware batch trigger)
@@ -443,8 +465,20 @@ class InferenceServer:
             seconds += self.host.argmax_seconds(rows, width)
         return seconds
 
+    def _charged_rows(self, batch_size: int) -> int:
+        """Rows a dispatch actually charges: the padded bucket when a
+        serving plan is active, the raw batch size otherwise."""
+        if self._plan is not None:
+            return self._plan.bucket_for(batch_size)
+        return batch_size
+
     def service_estimate(self, batch_size: int) -> float:
-        """Modeled device invoke + host tail for one batch (memoized)."""
+        """Modeled device invoke + host tail for one batch (memoized).
+
+        Under a serving plan the estimate is evaluated at the padded
+        bucket size — the rows the device would actually be charged
+        for — so the batch trigger sees the real dispatch cost.
+        """
         if batch_size < 1:
             raise ValueError(
                 f"batch_size must be >= 1, got {batch_size}"
@@ -452,9 +486,10 @@ class InferenceServer:
         estimate = self._estimate_cache.get(batch_size)
         if estimate is None:
             compiled = self._compiled
-            estimate = (compiled.invoke_seconds(batch_size)
-                        + self._host_tail_seconds(compiled, batch_size))
-            self._estimate_cache[batch_size] = estimate
+            rows = self._charged_rows(batch_size)
+            estimate = (compiled.invoke_seconds(rows)
+                        + self._host_tail_seconds(compiled, rows))
+            self._estimate_cache.put(batch_size, estimate)
         return estimate
 
     def _tier_estimate(self, tier_index: int, batch_size: int) -> float:
@@ -465,9 +500,10 @@ class InferenceServer:
         estimate = self._degraded_estimates.get(key)
         if estimate is None:
             compiled = self._tiers[tier_index].compiled
-            estimate = (compiled.invoke_seconds(batch_size)
-                        + self._host_tail_seconds(compiled, batch_size))
-            self._degraded_estimates[key] = estimate
+            rows = self._charged_rows(batch_size)
+            estimate = (compiled.invoke_seconds(rows)
+                        + self._host_tail_seconds(compiled, rows))
+            self._degraded_estimates.put(key, estimate)
         return estimate
 
     def _select_tier(self, batch, dispatch_t, device_free,
@@ -593,11 +629,17 @@ class InferenceServer:
             )
 
         report.served = num_requests - report.dropped
-        report.makespan_s = float(
-            np.nanmax(report.latencies
-                      + np.array([r.arrival_s for r in requests]))
-            if report.served else now
-        )
+        if report.served:
+            report.makespan_s = float(
+                np.nanmax(report.latencies
+                          + np.array([r.arrival_s for r in requests]))
+            )
+        else:
+            # Every request dropped (e.g. ``max_queue=0``) or an empty
+            # trace: the latency vector is all-NaN, so nanmax would
+            # warn and return NaN — the makespan is just the virtual
+            # clock at the last event.
+            report.makespan_s = float(now)
         report.device_busy_seconds = [float(b) for b in device_busy]
         report.device_swap_seconds = [float(s) for s in device_swap]
         report.device_idle_seconds = [
@@ -632,7 +674,11 @@ class InferenceServer:
             swapped = self.swapper.poll(dispatch_t)
             if swapped is not None:
                 self._compiled = swapped
-                self._estimate_cache = {}
+                self._estimate_cache = LruCache(128)
+                if self._plan is not None:
+                    # Recompile tier 0's arena plan for the new
+                    # weights; degraded tiers keep theirs.
+                    self._plan.replace_primary(swapped)
                 # The commit's device load blocks every reloaded device.
                 load = self.swapper.records[-1].load_seconds
                 for i in self.pool.healthy_indices():
@@ -688,8 +734,20 @@ class InferenceServer:
                            to_tier=tier_index,
                            tier=self._tiers[tier_index].name)
             self._active_tier = tier_index
-        x = np.stack([request.features for request in batch])
-        quantized = compiled.model.input_spec.qparams.quantize(x)
+        plan_model = (self._plan.plan_for(compiled)
+                      if self._plan is not None else None)
+        if plan_model is not None:
+            # Arena path: features land in the plan's preallocated
+            # scratch and quantize in place, padded to the bucket with
+            # zero-point rows (their outputs are sliced off below).
+            quantized = plan_model.stage(
+                [request.features for request in batch]
+            )
+            executor = plan_model.executor_for(len(quantized))
+        else:
+            x = np.stack([request.features for request in batch])
+            quantized = compiled.model.input_spec.qparams.quantize(x)
+            executor = None
 
         batch_span = (tracer.add("serve.batch", dispatch_t, dispatch_t,
                                  parent_id=root, batch=rows,
@@ -709,7 +767,8 @@ class InferenceServer:
             try:
                 invoke = self.pool.try_invoke(chosen, quantized,
                                               at_s=start,
-                                              model=invoke_model)
+                                              model=invoke_model,
+                                              executor=executor)
             except DeviceFailedError as err:
                 attempts += 1
                 failed_once = True
@@ -722,9 +781,18 @@ class InferenceServer:
             device_done = start + invoke.elapsed_s
             device_free[chosen] = device_done
             device_busy[chosen] += invoke.elapsed_s
-            predictions, tail_cost = run_host_tail(
-                compiled, invoke.outputs, self.host,
-            )
+            if plan_model is not None:
+                # Arena tail (bit-identical to run_host_tail); the
+                # modeled cost is the same per-op plan evaluated at the
+                # padded rows the device just ran.
+                predictions = plan_model.run_tail(invoke.outputs)[:rows]
+                tail_cost = self._host_tail_seconds(
+                    compiled, len(invoke.outputs)
+                )
+            else:
+                predictions, tail_cost = run_host_tail(
+                    compiled, invoke.outputs, self.host,
+                )
             tail_start = max(host_free, device_done)
             host_free = tail_start + tail_cost
             report.host_seconds += tail_cost
@@ -753,17 +821,23 @@ class InferenceServer:
             # execution dispatch, not a timing change).
             width = compiled.model.input_spec.size
             cost = 0.0
+            charged = len(quantized)  # padded rows under a plan
             for op in list(compiled.tpu_ops) + list(compiled.cpu_ops):
-                cost += cpu_op_seconds(self.host, op, rows, width)
+                cost += cpu_op_seconds(self.host, op, charged, width)
                 width = op.output_dim(width)
-            out = quantized
-            for stage in compiled.host_stages():
-                out = stage(out)
-            if compiled.model.output_is_index:
-                predictions = out[:, 0]
+            if plan_model is not None:
+                predictions = plan_model.run_host(quantized)[:rows]
+                if not compiled.model.output_is_index:
+                    cost += self.host.argmax_seconds(charged, width)
             else:
-                cost += self.host.argmax_seconds(rows, width)
-                predictions = np.argmax(out, axis=-1)
+                out = quantized
+                for stage in compiled.host_stages():
+                    out = stage(out)
+                if compiled.model.output_is_index:
+                    predictions = out[:, 0]
+                else:
+                    cost += self.host.argmax_seconds(charged, width)
+                    predictions = np.argmax(out, axis=-1)
             fallback_start = max(host_free, detect_t)
             host_free = fallback_start + cost
             report.host_seconds += cost

@@ -67,6 +67,13 @@ _INT32_MAX = 2**31 - 1
 # fallback on layers far too small to exceed the real bound.
 _FLOAT64_EXACT_LIMIT = 2**53
 
+# Same argument with the 24-bit float32 mantissa: when the worst-case
+# partial sum stays below 2^24, the GEMM can run in float32 (half the
+# memory traffic of the float64 path) and still produce exact integer
+# accumulators.  The encoder layers of the paper's models qualify; wide
+# classifier layers generally do not and stay on the float64 path.
+_FLOAT32_EXACT_LIMIT = 2**24
+
 
 @functools.lru_cache(maxsize=None)
 def _tanh_lut(scale: float, zero_point: int, dtype: str) -> np.ndarray:
@@ -229,7 +236,9 @@ class FullyConnectedOp(Op):
         # intermediate is an exactly-representable integer.
         max_raw = max(abs(input_qparams.qmin), abs(input_qparams.qmax))
         raw_bound = max_raw * column_abs_sum + np.abs(offset)
-        self._blas_exact = int(raw_bound.max(initial=0)) < _FLOAT64_EXACT_LIMIT
+        self._raw_abs_bound = int(raw_bound.max(initial=0))
+        self._blas_exact = self._raw_abs_bound < _FLOAT64_EXACT_LIMIT
+        self._blas_f32_exact = self._raw_abs_bound < _FLOAT32_EXACT_LIMIT
 
     @classmethod
     def from_float(cls, weights: np.ndarray, input_qparams: QuantParams,
@@ -355,6 +364,113 @@ class FullyConnectedOp(Op):
 
     def run(self, x: np.ndarray) -> np.ndarray:
         return self._requantize(self._acc_f64(x)).astype(np.int8)
+
+    # ------------------------------------------------------------------
+    # In-place (arena) execution paths — zero steady-state allocations
+    # ------------------------------------------------------------------
+
+    @property
+    def gemm_dtype(self) -> np.dtype:
+        """The dtype the in-place accumulator path computes in.
+
+        ``float32`` when the static bound proves 24-bit exactness,
+        ``float64`` under the 53-bit bound, else ``int64`` (the
+        checked integer fallback).  The serving plan sizes its scratch
+        buffers from this.
+        """
+        if self._blas_f32_exact:
+            return np.dtype(np.float32)
+        if self._blas_exact:
+            return np.dtype(np.float64)
+        return np.dtype(np.int64)
+
+    def _gemm_operands(self) -> tuple:
+        """Weights and folded offset widened to :attr:`gemm_dtype`.
+
+        The float32 copies are built lazily (only in-place callers need
+        them) and cached — weights are immutable.
+        """
+        dtype = self.gemm_dtype
+        if dtype == np.float64:
+            return self._weights_f64, self._offset_f64
+        if dtype == np.int64:
+            return self._weights_i64, self._offset_i64
+        cached = self.__dict__.get("_gemm_operands_f32")
+        if cached is None:
+            cached = (self._weights_f64.astype(np.float32),
+                      self._offset_f64.astype(np.float32))
+            self.__dict__["_gemm_operands_f32"] = cached
+        return cached
+
+    def accumulate_into(self, x: np.ndarray, acc: np.ndarray,
+                        x_wide: np.ndarray,
+                        offset: np.ndarray | None = None) -> np.ndarray:
+        """Exact accumulator into preallocated buffers (no heap churn).
+
+        Value-identical to :meth:`_acc_f64` (same static exactness
+        bounds, same overflow check), but the widened input lives in
+        ``x_wide`` and the accumulator in ``acc`` — both of dtype
+        :attr:`gemm_dtype`, preallocated by the caller (the serving
+        plan's arena).
+
+        Args:
+            x: int8 input ``(rows, input_dim)``.
+            acc: ``(rows, output_dim)`` destination, dtype
+                :attr:`gemm_dtype`.
+            x_wide: ``(rows, input_dim)`` scratch, dtype
+                :attr:`gemm_dtype`.
+            offset: Optional pre-tiled ``(rows, output_dim)`` copy of
+                the folded offset row.  Broadcasting the ``(n,)`` row
+                makes numpy's ufunc machinery malloc a transient
+                iteration buffer; a same-shape operand keeps the add
+                allocation-free (identical values either way).
+        """
+        if x.dtype != np.int8:
+            raise TypeError(f"input must be int8, got {x.dtype}")
+        weights, row_offset = self._gemm_operands()
+        np.copyto(x_wide, x, casting="unsafe")
+        np.matmul(x_wide, weights, out=acc)
+        acc += row_offset if offset is None else offset
+        if not self._static_int32_safe:
+            if acc.min(initial=0) < _INT32_MIN \
+                    or acc.max(initial=0) > _INT32_MAX:
+                raise OverflowError(
+                    f"op {self.name!r}: int32 accumulator overflow "
+                    f"(range [{acc.min()}, {acc.max()}])"
+                )
+        return acc
+
+    def requantize_into(self, acc: np.ndarray, out: np.ndarray,
+                        multiplier: np.ndarray | None = None) -> np.ndarray:
+        """:meth:`_requantize` into a preallocated float64 buffer.
+
+        ``acc`` may be any :attr:`gemm_dtype`; the rounded, clipped
+        codes land in ``out`` as exact integers in the output grid,
+        bit-identical to the allocating path.
+
+        Args:
+            acc: The raw accumulator.
+            out: ``(rows, output_dim)`` float64 destination.
+            multiplier: Optional pre-tiled ``(rows, output_dim)`` copy
+                of a per-channel multiplier row — same-shape operands
+                skip numpy's transient broadcast buffer (see
+                :meth:`accumulate_into`).
+        """
+        if acc.dtype != out.dtype:
+            # Widen first: a ufunc with a float32 input would otherwise
+            # select the float32 loop and only cast the *result* to the
+            # float64 out, losing the low bits the f64 multiply keeps.
+            # The accumulator is an exact integer under 2^53, so the
+            # widening itself is lossless.
+            np.copyto(out, acc)
+            acc = out
+        np.multiply(acc, self._multiplier if multiplier is None
+                    else multiplier, out=out)
+        np.round(out, out=out)
+        out += self.output_qparams.zero_point
+        np.clip(out, self.output_qparams.qmin, self.output_qparams.qmax,
+                out=out)
+        return out
 
     def run_reference(self, x: np.ndarray) -> np.ndarray:
         """The seed ``run``, frozen alongside :meth:`accumulate_reference`."""

@@ -85,6 +85,28 @@ class QuantParams:
         q = q + self.zero_point
         return np.clip(q, self.qmin, self.qmax).astype(self.numpy_dtype)
 
+    def quantize_into(self, real: np.ndarray, out: np.ndarray,
+                      scratch: np.ndarray) -> np.ndarray:
+        """Allocation-free :meth:`quantize` into preallocated buffers.
+
+        Bit-identical to :meth:`quantize` (same float64 divide / round /
+        clamp sequence), but every intermediate lives in ``scratch``
+        and the result is written into ``out`` — the serving plan's
+        arena path.
+
+        Args:
+            real: Float values, same shape as ``out``.
+            out: Destination of dtype :attr:`numpy_dtype`.
+            scratch: float64 working buffer of the same shape.
+        """
+        np.copyto(scratch, real, casting="unsafe")
+        np.divide(scratch, self.scale, out=scratch)
+        np.round(scratch, out=scratch)
+        scratch += self.zero_point
+        np.clip(scratch, self.qmin, self.qmax, out=scratch)
+        np.copyto(out, scratch, casting="unsafe")
+        return out
+
     def dequantize(self, quantized: np.ndarray) -> np.ndarray:
         """Recover float values from quantized storage."""
         return (

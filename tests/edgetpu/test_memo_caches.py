@@ -1,0 +1,83 @@
+"""Bounded memo caches on compiled models: reuse, eviction, exactness."""
+
+import numpy as np
+import pytest
+
+from repro.edgetpu import EdgeTpuDevice, compile_model
+from repro.edgetpu.compiler import _MEMO_CACHE_SIZE
+from repro.edgetpu.program import _PROGRAM_CACHE_SIZE, lower
+from tests.edgetpu.test_compiler import _hdc_like_model
+
+
+@pytest.fixture()
+def compiled(rng):
+    return compile_model(_hdc_like_model(rng))
+
+
+class TestStageReuse:
+    """Satellite: fused stages are built once per compiled model."""
+
+    def test_same_object_across_calls(self, compiled):
+        assert compiled.stages() is compiled.stages()
+
+    def test_shared_across_pool_devices(self, compiled):
+        a = EdgeTpuDevice(arch=compiled.arch)
+        b = EdgeTpuDevice(arch=compiled.arch)
+        a.load_model(compiled)
+        b.load_model(compiled)
+        x = np.zeros((4, compiled.model.input_spec.size), dtype=np.int8)
+        out_a = a.invoke(x)
+        out_b = b.invoke(x)
+        np.testing.assert_array_equal(out_a.outputs, out_b.outputs)
+        assert compiled.stages() is compiled.stages()
+
+    def test_rebuilds_when_op_chain_replaced(self, compiled):
+        first = compiled.stages()
+        # Replacing the list object (same ops) changes identity, so the
+        # cache must rebuild rather than serve a stale chain.
+        compiled.tpu_ops = list(compiled.tpu_ops)
+        again = compiled.stages()
+        assert again is compiled.stages()
+        assert len(again) == len(first)
+
+
+class TestMemoEviction:
+    """Satellite: LRU-bounded memos recompute bit-identically."""
+
+    def test_invoke_seconds_survive_eviction(self, compiled):
+        batches = range(1, _MEMO_CACHE_SIZE + 20)
+        first = {b: compiled.invoke_seconds(b) for b in batches}
+        # The sweep evicted the oldest entries; recomputing them must
+        # give the exact same floats (the plan is pure).
+        for b in batches:
+            assert compiled.invoke_seconds(b) == first[b]
+
+    def test_breakdown_survives_eviction(self, compiled):
+        batches = range(1, _MEMO_CACHE_SIZE + 20)
+        first = {b: dict(compiled.invoke_breakdown(b)) for b in batches}
+        for b in batches:
+            assert compiled.invoke_breakdown(b) == first[b]
+
+    def test_breakdown_cache_is_bounded(self, compiled):
+        for b in range(1, _MEMO_CACHE_SIZE * 3):
+            compiled.invoke_breakdown(b)
+        assert len(compiled.__dict__["_breakdown_cache"]) \
+            == _MEMO_CACHE_SIZE
+
+    def test_seconds_equal_breakdown_sum(self, compiled):
+        for b in (1, 7, 64, 200):
+            assert compiled.invoke_seconds(b) == \
+                sum(compiled.invoke_breakdown(b).values())
+
+    def test_lower_survives_eviction(self, compiled):
+        batches = range(1, _PROGRAM_CACHE_SIZE + 8)
+        first = {b: lower(compiled, b) for b in batches}
+        for b in batches:
+            again = lower(compiled, b)
+            assert [str(i) for i in again.instructions] \
+                == [str(i) for i in first[b].instructions]
+        assert len(compiled.__dict__["_program_cache"]) \
+            == _PROGRAM_CACHE_SIZE
+
+    def test_lower_hit_returns_same_object(self, compiled):
+        assert lower(compiled, 4) is lower(compiled, 4)

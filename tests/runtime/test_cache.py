@@ -1,0 +1,137 @@
+"""LruCache semantics and SharedArray shared-memory handles."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.runtime.cache import LruCache
+from repro.runtime.executor import SharedArray, resolve_shared
+
+
+class TestLruCache:
+    def test_get_put_roundtrip(self):
+        cache = LruCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert cache.get("missing", -1) == -1
+        assert "a" in cache and len(cache) == 1
+
+    def test_evicts_least_recently_used(self):
+        cache = LruCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # refresh a; b is now oldest
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 1 and cache.get("c") == 3
+
+    def test_put_refreshes_recency(self):
+        cache = LruCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)      # overwrite refreshes; b is oldest
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 10
+
+    def test_bounded(self):
+        cache = LruCache(3)
+        for i in range(50):
+            cache.put(i, i)
+        assert len(cache) == 3
+        assert list(cache) == [47, 48, 49]
+
+    def test_get_or_build(self):
+        cache = LruCache(2)
+        calls = []
+
+        def build():
+            calls.append(1)
+            return "built"
+
+        assert cache.get_or_build("k", build) == "built"
+        assert cache.get_or_build("k", build) == "built"
+        assert len(calls) == 1
+
+    def test_caches_none_values(self):
+        cache = LruCache(2)
+        cache.put("k", None)
+        assert "k" in cache
+        assert cache.get_or_build("k", lambda: "rebuilt") is None
+
+    def test_clear(self):
+        cache = LruCache(2)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_validates_maxsize(self):
+        with pytest.raises(ValueError, match="maxsize"):
+            LruCache(0)
+
+
+class TestSharedArray:
+    def test_roundtrip_same_process(self):
+        data = np.arange(24, dtype=np.float32).reshape(4, 6)
+        handle = SharedArray.create(data)
+        try:
+            np.testing.assert_array_equal(handle.array(), data)
+            assert handle.array() is handle.array()
+        finally:
+            handle.unlink()
+
+    def test_pickles_by_name_not_by_buffer(self):
+        data = np.zeros((256, 256), dtype=np.float64)
+        handle = SharedArray.create(data)
+        try:
+            payload = pickle.dumps(handle)
+            # The payload carries (name, shape, dtype), not the 512 KiB
+            # buffer — that is the whole point of the handle.
+            assert len(payload) < 1024
+            attached = pickle.loads(payload)
+            np.testing.assert_array_equal(attached.array(), data)
+        finally:
+            handle.unlink()
+
+    def test_empty_array(self):
+        handle = SharedArray.create(np.empty((0, 3), dtype=np.int8))
+        try:
+            assert handle.array().shape == (0, 3)
+        finally:
+            handle.unlink()
+
+    def test_unlink_idempotent(self):
+        handle = SharedArray.create(np.ones(3))
+        handle.unlink()
+        handle.unlink()  # second call is a no-op, not an error
+
+    def test_resolve_shared(self):
+        plain = np.arange(4)
+        assert resolve_shared(plain) is plain
+        handle = SharedArray.create(plain)
+        try:
+            np.testing.assert_array_equal(resolve_shared(handle), plain)
+        finally:
+            handle.unlink()
+
+
+class TestSharedBagging:
+    def test_process_backend_bit_identical(self):
+        from repro.hdc.bagging import BaggingConfig, BaggingHDCTrainer
+        from repro.runtime.executor import ExecutorConfig
+
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(80, 10)).astype(np.float32)
+        y = rng.integers(0, 3, size=80)
+        config = BaggingConfig(num_models=2, sub_dimension=64,
+                               iterations=2)
+        seq = BaggingHDCTrainer(config, seed=11).fit(x, y)
+        par = BaggingHDCTrainer(
+            config, seed=11,
+            executor=ExecutorConfig(workers=2, backend="process"),
+        ).fit(x, y)
+        for a, b in zip(seq.sub_models, par.sub_models):
+            np.testing.assert_array_equal(a.class_hypervectors,
+                                          b.class_hypervectors)

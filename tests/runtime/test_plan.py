@@ -1,0 +1,285 @@
+"""Ahead-of-time serving plans: arenas, bucketing, zero allocations."""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro import native
+from repro.compression.tiers import TierSpec, build_tiers, compiled_predict
+from repro.config import PlanConfig
+from repro.edgetpu import EdgeTpuDevice, compile_model
+from repro.hdc.bagging import BaggingConfig, BaggingHDCTrainer
+from repro.hdc.model import HDCClassifier
+from repro.nn import from_classifier
+from repro.runtime.plan import ModelPlan, ServingPlan, bucket_ladder
+from repro.tflite import convert
+from repro.tflite.interpreter import Interpreter
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(11)
+    x = rng.normal(size=(240, 16)).astype(np.float32)
+    y = rng.integers(0, 4, size=240)
+    return x, y
+
+
+@pytest.fixture(scope="module")
+def tier_set(data):
+    x, y = data
+    trainer = BaggingHDCTrainer(
+        BaggingConfig(num_models=2, dimension=512, iterations=3), seed=7,
+    )
+    trainer.fit(x, y)
+    specs = (TierSpec("full"),
+             TierSpec("compressed", "dpq", dimension=128))
+    return build_tiers(trainer.fuse(), x[:96], specs=specs)
+
+
+@pytest.fixture(scope="module")
+def compiled(tier_set):
+    return tier_set[0].compiled
+
+
+def fresh_compiled(x, y, seed=9):
+    clf = HDCClassifier(dimension=512, seed=seed)
+    clf.fit(x, y, iterations=3)
+    return compile_model(
+        convert(from_classifier(clf, include_argmax=True), x[:96])
+    )
+
+
+def reference_predictions(compiled, x):
+    """The frozen oracle path: reference ops, op by op."""
+    out = compiled.model.input_spec.qparams.quantize(np.asarray(x, np.float32))
+    for op in compiled.model.ops:
+        out = op.run_reference(out) if hasattr(op, "run_reference") \
+            else op.run(out)
+    if compiled.model.output_is_index:
+        return out[:, 0].astype(np.int64)
+    return np.argmax(out, axis=-1).astype(np.int64)
+
+
+class TestBucketLadder:
+    def test_powers_of_two_plus_max(self):
+        assert bucket_ladder(64) == (1, 2, 4, 8, 16, 32, 64)
+        assert bucket_ladder(48) == (1, 2, 4, 8, 16, 32, 48)
+        assert bucket_ladder(1) == (1,)
+
+    def test_validates(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            bucket_ladder(0)
+
+    def test_no_batch_pads_more_than_2x(self):
+        ladder = bucket_ladder(100)
+        for n in range(1, 101):
+            rows = next(r for r in ladder if r >= n)
+            assert rows < 2 * n or rows == 1
+
+
+class TestModelPlan:
+    @pytest.mark.parametrize("allow_native", [True, False])
+    def test_bit_identical_to_reference(self, compiled, data, allow_native):
+        x, _ = data
+        plan = ModelPlan(compiled, bucket_ladder(32),
+                         allow_native=allow_native)
+        for n in (1, 3, 17, 32):
+            np.testing.assert_array_equal(
+                np.array(plan.predict(x[:n])),
+                reference_predictions(compiled, x[:n]),
+            )
+
+    def test_native_flag_matches_module(self, compiled):
+        plan = ModelPlan(compiled, (8,))
+        assert plan.native == native.available()
+        assert ModelPlan(compiled, (8,), allow_native=False).native is False
+
+    def test_padding_rows_are_invisible(self, compiled, data):
+        # A 3-row batch runs in the 4-row bucket; the padded row's
+        # output never leaks into the sliced predictions.
+        x, _ = data
+        plan = ModelPlan(compiled, bucket_ladder(8))
+        q = plan.stage(x[:3])
+        assert q.shape[0] == 4
+        out = plan.predict(x[:3])
+        assert out.shape == (3,)
+        np.testing.assert_array_equal(
+            np.array(out), reference_predictions(compiled, x[:3])
+        )
+
+    def test_executor_through_device_invoke(self, compiled, data):
+        x, _ = data
+        plan = ModelPlan(compiled, bucket_ladder(16))
+        device = EdgeTpuDevice(arch=compiled.arch)
+        device.load_model(compiled)
+        q = plan.stage(x[:16])
+        plain = device.invoke(q.copy())
+        arena = device.invoke(q, executor=plan.executor_for(16))
+        np.testing.assert_array_equal(plain.outputs, arena.outputs)
+        assert arena.elapsed_s == plain.elapsed_s
+
+    def test_predict_returns_view(self, compiled, data):
+        x, _ = data
+        plan = ModelPlan(compiled, bucket_ladder(8))
+        first = plan.predict(x[:4])
+        kept = np.array(first)
+        second = plan.predict(x[4:8])
+        # Same buffer, new contents: callers must copy to persist.
+        assert first.base is second.base
+        np.testing.assert_array_equal(
+            np.array(second), reference_predictions(compiled, x[4:8])
+        )
+        assert not np.array_equal(kept, np.array(second))
+
+    def test_oversized_batch_rejected(self, compiled, data):
+        x, _ = data
+        plan = ModelPlan(compiled, bucket_ladder(8))
+        with pytest.raises(ValueError, match="exceeds"):
+            plan.predict(x[:9])
+
+    def test_for_model_matches_interpreter(self, compiled, data):
+        x, _ = data
+        interp = Interpreter(compiled.model)
+        plan = interp.plan(16)
+        for n in (1, 5, 16):
+            np.testing.assert_array_equal(
+                np.array(plan.predict(x[:n])), interp.predict(x[:n])
+            )
+
+
+class TestZeroAllocation:
+    """Satellite: steady-state invokes allocate nothing (tracemalloc)."""
+
+    def _steady_state_peak(self, plan, x, repeats=20):
+        plan.predict(x)  # warm every lazy path (gemm operands, views)
+        plan.predict(x)
+        tracemalloc.start()
+        try:
+            plan.predict(x)
+            baseline = tracemalloc.get_traced_memory()[0]
+            tracemalloc.reset_peak()
+            for _ in range(repeats):
+                out = plan.predict(x)
+            current, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert out is not None
+        return max(peak - baseline, current - baseline)
+
+    @pytest.mark.parametrize("allow_native", [True, False])
+    def test_full_width_plan_is_allocation_free(self, compiled, data,
+                                                allow_native):
+        x, _ = data
+        plan = ModelPlan(compiled, bucket_ladder(32),
+                         allow_native=allow_native)
+        # Any real regression re-allocates a per-stage array: the f64
+        # codes buffer alone is 32 * 512 * 8 = 128 KiB per invoke.
+        # Transient Python objects (slice views, closures) stay well
+        # under this.
+        assert self._steady_state_peak(plan, x[:32]) < 8 * 1024
+
+    def test_compressed_tier_plan_is_allocation_free(self, tier_set, data):
+        x, _ = data
+        degraded = tier_set[1].compiled
+        plan = ModelPlan(degraded, bucket_ladder(32))
+        assert self._steady_state_peak(plan, x[:32]) < 8 * 1024
+        np.testing.assert_array_equal(
+            np.array(plan.predict(x[:32])),
+            reference_predictions(degraded, x[:32]),
+        )
+
+    def test_mixed_bucket_steady_state(self, compiled, data):
+        # Alternating bucket sizes stays allocation-free too: every
+        # bucket's views were bound at build time.
+        x, _ = data
+        plan = ModelPlan(compiled, bucket_ladder(32))
+        for n in (32, 7, 1, 16):
+            plan.predict(x[:n])
+        tracemalloc.start()
+        try:
+            for n in (32, 7, 1, 16):
+                plan.predict(x[:n])
+            baseline = tracemalloc.get_traced_memory()[0]
+            tracemalloc.reset_peak()
+            for _ in range(10):
+                for n in (32, 7, 1, 16):
+                    plan.predict(x[:n])
+            current, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert max(peak - baseline, current - baseline) < 8 * 1024
+
+
+class TestServingPlan:
+    def test_prewarm_fills_latency_memos(self, compiled):
+        plan = ServingPlan([compiled], max_bucket=16)
+        # Every bucket's invoke_seconds was computed at build time and
+        # comes back as the exact same float (LRU hit, no recompute).
+        for rows in plan.buckets:
+            first = compiled.invoke_seconds(rows)
+            assert compiled.invoke_seconds(rows) == first
+
+    def test_plan_for_identity(self, compiled, tier_set):
+        degraded = tier_set[1].compiled
+        plan = ServingPlan([compiled, degraded], max_bucket=8)
+        assert plan.plan_for(compiled) is plan.plans[0]
+        assert plan.plan_for(degraded) is plan.plans[1]
+        assert plan.plan_for(object()) is None
+
+    def test_replace_primary_rebuilds_tier0_only(self, compiled, tier_set,
+                                                 data):
+        x, _ = data
+        degraded = tier_set[1].compiled
+        plan = ServingPlan([compiled, degraded], max_bucket=8)
+        old_degraded_plan = plan.plans[1]
+        swapped = fresh_compiled(x, data[1])
+        new_plan = plan.replace_primary(swapped)
+        assert plan.plans[0] is new_plan
+        assert plan.plans[1] is old_degraded_plan
+        assert plan.plan_for(compiled) is None
+        np.testing.assert_array_equal(
+            np.array(new_plan.predict(x[:8])),
+            reference_predictions(swapped, x[:8]),
+        )
+
+    def test_empty_tiers_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ServingPlan([], max_bucket=8)
+
+
+class TestCompiledPredictPlanRouting:
+    def test_model_plan_route(self, compiled, data):
+        x, _ = data
+        plan = ModelPlan(compiled, bucket_ladder(16))
+        np.testing.assert_array_equal(
+            compiled_predict(compiled, x, plan=plan),
+            compiled_predict(compiled, x),
+        )
+
+    def test_serving_plan_route_and_fallback(self, compiled, tier_set,
+                                             data):
+        x, _ = data
+        plan = ServingPlan([compiled], max_bucket=16)
+        np.testing.assert_array_equal(
+            compiled_predict(compiled, x, plan=plan),
+            compiled_predict(compiled, x),
+        )
+        # A model the plan does not serve falls back to the classic path.
+        foreign = tier_set[1].compiled
+        np.testing.assert_array_equal(
+            compiled_predict(foreign, x, plan=plan),
+            compiled_predict(foreign, x),
+        )
+
+
+class TestPlanConfig:
+    def test_defaults(self):
+        config = PlanConfig()
+        assert config.max_bucket is None
+        assert config.native is True
+        assert config.prewarm is True
+
+    def test_validates(self):
+        with pytest.raises(ValueError, match="max_bucket"):
+            PlanConfig(max_bucket=0)

@@ -1,0 +1,160 @@
+"""Plan-enabled serving: bucketing and arenas never change results."""
+
+import numpy as np
+import pytest
+
+from repro.compression.tiers import TierSpec, build_tiers
+from repro.config import PlanConfig, ServeConfig, TierPolicy
+from repro.edgetpu import DevicePool, FailurePlan
+from repro.hdc.bagging import BaggingConfig, BaggingHDCTrainer
+from repro.serving import InferenceServer, ModelSwapper
+from tests.serving.conftest import train_compiled
+
+PLAN = ServeConfig(max_batch=16, slack_s=0.001,
+                   plan=PlanConfig())
+CLASSIC = ServeConfig(max_batch=16, slack_s=0.001)
+
+
+def _serve(compiled, trace, config, num_devices=2, **kwargs):
+    pool = DevicePool(num_devices)
+    pool.load_replicated(compiled)
+    server = InferenceServer(pool, config=config, **kwargs)
+    return server.serve(trace)
+
+
+class TestPlanEquivalence:
+    def test_bucketed_equals_unbucketed(self, serving_setup):
+        """The tentpole invariant: bucketing never changes predictions.
+
+        Modeled timing may shift — the device is charged at the padded
+        bucket size — but every served value is bit-identical.
+        """
+        _, compiled, trace = serving_setup
+        classic = _serve(compiled, trace, CLASSIC)
+        planned = _serve(compiled, trace, PLAN)
+        assert planned.served == classic.served
+        assert planned.dropped == classic.dropped
+        np.testing.assert_array_equal(planned.predictions,
+                                      classic.predictions)
+        assert np.isfinite(planned.makespan_s)
+
+    def test_traced_equals_untraced(self, serving_setup):
+        _, compiled, trace = serving_setup
+        traced_cfg = ServeConfig(max_batch=16, slack_s=0.001,
+                                 plan=PlanConfig(), tracing=True)
+        plain = _serve(compiled, trace, PLAN)
+        traced = _serve(compiled, trace, traced_cfg)
+        np.testing.assert_array_equal(traced.predictions, plain.predictions)
+        np.testing.assert_array_equal(traced.latencies, plain.latencies)
+        assert traced.makespan_s == plain.makespan_s
+        assert traced.trace is not None
+
+    def test_numpy_fallback_plan_equals_native(self, serving_setup):
+        _, compiled, trace = serving_setup
+        no_native = ServeConfig(max_batch=16, slack_s=0.001,
+                                plan=PlanConfig(native=False))
+        a = _serve(compiled, trace, PLAN)
+        b = _serve(compiled, trace, no_native)
+        np.testing.assert_array_equal(a.predictions, b.predictions)
+        # Kernel choice changes wall time only; the virtual clock and
+        # every modeled number match exactly.
+        assert a.summary() == b.summary()
+
+    def test_no_prewarm_equals_prewarmed(self, serving_setup):
+        _, compiled, trace = serving_setup
+        cold = ServeConfig(max_batch=16, slack_s=0.001,
+                           plan=PlanConfig(prewarm=False))
+        a = _serve(compiled, trace, PLAN)
+        b = _serve(compiled, trace, cold)
+        assert a.summary() == b.summary()
+
+    def test_wider_bucket_ladder_is_equivalent(self, serving_setup):
+        # Arena headroom beyond max_batch changes nothing observable.
+        _, compiled, trace = serving_setup
+        wide = ServeConfig(max_batch=16, slack_s=0.001,
+                           plan=PlanConfig(max_bucket=64))
+        a = _serve(compiled, trace, PLAN)
+        b = _serve(compiled, trace, wide)
+        assert a.summary() == b.summary()
+        np.testing.assert_array_equal(a.predictions, b.predictions)
+
+
+class TestPlanFaultPaths:
+    def test_cpu_fallback_through_arenas(self, serving_setup):
+        _, compiled, trace = serving_setup
+        def run(config):
+            pool = DevicePool(1)
+            pool.load_replicated(compiled)
+            pool.schedule_failure(FailurePlan(0, at_s=0.2,
+                                              mode="device_loss"))
+            return InferenceServer(pool, config=config).serve(trace)
+
+        classic = run(CLASSIC)
+        planned = run(PLAN)
+        assert planned.fallback_batches > 0
+        np.testing.assert_array_equal(planned.predictions,
+                                      classic.predictions)
+
+    def test_hot_swap_recompiles_primary_plan(self, serving_setup):
+        stream, compiled, trace = serving_setup
+        x, y = stream.test_set(200)
+        replacement = train_compiled(x, y, seed=17)
+
+        def run(config):
+            pool = DevicePool(2)
+            pool.load_replicated(compiled)
+            swapper = ModelSwapper(pool)
+            swapper.schedule(replacement, at_s=0.1)
+            server = InferenceServer(pool, config=config, swapper=swapper)
+            report = server.serve(trace)
+            return report, swapper
+
+        classic, _ = run(CLASSIC)
+        planned, swapper = run(PLAN)
+        assert swapper.swaps_committed == 1
+        np.testing.assert_array_equal(planned.predictions,
+                                      classic.predictions)
+
+    def test_tier_shedding_through_arenas(self, serving_setup):
+        stream, _, trace = serving_setup
+        x, y = stream.next_batch(300)
+        trainer = BaggingHDCTrainer(
+            BaggingConfig(num_models=2, dimension=1024, iterations=3),
+            seed=7,
+        )
+        trainer.fit(x, y)
+        ladder = build_tiers(
+            trainer.fuse(), x[:96],
+            specs=(TierSpec("full"),
+                   TierSpec("compressed", "dpq", dimension=256)),
+        )
+        policy = TierPolicy(queue_high=4, headroom_s=0.0001)
+
+        def run(plan):
+            config = ServeConfig(max_batch=16, slack_s=0.001,
+                                 tiers=policy, plan=plan)
+            pool = DevicePool(1, ladder[0].compiled.arch)
+            pool.load_replicated(ladder[0].compiled)
+            server = InferenceServer(pool, config=config, tiers=ladder)
+            return server.serve(trace)
+
+        # Shedding decisions follow the (padded) estimates, so compare
+        # planned runs against each other: native vs numpy arenas must
+        # agree on everything, and a rerun must be deterministic.
+        planned = run(PlanConfig())
+        numpy_planned = run(PlanConfig(native=False))
+        again = run(PlanConfig())
+        np.testing.assert_array_equal(planned.predictions,
+                                      numpy_planned.predictions)
+        assert planned.summary() == numpy_planned.summary()
+        assert planned.summary() == again.summary()
+
+
+class TestPlanValidation:
+    def test_small_bucket_rejected(self, serving_setup):
+        _, compiled, _ = serving_setup
+        pool = DevicePool(1)
+        pool.load_replicated(compiled)
+        config = ServeConfig(max_batch=16, plan=PlanConfig(max_bucket=8))
+        with pytest.raises(ValueError, match="max_bucket"):
+            InferenceServer(pool, config=config)

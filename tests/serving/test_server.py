@@ -108,6 +108,26 @@ class TestServe:
         report, _ = _serve(compiled, trace, profiler=profiler)
         assert profiler.seconds("inference") == report.makespan_s
 
+    def test_all_dropped_makespan_finite(self, serving_setup):
+        # Regression: with max_queue=0 every request is refused and the
+        # report used to reduce an all-NaN latency vector — emitting
+        # numpy's "All-NaN slice" RuntimeWarning and a NaN makespan.
+        import warnings
+
+        _, compiled, trace = serving_setup
+        pool = DevicePool(1)
+        pool.load_replicated(compiled)
+        server = InferenceServer(
+            pool, batcher=DynamicBatcher(16, slack_s=0.001), max_queue=0
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            report = server.serve(trace)
+        assert report.served == 0
+        assert report.dropped == len(trace)
+        assert np.isfinite(report.makespan_s)
+        assert (report.predictions == -1).all()
+
     def test_windowed_accuracy(self, serving_setup):
         _, compiled, trace = serving_setup
         report, _ = _serve(compiled, trace)
@@ -187,11 +207,12 @@ class TestValidation:
             InferenceServer(pool)
 
     def test_bad_max_queue(self, serving_setup):
+        # Zero is legal (an admission-closed server); negatives are not.
         _, compiled, _ = serving_setup
         pool = DevicePool(1)
         pool.load_replicated(compiled)
         with pytest.raises(ValueError, match="max_queue"):
-            InferenceServer(pool, max_queue=0)
+            InferenceServer(pool, max_queue=-1)
 
     def test_foreign_swapper_rejected(self, serving_setup):
         _, compiled, _ = serving_setup

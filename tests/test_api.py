@@ -77,8 +77,9 @@ class TestServeConfig:
             ServeConfig(max_batch=0)
         with pytest.raises(ValueError, match="slack_s"):
             ServeConfig(slack_s=-1.0)
+        # max_queue=0 is legal (admission-closed server).
         with pytest.raises(ValueError, match="max_queue"):
-            ServeConfig(max_queue=0)
+            ServeConfig(max_queue=-1)
 
     def test_make_batcher(self):
         from repro.serving.batcher import DynamicBatcher, FixedSizeBatcher
