@@ -69,8 +69,8 @@ def _serve_trace():
         seed=2,
     )
     arrivals = ArrivalProcess(RATE_HZ, "poisson", seed=5)
-    requests = RequestStream(stream, arrivals, deadline_s=0.5,
-                             drift_every=1).generate(SERVE_REQUESTS)
+    requests = list(RequestStream(stream, arrivals, deadline_s=0.5,
+                             drift_every=1).generate(SERVE_REQUESTS))
     return requests
 
 

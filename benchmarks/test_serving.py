@@ -88,8 +88,8 @@ def _stationary_trace(num_requests):
     train_x, train_y = stream.next_batch(400)
     compiled = _train_compiled(train_x, train_y, seed=0)
     arrivals = ArrivalProcess(RATE_HZ, "poisson", seed=3)
-    trace = RequestStream(stream, arrivals, deadline_s=SLA_S,
-                          drift_every=1).generate(num_requests)
+    trace = list(RequestStream(stream, arrivals, deadline_s=SLA_S,
+                          drift_every=1).generate(num_requests))
     return compiled, trace
 
 
@@ -164,8 +164,8 @@ def _swap_section():
         train_x, train_y = stream.next_batch(400)
         compiled = _train_compiled(train_x, train_y, seed=0)
         arrivals = ArrivalProcess(RATE_HZ, "poisson", seed=3)
-        trace = RequestStream(stream, arrivals, deadline_s=SLA_S,
-                              drift_every=1).generate(DRIFT_REQUESTS)
+        trace = list(RequestStream(stream, arrivals, deadline_s=SLA_S,
+                              drift_every=1).generate(DRIFT_REQUESTS))
         return compiled, trace
 
     compiled, trace = build_trace()

@@ -69,12 +69,12 @@ def _trained_ladder():
     trainer.fit(x, y)
     ladder = build_tiers(trainer.fuse(), x[:128], specs=SPECS,
                          evaluation=(x, y))
-    trace = RequestStream(
+    trace = list(RequestStream(
         stream,
         ArrivalProcess(RATE_HZ, "bursty", seed=3, burst_factor=8.0,
                        burst_length=64, calm_length=128),
         deadline_s=DEADLINE_S, drift_every=0,
-    ).generate(NUM_REQUESTS)
+    ).generate(NUM_REQUESTS))
     return ladder, trace
 
 

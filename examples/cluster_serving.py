@@ -1,0 +1,158 @@
+"""Cluster serving: sharded replicas, multi-tenant traffic, autoscaling.
+
+Walks the fleet-scale serving subsystem end to end on the virtual
+clock:
+
+1. train an HDC classifier and compile it for the Edge TPU simulator;
+2. serve a three-tenant traffic superposition (interactive / bursty /
+   background, each with its own rate, process and deadline) on a
+   four-replica fleet and report per-tenant SLA attainment;
+3. compare how the four routing policies spread the same trace across
+   the fleet;
+4. push the offered load past one replica's capacity and sweep the
+   replica count — the classic horizontal-scaling curve;
+5. hit the fleet with a 10x flash crowd three ways: a base-provisioned
+   static fleet (cheap, misses deadlines), a peak-provisioned static
+   fleet (meets deadlines, pays for peak the whole run), and an
+   autoscaler that must beat both at once.
+
+All times are modeled seconds — runs are deterministic per seed.
+
+Run:  python examples/cluster_serving.py
+"""
+
+import numpy as np
+
+import repro
+from repro.cluster import POLICIES
+from repro.data.streams import DriftingStream, StreamConfig
+from repro.edgetpu import compile_model
+from repro.hdc import HDCClassifier
+from repro.nn import from_classifier
+from repro.tflite import convert
+
+NUM_FEATURES = 16
+NUM_CLASSES = 3
+
+
+def train(dimension: int = 512, seed: int = 0):
+    stream = DriftingStream(
+        StreamConfig(num_features=NUM_FEATURES, num_classes=NUM_CLASSES,
+                     drift_rate=0.0),
+        seed=2,
+    )
+    x, y = stream.next_batch(400)
+    model = HDCClassifier(dimension=dimension,
+                          seed=np.random.default_rng(seed))
+    model.fit(x, y, iterations=4, num_classes=NUM_CLASSES)
+    network = from_classifier(model, include_argmax=True)
+    return compile_model(convert(network, x[:128]))
+
+
+def main() -> None:
+    compiled = train()
+    # Close batches at 8 requests: at these rates a batch fills in a
+    # few ms, so no tenant waits on another tenant's laxer deadline.
+    serve = repro.ServeConfig(max_batch=8, max_queue=50_000)
+
+    # --- A three-tenant fleet --------------------------------------
+    tenants = (
+        repro.TenantSpec("interactive", rate_hz=2000.0, deadline_s=0.02),
+        repro.TenantSpec("bursty", rate_hz=1000.0, deadline_s=0.1,
+                         kind="bursty"),
+        repro.TenantSpec("background", rate_hz=500.0, deadline_s=1.0),
+    )
+    report = repro.serve_cluster(compiled, config=repro.ClusterConfig(
+        tenants=tenants, total_requests=20_000, num_replicas=4,
+        policy="round_robin", serve=serve, seed=7,
+    ))
+    print(f"fleet: {report.num_replicas} replicas served "
+          f"{report.served}/{report.num_requests} requests in "
+          f"{report.makespan_s:.2f} modeled s "
+          f"({report.throughput:,.0f} req/s, "
+          f"p99 {1e3 * report.latency.p99:.2f} ms)")
+    for row in report.tenants:
+        print(f"  {row['name']:>12}: {row['requests']} requests, "
+              f"deadline {1e3 * row['deadline_s']:.0f} ms, "
+              f"SLA attained {row['sla_attainment']:.1%}, "
+              f"p99 {1e3 * row['latency']['p99_s']:.2f} ms")
+
+    # --- Routing policies ------------------------------------------
+    print("\nrouted per replica, same trace, each policy:")
+    for policy in POLICIES:
+        summary = repro.serve_cluster(compiled, config=repro.ClusterConfig(
+            tenants=tenants, total_requests=6_000, num_replicas=4,
+            policy=policy, serve=serve, seed=7,
+        )).summary()
+        counts = "  ".join(f"{c:>5}" for c in summary["routed"])
+        print(f"  {policy:>15}: {counts}")
+    print("  (least_queue ties break toward replica 0 — queues drain "
+          "at batcher-ready\n   times, so depth rarely differentiates; "
+          "the hash ring is sticky per tenant,\n   so 3 tenants land "
+          "on at most 3 replicas)")
+
+    # --- Horizontal scaling under saturating load ------------------
+    # ~105k req/s offered against one device's ~87k req/s batch-8
+    # service rate: a single replica's backlog grows without bound.
+    heavy = (
+        repro.TenantSpec("interactive", rate_hz=60000.0, deadline_s=0.01),
+        repro.TenantSpec("bursty", rate_hz=30000.0, deadline_s=0.05,
+                         kind="bursty"),
+        repro.TenantSpec("background", rate_hz=15000.0, deadline_s=0.2),
+    )
+    print("\nreplica sweep at ~105k req/s offered load:")
+    for num_replicas in (1, 2, 4):
+        summary = repro.serve_cluster(compiled, config=repro.ClusterConfig(
+            tenants=heavy, total_requests=40_000,
+            num_replicas=num_replicas, devices_per_replica=1,
+            policy="round_robin", serve=serve, seed=7,
+        )).summary()
+        print(f"  {num_replicas} replica(s): "
+              f"p99 {1e3 * summary['latency']['p99_s']:>8.2f} ms  "
+              f"misses {summary['deadline_miss_rate']:>6.1%}  "
+              f"throughput {summary['throughput_rps']:>9,.0f} req/s")
+
+    # --- Autoscaling through a 10x flash crowd ---------------------
+    spike = (
+        repro.TenantSpec("spiky", rate_hz=25000.0, deadline_s=0.01,
+                         curve=repro.DiurnalCurve(spike_at_s=0.3,
+                                                  spike_duration_s=0.5,
+                                                  spike_factor=10.0)),
+        repro.TenantSpec("steady", rate_hz=10000.0, deadline_s=0.05),
+    )
+    autoscaler = repro.AutoscalerConfig(
+        interval_s=0.05, queue_high=1024, queue_low=64, miss_high=0.05,
+        miss_low=0.01, up_streak=1, down_streak=4, cooldown_s=0.05,
+        provision_s=0.1, max_devices=8,
+    )
+
+    def crowd(devices_per_replica, scaler=None):
+        return repro.serve_cluster(compiled, config=repro.ClusterConfig(
+            tenants=spike, total_requests=180_000, num_replicas=2,
+            devices_per_replica=devices_per_replica,
+            policy="round_robin", serve=serve, seed=11,
+            autoscaler=scaler,
+        ))
+
+    print("\n10x flash crowd, three fleets:")
+    runs = [("static (base)", crowd(1)),
+            ("static (peak)", crowd(4)),
+            ("autoscaled", crowd(1, autoscaler))]
+    for name, run in runs:
+        ups = sum(1 for e in run.scaling_events if e.action == "scale_up")
+        downs = sum(1 for e in run.scaling_events
+                    if e.action == "scale_down")
+        print(f"  {name:>13}: misses {run.deadline_miss_rate:>6.1%}  "
+              f"device-seconds {run.device_seconds:>6.2f}  "
+              f"scale ups/downs {ups}/{downs}")
+    base, peak, auto = (run for _, run in runs)
+    print(f"autoscaler beats base on misses "
+          f"({auto.deadline_miss_rate:.1%} < "
+          f"{base.deadline_miss_rate:.1%}) and peak on cost "
+          f"({auto.device_seconds:.2f} < {peak.device_seconds:.2f} "
+          f"device-seconds), paying a {autoscaler.provision_s * 1e3:.0f}"
+          f" ms provisioning lead on each scale-up")
+
+
+if __name__ == "__main__":
+    main()

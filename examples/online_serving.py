@@ -52,10 +52,10 @@ def main(num_requests: int = 800, dimension: int = 1024,
     train_x, train_y = stream.next_batch(400)
     compiled = train(train_x, train_y, config.num_classes, dimension)
 
-    trace = RequestStream(
+    trace = list(RequestStream(
         stream, ArrivalProcess(rate_hz, "poisson", seed=3),
         deadline_s=deadline_s,
-    ).generate(num_requests)
+    ).generate(num_requests))
     print(f"trace: {num_requests} requests over "
           f"{trace[-1].arrival_s:.2f} s at {rate_hz:.0f} Hz, "
           f"deadline {1e3 * deadline_s:.0f} ms")
@@ -147,12 +147,12 @@ def main(num_requests: int = 800, dimension: int = 1024,
         f"{t.name}(d={t.dimension}, acc={t.build_accuracy:.2f})"
         for t in ladder
     ))
-    burst_trace = RequestStream(
+    burst_trace = list(RequestStream(
         calm_stream,
         ArrivalProcess(480_000.0, "bursty", seed=3, burst_factor=8.0,
                        burst_length=64, calm_length=128),
         deadline_s=0.001, drift_every=0,
-    ).generate(2000)
+    ).generate(2000))
     overload = ServeConfig(max_batch=64, max_queue=256,
                            tiers=TierPolicy(queue_high=16,
                                             headroom_s=0.0001))

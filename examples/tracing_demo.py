@@ -55,10 +55,10 @@ def main(num_requests: int = 300, dimension: int = 1024,
 
     # --- 2. traced serving with metrics -----------------------------
     deployment = repro.deploy(trained, num_devices=2)
-    trace = RequestStream(
+    trace = list(RequestStream(
         stream, ArrivalProcess(rate_hz, "poisson", seed=3),
         deadline_s=0.05,
-    ).generate(num_requests)
+    ).generate(num_requests))
     metrics = MetricsRegistry()
     report = repro.serve(
         deployment, trace,

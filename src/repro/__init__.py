@@ -58,10 +58,14 @@ Or through the facade::
 from repro._version import __version__
 
 __all__ = [
+    "AutoscalerConfig",
+    "ClusterConfig",
+    "DiurnalCurve",
     "MetricsRegistry",
     "PipelineConfig",
     "PlanConfig",
     "ServeConfig",
+    "TenantSpec",
     "TierPolicy",
     "TierSpec",
     "Tracer",
@@ -70,6 +74,7 @@ __all__ = [
     "compress",
     "deploy",
     "serve",
+    "serve_cluster",
     "train",
 ]
 
@@ -77,7 +82,12 @@ __all__ = [
 # that only want a submodule, and the numpy-heavy pipeline stack loads
 # on first use of repro.train / repro.PipelineConfig / ...
 _LAZY = {
+    "AutoscalerConfig": ("repro.cluster.autoscaler", "AutoscalerConfig"),
+    "ClusterConfig": ("repro.cluster.cluster", "ClusterConfig"),
+    "DiurnalCurve": ("repro.cluster.traffic", "DiurnalCurve"),
     "MetricsRegistry": ("repro.observability.metrics", "MetricsRegistry"),
+    "TenantSpec": ("repro.cluster.traffic", "TenantSpec"),
+    "serve_cluster": ("repro.api", "serve_cluster"),
     "PipelineConfig": ("repro.config", "PipelineConfig"),
     "PlanConfig": ("repro.config", "PlanConfig"),
     "ServeConfig": ("repro.config", "ServeConfig"),

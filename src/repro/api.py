@@ -51,7 +51,8 @@ from repro.serving.arrivals import Request
 from repro.serving.server import InferenceServer, ServeReport
 from repro.serving.swap import ModelSwapper
 
-__all__ = ["Deployment", "Result", "compress", "deploy", "serve", "train"]
+__all__ = ["Deployment", "Result", "compress", "deploy", "serve",
+           "serve_cluster", "train"]
 
 
 @runtime_checkable
@@ -215,3 +216,46 @@ def serve(deployment: Deployment, requests: list[Request], *,
                              swapper=swapper, tiers=tiers, tracer=tracer,
                              metrics=metrics)
     return server.serve(requests)
+
+
+def serve_cluster(trained, *, config, tiers: TierSet | None = None,
+                  metrics: MetricsRegistry | None = None,
+                  tracer: Tracer | None = None):
+    """Serve a multi-tenant traffic superposition on a simulated fleet.
+
+    Builds a :class:`~repro.cluster.cluster.Cluster` — N replica
+    servers behind a sharding router on one discrete-event engine,
+    optionally autoscaled — streams ``config.total_requests`` routed
+    requests through it, and returns the aggregated report.  The run
+    is bit-deterministic per ``config.seed`` for any router policy and
+    replica count.
+
+    Args:
+        trained: A :func:`train` result, a :func:`deploy` result, or a
+            bare compiled model — whatever carries the model every
+            replica serves (each replica gets its own device pool; a
+            deployment's existing pool is not reused).
+        config: The :class:`~repro.cluster.cluster.ClusterConfig`
+            (tenants, replica count, router policy, autoscaler knobs).
+        tiers: Optional :func:`compress` ladder, co-resident on every
+            replica.
+        metrics: Registry shared across the fleet (``serve.*``
+            instruments aggregate; the cluster adds ``cluster.*``).
+        tracer: Record cluster-level spans into this tracer (overrides
+            ``config.tracing``).
+
+    Returns:
+        The :class:`~repro.cluster.report.ClusterReport` (a
+        :class:`Result`: ``.summary()`` / ``.trace``).
+    """
+    from repro.cluster.cluster import Cluster
+
+    compiled = getattr(trained, "compiled", trained)
+    if not isinstance(compiled, CompiledModel):
+        raise TypeError(
+            "trained must be a PipelineResult, Deployment or "
+            f"CompiledModel, got {type(trained).__name__}"
+        )
+    cluster = Cluster(compiled, config, tiers=tiers, metrics=metrics,
+                      tracer=tracer)
+    return cluster.run()

@@ -1,0 +1,64 @@
+"""Fleet-scale cluster serving: engine, router, tenants, autoscaler.
+
+The cluster layer composes the single-server serving stack
+(:mod:`repro.serving`) into a simulated fleet: a discrete-event
+:class:`EventEngine` drives N :class:`Replica` servers behind a
+sharding :class:`Router`, fed by a lazy multi-tenant traffic
+superposition, with an optional :class:`Autoscaler` flexing device
+capacity — all bit-deterministic per seed at 10⁶-request scale.
+
+The short path is :func:`repro.api.serve_cluster`::
+
+    report = repro.serve_cluster(trained, config=repro.ClusterConfig(
+        tenants=(TenantSpec("app", rate_hz=500.0, deadline_s=0.05),),
+        num_replicas=4, total_requests=1_000_000,
+    ))
+"""
+
+from repro.cluster.autoscaler import (
+    Autoscaler,
+    AutoscalerConfig,
+    ScalingEvent,
+)
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.engine import Event, EventEngine
+from repro.cluster.replica import Replica
+from repro.cluster.report import ClusterReport, tenant_stats
+from repro.cluster.router import POLICIES, Router
+from repro.cluster.seeding import (
+    DOMAIN_ARRIVALS,
+    DOMAIN_FAILURES,
+    DOMAIN_PAYLOAD,
+    DOMAIN_THINNING,
+    child_rng,
+    child_seed,
+)
+from repro.cluster.traffic import (
+    DiurnalCurve,
+    MultiTenantTraffic,
+    TenantSpec,
+)
+
+__all__ = [
+    "Autoscaler",
+    "AutoscalerConfig",
+    "Cluster",
+    "ClusterConfig",
+    "ClusterReport",
+    "DiurnalCurve",
+    "DOMAIN_ARRIVALS",
+    "DOMAIN_FAILURES",
+    "DOMAIN_PAYLOAD",
+    "DOMAIN_THINNING",
+    "Event",
+    "EventEngine",
+    "MultiTenantTraffic",
+    "POLICIES",
+    "Replica",
+    "Router",
+    "ScalingEvent",
+    "TenantSpec",
+    "child_rng",
+    "child_seed",
+    "tenant_stats",
+]

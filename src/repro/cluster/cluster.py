@@ -1,0 +1,278 @@
+"""The cluster orchestrator: traffic → router → replicas → report.
+
+:class:`Cluster` wires the subsystem together on one
+:class:`~repro.cluster.engine.EventEngine`:
+
+- a :class:`~repro.cluster.traffic.MultiTenantTraffic` superposition
+  streams requests lazily (one arrival = one engine event, never a
+  materialized trace);
+- a :class:`~repro.cluster.router.Router` picks the replica for each
+  arrival, and the :class:`~repro.cluster.replica.Replica` admits it
+  under its own server's admission control;
+- an optional :class:`~repro.cluster.autoscaler.Autoscaler` ticks on
+  the same engine, adding and retiring devices as load moves;
+- when the trace ends every replica flushes, the engine drains, and
+  the per-replica reports aggregate into one
+  :class:`~repro.cluster.report.ClusterReport`.
+
+Determinism: the traffic is a pure function of the seed (routing never
+feeds back into generation), every tie on the engine breaks by
+insertion sequence, and all randomness is domain-separated through
+:mod:`repro.cluster.seeding` — so a run is bit-reproducible for any
+router policy and replica count given one seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.autoscaler import Autoscaler, AutoscalerConfig
+from repro.cluster.engine import EventEngine
+from repro.cluster.replica import Replica
+from repro.cluster.report import ClusterReport, tenant_stats
+from repro.cluster.router import POLICIES, Router
+from repro.cluster.traffic import MultiTenantTraffic, TenantSpec
+from repro.config import ServeConfig
+from repro.edgetpu.compiler import CompiledModel
+from repro.edgetpu.multidevice import DevicePool
+from repro.observability.metrics import LatencyTracker, MetricsRegistry
+from repro.observability.trace import Tracer
+from repro.serving.arrivals import Request
+from repro.serving.server import InferenceServer
+
+__all__ = ["Cluster", "ClusterConfig"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """One cluster serving run, fully specified.
+
+    Attributes:
+        tenants: The tenant workload mix (at least one
+            :class:`~repro.cluster.traffic.TenantSpec`).
+        total_requests: Requests routed across the whole run.
+        num_replicas: Replica servers behind the router.
+        devices_per_replica: Devices in each replica's pool at start.
+        policy: Router policy (one of
+            :data:`repro.cluster.router.POLICIES`).
+        serve: Default per-replica serving config.  Under the
+            ``tenant_affinity`` policy a tenant's own
+            :attr:`TenantSpec.config` overrides it on the tenant's
+            home replica.
+        seed: Root seed for the traffic superposition (tenant streams
+            derive via domain-separated child seeds).
+        autoscaler: Autoscaler knobs; ``None`` runs a static fleet.
+        tracing: Record cluster-level spans (the root serve span and
+            every scaling action — per-request spans stay off at fleet
+            scale).
+        max_events: Safety bound forwarded to
+            :meth:`EventEngine.run`; ``None`` is unbounded.
+    """
+
+    tenants: tuple[TenantSpec, ...]
+    total_requests: int = 10_000
+    num_replicas: int = 2
+    devices_per_replica: int = 1
+    policy: str = "round_robin"
+    serve: ServeConfig = field(default_factory=ServeConfig)
+    seed: int | None = 0
+    autoscaler: AutoscalerConfig | None = None
+    tracing: bool = False
+    max_events: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tenants", tuple(self.tenants))
+        if not self.tenants:
+            raise ValueError("at least one tenant is required")
+        for spec in self.tenants:
+            if not isinstance(spec, TenantSpec):
+                raise TypeError(
+                    f"tenants must be TenantSpec, "
+                    f"got {type(spec).__name__}"
+                )
+        if self.total_requests < 1:
+            raise ValueError(
+                f"total_requests must be >= 1, "
+                f"got {self.total_requests}"
+            )
+        if self.num_replicas < 1:
+            raise ValueError(
+                f"num_replicas must be >= 1, got {self.num_replicas}"
+            )
+        if self.devices_per_replica < 1:
+            raise ValueError(
+                f"devices_per_replica must be >= 1, "
+                f"got {self.devices_per_replica}"
+            )
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"policy must be one of {POLICIES}, got {self.policy!r}"
+            )
+        if not isinstance(self.serve, ServeConfig):
+            raise TypeError(
+                f"serve must be a ServeConfig, "
+                f"got {type(self.serve).__name__}"
+            )
+        if (self.autoscaler is not None
+                and not isinstance(self.autoscaler, AutoscalerConfig)):
+            raise TypeError(
+                f"autoscaler must be an AutoscalerConfig or None, "
+                f"got {type(self.autoscaler).__name__}"
+            )
+
+
+class Cluster:
+    """A router, N replica servers and (optionally) an autoscaler on
+    one event engine.
+
+    Args:
+        compiled: The model every replica serves (replicated onto each
+            replica's own pool).
+        config: The run specification.
+        tiers: Optional compression tier ladder
+            (:class:`~repro.compression.tiers.TierSet`); each replica
+            gets the ladder co-resident and sheds under its serve
+            config's policy, exactly like a single tiered server.
+        metrics: Shared registry; replicas write their ``serve.*``
+            instruments into it (aggregating across the fleet) and the
+            cluster adds ``cluster.*``.
+        tracer: Cluster-level tracer (overrides ``config.tracing``).
+    """
+
+    def __init__(self, compiled: CompiledModel, config: ClusterConfig,
+                 tiers=None, metrics: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None):
+        self.config = config
+        self.metrics = metrics
+        if tracer is None and config.tracing:
+            tracer = Tracer(enabled=True)
+        self.tracer = tracer
+        self.engine = EventEngine()
+        self.replicas: list[Replica] = []
+        tier_list = list(tiers) if tiers is not None else None
+        for index in range(config.num_replicas):
+            pool = DevicePool(config.devices_per_replica, compiled.arch)
+            pool.load_replicated(compiled)
+            server = InferenceServer(
+                pool, config=self._replica_config(index),
+                tiers=tier_list, metrics=metrics,
+            )
+            replica = Replica(server, self.engine, replica_id=index)
+            replica.open()
+            self.replicas.append(replica)
+        self.router = Router(self.replicas, config.policy)
+        self.autoscaler = None
+        if config.autoscaler is not None:
+            self.autoscaler = Autoscaler(
+                config.autoscaler, self.replicas, self.engine,
+                still_serving=self._still_serving, metrics=metrics,
+            )
+        self._traffic = MultiTenantTraffic(
+            config.tenants, config.total_requests, seed=config.seed,
+        ).requests()
+        self._traffic_done = False
+        self._ran = False
+        self._root = None
+
+    def _replica_config(self, index: int) -> ServeConfig:
+        """The serve config replica ``index`` runs under.
+
+        ``tenant_affinity`` pins tenant *t* to replica ``t % N``, so a
+        tenant-supplied config applies to its home replica (first such
+        tenant wins when several share one home).
+        """
+        config = self.config
+        if config.policy == "tenant_affinity":
+            for tenant_index, spec in enumerate(config.tenants):
+                if (tenant_index % config.num_replicas == index
+                        and spec.config is not None):
+                    return spec.config
+        return config.serve
+
+    # ------------------------------------------------------------------
+
+    def _still_serving(self) -> bool:
+        if not self._traffic_done:
+            return True
+        return any(replica.queue or replica._dispatch_event is not None
+                   for replica in self.replicas)
+
+    def _schedule_next_traffic(self) -> None:
+        try:
+            request = next(self._traffic)
+        except StopIteration:
+            self._traffic_done = True
+            for replica in self.replicas:
+                replica.end_of_trace()
+            return
+        self.engine.at(max(self.engine.now, request.arrival_s),
+                       self._on_traffic, request)
+
+    def _on_traffic(self, request: Request) -> None:
+        # Next arrival before any dispatch reschedule (inside submit),
+        # preserving the engine-wide arrivals-win-ties discipline.
+        self._schedule_next_traffic()
+        index = self.router.route(request)
+        if self.metrics is not None:
+            self.metrics.counter("cluster.routed").inc()
+        self.replicas[index].submit(request)
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> ClusterReport:
+        """Serve the whole trace; returns the aggregated report."""
+        if self._ran:
+            raise RuntimeError("cluster already ran; build a fresh one")
+        self._ran = True
+        config = self.config
+        tracer = self.tracer
+        if tracer is not None:
+            self._root = tracer.add(
+                "cluster.serve", 0.0, 0.0, policy=config.policy,
+                replicas=config.num_replicas,
+                tenants=len(config.tenants),
+                requests=config.total_requests,
+            )
+        if self.metrics is not None:
+            self.metrics.gauge("cluster.replicas").set(
+                config.num_replicas
+            )
+            self.metrics.gauge("cluster.devices").set(
+                sum(len(r.server.pool.healthy_indices())
+                    for r in self.replicas)
+            )
+        self._schedule_next_traffic()
+        if self.autoscaler is not None:
+            self.autoscaler.start()
+        self.engine.run(max_events=config.max_events)
+        reports = [replica.finalize() for replica in self.replicas]
+        makespan = max((r.makespan_s for r in reports), default=0.0)
+        scaling = (list(self.autoscaler.events)
+                   if self.autoscaler is not None else [])
+        if tracer is not None:
+            for event in scaling:
+                tracer.add(f"cluster.{event.action}", event.time_s,
+                           event.time_s, parent_id=self._root,
+                           tags=("scaling",), replica=event.replica,
+                           device=event.device)
+            tracer.finish(self._root, makespan)
+            tracer.advance(makespan)
+        report = ClusterReport(
+            policy=config.policy,
+            seed=config.seed,
+            replica_reports=reports,
+            routed_counts=list(self.router.routed_counts),
+            tenants=tenant_stats(list(config.tenants), self.replicas),
+            scaling_events=scaling,
+            device_seconds=sum(
+                replica.device_seconds(makespan)
+                for replica in self.replicas
+            ),
+            makespan_s=makespan,
+            latency=LatencyTracker.merge_all(
+                [r.latency for r in reports]
+            ),
+            trace=(tracer if tracer is not None and tracer.enabled
+                   else None),
+        )
+        return report

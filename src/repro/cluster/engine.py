@@ -1,0 +1,185 @@
+"""Heap-scheduled discrete-event core on the virtual clock.
+
+The serving loop used to materialize every arrival, sort them, and
+scan — fine at 10³ requests, hopeless at 10⁶.  :class:`EventEngine`
+replaces that structure with the classic discrete-event simulation
+core: a binary heap of ``(time, seq, callback)`` events popped in time
+order, with ties broken **deterministically by insertion sequence** —
+two events at the same virtual instant always fire in the order they
+were scheduled, so a simulation is bit-reproducible regardless of heap
+internals.
+
+Design points that keep a 10⁶-event run in bounded wall time and
+memory:
+
+- **Lazy generation composes naturally.**  An event callback may
+  schedule further events (the next arrival, the batch dispatch, the
+  autoscaler's next tick), so arrivals stream through the engine one
+  at a time and a request trace never has to exist as a list.
+- **O(log n) everything.**  ``at`` and ``run`` are plain ``heapq``
+  push/pop; cancellation is lazy (the event is tombstoned and skipped
+  when popped), so cancelling the pending batch dispatch after every
+  arrival — the hot path of the serving loop — never rebuilds the
+  heap.
+- **The clock never goes backwards.**  Scheduling strictly in the past
+  raises; scheduling *at* the current instant is allowed (the serving
+  loop's "flush now" rule) and fires after the current callback
+  returns.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable
+
+__all__ = ["Event", "EventEngine"]
+
+
+class Event:
+    """One scheduled callback; returned by :meth:`EventEngine.at`.
+
+    Events order by ``(time_s, seq)`` — virtual time first, insertion
+    sequence as the deterministic tie-break.  Treat instances as opaque
+    handles: the only supported operation is passing one to
+    :meth:`EventEngine.cancel`.
+    """
+
+    __slots__ = ("time_s", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time_s: float, seq: int,
+                 callback: Callable, args: tuple):
+        self.time_s = time_s
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time_s != other.time_s:
+            return self.time_s < other.time_s
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time_s:.6f} seq={self.seq}{state}>"
+
+
+class EventEngine:
+    """A deterministic discrete-event scheduler on the virtual clock.
+
+    Example::
+
+        engine = EventEngine()
+        engine.at(1.0, lambda: engine.at(2.0, done))
+        engine.run()          # fires both; engine.now == 2.0
+
+    Attributes:
+        now: Current virtual time — the time of the event being (or
+            last) processed.  Starts at 0.0.
+        events_processed: Events fired so far (cancelled events are
+            skipped, not counted).
+    """
+
+    def __init__(self):
+        self.now = 0.0
+        self.events_processed = 0
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._live = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def at(self, time_s: float, callback: Callable, *args) -> Event:
+        """Schedule ``callback(*args)`` at virtual time ``time_s``.
+
+        ``time_s`` may equal :attr:`now` (the event fires after the
+        current callback returns, in insertion order among its ties);
+        a strictly-past time raises.
+        """
+        if math.isnan(time_s) or time_s < self.now:
+            raise ValueError(
+                f"cannot schedule at {time_s} (now is {self.now})"
+            )
+        if math.isinf(time_s):
+            raise ValueError("cannot schedule at infinity")
+        event = Event(float(time_s), self._seq, callback, args)
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def after(self, delay_s: float, callback: Callable, *args) -> Event:
+        """Schedule ``callback(*args)`` ``delay_s`` seconds from now."""
+        if delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {delay_s}")
+        return self.at(self.now + delay_s, callback, *args)
+
+    def cancel(self, event: Event) -> None:
+        """Tombstone a scheduled event (idempotent).
+
+        The entry stays in the heap and is discarded when popped —
+        O(1) now, amortized against the pop it would have cost anyway.
+        """
+        if not event.cancelled:
+            event.cancelled = True
+            self._live -= 1
+
+    @property
+    def pending(self) -> int:
+        """Live (non-cancelled, not-yet-fired) events."""
+        return self._live
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Fire the single earliest live event; ``False`` when empty."""
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            self.now = event.time_s
+            self.events_processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until_s: float | None = None,
+            max_events: int | None = None) -> int:
+        """Fire events in ``(time, seq)`` order; returns events fired.
+
+        Args:
+            until_s: Stop *before* any event strictly later than this
+                time (the event stays scheduled and ``now`` does not
+                pass ``until_s``).
+            max_events: Safety bound on events fired by this call;
+                raises :class:`RuntimeError` when exceeded (a runaway
+                self-rescheduling loop, not a normal exit).
+        """
+        fired = 0
+        heap = self._heap
+        while heap:
+            event = heap[0]
+            if event.cancelled:
+                heapq.heappop(heap)
+                continue
+            if until_s is not None and event.time_s > until_s:
+                break
+            if max_events is not None and fired >= max_events:
+                raise RuntimeError(
+                    f"event budget exhausted after {fired} events at "
+                    f"t={self.now:.6f}"
+                )
+            heapq.heappop(heap)
+            self._live -= 1
+            self.now = event.time_s
+            self.events_processed += 1
+            event.callback(*event.args)
+            fired += 1
+        return fired

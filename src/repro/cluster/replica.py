@@ -1,0 +1,510 @@
+"""The serving loop re-expressed as discrete events: one replica actor.
+
+:class:`Replica` runs an :class:`~repro.serving.server.InferenceServer`
+*on* an :class:`~repro.cluster.engine.EventEngine` instead of the old
+materialize-sort-scan loop.  The translation is exact — the engine
+fires the same admits and dispatches at the same virtual times in the
+same order, so a single-replica run reproduces the old loop's
+:class:`~repro.serving.server.ServeReport` byte for byte (asserted
+against the frozen :func:`repro.serving._reference.serve_reference`
+oracle in ``tests/cluster/test_equivalence.py``).
+
+Two details carry the equivalence:
+
+- **Arrivals win ties.**  The old loop admitted whenever
+  ``next_arrival <= ready``.  Here, every event handler schedules the
+  next arrival *before* rescheduling the batch dispatch, and the
+  dispatch is always cancel-and-reinsert (never reused), so its
+  insertion sequence is always the newest — at equal times the engine's
+  deterministic ``(time, seq)`` order fires the arrival first.
+- **The batch trigger is re-evaluated after every event.**  The old
+  loop called ``batcher.ready_at`` once per iteration with the time of
+  the last event; :meth:`Replica._reschedule` does the same after each
+  admit and each dispatch, so a pure policy sees identical inputs.
+
+The actor serves either mode the cluster needs:
+
+- **Standalone** (:meth:`bind`): the replica owns the trace — a list
+  (the exact, byte-identical path) or any iterator (the streamed path:
+  requests are pulled lazily, report rows live in growable arrays, and
+  a 10⁶-request trace never exists in memory).
+- **Routed** (:meth:`open` / :meth:`submit` / :meth:`end_of_trace`):
+  a :class:`~repro.cluster.router.Router` pushes requests in; the
+  replica renumbers them to replica-local ids and keeps per-row
+  arrival/deadline/tenant columns for the cluster report's per-tenant
+  SLA accounting.
+
+Elastic capacity (:meth:`add_device` / :meth:`retire_device`) extends
+the per-device accounting arrays in step with the pool and keeps
+device online spans, so the autoscaler's device-seconds bill is exact.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import replace
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.cluster.engine import Event, EventEngine
+from repro.runtime.profiler import LatencyTracker
+from repro.serving.arrivals import Request
+from repro.serving.server import InferenceServer, ServeReport
+
+__all__ = ["Replica"]
+
+
+class _Rows:
+    """Growable request-order columns backing a streamed ServeReport.
+
+    The exact (list-input) path preallocates the report arrays to the
+    trace length, exactly as the old loop did.  The streamed path does
+    not know the length, so the per-request columns live here in
+    doubling arrays; the report's ``predictions``/``latencies`` (and
+    ``request_tiers`` when tiered) *are* these arrays — regrown copies
+    are written back so the dispatch path always indexes live storage.
+    ``trim`` slices everything to the final count.
+
+    Beyond the report's own columns this keeps ``arrivals``,
+    ``deadlines`` and ``tenants``: the cluster report needs them for
+    per-tenant latency splits and SLA attainment, and the makespan
+    needs arrivals (the old loop re-read them from the request list,
+    which no longer exists).
+    """
+
+    __slots__ = ("count", "capacity", "report", "tiered", "has_labels",
+                 "arrivals", "deadlines", "tenants", "labels")
+
+    _INITIAL = 1024
+
+    def __init__(self, report: ServeReport, tiered: bool):
+        capacity = self._INITIAL
+        self.count = 0
+        self.capacity = capacity
+        self.report = report
+        self.tiered = tiered
+        self.has_labels: bool | None = None
+        self.arrivals = np.zeros(capacity)
+        self.deadlines = np.zeros(capacity)
+        self.tenants = np.full(capacity, -1, dtype=np.int64)
+        self.labels: np.ndarray | None = None
+        report.predictions = np.full(capacity, -1, dtype=np.int64)
+        report.latencies = np.full(capacity, np.nan)
+        if tiered:
+            report.request_tiers = np.full(capacity, -1, dtype=np.int64)
+
+    @staticmethod
+    def _extend(array: np.ndarray, capacity: int, fill) -> np.ndarray:
+        grown = np.full(capacity, fill, dtype=array.dtype)
+        grown[:len(array)] = array
+        return grown
+
+    def _grow(self) -> None:
+        capacity = self.capacity * 2
+        report = self.report
+        self.arrivals = self._extend(self.arrivals, capacity, 0.0)
+        self.deadlines = self._extend(self.deadlines, capacity, 0.0)
+        self.tenants = self._extend(self.tenants, capacity, -1)
+        if self.labels is not None:
+            self.labels = self._extend(self.labels, capacity, -1)
+        report.predictions = self._extend(report.predictions, capacity, -1)
+        report.latencies = self._extend(report.latencies, capacity, np.nan)
+        if self.tiered:
+            report.request_tiers = self._extend(
+                report.request_tiers, capacity, -1
+            )
+        self.capacity = capacity
+
+    def append(self, request: Request) -> Request:
+        """Record one request's columns; returns it renumbered to the
+        replica-local id (a no-op for an already-local trace)."""
+        count = self.count
+        if count == self.capacity:
+            self._grow()
+        if self.has_labels is None:
+            self.has_labels = request.label is not None
+            if self.has_labels:
+                self.labels = np.full(self.capacity, -1, dtype=np.int64)
+        self.arrivals[count] = request.arrival_s
+        self.deadlines[count] = request.deadline_s
+        if request.tenant is not None:
+            self.tenants[count] = request.tenant
+        if self.has_labels:
+            self.labels[count] = request.label
+        if request.request_id != count:
+            request = replace(request, request_id=count)
+        self.count = count + 1
+        return request
+
+    def trim(self) -> None:
+        count = self.count
+        report = self.report
+        report.num_requests = count
+        report.predictions = report.predictions[:count]
+        report.latencies = report.latencies[:count]
+        if self.has_labels:
+            report.labels = self.labels[:count]
+        if self.tiered:
+            report.request_tiers = report.request_tiers[:count]
+        self.arrivals = self.arrivals[:count]
+        self.deadlines = self.deadlines[:count]
+        self.tenants = self.tenants[:count]
+
+
+class Replica:
+    """One inference server as an actor on the event engine.
+
+    Args:
+        server: The :class:`~repro.serving.server.InferenceServer` to
+            run.  The replica owns the simulation state the old loop
+            kept in locals (queue, per-device free/busy/swap times,
+            host-free time) — the server contributes policies, cost
+            models and the dispatch path.
+        engine: The shared :class:`EventEngine`.
+        replica_id: Identity in a cluster (0 for standalone serving).
+    """
+
+    def __init__(self, server: InferenceServer, engine: EventEngine,
+                 replica_id: int = 0):
+        self.server = server
+        self.engine = engine
+        self.replica_id = replica_id
+        self.queue: deque[Request] = deque()
+        num_devices = server.pool.num_devices
+        self.device_free = [0.0] * num_devices
+        self.device_busy = [0.0] * num_devices
+        self.device_swap = [0.0] * num_devices
+        self.host_free = 0.0
+        # Every pre-existing device has been online since t=0; entries
+        # are [start, end] with end None while the device is in service.
+        self.online_spans: list[list] = [[0.0, None]
+                                         for _ in range(num_devices)]
+        self.report: ServeReport | None = None
+        self._root = None
+        self._dispatch_event: Event | None = None
+        self._source: Iterator[Request] | None = None
+        self._source_done = False
+        self._prev_arrival = -math.inf
+        self._exact_requests: list[Request] | None = None
+        self._rows: _Rows | None = None
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # Trace binding
+    # ------------------------------------------------------------------
+
+    def bind(self, requests: Iterable[Request]) -> None:
+        """Attach a standalone trace; the replica schedules its own
+        arrival events.
+
+        A list (or tuple) takes the exact path — report arrays
+        preallocated to the trace length, arrival order validated up
+        front, byte-identical to the old loop.  Any other iterable is
+        streamed: requests are pulled one at a time as their arrival
+        events fire, so the trace never has to exist in memory.
+        """
+        if self.report is not None:
+            raise RuntimeError("replica already has a trace bound")
+        if isinstance(requests, (list, tuple)):
+            self._bind_list(list(requests))
+        else:
+            self._bind_stream(iter(requests))
+
+    def _bind_list(self, requests: list[Request]) -> None:
+        num_requests = len(requests)
+        report = ServeReport(num_requests=num_requests)
+        report.predictions = np.full(num_requests, -1, dtype=np.int64)
+        report.latencies = np.full(num_requests, np.nan)
+        if num_requests and requests[0].label is not None:
+            report.labels = np.array(
+                [r.label for r in requests], dtype=np.int64
+            )
+        for left, right in zip(requests, requests[1:]):
+            if right.arrival_s < left.arrival_s:
+                raise ValueError("requests must be in arrival order")
+        self.report = report
+        self._exact_requests = requests
+        self._begin(trace_requests=num_requests)
+        self._source = iter(requests)
+        self._schedule_next_arrival()
+
+    def _bind_stream(self, requests: Iterator[Request]) -> None:
+        self.report = ServeReport(num_requests=0)
+        self._rows = _Rows(self.report,
+                           tiered=self.server._tiers is not None)
+        self._begin(trace_requests=None)
+        self._source = requests
+        self._schedule_next_arrival()
+
+    def open(self) -> None:
+        """Prepare for routed traffic: requests arrive via
+        :meth:`submit` and the router signals :meth:`end_of_trace`."""
+        if self.report is not None:
+            raise RuntimeError("replica already has a trace bound")
+        self.report = ServeReport(num_requests=0)
+        self._rows = _Rows(self.report,
+                           tiered=self.server._tiers is not None)
+        self._begin(trace_requests=None)
+
+    def _begin(self, trace_requests: int | None) -> None:
+        """The old loop's preamble: root span, tier accounting reset."""
+        server = self.server
+        report = self.report
+        tracer = server.tracer
+        metrics = server.metrics
+        self._root = (tracer.add("serve", 0.0, 0.0,
+                                 requests=trace_requests,
+                                 devices=server.pool.num_devices)
+                      if tracer is not None else None)
+        server._active_tier = 0
+        if server._tiers is not None:
+            report.tier_names = [t.name for t in server._tiers]
+            report.tier_batches = [0] * len(server._tiers)
+            report.tier_served = [0] * len(server._tiers)
+            report.tier_build_accuracy = [t.build_accuracy
+                                          for t in server._tiers]
+            if self._rows is None:
+                report.request_tiers = np.full(report.num_requests, -1,
+                                               dtype=np.int64)
+            report.tier_latency = [LatencyTracker()
+                                   for _ in server._tiers]
+            if metrics is not None:
+                metrics.gauge("serve.tier_active").set(0)
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+
+    def _schedule_next_arrival(self) -> None:
+        try:
+            request = next(self._source)
+        except StopIteration:
+            self._source = None
+            self._source_done = True
+            return
+        if self._rows is not None:
+            # The exact path validated the whole list up front; the
+            # streamed path validates as it pulls.
+            if request.arrival_s < self._prev_arrival:
+                raise ValueError("requests must be in arrival order")
+            self._prev_arrival = request.arrival_s
+        self.engine.at(max(self.engine.now, request.arrival_s),
+                       self._on_arrival, request)
+
+    def _on_arrival(self, request: Request) -> None:
+        # Next arrival first, then the dispatch reschedule: at equal
+        # times the arrival's older sequence number fires first, which
+        # is exactly the old loop's ``next_arrival <= ready`` tie.
+        self._schedule_next_arrival()
+        self.submit(request)
+
+    def submit(self, request: Request) -> None:
+        """Admit (or drop) one request at the current virtual time.
+
+        This is the old loop's admission block verbatim; in routed mode
+        the router calls it directly at the request's arrival event.
+        """
+        server = self.server
+        report = self.report
+        metrics = server.metrics
+        tracer = server.tracer
+        queue = self.queue
+        if self._rows is not None:
+            request = self._rows.append(request)
+        if metrics is not None:
+            metrics.counter("serve.requests").inc()
+        if len(queue) >= server.max_queue:
+            report.dropped += 1
+            if tracer is not None:
+                # Zero-duration marker: the request arrived and was
+                # rejected at the same virtual instant.
+                tracer.add("request", request.arrival_s,
+                           request.arrival_s, parent_id=self._root,
+                           tags=("dropped",),
+                           request_id=request.request_id)
+            if metrics is not None:
+                metrics.counter("serve.dropped").inc()
+        else:
+            queue.append(request)
+        if metrics is not None:
+            metrics.gauge("serve.queue_depth").set(len(queue))
+        self._reschedule()
+
+    def end_of_trace(self) -> None:
+        """Routed mode: no more submits are coming — arm the flush rule
+        so a queue the policy would hold forever dispatches now."""
+        self._source_done = True
+        self._reschedule()
+
+    def _reschedule(self) -> None:
+        """Re-evaluate the batch trigger (the old loop's per-iteration
+        ``ready_at`` call) and move the pending dispatch event.
+
+        Always cancel-and-reinsert: the dispatch event's sequence
+        number must be newer than any pending arrival's so arrivals win
+        ties.
+        """
+        engine = self.engine
+        if self._dispatch_event is not None:
+            engine.cancel(self._dispatch_event)
+            self._dispatch_event = None
+        server = self.server
+        queue = self.queue
+        ready = server.batcher.ready_at(queue, engine.now,
+                                        server.service_estimate)
+        if math.isinf(ready):
+            if not (self._source_done and queue):
+                return
+            # Trace over, policy would wait forever: flush.
+            ready = engine.now
+        self._dispatch_event = engine.at(max(engine.now, ready),
+                                         self._on_dispatch)
+
+    def _on_dispatch(self) -> None:
+        self._dispatch_event = None
+        server = self.server
+        queue = self.queue
+        batch = [queue.popleft()
+                 for _ in range(min(server.batcher.max_batch,
+                                    len(queue)))]
+        if server.metrics is not None:
+            server.metrics.gauge("serve.queue_depth").set(len(queue))
+        self.host_free = server._dispatch_batch(
+            batch, self.engine.now, self.device_free, self.device_busy,
+            self.device_swap, self.host_free, self.report,
+            server.tracer, self._root, queue_depth=len(queue),
+        )
+        self._reschedule()
+
+    # ------------------------------------------------------------------
+    # Elastic capacity (the autoscaler's knobs)
+    # ------------------------------------------------------------------
+
+    def add_device(self) -> int:
+        """Attach one device, load the current model set onto it, and
+        extend the accounting arrays; returns the pool index.
+
+        The device becomes dispatchable once its model load completes
+        (``device_free`` starts at now + load), mirroring a real
+        attach-then-deploy.  Provisioning lead time is the autoscaler's
+        to charge — it schedules the add event in the future.
+        """
+        server = self.server
+        pool = server.pool
+        index = pool.add_device()
+        load = pool.reload(index, server._compiled)
+        if server._tiers is not None:
+            for tier in server._tiers[1:]:
+                load = max(load,
+                           pool.devices[index].load_resident(tier.compiled))
+        now = self.engine.now
+        self.device_free.append(now + load)
+        self.device_busy.append(0.0)
+        self.device_swap.append(0.0)
+        self.online_spans.append([now, None])
+        return index
+
+    def retire_device(self, index: int) -> None:
+        """Take device ``index`` out of service and close its online
+        span.  In-flight work finishes; no new batches land on it."""
+        self.server.pool.retire(index)
+        span = self.online_spans[index]
+        if span[1] is None:
+            span[1] = self.engine.now
+
+    def device_seconds(self, until_s: float) -> float:
+        """Total device-online seconds through ``until_s`` — the
+        provisioning bill the autoscaler benchmark compares against
+        static fleets."""
+        total = 0.0
+        for start, end in self.online_spans:
+            total += (until_s if end is None else end) - start
+        return total
+
+    @property
+    def queue_depth(self) -> int:
+        """Current admission-queue depth (an autoscaler signal)."""
+        return len(self.queue)
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+
+    def finalize(self) -> ServeReport:
+        """The old loop's epilogue; call once, after the engine drains."""
+        if self._finalized:
+            raise RuntimeError("replica already finalized")
+        self._finalized = True
+        server = self.server
+        report = self.report
+        now = self.engine.now
+        if self._rows is not None:
+            self._rows.trim()
+            arrivals = self._rows.arrivals
+        else:
+            arrivals = np.array(
+                [r.arrival_s for r in self._exact_requests]
+            )
+        report.served = report.num_requests - report.dropped
+        if report.served:
+            report.makespan_s = float(
+                np.nanmax(report.latencies + arrivals)
+            )
+        else:
+            # Every request dropped (e.g. ``max_queue=0``) or an empty
+            # trace: the latency vector is all-NaN, so nanmax would
+            # warn and return NaN — the makespan is just the virtual
+            # clock at the last event.
+            report.makespan_s = float(now)
+        report.device_busy_seconds = [float(b) for b in self.device_busy]
+        report.device_swap_seconds = [float(s) for s in self.device_swap]
+        report.device_idle_seconds = [
+            max(0.0, report.makespan_s - b - s)
+            for b, s in zip(self.device_busy, self.device_swap)
+        ]
+        report.failed_devices = sorted(server.pool.failed)
+        if server.swapper is not None:
+            report.swap_records = list(server.swapper.records)
+        tracer = server.tracer
+        if tracer is not None:
+            tracer.finish(self._root, report.makespan_s)
+            tracer.advance(report.makespan_s)
+            report.trace = tracer if tracer.enabled else None
+        metrics = server.metrics
+        if metrics is not None:
+            metrics.counter("serve.batches").inc(report.num_batches)
+            metrics.counter("serve.retries").inc(report.retried_batches)
+            metrics.counter("serve.fallbacks").inc(
+                report.fallback_batches
+            )
+            metrics.counter("serve.deadline_misses").inc(
+                report.deadline_misses
+            )
+        if server.profiler is not None:
+            server.profiler.charge("inference", report.makespan_s)
+        return report
+
+    # Cluster-report accessors (valid after finalize) -------------------
+
+    @property
+    def arrivals(self) -> np.ndarray:
+        """Per-request arrival times (streamed/routed traces only)."""
+        if self._rows is None:
+            raise RuntimeError("exact traces keep arrivals on the list")
+        return self._rows.arrivals
+
+    @property
+    def deadlines(self) -> np.ndarray:
+        """Per-request absolute deadlines (streamed/routed only)."""
+        if self._rows is None:
+            raise RuntimeError("exact traces keep deadlines on the list")
+        return self._rows.deadlines
+
+    @property
+    def tenants(self) -> np.ndarray:
+        """Per-request tenant ids, ``-1`` for none (streamed/routed)."""
+        if self._rows is None:
+            raise RuntimeError("exact traces carry no tenant column")
+        return self._rows.tenants

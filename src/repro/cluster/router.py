@@ -1,0 +1,112 @@
+"""The cluster front-end: shard requests across replica servers.
+
+A :class:`Router` is a pure routing policy — it answers "which replica
+takes this request" and keeps per-replica routed counts.  The cluster
+orchestrator owns the arrival events and calls :meth:`route` once per
+request; the chosen :class:`~repro.cluster.replica.Replica` then admits
+or drops it under its own server's admission control.
+
+Policies:
+
+- ``round_robin`` — cycle through replicas; the stateless baseline.
+- ``least_queue`` — join the shortest admission queue (ties to the
+  lowest index); the load-aware policy.
+- ``tenant_affinity`` — tenant *t* always lands on replica
+  ``t % N``; gives each tenant a home replica (and lets a tenant's own
+  :attr:`~repro.cluster.traffic.TenantSpec.config` apply there).
+- ``consistent_hash`` — SHA-256 ring with virtual nodes keyed by
+  tenant; like affinity it pins a tenant to one replica, but the
+  assignment is stable under replica-count changes (only ~1/N of
+  tenants move when a replica joins), the property that matters for
+  warm caches and resident model state.
+
+Hashing uses :mod:`hashlib`, not :func:`hash` — Python's string hash is
+salted per process (``PYTHONHASHSEED``), which would silently break
+bit-determinism across runs.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+from repro.serving.arrivals import Request
+
+__all__ = ["POLICIES", "Router"]
+
+POLICIES = ("round_robin", "least_queue", "tenant_affinity",
+            "consistent_hash")
+
+# Virtual nodes per replica on the consistent-hash ring: enough that
+# tenant load spreads evenly for small replica counts.
+_VNODES = 64
+
+
+def _ring_point(label: str) -> int:
+    """A stable 64-bit ring position for ``label``."""
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class Router:
+    """Shards a request stream across replicas under one policy.
+
+    Args:
+        replicas: The :class:`~repro.cluster.replica.Replica` actors
+            (``least_queue`` reads their live queue depths).
+        policy: One of :data:`POLICIES`.
+
+    Attributes:
+        routed_counts: Requests routed to each replica so far.
+    """
+
+    def __init__(self, replicas, policy: str = "round_robin"):
+        replicas = list(replicas)
+        if not replicas:
+            raise ValueError("at least one replica is required")
+        if policy not in POLICIES:
+            raise ValueError(
+                f"policy must be one of {POLICIES}, got {policy!r}"
+            )
+        self.replicas = replicas
+        self.policy = policy
+        self.routed_counts = [0] * len(replicas)
+        self._next = 0
+        self._ring: list[int] = []
+        self._ring_replica: list[int] = []
+        if policy == "consistent_hash":
+            points = []
+            for index in range(len(replicas)):
+                for vnode in range(_VNODES):
+                    points.append(
+                        (_ring_point(f"replica-{index}-vnode-{vnode}"),
+                         index)
+                    )
+            points.sort()
+            self._ring = [point for point, _ in points]
+            self._ring_replica = [index for _, index in points]
+
+    def route(self, request: Request) -> int:
+        """Pick the replica index for one request (and count it)."""
+        policy = self.policy
+        if policy == "round_robin":
+            index = self._next
+            self._next = (index + 1) % len(self.replicas)
+        elif policy == "least_queue":
+            depths = [len(replica.queue) for replica in self.replicas]
+            index = depths.index(min(depths))
+        elif policy == "tenant_affinity":
+            key = (request.tenant if request.tenant is not None
+                   else request.request_id)
+            index = key % len(self.replicas)
+        else:  # consistent_hash
+            key = (f"tenant-{request.tenant}"
+                   if request.tenant is not None
+                   else f"request-{request.request_id}")
+            point = _ring_point(key)
+            position = bisect.bisect_right(self._ring, point)
+            if position == len(self._ring):
+                position = 0
+            index = self._ring_replica[position]
+        self.routed_counts[index] += 1
+        return index

@@ -1,0 +1,68 @@
+"""Domain-separated child seeds for cluster simulations.
+
+A cluster run owns many independent random streams: each tenant's
+arrival process, each tenant's payload distribution, each replica's
+failure schedule.  Deriving them as ``seed + i`` has two classic
+failure modes:
+
+- **Cross-domain collision** — tenant 1's arrival stream and replica
+  1's failure stream share a seed and are perfectly correlated.
+- **Index shift** — allocating sequentially across domains (tenants
+  first, then replicas) means *adding a tenant renumbers every replica
+  seed*, so an unrelated configuration change silently changes every
+  stream after it.
+
+:func:`child_seed` fixes both with :class:`numpy.random.SeedSequence`
+spawn keys: the child for ``(domain, index)`` is a pure function of the
+root seed and that key, statistically independent of every other key,
+and **stable under any change to the rest of the configuration** —
+tenant 3's streams are bit-identical whether the cluster has 4 tenants
+or 40, 1 replica or 8.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "DOMAIN_ARRIVALS",
+    "DOMAIN_FAILURES",
+    "DOMAIN_PAYLOAD",
+    "DOMAIN_THINNING",
+    "child_seed",
+    "child_rng",
+]
+
+# Spawn-key domains.  Values are part of the determinism contract:
+# changing one changes every stream in that domain.
+DOMAIN_ARRIVALS = 0
+DOMAIN_PAYLOAD = 1
+DOMAIN_FAILURES = 2
+DOMAIN_THINNING = 3
+
+
+def child_seed(seed: int | None, domain: int,
+               index: int) -> np.random.SeedSequence:
+    """The :class:`~numpy.random.SeedSequence` for ``(domain, index)``.
+
+    Children are independent across ``(domain, index)`` pairs and
+    stable: the same root seed and key always yield the same child, no
+    matter how many other children exist.
+
+    Args:
+        seed: Root entropy (``None`` draws OS entropy — only for
+            explicitly non-reproducible runs).
+        domain: One of the ``DOMAIN_*`` constants (any int works; the
+            constants just keep call sites collision-free).
+        index: Entity index within the domain (tenant 2, replica 0...).
+    """
+    if index < 0:
+        raise ValueError(f"index must be >= 0, got {index}")
+    return np.random.SeedSequence(entropy=seed,
+                                  spawn_key=(domain, index))
+
+
+def child_rng(seed: int | None, domain: int,
+              index: int) -> np.random.Generator:
+    """A :class:`~numpy.random.Generator` over :func:`child_seed`."""
+    return np.random.default_rng(child_seed(seed, domain, index))

@@ -1,0 +1,314 @@
+"""Multi-tenant traffic: MMPP superposition with diurnal rate curves.
+
+A fleet does not serve one workload — it serves several tenants at
+once, each with its own arrival statistics, payload distribution and
+SLA.  This module generates that superposed trace **lazily and at
+scale**: per-tenant arrival streams (Poisson or bursty MMPP, via the
+existing :class:`~repro.serving.arrivals.ArrivalProcess`) are modulated
+by a :class:`DiurnalCurve` through *thinning* — draw at the curve's
+peak rate, keep each arrival with probability ``multiplier(t)/peak`` —
+then merged in time order by a k-way heap.  Nothing is materialized:
+a 10⁶-request trace streams through the router one
+:class:`~repro.serving.arrivals.Request` at a time.
+
+Every random stream is domain-separated through
+:mod:`repro.cluster.seeding`, so tenant 2's trace is bit-identical
+whether the cluster has three tenants or thirty, and adding a tenant
+never perturbs another tenant's arrivals or payloads (the regression
+test shows the naive ``seed + i`` layout failing exactly this).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.cluster.seeding import (
+    DOMAIN_ARRIVALS,
+    DOMAIN_PAYLOAD,
+    DOMAIN_THINNING,
+    child_rng,
+    child_seed,
+)
+from repro.config import ServeConfig
+from repro.data.streams import DriftingStream, StreamConfig
+from repro.serving.arrivals import ArrivalProcess, Request
+
+__all__ = ["DiurnalCurve", "MultiTenantTraffic", "TenantSpec"]
+
+# Arrival candidates drawn per thinning pass.  Fixed: the bursty MMPP
+# state machine resets per chunk, so the chunk size is part of the
+# determinism contract.
+_CHUNK = 4096
+
+# Payload samples drawn per block for a stationary tenant (a drifting
+# tenant's block is its drift_every, so drift granularity is exact).
+_PAYLOAD_BLOCK = 256
+
+
+@dataclass(frozen=True)
+class DiurnalCurve:
+    """A deterministic rate multiplier over virtual time.
+
+    The multiplier is ``1 + amplitude * sin(2π (t/period_s + phase))``,
+    optionally scaled by ``spike_factor`` inside the spike window —
+    the sinusoid models the diurnal swing of edge traffic, the spike
+    models a flash crowd (the autoscaler benchmark's 10× step).
+
+    Attributes:
+        period_s: Sinusoid period (a scaled-down "day").
+        amplitude: Sinusoid amplitude in ``[0, 1)``; ``0`` is flat.
+        phase: Phase offset as a fraction of the period.
+        spike_at_s: Spike start time (``None`` for no spike).
+        spike_duration_s: Spike length in seconds.
+        spike_factor: Rate multiplier inside the spike (``>= 1``).
+    """
+
+    period_s: float = 3600.0
+    amplitude: float = 0.0
+    phase: float = 0.0
+    spike_at_s: float | None = None
+    spike_duration_s: float = 0.0
+    spike_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ValueError(f"period_s must be > 0, got {self.period_s}")
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValueError(
+                f"amplitude must be in [0, 1), got {self.amplitude}"
+            )
+        if self.spike_factor < 1.0:
+            raise ValueError(
+                f"spike_factor must be >= 1, got {self.spike_factor}"
+            )
+        if self.spike_duration_s < 0:
+            raise ValueError(
+                f"spike_duration_s must be >= 0, "
+                f"got {self.spike_duration_s}"
+            )
+        if self.spike_at_s is not None and self.spike_at_s < 0:
+            raise ValueError(
+                f"spike_at_s must be >= 0, got {self.spike_at_s}"
+            )
+
+    @property
+    def peak(self) -> float:
+        """The largest multiplier the curve can reach (the thinning
+        envelope)."""
+        peak = 1.0 + self.amplitude
+        if self.spike_at_s is not None:
+            peak *= self.spike_factor
+        return peak
+
+    def multipliers(self, times: np.ndarray) -> np.ndarray:
+        """Vectorized multiplier at each time."""
+        values = 1.0 + self.amplitude * np.sin(
+            2.0 * math.pi * (times / self.period_s + self.phase)
+        )
+        if self.spike_at_s is not None and self.spike_duration_s > 0:
+            inside = ((times >= self.spike_at_s)
+                      & (times < self.spike_at_s + self.spike_duration_s))
+            values = np.where(inside, values * self.spike_factor, values)
+        return values
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's workload contract.
+
+    Attributes:
+        name: Tenant label (appears in the cluster report).
+        rate_hz: Base arrival rate before the diurnal multiplier.
+        deadline_s: Per-request SLA budget (deadline = arrival +
+            budget); drives the tenant's SLA-attainment row.
+        kind: Arrival statistics — ``"poisson"`` or ``"bursty"``
+            (two-state MMPP), as :class:`ArrivalProcess` defines them.
+        burst_factor: MMPP burst-state rate multiplier.
+        num_features: Payload feature width.
+        num_classes: Payload class count.
+        drift_rate: Payload drift per step (``0`` is stationary).
+        drift_every: Requests per drift step (``0`` freezes drift).
+        curve: Diurnal/spike rate modulation.
+        config: Optional per-tenant :class:`~repro.config.ServeConfig`.
+            Under the ``tenant_affinity`` router policy the tenant's
+            home replica is built with this config (its batching,
+            admission and shedding knobs) instead of the cluster
+            default; other policies ignore it (requests from many
+            tenants share every replica).
+    """
+
+    name: str
+    rate_hz: float
+    deadline_s: float
+    kind: str = "poisson"
+    burst_factor: float = 8.0
+    num_features: int = 16
+    num_classes: int = 3
+    drift_rate: float = 0.0
+    drift_every: int = 0
+    curve: DiurnalCurve = field(default_factory=DiurnalCurve)
+    config: ServeConfig | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("name must be non-empty")
+        if self.rate_hz <= 0:
+            raise ValueError(f"rate_hz must be > 0, got {self.rate_hz}")
+        if self.deadline_s <= 0:
+            raise ValueError(
+                f"deadline_s must be > 0, got {self.deadline_s}"
+            )
+        if self.drift_every < 0:
+            raise ValueError(
+                f"drift_every must be >= 0, got {self.drift_every}"
+            )
+        if self.config is not None and not isinstance(self.config,
+                                                      ServeConfig):
+            raise TypeError(
+                f"config must be a ServeConfig or None, "
+                f"got {type(self.config).__name__}"
+            )
+
+
+class _TenantSource:
+    """One tenant's infinite lazy event stream.
+
+    Arrivals: candidate gaps are drawn in fixed chunks at the curve's
+    peak rate, then thinned against the curve — the standard
+    non-homogeneous-process construction, vectorized so per-request
+    Python cost is O(1) amortized.  Payloads: drawn in blocks from the
+    tenant's own :class:`DriftingStream` (block = ``drift_every`` when
+    drifting, so drift advances exactly as
+    :class:`~repro.serving.arrivals.RequestStream` would at the same
+    granularity).
+    """
+
+    def __init__(self, spec: TenantSpec, index: int, seed: int | None):
+        self.spec = spec
+        self.index = index
+        self.peak = spec.curve.peak
+        self.arrivals = ArrivalProcess(
+            spec.rate_hz * self.peak, spec.kind,
+            seed=child_seed(seed, DOMAIN_ARRIVALS, index),
+            burst_factor=spec.burst_factor,
+        )
+        self._thin = child_rng(seed, DOMAIN_THINNING, index)
+        self.stream = DriftingStream(
+            StreamConfig(num_features=spec.num_features,
+                         num_classes=spec.num_classes,
+                         drift_rate=spec.drift_rate),
+            seed=child_seed(seed, DOMAIN_PAYLOAD, index),
+        )
+        self._clock = 0.0
+        self._times: np.ndarray = np.empty(0)
+        self._ti = 0
+        self._px: np.ndarray = np.empty((0, spec.num_features))
+        self._py: np.ndarray = np.empty(0, dtype=np.int64)
+        self._pi = 0
+        self._blocks = 0
+
+    def _refill_times(self) -> None:
+        while True:
+            gaps = self.arrivals.inter_arrivals(_CHUNK)
+            times = self._clock + np.cumsum(gaps)
+            self._clock = float(times[-1])
+            if self.peak > 1.0:
+                keep = (self._thin.random(_CHUNK)
+                        < self.spec.curve.multipliers(times) / self.peak)
+                times = times[keep]
+            if len(times):
+                self._times = times
+                self._ti = 0
+                return
+
+    def _refill_payload(self) -> None:
+        spec = self.spec
+        if self._blocks and spec.drift_every:
+            self.stream.advance(1)
+        self._blocks += 1
+        block = spec.drift_every if spec.drift_every else _PAYLOAD_BLOCK
+        self._px, self._py = self.stream.draw(block)
+        self._pi = 0
+
+    def next_event(self) -> tuple[float, np.ndarray, int]:
+        """The tenant's next ``(arrival_s, features, label)``."""
+        if self._ti == len(self._times):
+            self._refill_times()
+        if self._pi == len(self._px):
+            self._refill_payload()
+        arrival = float(self._times[self._ti])
+        features = self._px[self._pi]
+        label = int(self._py[self._pi])
+        self._ti += 1
+        self._pi += 1
+        return arrival, features, label
+
+
+class MultiTenantTraffic:
+    """The superposed, time-ordered request stream of every tenant.
+
+    Args:
+        tenants: The tenant specs; tenant index in this sequence is the
+            :attr:`Request.tenant <repro.serving.arrivals.Request>` id.
+        total_requests: Requests to emit across all tenants (per-tenant
+            shares are emergent from the rates — exactly the first
+            ``total_requests`` arrivals of the superposition).
+        seed: Root seed; every per-tenant stream derives from it via
+            :func:`repro.cluster.seeding.child_seed`.
+    """
+
+    def __init__(self, tenants, total_requests: int,
+                 seed: int | None = 0):
+        tenants = list(tenants)
+        if not tenants:
+            raise ValueError("at least one tenant is required")
+        for spec in tenants:
+            if not isinstance(spec, TenantSpec):
+                raise TypeError(
+                    f"tenants must be TenantSpec, "
+                    f"got {type(spec).__name__}"
+                )
+        if len({spec.name for spec in tenants}) != len(tenants):
+            raise ValueError("tenant names must be unique")
+        if total_requests < 1:
+            raise ValueError(
+                f"total_requests must be >= 1, got {total_requests}"
+            )
+        self.tenants = tenants
+        self.total_requests = total_requests
+        self.seed = seed
+
+    def requests(self) -> Iterator[Request]:
+        """Stream ``total_requests`` requests in arrival order.
+
+        Deterministic per seed: the per-tenant draws, the thinning and
+        the heap merge (ties broken by tenant index) are all fixed, so
+        the trace is bit-identical across router policies and replica
+        counts — routing consumes the trace, it never feeds back into
+        generation.
+        """
+        sources = [_TenantSource(spec, index, self.seed)
+                   for index, spec in enumerate(self.tenants)]
+        heap = []
+        for index, source in enumerate(sources):
+            arrival, features, label = source.next_event()
+            heap.append((arrival, index, features, label))
+        heapq.heapify(heap)
+        for request_id in range(self.total_requests):
+            arrival, index, features, label = heap[0]
+            spec = self.tenants[index]
+            yield Request(
+                request_id=request_id,
+                arrival_s=arrival,
+                deadline_s=arrival + spec.deadline_s,
+                features=features,
+                label=label,
+                tenant=index,
+            )
+            arrival, features, label = sources[index].next_event()
+            heapq.heapreplace(heap, (arrival, index, features, label))

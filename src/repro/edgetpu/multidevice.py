@@ -144,12 +144,49 @@ class DevicePool:
         self.models: list[CompiledModel | None] = [None] * num_devices
         self.load_seconds: list[float] = [0.0] * num_devices
         self.failed: set[int] = set()
+        self.retired: set[int] = set()
         self._failure_plans: dict[int, FailurePlan] = {}
 
     @property
     def num_devices(self) -> int:
-        """Pool size."""
+        """Pool size (including failed and retired devices)."""
         return len(self.devices)
+
+    # ------------------------------------------------------------------
+    # Elastic capacity (the cluster autoscaler's device-level knob)
+    # ------------------------------------------------------------------
+
+    def add_device(self) -> int:
+        """Attach one new (empty) device; returns its pool index.
+
+        The autoscaler's scale-up primitive: the device joins healthy
+        but holds no model — load the current primary (and any resident
+        tiers) onto it before dispatching, charging the load time on
+        the virtual clock like any other deployment.
+        """
+        self.devices.append(EdgeTpuDevice(self.arch))
+        self.models.append(None)
+        self.load_seconds.append(0.0)
+        return self.num_devices - 1
+
+    def retire(self, index: int) -> None:
+        """Remove device ``index`` from service (scale-down).
+
+        A retired device takes no further dispatches
+        (:meth:`healthy_indices` excludes it) but its recorded busy
+        time stands — retirement is an accounting boundary, not a
+        failure.  Retiring the last serviceable device is rejected: a
+        pool must always be able to dispatch.
+        """
+        if not 0 <= index < self.num_devices:
+            raise ValueError(f"device index {index} out of range")
+        remaining = [i for i in self.healthy_indices() if i != index]
+        if not remaining:
+            raise ValueError(
+                f"cannot retire device {index}: it is the last "
+                f"serviceable device in the pool"
+            )
+        self.retired.add(index)
 
     # ------------------------------------------------------------------
     # Fault injection
@@ -167,9 +204,11 @@ class DevicePool:
         self._failure_plans[plan.device_index] = plan
 
     def healthy_indices(self) -> list[int]:
-        """Devices that hold a model and have not (yet) failed."""
+        """Devices that hold a model, have not failed, and are not
+        retired."""
         return [i for i in range(self.num_devices)
-                if self.models[i] is not None and i not in self.failed]
+                if self.models[i] is not None and i not in self.failed
+                and i not in self.retired]
 
     def try_invoke(self, index: int, x: np.ndarray, at_s: float = 0.0,
                    model: CompiledModel | None = None,
@@ -276,7 +315,7 @@ class DevicePool:
         """
         slowest = 0.0
         for index, device in enumerate(self.devices):
-            if index in self.failed:
+            if index in self.failed or index in self.retired:
                 continue
             seconds = device.load_model(compiled)
             self.models[index] = compiled
@@ -295,7 +334,7 @@ class DevicePool:
         """
         slowest = 0.0
         for index, device in enumerate(self.devices):
-            if index in self.failed:
+            if index in self.failed or index in self.retired:
                 continue
             slowest = max(slowest, device.load_resident(compiled))
         return slowest

@@ -44,6 +44,49 @@ class LatencyTracker:
         self._values.append(seconds)
         self._sorted = None
 
+    def record_many(self, values) -> None:
+        """Bulk-ingest an iterable/array of observations (all >= 0).
+
+        One validation pass, one extend — the vectorized path the
+        cluster report uses to build per-tenant distributions out of a
+        million-row latency array without a Python-level loop per
+        sample.
+        """
+        values = [float(v) for v in values]
+        for value in values:
+            if not value >= 0.0:
+                raise ValueError(f"latency must be >= 0, got {value}")
+        if values:
+            self._values.extend(values)
+            self._sorted = None
+
+    def merge(self, other: "LatencyTracker") -> None:
+        """Fold another tracker's observations into this one.
+
+        Concatenate-then-invalidate: the merged tracker reports exactly
+        the nearest-rank percentiles a single tracker over the union of
+        observations would — the property the cluster report relies on
+        to aggregate per-replica distributions without approximation
+        (no bucketing, no quantile sketches).  ``other`` is unchanged.
+        """
+        if other is self:
+            raise ValueError("cannot merge a tracker into itself")
+        if other._values:
+            self._values.extend(other._values)
+            self._sorted = None
+
+    @classmethod
+    def merge_all(cls, trackers) -> "LatencyTracker":
+        """A fresh tracker over the union of ``trackers``' observations.
+
+        Equivalent to recording every underlying observation into one
+        tracker, in tracker order; the inputs are unchanged.
+        """
+        merged = cls()
+        for tracker in trackers:
+            merged.merge(tracker)
+        return merged
+
     def __len__(self) -> int:
         return len(self._values)
 

@@ -36,9 +36,7 @@ against an SLA is a first-class, machine-independent output.
 
 from __future__ import annotations
 
-import math
 import warnings
-from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -52,7 +50,6 @@ from repro.platforms.base import Platform
 from repro.runtime.cache import LruCache
 from repro.runtime.executor import cpu_op_seconds, run_host_tail
 from repro.runtime.profiler import LatencyTracker
-from repro.serving.arrivals import Request
 from repro.serving.batcher import DynamicBatcher
 from repro.serving.swap import ModelSwapper, SwapRecord
 
@@ -538,131 +535,36 @@ class InferenceServer:
     # The event loop
     # ------------------------------------------------------------------
 
-    def serve(self, requests: list[Request]) -> ServeReport:
+    def serve(self, requests) -> ServeReport:
         """Run the trace to completion; returns the serving report.
 
         Requests must be in arrival order (as
         :meth:`~repro.serving.arrivals.RequestStream.generate` emits
-        them).  The loop alternates two events — admit the next arrival,
-        or close and dispatch a batch — always taking the earlier one,
-        so batching decisions see exactly the arrivals a real server
-        would have seen by that time.
+        them).  The loop runs as a :class:`~repro.cluster.replica.Replica`
+        actor on the :class:`~repro.cluster.engine.EventEngine`: each
+        arrival is one event, the pending batch dispatch is one
+        (rescheduled) event, and the engine's deterministic ``(time,
+        seq)`` order reproduces the old alternate-and-take-the-earlier
+        loop exactly — arrivals win ties, batching decisions see
+        precisely the arrivals a real server would have seen by that
+        time.
+
+        Args:
+            requests: A list (or tuple) of requests — the exact path,
+                byte-identical to the historical loop — or any iterator
+                of them, consumed lazily so a 10⁶-request trace is
+                never materialized.
         """
-        num_requests = len(requests)
-        report = ServeReport(num_requests=num_requests)
-        report.predictions = np.full(num_requests, -1, dtype=np.int64)
-        report.latencies = np.full(num_requests, np.nan)
-        if num_requests and requests[0].label is not None:
-            report.labels = np.array(
-                [r.label for r in requests], dtype=np.int64
-            )
-        for left, right in zip(requests, requests[1:]):
-            if right.arrival_s < left.arrival_s:
-                raise ValueError("requests must be in arrival order")
+        # Local import: the cluster layer builds on serving, so the
+        # dependency must point that way at module-import time.
+        from repro.cluster.engine import EventEngine
+        from repro.cluster.replica import Replica
 
-        tracer = self.tracer
-        metrics = self.metrics
-        root = (tracer.add("serve", 0.0, 0.0, requests=num_requests,
-                           devices=self.pool.num_devices)
-                if tracer is not None else None)
-        self._active_tier = 0
-        if self._tiers is not None:
-            report.tier_names = [t.name for t in self._tiers]
-            report.tier_batches = [0] * len(self._tiers)
-            report.tier_served = [0] * len(self._tiers)
-            report.tier_build_accuracy = [t.build_accuracy
-                                          for t in self._tiers]
-            report.request_tiers = np.full(num_requests, -1,
-                                           dtype=np.int64)
-            report.tier_latency = [LatencyTracker()
-                                   for _ in self._tiers]
-            if metrics is not None:
-                metrics.gauge("serve.tier_active").set(0)
-        queue: deque[Request] = deque()
-        device_free = [0.0] * self.pool.num_devices
-        device_busy = [0.0] * self.pool.num_devices
-        device_swap = [0.0] * self.pool.num_devices
-        host_free = 0.0
-        now = 0.0
-        index = 0
-
-        while index < num_requests or queue:
-            next_arrival = (requests[index].arrival_s
-                            if index < num_requests else math.inf)
-            ready = self.batcher.ready_at(queue, now,
-                                          self.service_estimate)
-            if math.isinf(ready) and index >= num_requests and queue:
-                # Trace over, policy would wait forever: flush.
-                ready = now
-            if next_arrival <= ready:
-                now = max(now, next_arrival)
-                request = requests[index]
-                if metrics is not None:
-                    metrics.counter("serve.requests").inc()
-                if len(queue) >= self.max_queue:
-                    report.dropped += 1
-                    if tracer is not None:
-                        # Zero-duration marker: the request arrived and
-                        # was rejected at the same virtual instant.
-                        tracer.add("request", request.arrival_s,
-                                   request.arrival_s, parent_id=root,
-                                   tags=("dropped",),
-                                   request_id=request.request_id)
-                    if metrics is not None:
-                        metrics.counter("serve.dropped").inc()
-                else:
-                    queue.append(request)
-                if metrics is not None:
-                    metrics.gauge("serve.queue_depth").set(len(queue))
-                index += 1
-                continue
-            now = max(now, ready)
-            batch = [queue.popleft()
-                     for _ in range(min(self.batcher.max_batch,
-                                        len(queue)))]
-            if metrics is not None:
-                metrics.gauge("serve.queue_depth").set(len(queue))
-            host_free = self._dispatch_batch(
-                batch, now, device_free, device_busy, device_swap,
-                host_free, report, tracer, root,
-                queue_depth=len(queue),
-            )
-
-        report.served = num_requests - report.dropped
-        if report.served:
-            report.makespan_s = float(
-                np.nanmax(report.latencies
-                          + np.array([r.arrival_s for r in requests]))
-            )
-        else:
-            # Every request dropped (e.g. ``max_queue=0``) or an empty
-            # trace: the latency vector is all-NaN, so nanmax would
-            # warn and return NaN — the makespan is just the virtual
-            # clock at the last event.
-            report.makespan_s = float(now)
-        report.device_busy_seconds = [float(b) for b in device_busy]
-        report.device_swap_seconds = [float(s) for s in device_swap]
-        report.device_idle_seconds = [
-            max(0.0, report.makespan_s - b - s)
-            for b, s in zip(device_busy, device_swap)
-        ]
-        report.failed_devices = sorted(self.pool.failed)
-        if self.swapper is not None:
-            report.swap_records = list(self.swapper.records)
-        if tracer is not None:
-            tracer.finish(root, report.makespan_s)
-            tracer.advance(report.makespan_s)
-            report.trace = tracer if tracer.enabled else None
-        if metrics is not None:
-            metrics.counter("serve.batches").inc(report.num_batches)
-            metrics.counter("serve.retries").inc(report.retried_batches)
-            metrics.counter("serve.fallbacks").inc(report.fallback_batches)
-            metrics.counter("serve.deadline_misses").inc(
-                report.deadline_misses
-            )
-        if self.profiler is not None:
-            self.profiler.charge("inference", report.makespan_s)
-        return report
+        engine = EventEngine()
+        replica = Replica(self, engine)
+        replica.bind(requests)
+        engine.run()
+        return replica.finalize()
 
     # ------------------------------------------------------------------
 

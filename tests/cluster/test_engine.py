@@ -1,0 +1,118 @@
+"""EventEngine: fire order, tie-breaks, cancellation, budgets."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import EventEngine
+
+times = st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+                  allow_infinity=False)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(times, min_size=1, max_size=50))
+def test_fires_in_time_order_for_any_insertion_order(schedule):
+    engine = EventEngine()
+    fired = []
+    for index, time_s in enumerate(schedule):
+        engine.at(time_s, fired.append, (time_s, index))
+    engine.run()
+    # Sorted by time; ties keep insertion order (seq is the index here
+    # because every event was scheduled before the run started).
+    assert fired == sorted(fired)
+    assert engine.events_processed == len(schedule)
+    assert engine.now == max(schedule)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(times, min_size=2, max_size=40),
+       st.data())
+def test_cancelled_events_never_fire(schedule, data):
+    engine = EventEngine()
+    events = [engine.at(t, lambda t=t: fired.append(t))
+              for t in schedule]
+    fired = []
+    drop = data.draw(st.sets(
+        st.integers(min_value=0, max_value=len(schedule) - 1),
+        max_size=len(schedule)))
+    for index in drop:
+        engine.cancel(events[index])
+        engine.cancel(events[index])  # idempotent
+    assert engine.pending == len(schedule) - len(drop)
+    engine.run()
+    kept = sorted(t for i, t in enumerate(schedule) if i not in drop)
+    assert fired == kept
+    assert engine.pending == 0
+
+
+def test_simultaneous_events_fire_in_insertion_order():
+    engine = EventEngine()
+    fired = []
+    for tag in range(10):
+        engine.at(1.0, fired.append, tag)
+    engine.run()
+    assert fired == list(range(10))
+
+
+def test_callback_may_schedule_at_now():
+    engine = EventEngine()
+    fired = []
+
+    def outer():
+        fired.append("outer")
+        engine.at(engine.now, lambda: fired.append("inner"))
+
+    engine.at(1.0, outer)
+    engine.run()
+    assert fired == ["outer", "inner"]
+    assert engine.now == 1.0
+
+
+def test_past_inf_and_nan_rejected():
+    engine = EventEngine()
+    engine.at(5.0, lambda: None)
+    engine.run()
+    with pytest.raises(ValueError):
+        engine.at(4.0, lambda: None)
+    with pytest.raises(ValueError):
+        engine.at(float("inf"), lambda: None)
+    with pytest.raises(ValueError):
+        engine.at(float("nan"), lambda: None)
+    with pytest.raises(ValueError):
+        engine.after(-1.0, lambda: None)
+
+
+def test_run_until_leaves_later_events_scheduled():
+    engine = EventEngine()
+    fired = []
+    engine.at(1.0, fired.append, 1)
+    engine.at(2.0, fired.append, 2)
+    engine.at(3.0, fired.append, 3)
+    assert engine.run(until_s=2.0) == 2
+    assert fired == [1, 2]
+    assert engine.pending == 1
+    engine.run()
+    assert fired == [1, 2, 3]
+
+
+def test_max_events_budget_raises_on_runaway_loop():
+    engine = EventEngine()
+
+    def reschedule():
+        engine.after(1.0, reschedule)
+
+    engine.at(0.0, reschedule)
+    with pytest.raises(RuntimeError, match="budget"):
+        engine.run(max_events=100)
+
+
+def test_step_skips_tombstones():
+    engine = EventEngine()
+    fired = []
+    doomed = engine.at(1.0, fired.append, "doomed")
+    engine.at(2.0, fired.append, "kept")
+    engine.cancel(doomed)
+    assert engine.step() is True
+    assert fired == ["kept"]
+    assert engine.step() is False

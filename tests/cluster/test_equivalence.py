@@ -1,0 +1,107 @@
+"""The refactor contract: engine-driven serve ≡ the frozen old loop.
+
+``InferenceServer.serve`` now runs on the discrete-event engine via a
+:class:`~repro.cluster.replica.Replica` actor.  These tests pin it
+byte-for-byte against :func:`repro.serving._reference.serve_reference`
+— the pre-refactor loop kept verbatim as an oracle — across batcher
+policies, admission pressure, streamed input and tracing.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import ServeConfig
+from repro.data.streams import DriftingStream, StreamConfig
+from repro.edgetpu.multidevice import DevicePool
+from repro.observability.trace import Tracer
+from repro.serving import ArrivalProcess, RequestStream
+from repro.serving._reference import serve_reference
+from repro.serving.server import InferenceServer
+
+from tests.cluster.conftest import NUM_CLASSES, NUM_FEATURES
+
+
+def _trace(num_requests=300, rate_hz=300.0, kind="bursty", seed=5,
+           deadline_s=0.04):
+    stream = DriftingStream(
+        StreamConfig(num_features=NUM_FEATURES, num_classes=NUM_CLASSES,
+                     drift_rate=0.0),
+        seed=2,
+    )
+    arrivals = ArrivalProcess(rate_hz, kind, seed=seed)
+    return list(RequestStream(stream, arrivals, deadline_s=deadline_s,
+                              drift_every=1).generate(num_requests))
+
+
+def _server(compiled_model, config, num_devices=2, tracer=None):
+    pool = DevicePool(num_devices, compiled_model.arch)
+    pool.load_replicated(compiled_model)
+    return InferenceServer(pool, config=config, tracer=tracer)
+
+
+def _assert_reports_identical(new, old):
+    assert json.dumps(new.summary(), sort_keys=True) == \
+        json.dumps(old.summary(), sort_keys=True)
+    np.testing.assert_array_equal(new.predictions, old.predictions)
+    np.testing.assert_array_equal(new.latencies, old.latencies)
+    assert new.makespan_s == old.makespan_s
+    assert new.batch_sizes == old.batch_sizes
+    assert new.device_busy_seconds == old.device_busy_seconds
+    assert new.dropped == old.dropped
+
+
+CONFIGS = [
+    pytest.param(ServeConfig(), id="dynamic"),
+    pytest.param(ServeConfig(slack_s=0.002, max_batch=4), id="slack"),
+    pytest.param(ServeConfig(batcher="fixed", max_batch=8,
+                             timeout_s=0.01), id="fixed"),
+    pytest.param(ServeConfig(max_queue=4), id="drops"),
+]
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+def test_serve_matches_reference_loop(compiled_model, config):
+    requests = _trace()
+    new = _server(compiled_model, config).serve(requests)
+    old = serve_reference(_server(compiled_model, config), requests)
+    _assert_reports_identical(new, old)
+
+
+def test_streamed_input_matches_list_input(compiled_model):
+    config = ServeConfig()
+    requests = _trace()
+    exact = _server(compiled_model, config).serve(requests)
+    streamed = _server(compiled_model, config).serve(iter(requests))
+    _assert_reports_identical(streamed, exact)
+
+
+def test_traced_serve_matches_reference_spans(compiled_model):
+    config = ServeConfig(max_queue=8)
+    requests = _trace(num_requests=150)
+    new_tracer, old_tracer = Tracer(enabled=True), Tracer(enabled=True)
+    new = _server(compiled_model, config, tracer=new_tracer).serve(
+        requests
+    )
+    old = serve_reference(
+        _server(compiled_model, config, tracer=old_tracer), requests
+    )
+    _assert_reports_identical(new, old)
+    new_spans = [span.to_dict() for span in new_tracer.spans]
+    old_spans = [span.to_dict() for span in old_tracer.spans]
+    assert new_spans == old_spans
+
+
+def test_single_device_and_empty_trace(compiled_model):
+    config = ServeConfig()
+    requests = _trace(num_requests=80, kind="poisson")
+    new = _server(compiled_model, config, num_devices=1).serve(requests)
+    old = serve_reference(
+        _server(compiled_model, config, num_devices=1), requests
+    )
+    _assert_reports_identical(new, old)
+    empty_new = _server(compiled_model, config).serve([])
+    empty_old = serve_reference(_server(compiled_model, config), [])
+    assert json.dumps(empty_new.summary(), sort_keys=True) == \
+        json.dumps(empty_old.summary(), sort_keys=True)

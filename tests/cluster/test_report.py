@@ -1,0 +1,90 @@
+"""Cluster report: exact percentile merging and per-tenant accounting."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.observability.metrics import LatencyTracker
+
+latencies = st.lists(
+    st.floats(min_value=1e-6, max_value=10.0, allow_nan=False,
+              allow_infinity=False),
+    max_size=60,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(latencies, min_size=1, max_size=6))
+def test_merge_all_equals_pooled_tracker(shards):
+    """The fleet percentile claim: merging per-replica trackers is
+    byte-identical to one tracker that saw every observation."""
+    trackers = []
+    pooled = LatencyTracker()
+    for shard in shards:
+        tracker = LatencyTracker()
+        tracker.record_many(np.array(shard))
+        pooled.record_many(np.array(shard))
+        trackers.append(tracker)
+    merged = LatencyTracker.merge_all(trackers)
+    assert merged.summary() == pooled.summary()
+    assert len(merged) == sum(len(s) for s in shards)
+
+
+@settings(max_examples=100, deadline=None)
+@given(latencies, latencies)
+def test_pairwise_merge_matches_merge_all(left, right):
+    a, b = LatencyTracker(), LatencyTracker()
+    a.record_many(np.array(left))
+    b.record_many(np.array(right))
+    merged = LatencyTracker.merge_all([a, b])
+    a.merge(b)  # in-place
+    assert a.summary() == merged.summary()
+
+
+def test_cluster_summary_schema(compiled_model, tenant_mix):
+    import repro
+    from repro.cluster import ClusterConfig
+
+    config = ClusterConfig(tenants=tenant_mix, total_requests=1500,
+                           num_replicas=2, seed=9)
+    report = repro.serve_cluster(compiled_model, config=config)
+    summary = report.summary()
+    json.dumps(summary)  # JSON-ready throughout
+    assert summary["schema"] == "repro.cluster/1"
+    assert summary["num_replicas"] == 2
+    assert summary["num_requests"] == 1500
+    assert summary["served"] + summary["dropped"] == 1500
+    assert sum(summary["routed"]) == 1500
+    assert len(summary["replicas"]) == 2
+    assert summary["scaling"] == []
+    assert {t["name"] for t in summary["tenants"]} == \
+        {"interactive", "bursty", "background"}
+    for row in summary["tenants"]:
+        assert row["requests"] == row["served"] + row["dropped"]
+        assert 0.0 <= row["sla_attainment"] <= 1.0
+        assert row["latency"]["count"] == row["served"]
+    assert sum(t["requests"] for t in summary["tenants"]) == 1500
+    # merged fleet latency covers every served request exactly
+    assert summary["latency"]["count"] == summary["served"]
+    assert report.throughput == pytest.approx(
+        report.served / report.makespan_s
+    )
+
+
+def test_tenant_sla_counts_drops_against_attainment(compiled_model):
+    import repro
+    from repro.cluster import ClusterConfig, TenantSpec
+    from repro.config import ServeConfig
+
+    tenants = (TenantSpec("flood", rate_hz=3000.0, deadline_s=0.01),)
+    config = ClusterConfig(tenants=tenants, total_requests=1200,
+                           num_replicas=1, seed=4,
+                           serve=ServeConfig(max_queue=8))
+    report = repro.serve_cluster(compiled_model, config=config)
+    row = report.summary()["tenants"][0]
+    assert row["dropped"] > 0
+    # attainment = (served - misses) / submitted, so drops always hurt
+    assert row["sla_attainment"] <= row["served"] / row["requests"]

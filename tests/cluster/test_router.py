@@ -1,0 +1,94 @@
+"""Router policies: correctness, determinism, ring stability."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.cluster import Router
+from repro.serving.arrivals import Request
+
+
+class _FakeReplica:
+    def __init__(self, depth=0):
+        self.queue = [None] * depth
+
+
+def _request(request_id=0, tenant=None):
+    return Request(request_id=request_id, arrival_s=0.0, deadline_s=1.0,
+                   features=np.zeros(4), tenant=tenant)
+
+
+def test_round_robin_cycles():
+    router = Router([_FakeReplica() for _ in range(3)], "round_robin")
+    picks = [router.route(_request(i)) for i in range(7)]
+    assert picks == [0, 1, 2, 0, 1, 2, 0]
+    assert router.routed_counts == [3, 2, 2]
+
+
+def test_least_queue_joins_shortest_with_low_index_ties():
+    replicas = [_FakeReplica(5), _FakeReplica(2), _FakeReplica(2)]
+    router = Router(replicas, "least_queue")
+    assert router.route(_request()) == 1  # tie 1 vs 2 → lowest index
+    replicas[1].queue.extend([None] * 4)
+    assert router.route(_request()) == 2
+
+
+def test_tenant_affinity_pins_tenant_to_home_replica():
+    router = Router([_FakeReplica() for _ in range(3)],
+                    "tenant_affinity")
+    for tenant in range(6):
+        assert router.route(_request(tenant=tenant)) == tenant % 3
+    # tenantless requests fall back to the request id
+    assert router.route(_request(request_id=4)) == 1
+
+
+def test_consistent_hash_is_sticky_per_tenant():
+    router = Router([_FakeReplica() for _ in range(4)],
+                    "consistent_hash")
+    homes = {t: router.route(_request(request_id=t, tenant=t))
+             for t in range(20)}
+    for t, home in homes.items():
+        for request_id in range(3):
+            assert router.route(
+                _request(request_id=request_id, tenant=t)
+            ) == home
+
+
+def test_consistent_hash_moves_few_tenants_on_replica_join():
+    tenants = list(range(200))
+    before = Router([_FakeReplica() for _ in range(4)],
+                    "consistent_hash")
+    after = Router([_FakeReplica() for _ in range(5)],
+                   "consistent_hash")
+    moved = sum(
+        before.route(_request(tenant=t)) != after.route(_request(tenant=t))
+        for t in tenants
+    )
+    # Ideal is 1/5 of tenants; a full rehash (mod N) would move ~4/5.
+    assert moved < len(tenants) * 0.45
+
+
+def test_consistent_hash_spreads_many_tenants():
+    router = Router([_FakeReplica() for _ in range(4)],
+                    "consistent_hash")
+    homes = Counter(router.route(_request(tenant=t))
+                    for t in range(400))
+    assert set(homes) == {0, 1, 2, 3}
+    assert max(homes.values()) < 400 * 0.6
+
+
+def test_hashing_is_process_independent():
+    """sha256 ring positions, not salted str hash: the same tenant maps
+    to the same replica in every process."""
+    router = Router([_FakeReplica() for _ in range(4)],
+                    "consistent_hash")
+    picks = [router.route(_request(tenant=t)) for t in range(8)]
+    assert picks == [2, 2, 2, 1, 1, 3, 2, 3]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Router([], "round_robin")
+    with pytest.raises(ValueError):
+        Router([_FakeReplica()], "power_of_two")

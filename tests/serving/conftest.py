@@ -38,6 +38,6 @@ def serving_setup():
     train_x, train_y = stream.next_batch(300)
     compiled = train_compiled(train_x, train_y)
     arrivals = ArrivalProcess(300.0, "poisson", seed=5)
-    trace = RequestStream(stream, arrivals, deadline_s=0.04,
-                          drift_every=1).generate(300)
+    trace = list(RequestStream(stream, arrivals, deadline_s=0.04,
+                          drift_every=1).generate(300))
     return stream, compiled, trace

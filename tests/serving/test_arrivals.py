@@ -58,7 +58,7 @@ class TestRequestStream:
     def test_generate_shape_and_order(self):
         rs = RequestStream(self._stream(),
                            ArrivalProcess(100.0, seed=1), deadline_s=0.05)
-        trace = rs.generate(50)
+        trace = list(rs.generate(50))
         assert len(trace) == 50
         assert [r.request_id for r in trace] == list(range(50))
         arrivals = [r.arrival_s for r in trace]
@@ -73,8 +73,8 @@ class TestRequestStream:
 
     def test_drift_advances_per_request(self):
         stream = self._stream()
-        RequestStream(stream, ArrivalProcess(100.0, seed=1),
-                      deadline_s=0.05, drift_every=1).generate(40)
+        list(RequestStream(stream, ArrivalProcess(100.0, seed=1),
+                           deadline_s=0.05, drift_every=1).generate(40))
         assert stream.steps == 40
 
     def test_first_request_samples_initial_distribution(self):
@@ -86,7 +86,7 @@ class TestRequestStream:
             rs = RequestStream(self._stream(drift_rate=0.5),
                                ArrivalProcess(100.0, seed=1),
                                deadline_s=0.05, drift_every=drift_every)
-            return rs.generate(1)[0]
+            return next(iter(rs.generate(1)))
 
         drifting, stationary = first(1), first(0)
         np.testing.assert_array_equal(drifting.features,
@@ -98,14 +98,14 @@ class TestRequestStream:
         # has finished, so exactly one drift step — not two (a step
         # before request 0 plus one at request 4, the old off-by-one).
         stream = self._stream()
-        RequestStream(stream, ArrivalProcess(100.0, seed=1),
-                      deadline_s=0.05, drift_every=4).generate(7)
+        list(RequestStream(stream, ArrivalProcess(100.0, seed=1),
+                           deadline_s=0.05, drift_every=4).generate(7))
         assert stream.steps == 1
 
     def test_drift_every_zero_freezes(self):
         stream = self._stream()
-        RequestStream(stream, ArrivalProcess(100.0, seed=1),
-                      deadline_s=0.05, drift_every=0).generate(40)
+        list(RequestStream(stream, ArrivalProcess(100.0, seed=1),
+                           deadline_s=0.05, drift_every=0).generate(40))
         assert stream.steps == 0
 
     def test_deterministic_trace(self):
@@ -113,7 +113,7 @@ class TestRequestStream:
             rs = RequestStream(self._stream(),
                                ArrivalProcess(100.0, seed=1),
                                deadline_s=0.05)
-            return rs.generate(30)
+            return list(rs.generate(30))
 
         a, b = build(), build()
         for left, right in zip(a, b):
@@ -122,9 +122,9 @@ class TestRequestStream:
             np.testing.assert_array_equal(left.features, right.features)
 
     def test_labels_cover_classes(self):
-        trace = RequestStream(self._stream(),
-                              ArrivalProcess(100.0, seed=1),
-                              deadline_s=0.05).generate(200)
+        trace = list(RequestStream(self._stream(),
+                                   ArrivalProcess(100.0, seed=1),
+                                   deadline_s=0.05).generate(200))
         assert set(r.label for r in trace) == {0, 1, 2}
 
     @pytest.mark.parametrize("kwargs", [
@@ -140,3 +140,30 @@ class TestRequestStream:
         request = Request(request_id=0, arrival_s=1.0, deadline_s=1.5,
                           features=np.zeros(4), label=2)
         assert request.budget_s == pytest.approx(0.5)
+        assert request.tenant is None
+
+    def test_request_has_no_instance_dict(self):
+        # __slots__: at trace scale the per-request __dict__ was the
+        # largest constant memory factor after the features themselves.
+        request = Request(request_id=0, arrival_s=1.0, deadline_s=1.5,
+                          features=np.zeros(4))
+        assert not hasattr(request, "__dict__")
+        with pytest.raises((AttributeError, TypeError)):
+            request.extra = 1
+
+    def test_generate_is_lazy(self):
+        # A true generator: nothing is drawn until the consumer pulls,
+        # and pulling k of n only advances the stream k steps.
+        stream = self._stream()
+        gen = RequestStream(stream, ArrivalProcess(100.0, seed=1),
+                            deadline_s=0.05, drift_every=1).generate(1000)
+        assert stream.steps == 0
+        for _ in range(10):
+            next(gen)
+        assert stream.steps == 10
+
+    def test_generate_validates_eagerly(self):
+        rs = RequestStream(self._stream(), ArrivalProcess(100.0, seed=1),
+                           deadline_s=0.05)
+        with pytest.raises(ValueError):
+            rs.generate(0)  # raises at the call, not at first next()

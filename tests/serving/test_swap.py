@@ -30,8 +30,8 @@ def drift_setup():
     train_x, train_y = stream.next_batch(300)
     compiled = train_compiled(train_x, train_y)
     arrivals = ArrivalProcess(300.0, "poisson", seed=6)
-    trace = RequestStream(stream, arrivals, deadline_s=0.04,
-                          drift_every=1).generate(600)
+    trace = list(RequestStream(stream, arrivals, deadline_s=0.04,
+                          drift_every=1).generate(600))
     cut = 300
     window = trace[cut - 200:cut]
     retrained = train_compiled(

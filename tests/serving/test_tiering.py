@@ -46,16 +46,16 @@ def tier_setup():
                TierSpec("tiny", "ldc", dimension=256)),
         evaluation=(x, y),
     )
-    calm = RequestStream(
+    calm = list(RequestStream(
         stream, ArrivalProcess(2000.0, "poisson", seed=5),
         deadline_s=0.01, drift_every=0,
-    ).generate(200)
-    bursty = RequestStream(
+    ).generate(200))
+    bursty = list(RequestStream(
         stream, ArrivalProcess(300000.0, "bursty", seed=6,
                                burst_factor=8.0, burst_length=64,
                                calm_length=128),
         deadline_s=0.0004, drift_every=0,
-    ).generate(1200)
+    ).generate(1200))
     return ladder, calm, bursty
 
 
