@@ -1,0 +1,57 @@
+"""CI gate: fail when the cluster sweep's wall-clock regresses >= 5x.
+
+Reads the sweep wall time the cluster benchmark just recorded in
+``BENCH_cluster.json`` and compares it against the committed budget in
+``cluster_wall_budget.json``.  The budget was measured at 10⁵ requests
+per sweep point; a run at a different size scales the budget linearly
+(the simulator is O(requests) end to end).  The gate trips only at
+``max_regression_factor`` times the budget — CI runners are slow and
+noisy, so this catches a lost fast path (the scalar pump is ~4x the
+budget by itself), not percent-level drift.
+
+Usage::
+
+    python benchmarks/check_wall_budget.py
+"""
+
+import json
+import pathlib
+import sys
+
+HERE = pathlib.Path(__file__).parent
+
+
+def main() -> int:
+    results = json.loads((HERE / "BENCH_cluster.json").read_text())
+    budget = json.loads((HERE / "cluster_wall_budget.json").read_text())
+
+    sweep = results["sweep"]
+    wall_s = sweep.get("wall_s")
+    if wall_s is None:
+        print("BENCH_cluster.json has no sweep wall_s field; re-run "
+              "benchmarks/test_cluster.py", file=sys.stderr)
+        return 2
+    requests = sweep["total_requests_per_run"]
+    scale = requests / budget["requests_per_sweep_point"]
+    allowed = (budget["sweep_wall_s_budget"] * scale
+               * budget["max_regression_factor"])
+    rate = sweep["sim_requests_per_wall_s"]
+    print(f"cluster sweep: {wall_s:.3f}s wall for "
+          f"{sweep['routed_requests']} routed requests "
+          f"({rate:,.0f} req/s); allowed {allowed:.3f}s "
+          f"({budget['sweep_wall_s_budget']}s budget x {scale:g} size "
+          f"x {budget['max_regression_factor']}x tolerance)")
+    if wall_s > allowed:
+        print(f"FAIL: sweep wall time {wall_s:.3f}s exceeds the "
+              f"regression gate {allowed:.3f}s — the simulator fast "
+              f"path has regressed by >= "
+              f"{budget['max_regression_factor']}x; profile with "
+              f"`python -m repro.tools profile-cluster`",
+              file=sys.stderr)
+        return 1
+    print("OK: within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,11 +25,23 @@ Results are written machine-readable to ``BENCH_cluster.json`` — a
 reduced payload is built twice and compared, so the pipeline is proven
 run-to-run deterministic — and human-readable to the shared
 ``bench_results.txt`` log.
+
+Beyond the modeled results, every sweep point records the simulator's
+own cost: ``wall_s`` (host wall-clock for that run) and
+``sim_requests_per_wall_s`` (routed requests per host second) — the
+figures the vectorized fast path (:mod:`repro.cluster.fastpath`) is
+budgeted on.  CI's bench-smoke job compares the 10⁵-request sweep
+wall time against the committed budget in ``cluster_wall_budget.json``
+and fails on a >=5x regression (the threshold is deliberately loose:
+shared runners are noisy, an order-of-magnitude slide is not).  Wall
+fields are host noise, not simulation output, so the determinism
+payload excludes them.
 """
 
 import json
 import os
 import pathlib
+import time
 
 import numpy as np
 
@@ -104,19 +116,30 @@ def _train_compiled():
     )
 
 
-def _sweep_section(compiled, total_requests):
-    """(a) p99 and throughput vs replica count on identical traffic."""
+def _sweep_section(compiled, total_requests, timing=True):
+    """(a) p99 and throughput vs replica count on identical traffic.
+
+    ``timing=True`` also records host wall-clock per sweep point —
+    ``wall_s`` (simulator wall time for the run) and
+    ``sim_requests_per_wall_s`` (routed requests per host second, the
+    fast path's headline figure).  The determinism payload passes
+    ``timing=False``: wall time is host noise, not simulation output.
+    """
     rows = []
     routed_total = 0
+    wall_total = 0.0
     for num_replicas in REPLICA_SWEEP:
         config = ClusterConfig(
             tenants=TENANTS, total_requests=total_requests,
             num_replicas=num_replicas, devices_per_replica=1,
             policy="round_robin", serve=SERVE, seed=SWEEP_SEED,
         )
+        start = time.perf_counter()
         summary = repro.serve_cluster(compiled, config=config).summary()
+        wall_s = time.perf_counter() - start
+        wall_total += wall_s
         routed_total += summary["num_requests"]
-        rows.append({
+        row = {
             "num_replicas": num_replicas,
             "num_requests": summary["num_requests"],
             "served": summary["served"],
@@ -128,14 +151,24 @@ def _sweep_section(compiled, total_requests):
             "throughput_rps": summary["throughput_rps"],
             "makespan_s": summary["makespan_s"],
             "device_seconds": summary["device_seconds"],
-        })
-    return {
+        }
+        if timing:
+            row["wall_s"] = wall_s
+            row["sim_requests_per_wall_s"] = (
+                summary["num_requests"] / wall_s
+            )
+        rows.append(row)
+    section = {
         "tenants": [spec.name for spec in TENANTS],
         "total_requests_per_run": total_requests,
         "routed_requests": routed_total,
         "policy": "round_robin",
         "sweep": rows,
     }
+    if timing:
+        section["wall_s"] = wall_total
+        section["sim_requests_per_wall_s"] = routed_total / wall_total
+    return section
 
 
 def _spike_run(compiled, total_requests, devices_per_replica,
@@ -186,7 +219,7 @@ def _spike_section(compiled):
 def _build_payload(total_requests):
     compiled = _train_compiled()
     return {
-        "schema": "repro.bench_cluster/1",
+        "schema": "repro.bench_cluster/2",
         "total_requests": total_requests,
         "sweep": _sweep_section(compiled, total_requests),
         "spike": _spike_section(compiled),
@@ -204,7 +237,7 @@ def _determinism_payload(compiled):
                                       spike_factor=SPIKE_FACTOR)),
         TenantSpec("steady", rate_hz=10000.0, deadline_s=0.05),
     )
-    payload = {"sweep": _sweep_section(compiled, 20_000)}
+    payload = {"sweep": _sweep_section(compiled, 20_000, timing=False)}
     config = ClusterConfig(
         tenants=mini_spike, total_requests=60_000, num_replicas=2,
         devices_per_replica=1, policy="round_robin", serve=SERVE,
@@ -264,11 +297,12 @@ def test_cluster_serving(benchmark, record_result):
 
     record_result(format_table(
         ["replicas", "p99 (ms)", "throughput (req/s)", "miss rate",
-         "device-seconds"],
+         "device-seconds", "wall (s)", "sim req/wall-s"],
         [
             [row["num_replicas"], row["p99_s"] * 1e3,
              row["throughput_rps"], row["deadline_miss_rate"],
-             row["device_seconds"]]
+             row["device_seconds"], row["wall_s"],
+             row["sim_requests_per_wall_s"]]
             for row in sweep_rows
         ],
         title=(f"Cluster serving — replica sweep, "

@@ -67,6 +67,14 @@ class ClusterConfig:
             scale).
         max_events: Safety bound forwarded to
             :meth:`EventEngine.run`; ``None`` is unbounded.
+        fast: Use the vectorized simulation fast path
+            (:mod:`repro.cluster.fastpath`) when the run is eligible —
+            chunked traffic, batched routing, columnar bookkeeping and
+            deferred predictions, bit-identical to the scalar path.
+            Runs the fast path cannot express (``least_queue`` routing,
+            mixed tenant feature widths) fall back to the scalar pump
+            automatically; ``False`` forces the scalar pump (the
+            equivalence oracle).
     """
 
     tenants: tuple[TenantSpec, ...]
@@ -79,6 +87,7 @@ class ClusterConfig:
     autoscaler: AutoscalerConfig | None = None
     tracing: bool = False
     max_events: int | None = None
+    fast: bool = True
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "tenants", tuple(self.tenants))
@@ -167,12 +176,48 @@ class Cluster:
                 config.autoscaler, self.replicas, self.engine,
                 still_serving=self._still_serving, metrics=metrics,
             )
-        self._traffic = MultiTenantTraffic(
+        traffic = MultiTenantTraffic(
             config.tenants, config.total_requests, seed=config.seed,
-        ).requests()
+        )
+        self._traffic = None
+        self._pump = None
+        if config.fast and self._fast_eligible(traffic):
+            from repro.cluster.fastpath import (
+                DeferredPredictions,
+                FastArrivalPump,
+            )
+            # Latency bookkeeping can defer too when nothing reads
+            # per-request report state mid-run: the autoscaler polls
+            # miss rates, a metrics registry records per batch, and
+            # tier ladders keep per-tier columns.
+            full = (config.autoscaler is None and metrics is None
+                    and tier_list is None)
+            for replica in self.replicas:
+                replica.enable_fast(DeferredPredictions(full=full))
+            self._pump = FastArrivalPump(self, traffic)
+        else:
+            self._traffic = traffic.requests()
         self._traffic_done = False
         self._ran = False
         self._root = None
+
+    def _fast_eligible(self, traffic: MultiTenantTraffic) -> bool:
+        """Whether this run can take the vectorized fast path.
+
+        ``least_queue`` routes on queue depths that every pick mutates
+        (no chunk form), mixed feature widths have no columnar chunks,
+        and a non-stock batcher has no inline trigger.
+        """
+        from repro.serving.batcher import DynamicBatcher, FixedSizeBatcher
+        if self.config.policy == "least_queue":
+            return False
+        if not traffic._uniform_width:
+            return False
+        return all(
+            type(replica.server.batcher) in (DynamicBatcher,
+                                             FixedSizeBatcher)
+            for replica in self.replicas
+        )
 
     def _replica_config(self, index: int) -> ServeConfig:
         """The serve config replica ``index`` runs under.
@@ -241,10 +286,17 @@ class Cluster:
                 sum(len(r.server.pool.healthy_indices())
                     for r in self.replicas)
             )
-        self._schedule_next_traffic()
+        if self._pump is not None:
+            self._pump.start()
+        else:
+            self._schedule_next_traffic()
         if self.autoscaler is not None:
             self.autoscaler.start()
         self.engine.run(max_events=config.max_events)
+        # Deferred work replays before finalize: the makespan reads the
+        # latency column the full-deferred bookkeeping fills in.
+        for replica in self.replicas:
+            replica.resolve_deferred()
         reports = [replica.finalize() for replica in self.replicas]
         makespan = max((r.makespan_s for r in reports), default=0.0)
         scaling = (list(self.autoscaler.events)

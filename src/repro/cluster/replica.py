@@ -75,7 +75,7 @@ class _Rows:
     """
 
     __slots__ = ("count", "capacity", "report", "tiered", "has_labels",
-                 "arrivals", "deadlines", "tenants", "labels")
+                 "arrivals", "deadlines", "tenants", "labels", "features")
 
     _INITIAL = 1024
 
@@ -90,6 +90,9 @@ class _Rows:
         self.deadlines = np.zeros(capacity)
         self.tenants = np.full(capacity, -1, dtype=np.int64)
         self.labels: np.ndarray | None = None
+        # Fast-path only: the raw payload rows, kept so predictions can
+        # be computed in one vectorized pass after the simulation.
+        self.features: np.ndarray | None = None
         report.predictions = np.full(capacity, -1, dtype=np.int64)
         report.latencies = np.full(capacity, np.nan)
         if tiered:
@@ -109,6 +112,11 @@ class _Rows:
         self.tenants = self._extend(self.tenants, capacity, -1)
         if self.labels is not None:
             self.labels = self._extend(self.labels, capacity, -1)
+        if self.features is not None:
+            grown = np.empty((capacity, self.features.shape[1]),
+                             dtype=self.features.dtype)
+            grown[:len(self.features)] = self.features
+            self.features = grown
         report.predictions = self._extend(report.predictions, capacity, -1)
         report.latencies = self._extend(report.latencies, capacity, np.nan)
         if self.tiered:
@@ -138,6 +146,36 @@ class _Rows:
         self.count = count + 1
         return request
 
+    def bulk_append(self, arrivals: np.ndarray, deadlines: np.ndarray,
+                    tenants: np.ndarray, labels: np.ndarray,
+                    features: np.ndarray) -> int:
+        """Append one routed block of rows in one slice write per
+        column; returns the base replica-local id of the block.
+
+        The cluster fast path calls this once per ``(chunk, replica)``
+        with the chunk rows routed here, *before* their arrival events
+        fire — the columns end up byte-identical to ``len(arrivals)``
+        in-order :meth:`append` calls because routing never feeds back
+        into generation and nothing reads a row before its arrival.
+        """
+        count = self.count
+        total = count + len(arrivals)
+        while total > self.capacity:
+            self._grow()
+        if self.has_labels is None:
+            self.has_labels = True
+            self.labels = np.full(self.capacity, -1, dtype=np.int64)
+        if self.features is None:
+            self.features = np.empty((self.capacity, features.shape[1]),
+                                     dtype=features.dtype)
+        self.arrivals[count:total] = arrivals
+        self.deadlines[count:total] = deadlines
+        self.tenants[count:total] = tenants
+        self.labels[count:total] = labels
+        self.features[count:total] = features
+        self.count = total
+        return count
+
     def trim(self) -> None:
         count = self.count
         report = self.report
@@ -151,6 +189,8 @@ class _Rows:
         self.arrivals = self.arrivals[:count]
         self.deadlines = self.deadlines[:count]
         self.tenants = self.tenants[:count]
+        if self.features is not None:
+            self.features = self.features[:count]
 
 
 class Replica:
@@ -190,6 +230,16 @@ class Replica:
         self._exact_requests: list[Request] | None = None
         self._rows: _Rows | None = None
         self._finalized = False
+        # Fast-path state (see enable_fast); inert in scalar mode.
+        self._fast = False
+        self._defer = None
+        self._lookahead = math.nan
+        self._fast_dynamic = False
+        self._fast_max_batch = 0
+        self._fast_slack = 0.0
+        self._fast_timeout = math.inf
+        self._fast_est: list[float | None] = []
+        self._defer_full = False
 
     # ------------------------------------------------------------------
     # Trace binding
@@ -336,7 +386,10 @@ class Replica:
         """Routed mode: no more submits are coming — arm the flush rule
         so a queue the policy would hold forever dispatches now."""
         self._source_done = True
-        self._reschedule()
+        if self._fast:
+            self._reschedule_fast(math.nan)
+        else:
+            self._reschedule()
 
     def _reschedule(self) -> None:
         """Re-evaluate the batch trigger (the old loop's per-iteration
@@ -377,6 +430,170 @@ class Replica:
             server.tracer, self._root, queue_depth=len(queue),
         )
         self._reschedule()
+
+    # ------------------------------------------------------------------
+    # The vectorized fast path (cluster intake without Request objects)
+    # ------------------------------------------------------------------
+
+    def enable_fast(self, defer) -> None:
+        """Switch the routed intake to the cluster fast path.
+
+        In fast mode the queue holds replica-local integer ids instead
+        of :class:`Request` objects, arrivals land as per-chunk column
+        blocks (:meth:`_Rows.bulk_append` from the pump), the batch
+        trigger is evaluated inline from the columns, and predictions
+        are deferred to ``defer`` (a
+        :class:`~repro.cluster.fastpath.DeferredPredictions` sink) —
+        every modeled time and report column stays bit-identical to the
+        scalar path (``tests/cluster/test_equivalence.py``).
+
+        Requires a routed replica (:meth:`open`), an untraced server,
+        and one of the two stock batchers, whose trigger math is
+        reproduced inline.
+        """
+        from repro.serving.batcher import DynamicBatcher, FixedSizeBatcher
+        if self._rows is None or self._source is not None:
+            raise RuntimeError("fast mode requires an open() replica")
+        server = self.server
+        if server.tracer is not None:
+            raise ValueError("fast mode does not record request spans; "
+                             "use the scalar path when tracing a replica")
+        if server.swapper is not None:
+            # A hot swap would invalidate the inline estimate cache.
+            raise ValueError("fast mode does not support a swapper")
+        batcher = server.batcher
+        if isinstance(batcher, DynamicBatcher):
+            self._fast_dynamic = True
+            self._fast_slack = batcher.slack_s
+        elif isinstance(batcher, FixedSizeBatcher):
+            self._fast_dynamic = False
+            self._fast_timeout = batcher.timeout_s
+        else:
+            raise ValueError(
+                f"no inline trigger for {type(batcher).__name__}; "
+                "use the scalar path"
+            )
+        self._fast_max_batch = batcher.max_batch
+        self._fast_est = [None] * batcher.max_batch
+        self._defer = defer
+        self._defer_full = bool(getattr(defer, "full", False))
+        self._fast = True
+
+    def _submit_fast(self, local_id: int, lookahead: float) -> None:
+        """Admit (or drop) one pre-appended row — the fast twin of
+        :meth:`submit`.
+
+        ``lookahead`` is the arrival time of the *next* request routed
+        to this replica (``nan`` when unknown, e.g. across a chunk
+        boundary); it drives the dispatch-elision rule in
+        :meth:`_reschedule_fast`.
+        """
+        server = self.server
+        metrics = server.metrics
+        queue = self.queue
+        if metrics is not None:
+            metrics.counter("serve.requests").inc()
+        if len(queue) >= server.max_queue:
+            self.report.dropped += 1
+            if metrics is not None:
+                metrics.counter("serve.dropped").inc()
+        else:
+            queue.append(local_id)
+        if metrics is not None:
+            metrics.gauge("serve.queue_depth").set(len(queue))
+        self._lookahead = lookahead
+        self._reschedule_fast(lookahead)
+
+    def _reschedule_fast(self, lookahead: float) -> None:
+        """Inline batch trigger with dispatch elision.
+
+        Reproduces :meth:`~repro.serving.batcher.DynamicBatcher.ready_at`
+        (or the fixed batcher's) bit-for-bit from the column store, then
+        skips scheduling entirely when ``ready`` falls strictly after
+        the next arrival bound for this replica: that arrival would
+        cancel-and-reinsert the dispatch before it could fire (the
+        scalar path does exactly that on *every* submit), so the event
+        is pure heap churn.  A ``nan`` lookahead disables elision (any
+        comparison with it is false) and the dispatch is scheduled
+        conservatively, which is always correct.
+        """
+        engine = self.engine
+        if self._dispatch_event is not None:
+            engine.cancel(self._dispatch_event)
+            self._dispatch_event = None
+        queue = self.queue
+        size = len(queue)
+        if size == 0:
+            return
+        now = engine.now
+        if size >= self._fast_max_batch:
+            ready = now
+        elif self._fast_dynamic:
+            estimate = self._fast_est[size]
+            if estimate is None:
+                estimate = self.server.service_estimate(size)
+                self._fast_est[size] = estimate
+            ready = (self._rows.deadlines[queue[0]]
+                     - self._fast_slack - estimate)
+            if ready < now:
+                ready = now
+        else:
+            timeout = self._fast_timeout
+            if math.isinf(timeout):
+                if not self._source_done:
+                    return
+                ready = now
+            else:
+                ready = self._rows.arrivals[queue[0]] + timeout
+                if ready < now:
+                    ready = now
+        if ready > lookahead:
+            # The next arrival to this replica lands strictly before
+            # the trigger and will re-evaluate it; skip the heap
+            # round-trip.  (At exact equality the event is scheduled:
+            # whether the pending arrival or this dispatch wins the tie
+            # depends on insertion order, and scheduling preserves the
+            # scalar path's order exactly.)
+            return
+        self._dispatch_event = engine.at(ready, self._on_dispatch_fast)
+
+    def _on_dispatch_fast(self) -> None:
+        """Close and serve one batch of queued row ids — the fast twin
+        of :meth:`_on_dispatch` (columns in, deferred predictions out).
+        """
+        self._dispatch_event = None
+        server = self.server
+        queue = self.queue
+        count = min(self._fast_max_batch, len(queue))
+        ids = np.empty(count, dtype=np.int64)
+        for k in range(count):
+            ids[k] = queue.popleft()
+        depth = len(queue)
+        if server.metrics is not None:
+            server.metrics.gauge("serve.queue_depth").set(depth)
+        rows = self._rows
+        if self._defer_full:
+            # Fully deferred bookkeeping: the dispatch core never
+            # touches per-request columns, so skip the gathers too.
+            arrivals = deadlines = None
+        else:
+            arrivals = rows.arrivals[ids]
+            deadlines = rows.deadlines[ids]
+        self.host_free = server._dispatch_columns(
+            ids, arrivals, deadlines, None,
+            self.engine.now, self.device_free, self.device_busy,
+            self.device_swap, self.host_free, self.report,
+            queue_depth=depth, defer=self._defer,
+        )
+        self._reschedule_fast(self._lookahead)
+
+    def resolve_deferred(self) -> None:
+        """Replay every deferred computation — predictions and (in full
+        mode) the latency bookkeeping — in one vectorized pass.  Call
+        after the engine drains, before :meth:`finalize` (the makespan
+        reads the latency column); a no-op in scalar mode."""
+        if self._defer is not None:
+            self._defer.resolve(self._rows, self.report)
 
     # ------------------------------------------------------------------
     # Elastic capacity (the autoscaler's knobs)

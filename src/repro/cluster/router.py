@@ -30,6 +30,8 @@ from __future__ import annotations
 import bisect
 import hashlib
 
+import numpy as np
+
 from repro.serving.arrivals import Request
 
 __all__ = ["POLICIES", "Router"]
@@ -74,6 +76,11 @@ class Router:
         self._next = 0
         self._ring: list[int] = []
         self._ring_replica: list[int] = []
+        # tenant id -> ring-resolved replica index.  The keyspace is the
+        # tenant mix (a handful of ids), so the cache is tiny and turns
+        # repeat lookups — scalar or chunked — into one dict hit instead
+        # of a sha256 + bisect.
+        self._tenant_cache: dict[int, int] = {}
         if policy == "consistent_hash":
             points = []
             for index in range(len(replicas)):
@@ -85,6 +92,23 @@ class Router:
             points.sort()
             self._ring = [point for point, _ in points]
             self._ring_replica = [index for _, index in points]
+            # Array mirrors for the vectorized chunk path.
+            self._ring_arr = np.array(self._ring, dtype=np.uint64)
+            self._ring_replica_arr = np.array(self._ring_replica,
+                                              dtype=np.int64)
+
+    def _ring_lookup(self, tenant: int) -> int:
+        """Resolve (and cache) a tenant's home replica on the ring."""
+        cached = self._tenant_cache.get(tenant)
+        if cached is not None:
+            return cached
+        point = _ring_point(f"tenant-{tenant}")
+        position = bisect.bisect_right(self._ring, point)
+        if position == len(self._ring):
+            position = 0
+        index = self._ring_replica[position]
+        self._tenant_cache[tenant] = index
+        return index
 
     def route(self, request: Request) -> int:
         """Pick the replica index for one request (and count it)."""
@@ -100,13 +124,52 @@ class Router:
                    else request.request_id)
             index = key % len(self.replicas)
         else:  # consistent_hash
-            key = (f"tenant-{request.tenant}"
-                   if request.tenant is not None
-                   else f"request-{request.request_id}")
-            point = _ring_point(key)
-            position = bisect.bisect_right(self._ring, point)
-            if position == len(self._ring):
-                position = 0
-            index = self._ring_replica[position]
+            if request.tenant is not None:
+                index = self._ring_lookup(request.tenant)
+            else:
+                point = _ring_point(f"request-{request.request_id}")
+                position = bisect.bisect_right(self._ring, point)
+                if position == len(self._ring):
+                    position = 0
+                index = self._ring_replica[position]
         self.routed_counts[index] += 1
         return index
+
+    def route_chunk(self, tenants: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`route` over one arrival chunk.
+
+        Returns the replica index per request, identical element-wise
+        to calling :meth:`route` once per request in order (the scalar
+        path stays as the equivalence oracle in
+        ``tests/cluster/test_router.py``), and advances
+        :attr:`routed_counts` and the round-robin cursor the same way.
+
+        ``least_queue`` is inherently sequential — each pick depends on
+        queue depths the previous pick changed — so it has no chunk
+        form and raises.
+        """
+        policy = self.policy
+        count = len(tenants)
+        num_replicas = len(self.replicas)
+        if policy == "round_robin":
+            indices = (self._next + np.arange(count, dtype=np.int64)) \
+                % num_replicas
+            self._next = (self._next + count) % num_replicas
+        elif policy == "tenant_affinity":
+            indices = tenants % num_replicas
+        elif policy == "consistent_hash":
+            unique = np.unique(tenants)
+            lookup = np.empty(int(unique[-1]) + 1 if count else 0,
+                              dtype=np.int64)
+            for tenant in unique.tolist():
+                lookup[tenant] = self._ring_lookup(tenant)
+            indices = lookup[tenants]
+        else:
+            raise ValueError(
+                f"policy {policy!r} has no chunked form; route "
+                "requests one at a time"
+            )
+        counts = np.bincount(indices, minlength=num_replicas)
+        for index in range(num_replicas):
+            self.routed_counts[index] += int(counts[index])
+        return indices

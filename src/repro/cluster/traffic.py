@@ -38,7 +38,8 @@ from repro.config import ServeConfig
 from repro.data.streams import DriftingStream, StreamConfig
 from repro.serving.arrivals import ArrivalProcess, Request
 
-__all__ = ["DiurnalCurve", "MultiTenantTraffic", "TenantSpec"]
+__all__ = ["DiurnalCurve", "MultiTenantTraffic", "TenantSpec",
+           "TrafficChunk"]
 
 # Arrival candidates drawn per thinning pass.  Fixed: the bursty MMPP
 # state machine resets per chunk, so the chunk size is part of the
@@ -248,6 +249,71 @@ class _TenantSource:
         self._pi += 1
         return arrival, features, label
 
+    def times_block(self) -> np.ndarray:
+        """Refill and return the next non-empty block of arrival times.
+
+        The chunked merge consumes whole thinned blocks at a time; the
+        draws (and therefore every downstream arrival) are identical to
+        the ones :meth:`next_event` would have produced one by one.
+        """
+        self._refill_times()
+        return self._times
+
+    def payload_rows(self, count: int) -> tuple[np.ndarray, np.ndarray]:
+        """Consume the tenant's next ``count`` payload rows in order.
+
+        Pulls through the same block refills (and drift advances at the
+        same block boundaries) as :meth:`next_event`, so the sequence of
+        ``(features, label)`` rows is bit-identical to ``count``
+        consecutive streamed draws.
+        """
+        features = np.empty((count, self.spec.num_features),
+                            dtype=np.float32)
+        labels = np.empty(count, dtype=np.int64)
+        filled = 0
+        while filled < count:
+            if self._pi == len(self._px):
+                self._refill_payload()
+            take = min(count - filled, len(self._px) - self._pi)
+            features[filled:filled + take] = \
+                self._px[self._pi:self._pi + take]
+            labels[filled:filled + take] = \
+                self._py[self._pi:self._pi + take]
+            self._pi += take
+            filled += take
+        return features, labels
+
+
+@dataclass(frozen=True)
+class TrafficChunk:
+    """One merged, time-ordered block of the superposed trace.
+
+    Emitted by :meth:`MultiTenantTraffic.chunks` — the columnar fast
+    path of the generator.  Rows are globally ordered by ``(arrival,
+    tenant index)``, exactly the streamed merge order, and
+    ``base_id`` is the global request id of row 0 (ids are dense and
+    sequential across chunks).
+
+    Attributes:
+        base_id: Global request id of the first row.
+        times: ``(n,)`` arrival times, non-decreasing.
+        tenants: ``(n,)`` int64 tenant indices.
+        features: ``(n, num_features)`` float32 payload rows.
+        labels: ``(n,)`` int64 ground-truth labels.
+        deadlines: ``(n,)`` absolute deadlines
+            (``times + tenant deadline budget``).
+    """
+
+    base_id: int
+    times: np.ndarray
+    tenants: np.ndarray
+    features: np.ndarray
+    labels: np.ndarray
+    deadlines: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.times)
+
 
 class MultiTenantTraffic:
     """The superposed, time-ordered request stream of every tenant.
@@ -283,14 +349,145 @@ class MultiTenantTraffic:
         self.total_requests = total_requests
         self.seed = seed
 
+    @property
+    def _uniform_width(self) -> bool:
+        return len({spec.num_features for spec in self.tenants}) == 1
+
+    def chunks(self) -> Iterator[TrafficChunk]:
+        """Yield the trace as merged columnar :class:`TrafficChunk`\\ s.
+
+        The vectorized fast path of the generator: each tenant's
+        arrival times are produced a thinned block at a time (the same
+        blocks :meth:`requests_streamed` consumes one element at a
+        time), and everything up to the *horizon* — the earliest
+        last-buffered time across tenants, so no unbuffered arrival can
+        precede it — is merged in one ``np.lexsort`` keyed by
+        ``(time, tenant index)``, exactly the streamed heap's
+        tie-break.  Payload rows are then gathered per tenant in stream
+        order (block refills and drift boundaries unchanged), so the
+        emitted ``(time, tenant, features, label)`` sequence is
+        bit-identical to the streamed path (the hypothesis test in
+        ``tests/cluster/test_traffic.py`` pins this).
+
+        Requires a uniform per-tenant feature width (the chunk carries
+        one 2-D feature matrix); mixed-width mixes must use
+        :meth:`requests_streamed`.
+
+        The one caveat is exact float ties *across* buffer boundaries:
+        if a tenant's first unbuffered arrival equals the horizon
+        bit-for-bit (probability zero for exponential draws), it lands
+        in the next chunk even when the streamed tie-break would
+        interleave it earlier.
+        """
+        if not self._uniform_width:
+            raise ValueError(
+                "chunks() requires a uniform tenant feature width; "
+                "use requests_streamed() for mixed-width mixes"
+            )
+        tenants = self.tenants
+        num_tenants = len(tenants)
+        deadline_by = np.array([spec.deadline_s for spec in tenants])
+        sources = [_TenantSource(spec, index, self.seed)
+                   for index, spec in enumerate(tenants)]
+        buffers = [source.times_block() for source in sources]
+        offsets = [0] * num_tenants
+        remaining = self.total_requests
+        base_id = 0
+        while remaining > 0:
+            for index in range(num_tenants):
+                if offsets[index] == len(buffers[index]):
+                    buffers[index] = sources[index].times_block()
+                    offsets[index] = 0
+            horizon = min(buffer[-1] for buffer in buffers)
+            part_times = []
+            part_tenants = []
+            for index in range(num_tenants):
+                buffer = buffers[index]
+                start = offsets[index]
+                stop = int(np.searchsorted(buffer, horizon,
+                                           side="right"))
+                if stop > start:
+                    part_times.append(buffer[start:stop])
+                    part_tenants.append(
+                        np.full(stop - start, index, dtype=np.int64)
+                    )
+                    offsets[index] = stop
+            times = np.concatenate(part_times)
+            tenant_ids = np.concatenate(part_tenants)
+            order = np.lexsort((tenant_ids, times))
+            times = times[order]
+            tenant_ids = tenant_ids[order]
+            if len(times) > remaining:
+                times = times[:remaining]
+                tenant_ids = tenant_ids[:remaining]
+            counts = np.bincount(tenant_ids, minlength=num_tenants)
+            features = np.empty(
+                (len(times), tenants[0].num_features), dtype=np.float32
+            )
+            labels = np.empty(len(times), dtype=np.int64)
+            for index in range(num_tenants):
+                count = int(counts[index])
+                if count == 0:
+                    continue
+                rows, row_labels = sources[index].payload_rows(count)
+                positions = np.nonzero(tenant_ids == index)[0]
+                features[positions] = rows
+                labels[positions] = row_labels
+            yield TrafficChunk(
+                base_id=base_id,
+                times=times,
+                tenants=tenant_ids,
+                features=features,
+                labels=labels,
+                deadlines=times + deadline_by[tenant_ids],
+            )
+            base_id += len(times)
+            remaining -= len(times)
+
     def requests(self) -> Iterator[Request]:
         """Stream ``total_requests`` requests in arrival order.
 
         Deterministic per seed: the per-tenant draws, the thinning and
-        the heap merge (ties broken by tenant index) are all fixed, so
-        the trace is bit-identical across router policies and replica
+        the merge (ties broken by tenant index) are all fixed, so the
+        trace is bit-identical across router policies and replica
         counts — routing consumes the trace, it never feeds back into
         generation.
+
+        Uniform-width tenant mixes iterate the chunked fast path
+        (:meth:`chunks`), which emits the same sequence without a
+        Python-level heap round-trip per request; mixed-width mixes
+        fall back to :meth:`requests_streamed`.
+        """
+        if not self._uniform_width:
+            yield from self.requests_streamed()
+            return
+        request_id = 0
+        for chunk in self.chunks():
+            times = chunk.times.tolist()
+            deadlines = chunk.deadlines.tolist()
+            tenant_ids = chunk.tenants.tolist()
+            labels = chunk.labels.tolist()
+            features = chunk.features
+            for row in range(len(times)):
+                yield Request(
+                    request_id=request_id,
+                    arrival_s=times[row],
+                    deadline_s=deadlines[row],
+                    features=features[row],
+                    label=labels[row],
+                    tenant=tenant_ids[row],
+                )
+                request_id += 1
+
+    def requests_streamed(self) -> Iterator[Request]:
+        """The scalar reference generator: one k-way heap merge step
+        per request.
+
+        Kept verbatim as the equivalence oracle for :meth:`chunks` (and
+        as the fallback for mixed feature widths): candidate events sit
+        on a heap keyed by ``(arrival, tenant index)`` and every
+        emission pulls exactly one replacement from the emitting
+        tenant.
         """
         sources = [_TenantSource(spec, index, self.seed)
                    for index, spec in enumerate(self.tenants)]

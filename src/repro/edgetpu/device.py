@@ -76,6 +76,14 @@ class EdgeTpuDevice:
         # fused stages).  Residents survive load_model — a hot swap of
         # the primary must not evict the degradation ladder.
         self._resident: dict[int, tuple[CompiledModel, list]] = {}
+        # invoke_cost results per (model identity, batch): the modeled
+        # cost is a pure function of both, so the cluster fast path's
+        # per-batch charge reduces to stats accounting plus a dict hit.
+        # The cached tuple pins the compiled model, keeping id() stable.
+        self._cost_cache: dict[
+            tuple[int, int],
+            tuple[CompiledModel, "InvokeResult", tuple],
+        ] = {}
 
     def load_model(self, compiled: CompiledModel) -> float:
         """Load a compiled model; returns the modeled load time in seconds.
@@ -201,6 +209,57 @@ class EdgeTpuDevice:
             self.stats.breakdown[key] = self.stats.breakdown.get(key, 0.0) + value
         return InvokeResult(outputs=out, elapsed_s=elapsed, breakdown=breakdown,
                             bytes_in=bytes_in, bytes_out=bytes_out)
+
+    def invoke_cost(self, batch: int,
+                    compiled: CompiledModel | None = None) -> InvokeResult:
+        """Charge one invoke without computing outputs.
+
+        The timing-only twin of :meth:`invoke` for callers that defer
+        the arithmetic (the cluster fast path batches all predictions
+        after the simulation): the modeled latency depends only on the
+        batch size — ``invoke_breakdown`` is memoized per compiled
+        model — so the elapsed time, byte counts and device stats here
+        are bit-identical to running :meth:`invoke` on a real ``(batch,
+        input_dim)`` int8 array.  ``outputs`` is ``None``.
+        """
+        if compiled is None or compiled is self.compiled:
+            if self.compiled is None:
+                raise RuntimeError(
+                    "no model loaded; call load_model() first"
+                )
+            compiled = self.compiled
+        elif id(compiled) not in self._resident:
+            raise RuntimeError(
+                "model is not resident on this device; call "
+                "load_resident() first"
+            )
+        if batch < 1:
+            raise ValueError("cannot invoke with an empty batch")
+
+        cached = self._cost_cache.get((id(compiled), batch))
+        if cached is None:
+            breakdown = dict(compiled.invoke_breakdown(batch))
+            elapsed = sum(breakdown.values())
+            result = InvokeResult(
+                outputs=None, elapsed_s=elapsed, breakdown=breakdown,
+                bytes_in=batch * compiled.tpu_input_bytes,
+                bytes_out=batch * compiled.tpu_output_bytes,
+            )
+            cached = (compiled, result, tuple(breakdown.items()))
+            self._cost_cache[(id(compiled), batch)] = cached
+        _, result, items = cached
+        stats = self.stats
+        stats.invocations += 1
+        stats.samples += batch
+        stats.busy_seconds += result.elapsed_s
+        stats.bytes_in += result.bytes_in
+        stats.bytes_out += result.bytes_out
+        breakdown = stats.breakdown
+        for key, value in items:
+            breakdown[key] = breakdown.get(key, 0.0) + value
+        # The same (shared, treat-as-read-only) InvokeResult is handed
+        # back on every repeat charge.
+        return result
 
     def energy_joules(self) -> float:
         """Energy consumed while busy (active power x busy time)."""

@@ -251,6 +251,31 @@ class DevicePool:
         return self.devices[index].invoke(x, compiled=model,
                                           executor=executor)
 
+    def invoke_cost(self, index: int, batch: int, at_s: float = 0.0,
+                    model: CompiledModel | None = None):
+        """Timing-only :meth:`try_invoke`: identical health checks,
+        failure trips and device accounting, but no output arithmetic
+        (``InvokeResult.outputs`` is ``None``).  The cluster fast path
+        uses this to dispatch on modeled cost alone and compute every
+        prediction in one vectorized pass afterwards.
+        """
+        if not 0 <= index < self.num_devices:
+            raise ValueError(f"device index {index} out of range")
+        if index in self.failed:
+            plan = self._failure_plans.get(index)
+            mode = plan.mode if plan is not None else "device_loss"
+            raise DeviceFailedError(index, mode, 0.0)
+        plan = self._failure_plans.get(index)
+        if plan is not None and at_s >= plan.at_s:
+            self.failed.add(index)
+            self.unload(index)
+            raise DeviceFailedError(
+                index, plan.mode, plan.resolved_detect_seconds
+            )
+        if self.models[index] is None:
+            raise RuntimeError(f"device {index} has no model loaded")
+        return self.devices[index].invoke_cost(batch, compiled=model)
+
     # ------------------------------------------------------------------
     # Model management
     # ------------------------------------------------------------------

@@ -393,6 +393,12 @@ class InferenceServer:
         # plan each time.  Bounded LRUs (evicted entries recompute
         # identically); invalidated on hot swap.
         self._estimate_cache: LruCache = LruCache(128)
+        # Host-tail seconds per (model identity, charged rows) on the
+        # deferred-dispatch path.  Safe unbounded: keys are the few
+        # resident models x batch sizes up to max_batch; keyed by id()
+        # because the fast path forbids hot swaps, so every compiled
+        # model here is pinned for the server's lifetime.
+        self._tail_cache: dict[tuple[int, int], float] = {}
         self._tiers = None
         self._tier_policy: TierPolicy | None = None
         self.tier_load_s = 0.0
@@ -503,15 +509,16 @@ class InferenceServer:
             self._degraded_estimates.put(key, estimate)
         return estimate
 
-    def _select_tier(self, batch, dispatch_t, device_free,
+    def _select_tier(self, deadlines, dispatch_t, device_free,
                      queue_depth) -> int:
         """Pick the serving tier for one closed batch.
 
         Pure in the modeled state (earliest device availability, queue
-        depth, deadlines), so tier choice is deterministic per trace.
-        The full tier serves unless the policy trips; then the
-        lowest-index degraded tier whose predicted completion restores
-        the headroom wins, falling back to the cheapest tier.
+        depth, deadlines — here the batch's absolute-deadline column),
+        so tier choice is deterministic per trace.  The full tier
+        serves unless the policy trips; then the lowest-index degraded
+        tier whose predicted completion restores the headroom wins,
+        falling back to the cheapest tier.
         """
         if self._tiers is None:
             return 0
@@ -521,8 +528,8 @@ class InferenceServer:
             (max(dispatch_t, device_free[i]) for i in healthy),
             default=dispatch_t,
         )
-        budget = min(r.deadline_s for r in batch) - policy.headroom_s
-        rows = len(batch)
+        budget = float(np.min(deadlines)) - policy.headroom_s
+        rows = len(deadlines)
         if (queue_depth < policy.queue_high
                 and earliest + self._tier_estimate(0, rows) <= budget):
             return 0
@@ -571,7 +578,52 @@ class InferenceServer:
     def _dispatch_batch(self, batch, dispatch_t, device_free,
                         device_busy, device_swap, host_free, report,
                         tracer=None, root=None, queue_depth=0) -> float:
-        """Serve one closed batch; returns the updated host-free time."""
+        """Serve one closed batch; returns the updated host-free time.
+
+        Thin adapter over :meth:`_dispatch_columns`: splits the request
+        objects into the id/arrival/deadline columns the columnar core
+        consumes.  The signature (and behavior) is frozen — the
+        pre-engine reference oracle in :mod:`repro.serving._reference`
+        calls it directly.
+        """
+        rows = len(batch)
+        ids = np.fromiter((r.request_id for r in batch),
+                          dtype=np.int64, count=rows)
+        arrivals = np.fromiter((r.arrival_s for r in batch),
+                               dtype=np.float64, count=rows)
+        deadlines = np.fromiter((r.deadline_s for r in batch),
+                                dtype=np.float64, count=rows)
+        features = [r.features for r in batch]
+        return self._dispatch_columns(
+            ids, arrivals, deadlines, features, dispatch_t,
+            device_free, device_busy, device_swap, host_free, report,
+            tracer, root, queue_depth=queue_depth,
+        )
+
+    def _dispatch_columns(self, ids, arrivals, deadlines, features,
+                          dispatch_t, device_free, device_busy,
+                          device_swap, host_free, report, tracer=None,
+                          root=None, queue_depth=0, defer=None) -> float:
+        """Serve one closed batch given as columns; returns the updated
+        host-free time.
+
+        The columnar core of the dispatch path: ``ids``/``arrivals``/
+        ``deadlines`` are aligned int64/float64 arrays, ``features`` a
+        row list or 2-D array (ignored when deferring).  The per-request
+        report bookkeeping — prediction/latency scatter, latency
+        histograms, deadline misses, tier columns — is one vectorized
+        slice write per batch instead of a Python loop per request,
+        with float arithmetic elementwise-identical to the scalar loop
+        it replaced.
+
+        When ``defer`` is a :class:`~repro.cluster.fastpath`
+        deferred-prediction sink, the device invoke is charged by
+        :meth:`~repro.edgetpu.multidevice.DevicePool.invoke_cost`
+        (timing only) and ``(compiled, ids)`` is handed to ``defer`` —
+        the fast path computes all predictions in one pass after the
+        simulation, byte-identically (modeled times never depend on
+        predicted values).
+        """
         if self.swapper is not None:
             swapped = self.swapper.poll(dispatch_t)
             if swapped is not None:
@@ -600,9 +652,9 @@ class InferenceServer:
                                dispatch_t + load, parent_id=root,
                                tags=("swap",), load_s=load)
 
-        rows = len(batch)
-        tier_index = self._select_tier(batch, dispatch_t, device_free,
-                                       queue_depth)
+        rows = len(ids)
+        tier_index = self._select_tier(deadlines, dispatch_t,
+                                       device_free, queue_depth)
         if tier_index == 0:
             # Tier 0 is whatever the pool currently serves as primary
             # (it tracks hot swaps); degraded tiers are fixed resident
@@ -638,24 +690,33 @@ class InferenceServer:
             self._active_tier = tier_index
         plan_model = (self._plan.plan_for(compiled)
                       if self._plan is not None else None)
-        if plan_model is not None:
+        if defer is not None:
+            # Deferred path: no staging at all — modeled cost is a
+            # function of the charged row count alone, and the
+            # arithmetic happens after the simulation.
+            quantized = None
+            executor = None
+            charged = self._charged_rows(rows)
+        elif plan_model is not None:
             # Arena path: features land in the plan's preallocated
             # scratch and quantize in place, padded to the bucket with
             # zero-point rows (their outputs are sliced off below).
-            quantized = plan_model.stage(
-                [request.features for request in batch]
-            )
+            quantized = plan_model.stage(features)
             executor = plan_model.executor_for(len(quantized))
+            charged = len(quantized)
         else:
-            x = np.stack([request.features for request in batch])
+            x = (features if isinstance(features, np.ndarray)
+                 else np.stack(features))
             quantized = compiled.model.input_spec.qparams.quantize(x)
             executor = None
+            charged = rows
 
         batch_span = (tracer.add("serve.batch", dispatch_t, dispatch_t,
                                  parent_id=root, batch=rows,
                                  tier=tier_index)
                       if tracer is not None else None)
         predictions = None
+        deferred_served = False
         completion = None
         detect_t = dispatch_t
         attempts = 0
@@ -667,10 +728,15 @@ class InferenceServer:
             chosen = min(healthy, key=lambda i: (device_free[i], i))
             start = max(detect_t, device_free[chosen])
             try:
-                invoke = self.pool.try_invoke(chosen, quantized,
-                                              at_s=start,
-                                              model=invoke_model,
-                                              executor=executor)
+                if defer is not None:
+                    invoke = self.pool.invoke_cost(chosen, charged,
+                                                   at_s=start,
+                                                   model=invoke_model)
+                else:
+                    invoke = self.pool.try_invoke(chosen, quantized,
+                                                  at_s=start,
+                                                  model=invoke_model,
+                                                  executor=executor)
             except DeviceFailedError as err:
                 attempts += 1
                 failed_once = True
@@ -683,7 +749,19 @@ class InferenceServer:
             device_done = start + invoke.elapsed_s
             device_free[chosen] = device_done
             device_busy[chosen] += invoke.elapsed_s
-            if plan_model is not None:
+            if defer is not None:
+                # The host tail is charged at the rows the device ran
+                # (the padded bucket under a plan) — the same per-op
+                # sum run_host_tail/run_tail would have accumulated.
+                defer.add(compiled, ids)
+                deferred_served = True
+                key = (id(compiled), charged)
+                tail_cost = self._tail_cache.get(key)
+                if tail_cost is None:
+                    tail_cost = self._host_tail_seconds(compiled,
+                                                        charged)
+                    self._tail_cache[key] = tail_cost
+            elif plan_model is not None:
                 # Arena tail (bit-identical to run_host_tail); the
                 # modeled cost is the same per-op plan evaluated at the
                 # padded rows the device just ran.
@@ -716,18 +794,22 @@ class InferenceServer:
                            batch=rows)
             break
 
-        if predictions is None:
+        if predictions is None and not deferred_served:
             # Retry exhausted or no healthy device: the CPU-fallback op
             # path — the same fused int8 kernels on the host,
             # bit-identical.  Modeled cost stays per-op (fusion is
             # execution dispatch, not a timing change).
             width = compiled.model.input_spec.size
             cost = 0.0
-            charged = len(quantized)  # padded rows under a plan
             for op in list(compiled.tpu_ops) + list(compiled.cpu_ops):
                 cost += cpu_op_seconds(self.host, op, charged, width)
                 width = op.output_dim(width)
-            if plan_model is not None:
+            if defer is not None:
+                defer.add(compiled, ids)
+                deferred_served = True
+                if not compiled.model.output_is_index:
+                    cost += self.host.argmax_seconds(charged, width)
+            elif plan_model is not None:
                 predictions = plan_model.run_host(quantized)[:rows]
                 if not compiled.model.output_is_index:
                     cost += self.host.argmax_seconds(charged, width)
@@ -752,29 +834,50 @@ class InferenceServer:
 
         report.num_batches += 1
         report.batch_sizes.append(rows)
+        if defer is not None and defer.full:
+            # Fully deferred bookkeeping: nothing observes per-request
+            # report state mid-run (the cluster only grants ``full``
+            # with no autoscaler, no metrics and no tiers, and the fast
+            # path already excludes tracers), so one (ids, completion)
+            # note replaces the whole per-batch epilogue — the scatter,
+            # histogram ingest and miss count replay bit-identically at
+            # resolve time.
+            defer.book(ids, completion)
+            return host_free
         if tracer is not None:
             tracer.finish(batch_span, completion)
         if self.metrics is not None:
             self.metrics.histogram("serve.batch_size").record(rows)
-        for request, prediction in zip(batch, predictions):
-            report.predictions[request.request_id] = prediction
-            latency = completion - request.arrival_s
-            report.latencies[request.request_id] = latency
-            report.latency.record(latency)
-            if report.request_tiers is not None:
-                report.request_tiers[request.request_id] = tier_index
-                report.tier_served[tier_index] += 1
-                report.tier_latency[tier_index].record(latency)
-            missed = completion > request.deadline_s
-            if missed:
-                report.deadline_misses += 1
-            if tracer is not None:
-                span = tracer.add("request", request.arrival_s, completion,
-                                  parent_id=root,
-                                  tags=("deadline_miss",) if missed else (),
-                                  request_id=request.request_id, batch=rows)
-                tracer.add("queue.wait", request.arrival_s, dispatch_t,
-                           parent_id=span, request_id=request.request_id)
-            if self.metrics is not None:
-                self.metrics.histogram("serve.latency_s").record(latency)
+        # Columnar bookkeeping: one slice write (and one bulk histogram
+        # ingest) per batch.  ``completion - arrivals`` is elementwise
+        # IEEE-identical to the scalar per-request subtraction, so
+        # every recorded latency carries the exact same bits.
+        latencies = completion - arrivals
+        if predictions is not None:
+            report.predictions[ids] = predictions
+        report.latencies[ids] = latencies
+        report.latency.record_many(latencies)
+        if report.request_tiers is not None:
+            report.request_tiers[ids] = tier_index
+            report.tier_served[tier_index] += rows
+            report.tier_latency[tier_index].record_many(latencies)
+        missed = deadlines < completion
+        report.deadline_misses += int(np.count_nonzero(missed))
+        if tracer is not None:
+            id_list = ids.tolist()
+            arrival_list = arrivals.tolist()
+            missed_list = missed.tolist()
+            for k in range(rows):
+                span = tracer.add(
+                    "request", arrival_list[k], completion,
+                    parent_id=root,
+                    tags=("deadline_miss",) if missed_list[k] else (),
+                    request_id=id_list[k], batch=rows,
+                )
+                tracer.add("queue.wait", arrival_list[k], dispatch_t,
+                           parent_id=span, request_id=id_list[k])
+        if self.metrics is not None:
+            self.metrics.histogram("serve.latency_s").record_many(
+                latencies
+            )
         return host_free

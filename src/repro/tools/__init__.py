@@ -1,13 +1,17 @@
 """Command-line tools.
 
-Two commands wrap the library for shell use, mirroring the TFLite/Edge
-TPU workflow the paper's users would follow::
+Three commands wrap the library for shell use, mirroring the
+TFLite/Edge TPU workflow the paper's users would follow::
 
     python -m repro.tools train isolet --bagging -o isolet.rtfl
     python -m repro.tools inspect isolet.rtfl --disasm
+    python -m repro.tools profile-cluster --requests 200000
 
 ``train`` runs the co-design training pipeline on a Table-I surrogate
 and writes the deployable quantized model; ``inspect`` compiles a saved
 model for the Edge TPU and reports the partition, buffer usage, latency
-estimates and (optionally) the lowered instruction trace.
+estimates and (optionally) the lowered instruction trace;
+``profile-cluster`` runs the cluster simulator's benchmark workload
+under :mod:`cProfile` and prints the hottest functions (the standing
+watchdog for the vectorized fast path's constants).
 """

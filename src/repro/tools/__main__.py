@@ -5,18 +5,21 @@ from __future__ import annotations
 import sys
 
 from repro.tools import inspect as inspect_tool
+from repro.tools import profile_cluster as profile_cluster_tool
 from repro.tools import train as train_tool
 
 _COMMANDS = {
     "train": train_tool.main,
     "inspect": inspect_tool.main,
+    "profile-cluster": profile_cluster_tool.main,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] in ("-h", "--help"):
-        print("usage: python -m repro.tools {train,inspect} ...")
+        print("usage: python -m repro.tools "
+              "{train,inspect,profile-cluster} ...")
         print(__import__("repro.tools", fromlist=["__doc__"]).__doc__)
         return 0 if argv else 2
     command = argv[0]

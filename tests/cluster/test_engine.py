@@ -1,10 +1,14 @@
 """EventEngine: fire order, tie-breaks, cancellation, budgets."""
 
+import gc
+import weakref
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cluster import EventEngine
+from repro.cluster.engine import _COMPACT_MIN, _POOL_MAX
 
 times = st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
                   allow_infinity=False)
@@ -116,3 +120,67 @@ def test_step_skips_tombstones():
     assert engine.step() is True
     assert fired == ["kept"]
     assert engine.step() is False
+
+
+def test_cancel_drops_callback_and_argument_references():
+    """A tombstone must not pin the requests a cancelled dispatch
+    closure captured: cancel() clears callback and args immediately,
+    so the payload is collectable while the entry still sits in the
+    heap awaiting its lazy pop."""
+    engine = EventEngine()
+
+    class Payload:
+        pass
+
+    payload = Payload()
+    sink = []
+    event = engine.at(1.0, sink.append, payload)
+    ref = weakref.ref(payload)
+    engine.cancel(event)
+    assert event.callback is None
+    assert event.args == ()
+    del payload
+    gc.collect()
+    assert ref() is None
+    engine.at(2.0, lambda: None)
+    engine.run()
+    assert sink == []
+
+
+def test_cancel_heavy_run_keeps_heap_size_o_live():
+    """The serving loop's hot pattern — cancel the pending dispatch
+    after every arrival — must not grow the heap O(total arrivals):
+    compaction keeps the physical heap bounded by the live count (plus
+    the compaction floor), and the Event free list stays bounded."""
+    engine = EventEngine()
+    horizon = [engine.at(1e6 + i, lambda: None) for i in range(8)]
+    peak = 0
+    time_s = 0.0
+    for _ in range(10_000):
+        time_s += 0.001
+        doomed = engine.at(time_s, lambda: None)
+        engine.cancel(doomed)
+        peak = max(peak, len(engine._heap))
+    assert engine.pending == len(horizon)
+    assert peak <= len(horizon) + 2 * _COMPACT_MIN
+    assert len(engine._pool) <= _POOL_MAX
+    for event in horizon:
+        engine.cancel(event)
+    assert engine.pending == 0
+
+
+def test_peek_returns_next_live_key_without_firing():
+    engine = EventEngine()
+    assert engine.peek() is None
+    first = engine.at(1.0, lambda: None)
+    second = engine.at(2.0, lambda: None)
+    engine.at(2.0, lambda: None)
+    assert engine.peek() == (first.time_s, first.seq)
+    engine.cancel(first)
+    # The tombstone at the top is swept, not fired.
+    assert engine.peek() == (2.0, second.seq)
+    assert engine.events_processed == 0
+    assert engine.pending == 2
+    engine.run()
+    assert engine.peek() is None
+    assert engine.events_processed == 2

@@ -5,6 +5,12 @@
 byte-for-byte against :func:`repro.serving._reference.serve_reference`
 — the pre-refactor loop kept verbatim as an oracle — across batcher
 policies, admission pressure, streamed input and tracing.
+
+The second half pins the *cluster* vectorized fast path (chunked
+traffic + batched routing + columnar bookkeeping + macro-stepped
+arrival pump, ``ClusterConfig(fast=True)``) byte-for-byte against the
+scalar event-per-arrival pump (``fast=False``) across router policies,
+tiered shedding, autoscaling, failure injection and cluster tracing.
 """
 
 import json
@@ -12,9 +18,17 @@ import json
 import numpy as np
 import pytest
 
+from repro.cluster import (
+    AutoscalerConfig,
+    Cluster,
+    ClusterConfig,
+    TenantSpec,
+)
+from repro.compression.tiers import TierSpec, build_tiers
 from repro.config import ServeConfig
 from repro.data.streams import DriftingStream, StreamConfig
-from repro.edgetpu.multidevice import DevicePool
+from repro.edgetpu.multidevice import DevicePool, FailurePlan
+from repro.hdc.bagging import BaggingConfig, BaggingHDCTrainer
 from repro.observability.trace import Tracer
 from repro.serving import ArrivalProcess, RequestStream
 from repro.serving._reference import serve_reference
@@ -105,3 +119,171 @@ def test_single_device_and_empty_trace(compiled_model):
     empty_old = serve_reference(_server(compiled_model, config), [])
     assert json.dumps(empty_new.summary(), sort_keys=True) == \
         json.dumps(empty_old.summary(), sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Cluster fast path ≡ scalar pump
+#
+# Every comparison below runs the same ClusterConfig twice — once with
+# the vectorized fast path (fast=True, the default) and once with the
+# scalar event-per-arrival pump (fast=False) — and demands identity
+# down to the last float: predictions, modeled latencies, batch
+# splits, device busy time, the merged latency tracker's *value
+# order*, and the full summary JSON (which folds in per-tenant SLA
+# rows and scaling events).
+
+
+def _cluster(compiled_model, tenant_mix, fast, *, tiers=None,
+             tracer=None, failures=(), **overrides):
+    kwargs = dict(tenants=tenant_mix, total_requests=3000,
+                  num_replicas=2, seed=7)
+    kwargs.update(overrides)
+    cluster = Cluster(compiled_model, ClusterConfig(fast=fast, **kwargs),
+                      tiers=tiers, tracer=tracer)
+    for replica_index, plan in failures:
+        cluster.replicas[replica_index].server.pool.schedule_failure(
+            plan
+        )
+    return cluster
+
+
+def _assert_cluster_reports_identical(fast, scalar):
+    assert json.dumps(fast.summary(), sort_keys=True) == \
+        json.dumps(scalar.summary(), sort_keys=True)
+    assert fast.makespan_s == scalar.makespan_s
+    assert fast.device_seconds == scalar.device_seconds
+    assert fast.routed_counts == scalar.routed_counts
+    assert fast.latency._values == scalar.latency._values
+    assert len(fast.replica_reports) == len(scalar.replica_reports)
+    for new, old in zip(fast.replica_reports, scalar.replica_reports):
+        np.testing.assert_array_equal(new.predictions, old.predictions)
+        np.testing.assert_array_equal(new.latencies, old.latencies)
+        assert new.batch_sizes == old.batch_sizes
+        assert new.device_busy_seconds == old.device_busy_seconds
+        assert new.deadline_misses == old.deadline_misses
+        assert new.dropped == old.dropped
+        assert new.makespan_s == old.makespan_s
+        assert new.latency._values == old.latency._values
+        assert new.tier_batches == old.tier_batches
+        assert new.tier_sheds == old.tier_sheds
+        if old.request_tiers is None:
+            assert new.request_tiers is None
+        else:
+            np.testing.assert_array_equal(new.request_tiers,
+                                          old.request_tiers)
+
+
+def _compare(compiled_model, tenant_mix, **kwargs):
+    fast = _cluster(compiled_model, tenant_mix, True, **kwargs)
+    scalar = _cluster(compiled_model, tenant_mix, False, **kwargs)
+    assert fast._pump is not None, "fast run fell back to scalar"
+    assert scalar._pump is None
+    fast_report, scalar_report = fast.run(), scalar.run()
+    _assert_cluster_reports_identical(fast_report, scalar_report)
+    return fast_report, scalar_report
+
+
+@pytest.mark.parametrize("policy,num_replicas", [
+    ("round_robin", 3),
+    ("round_robin", 1),
+    ("tenant_affinity", 2),
+    ("consistent_hash", 4),
+])
+def test_cluster_fast_path_matches_scalar_per_policy(
+        compiled_model, tenant_mix, policy, num_replicas):
+    _compare(compiled_model, tenant_mix, policy=policy,
+             num_replicas=num_replicas)
+
+
+@pytest.mark.parametrize("serve", [
+    pytest.param(ServeConfig(batcher="fixed", max_batch=4,
+                             timeout_s=0.01), id="fixed_batcher"),
+    pytest.param(ServeConfig(max_queue=4), id="drops"),
+])
+def test_cluster_fast_path_matches_scalar_under_pressure(
+        compiled_model, tenant_mix, serve):
+    _compare(compiled_model, tenant_mix, serve=serve)
+
+
+def test_cluster_fast_path_matches_scalar_with_autoscaler(
+        compiled_model, tenant_mix):
+    """Autoscaling reads mid-run report state, so bookkeeping cannot
+    fully defer — this pins the partial-deferral path, including the
+    periodic tick interleaving with macro-stepped arrivals."""
+    autoscaler = AutoscalerConfig(interval_s=0.5, queue_high=8,
+                                  queue_low=2, miss_high=0.02,
+                                  cooldown_s=1.0)
+    fast, _ = _compare(compiled_model, tenant_mix,
+                       autoscaler=autoscaler, total_requests=6000)
+    assert fast.scaling_events, "autoscaler never fired; weak test"
+
+
+def test_cluster_fast_path_matches_scalar_under_failures(
+        compiled_model, tenant_mix):
+    failures = (
+        (0, FailurePlan(device_index=0, at_s=1.0, mode="usb_stall")),
+        (1, FailurePlan(device_index=0, at_s=2.0, mode="device_loss",
+                        detect_seconds=0.01)),
+    )
+    _compare(compiled_model, tenant_mix, devices_per_replica=2,
+             failures=failures, total_requests=6000)
+
+
+@pytest.fixture(scope="module")
+def tier_ladder():
+    stream = DriftingStream(
+        StreamConfig(num_features=NUM_FEATURES, num_classes=NUM_CLASSES,
+                     drift_rate=0.0),
+        seed=2,
+    )
+    x, y = stream.next_batch(240)
+    trainer = BaggingHDCTrainer(
+        BaggingConfig(num_models=3, dimension=256, iterations=3),
+        seed=7,
+    )
+    trainer.fit(x, y)
+    return build_tiers(
+        trainer.fuse(), x[:96],
+        specs=(TierSpec("full"),
+               TierSpec("mid", "dpq", dimension=128),
+               TierSpec("low", "ldc", dimension=64)),
+    )
+
+
+def test_cluster_fast_path_matches_scalar_with_tiered_shedding(
+        tenant_mix, tier_ladder):
+    """A hot mix forces degraded-tier batches; the fast path must shed
+    the exact same batches to the exact same tiers."""
+    hot = tuple(
+        TenantSpec(spec.name, rate_hz=spec.rate_hz * 12.0,
+                   deadline_s=spec.deadline_s / 10.0, kind=spec.kind)
+        for spec in tenant_mix
+    )
+    fast, _ = _compare(tier_ladder[0].compiled, hot, tiers=tier_ladder,
+                       total_requests=4000)
+    sheds = sum(r.tier_sheds for r in fast.replica_reports)
+    assert sheds > 0, "no batches shed; weak test"
+
+
+def test_cluster_traced_run_matches_untraced_and_scalar_spans(
+        compiled_model, tenant_mix):
+    fast_tracer = Tracer(enabled=True)
+    scalar_tracer = Tracer(enabled=True)
+    traced_fast = _cluster(compiled_model, tenant_mix, True,
+                           tracer=fast_tracer).run()
+    traced_scalar = _cluster(compiled_model, tenant_mix, False,
+                             tracer=scalar_tracer).run()
+    _assert_cluster_reports_identical(traced_fast, traced_scalar)
+    fast_spans = [span.to_dict() for span in fast_tracer.spans]
+    scalar_spans = [span.to_dict() for span in scalar_tracer.spans]
+    assert fast_spans == scalar_spans
+    untraced = _cluster(compiled_model, tenant_mix, True).run()
+    _assert_cluster_reports_identical(traced_fast, untraced)
+
+
+def test_least_queue_and_fast_off_fall_back_to_scalar_pump(
+        compiled_model, tenant_mix):
+    assert _cluster(compiled_model, tenant_mix, True,
+                    policy="least_queue")._pump is None
+    assert _cluster(compiled_model, tenant_mix, False)._pump is None
+    assert _cluster(compiled_model, tenant_mix, True)._pump is not None

@@ -2,7 +2,10 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+import repro.cluster.traffic as traffic_module
 from repro.cluster import DiurnalCurve, MultiTenantTraffic, TenantSpec
 
 
@@ -92,6 +95,94 @@ def test_flat_curve_skips_thinning():
     requests = _collect((tenant,), 500, seed=5)
     rate = len(requests) / requests[-1].arrival_s
     assert rate == pytest.approx(100.0, rel=0.25)
+
+
+@st.composite
+def _tenant_mixes(draw):
+    count = draw(st.integers(min_value=1, max_value=4))
+    tenants = []
+    for index in range(count):
+        if draw(st.booleans()):
+            curve = DiurnalCurve()  # flat: skips thinning entirely
+        else:
+            curve = DiurnalCurve(
+                period_s=draw(st.sampled_from((2.0, 30.0))),
+                amplitude=draw(st.sampled_from((0.3, 0.8))),
+                phase=draw(st.sampled_from((0.0, 0.25))),
+            )
+        drifting = draw(st.booleans())
+        tenants.append(TenantSpec(
+            f"tenant{index}",
+            rate_hz=draw(st.sampled_from((5.0, 90.0, 700.0))),
+            deadline_s=draw(st.sampled_from((0.02, 0.5))),
+            kind=draw(st.sampled_from(("poisson", "bursty"))),
+            drift_rate=0.05 if drifting else 0.0,
+            drift_every=64 if drifting else 0,
+            curve=curve,
+        ))
+    return tuple(tenants)
+
+
+@settings(max_examples=40, deadline=None)
+@given(mix=_tenant_mixes(),
+       seed=st.integers(min_value=0, max_value=2**32 - 1),
+       total=st.integers(min_value=1, max_value=400),
+       chunk=st.sampled_from((7, 64, 1024)))
+def test_chunked_generation_is_bit_identical_to_streamed(
+        mix, seed, total, chunk):
+    """The fast-path contract: ``chunks()`` (columnar, lexsort-merged)
+    emits the exact ``(time, tenant, features, label, deadline)``
+    sequence of the scalar heap merge ``requests_streamed()``, for any
+    tenant mix, seed and draw-block size.  Shrinking the module block
+    constant forces many refill boundaries — the only place the two
+    code paths could diverge — without generating thousands of
+    requests per example."""
+    original = traffic_module._CHUNK
+    traffic_module._CHUNK = chunk
+    try:
+        streamed = list(
+            MultiTenantTraffic(mix, total, seed=seed).requests_streamed()
+        )
+        chunked = list(MultiTenantTraffic(mix, total, seed=seed).requests())
+    finally:
+        traffic_module._CHUNK = original
+    assert len(chunked) == len(streamed) == total
+    for new, old in zip(chunked, streamed):
+        assert new.request_id == old.request_id
+        assert new.arrival_s == old.arrival_s
+        assert new.deadline_s == old.deadline_s
+        assert new.tenant == old.tenant
+        assert new.label == old.label
+        np.testing.assert_array_equal(new.features, old.features)
+
+
+def test_chunk_columns_are_contiguous_and_ordered(tenant_mix):
+    traffic = MultiTenantTraffic(tenant_mix, 2000, seed=9)
+    base = 0
+    times = []
+    for chunk in traffic.chunks():
+        assert chunk.base_id == base
+        assert len(chunk.times) == len(chunk.tenants) \
+            == len(chunk.labels) == len(chunk.deadlines) \
+            == chunk.features.shape[0]
+        base += len(chunk.times)
+        times.extend(chunk.times.tolist())
+    assert base == 2000
+    assert times == sorted(times)
+
+
+def test_chunks_reject_mixed_feature_widths():
+    mixed = (
+        TenantSpec("narrow", rate_hz=50.0, deadline_s=0.1,
+                   num_features=8),
+        TenantSpec("wide", rate_hz=50.0, deadline_s=0.1,
+                   num_features=32),
+    )
+    traffic = MultiTenantTraffic(mixed, 100, seed=0)
+    with pytest.raises(ValueError, match="uniform"):
+        next(traffic.chunks())
+    # requests() falls back to the streamed path transparently.
+    assert len(list(traffic.requests())) == 100
 
 
 def test_validation():
