@@ -25,7 +25,7 @@ import pathlib
 import numpy as np
 
 from repro.data.streams import DriftingStream, StreamConfig
-from repro.edgetpu import DevicePool, FailurePlan, compile_model
+from repro.edgetpu import FailurePlan, compile_model
 from repro.experiments.report import format_table
 from repro.hdc.encoder import NonlinearEncoder
 from repro.hdc.model import HDCClassifier
@@ -70,8 +70,10 @@ def _train_compiled(x, y, seed):
 
 def _server(compiled, config, num_devices=2, failure=None,
             swapper_for=None):
-    pool = DevicePool(num_devices)
-    pool.load_replicated(compiled)
+    from repro.api import deploy
+    from repro.config import FleetSpec
+
+    pool = deploy(compiled, fleet=FleetSpec.single(count=num_devices)).pool
     if failure is not None:
         pool.schedule_failure(failure)
     swapper = ModelSwapper(pool) if swapper_for else None

@@ -78,11 +78,19 @@ def main() -> None:
               f"p99 {1e3 * row['latency']['p99_s']:.2f} ms")
 
     # --- Routing policies ------------------------------------------
+    # ``placed`` routes by an optimizer placement, so build one (a
+    # homogeneous fleet here — the optimizer still picks each tenant's
+    # replica, device share and batch bucket).
+    placement = repro.PlacementOptimizer(
+        repro.FleetSpec.single("edgetpu", count=8)
+    ).place(compiled, tenants)
     print("\nrouted per replica, same trace, each policy:")
     for policy in POLICIES:
+        overrides = ({"placement": placement} if policy == "placed"
+                     else {"num_replicas": 4})
         summary = repro.serve_cluster(compiled, config=repro.ClusterConfig(
-            tenants=tenants, total_requests=6_000, num_replicas=4,
-            policy=policy, serve=serve, seed=7,
+            tenants=tenants, total_requests=6_000,
+            policy=policy, serve=serve, seed=7, **overrides,
         )).summary()
         counts = "  ".join(f"{c:>5}" for c in summary["routed"])
         print(f"  {policy:>15}: {counts}")

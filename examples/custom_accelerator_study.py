@@ -16,7 +16,7 @@ Run:  python examples/custom_accelerator_study.py
 """
 
 from repro.data import TABLE_I
-from repro.edgetpu import EdgeTpuArch
+from repro.edgetpu import make_arch
 from repro.platforms import EdgeTpuPlatform
 from repro.runtime import CostModel
 
@@ -26,7 +26,7 @@ def usb_bandwidth_sweep() -> None:
     features = (20, 100, 300, 700)
     print(f"  {'bandwidth':>12} " + " ".join(f"n={n:>4}" for n in features))
     for megabytes in (100, 320, 1000):
-        arch = EdgeTpuArch(usb_bytes_per_s=megabytes * 1e6)
+        arch = make_arch("edgetpu", usb_bytes_per_s=megabytes * 1e6)
         cm = CostModel(tpu=EdgeTpuPlatform(arch))
         speedups = [cm.encoding_speedup(10_000, n) for n in features]
         row = " ".join(f"{s:6.2f}" for s in speedups)
@@ -42,7 +42,7 @@ def mxu_size_sweep() -> None:
     workload = Workload.from_spec(TABLE_I["mnist"])
     config = HdcTrainingConfig()
     for size in (16, 32, 64, 128):
-        arch = EdgeTpuArch(mxu_rows=size, mxu_cols=size)
+        arch = make_arch("edgetpu", mxu_rows=size, mxu_cols=size)
         cm = CostModel(tpu=EdgeTpuPlatform(arch))
         per_sample = 1e6 * cm.tpu_inference(workload, config) / workload.num_test
         print(f"  {size:3}x{size:<3} MXU: {per_sample:7.1f} us/sample")

@@ -24,8 +24,10 @@ Run:  python examples/online_serving.py
 
 import numpy as np
 
+from repro.api import deploy
+from repro.config import FleetSpec
 from repro.data.streams import DriftingStream, StreamConfig
-from repro.edgetpu import DevicePool, FailurePlan, compile_model
+from repro.edgetpu import FailurePlan, compile_model
 from repro.hdc import HDCClassifier
 from repro.nn import from_classifier
 from repro.serving import (
@@ -66,8 +68,7 @@ def main(num_requests: int = 800, dimension: int = 1024,
 
     def serve(config, pool=None, swapper=None):
         if pool is None:
-            pool = DevicePool(2)
-            pool.load_replicated(compiled)
+            pool = deploy(compiled, fleet=FleetSpec.single(count=2)).pool
         server = InferenceServer(pool, config, swapper=swapper)
         return server.serve(trace)
 
@@ -81,8 +82,7 @@ def main(num_requests: int = 800, dimension: int = 1024,
               f"mean batch={report.mean_batch_size:.1f}")
 
     # --- Fault tolerance: USB stall on device 0 ----------------------
-    pool = DevicePool(2)
-    pool.load_replicated(compiled)
+    pool = deploy(compiled, fleet=FleetSpec.single(count=2)).pool
     pool.schedule_failure(FailurePlan(0, at_s=1.0, mode="usb_stall"))
     degraded = serve(deadline_aware, pool=pool)
     identical = np.array_equal(degraded.predictions, dynamic.predictions)
@@ -99,8 +99,7 @@ def main(num_requests: int = 800, dimension: int = 1024,
     retrained = train(np.stack([r.features for r in window]),
                       np.array([r.label for r in window], dtype=np.int64),
                       config.num_classes, dimension, seed=1)
-    pool = DevicePool(2)
-    pool.load_replicated(compiled)
+    pool = deploy(compiled, fleet=FleetSpec.single(count=2)).pool
     swapper = ModelSwapper(pool)
     swapper.schedule(retrained, at_s=trace[cut].arrival_s)
     swapped = serve(deadline_aware, pool=pool, swapper=swapper)
@@ -157,8 +156,7 @@ def main(num_requests: int = 800, dimension: int = 1024,
                            tiers=TierPolicy(queue_high=16,
                                             headroom_s=0.0001))
     for tiered in (True, False):
-        pool = DevicePool(1, ladder[0].compiled.arch)
-        pool.load_replicated(ladder[0].compiled)
+        pool = deploy(ladder[0].compiled, fleet=FleetSpec.single()).pool
         server = InferenceServer(
             pool,
             config=overload if tiered else ServeConfig(max_batch=64,

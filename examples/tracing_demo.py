@@ -54,7 +54,8 @@ def main(num_requests: int = 300, dimension: int = 1024,
           + "  ".join(f"{k}={v:.3f}" for k, v in phases.items() if v))
 
     # --- 2. traced serving with metrics -----------------------------
-    deployment = repro.deploy(trained, num_devices=2)
+    deployment = repro.deploy(trained,
+                              fleet=repro.FleetSpec.single(count=2))
     trace = list(RequestStream(
         stream, ArrivalProcess(rate_hz, "poisson", seed=3),
         deadline_s=0.05,

@@ -59,10 +59,13 @@ from repro._version import __version__
 
 __all__ = [
     "AutoscalerConfig",
+    "BackendSpec",
     "ClusterConfig",
     "DiurnalCurve",
+    "FleetSpec",
     "MetricsRegistry",
     "PipelineConfig",
+    "PlacementOptimizer",
     "PlanConfig",
     "ServeConfig",
     "TenantSpec",
@@ -88,6 +91,10 @@ _LAZY = {
     "MetricsRegistry": ("repro.observability.metrics", "MetricsRegistry"),
     "TenantSpec": ("repro.cluster.traffic", "TenantSpec"),
     "serve_cluster": ("repro.api", "serve_cluster"),
+    "BackendSpec": ("repro.config", "BackendSpec"),
+    "FleetSpec": ("repro.config", "FleetSpec"),
+    "PlacementOptimizer": ("repro.runtime.placement",
+                           "PlacementOptimizer"),
     "PipelineConfig": ("repro.config", "PipelineConfig"),
     "PlanConfig": ("repro.config", "PlanConfig"),
     "ServeConfig": ("repro.config", "ServeConfig"),

@@ -6,7 +6,9 @@ configs::
     import repro
 
     result = repro.train(x, y, config=repro.PipelineConfig(seed=7))
-    deployment = repro.deploy(result, num_devices=4)
+    deployment = repro.deploy(
+        result, fleet=repro.FleetSpec.single("edgetpu", count=4)
+    )
     report = repro.serve(deployment, requests,
                          config=repro.ServeConfig(tracing=True))
 
@@ -31,13 +33,14 @@ extension surface; this module is the short path through it.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
 import numpy as np
 
 from repro.compression.tiers import TierSet, TierSpec, build_tiers
-from repro.config import PipelineConfig, ServeConfig
+from repro.config import FleetSpec, PipelineConfig, ServeConfig
 from repro.edgetpu.compiler import CompiledModel
 from repro.edgetpu.multidevice import DevicePool
 from repro.observability.metrics import MetricsRegistry
@@ -47,6 +50,7 @@ from repro.runtime.pipeline import (
     PipelineResult,
     TrainingPipeline,
 )
+from repro.runtime.placement import FleetPlacement
 from repro.serving.arrivals import Request
 from repro.serving.server import InferenceServer, ServeReport
 from repro.serving.swap import ModelSwapper
@@ -133,13 +137,23 @@ def compress(trained: PipelineResult, calibration: np.ndarray, *,
 
 @dataclass
 class Deployment:
-    """A trained model pinned onto a replicated device pool.
+    """A trained model pinned onto a (possibly heterogeneous) pool.
 
     Attributes:
-        pool: The loaded :class:`DevicePool` (replicated placement).
-        compiled: The compiled inference model every device holds.
+        pool: The loaded :class:`DevicePool` (replicated placement; on
+            a mixed fleet every device holds its own backend's compiled
+            variant of the same model).
+        compiled: The canonical compiled inference model.
         load_s: Modeled load time (parallel across devices, so the
             slowest single load).
+        fleet: The :class:`~repro.config.FleetSpec` the pool was built
+            from; ``None`` for the single-device default and the
+            deprecated ``num_devices=`` path.
+        placement: Optional
+            :class:`~repro.runtime.placement.FleetPlacement` attached
+            at deploy time (recorded in the summary; feed it to
+            :func:`serve_cluster` via ``ClusterConfig(policy="placed",
+            placement=...)``).
         trace: Always ``None`` — loading records no spans; present for
             the :class:`Result` protocol.
     """
@@ -147,32 +161,88 @@ class Deployment:
     pool: DevicePool
     compiled: CompiledModel
     load_s: float
+    fleet: FleetSpec | None = None
+    placement: FleetPlacement | None = None
     trace: Tracer | None = None
 
     def summary(self) -> dict:
-        """Flat, JSON-ready deployment report."""
+        """Flat, JSON-ready deployment report (``repro.deploy/2``).
+
+        Schema change from ``/1``: adds ``devices`` (one
+        :meth:`~repro.edgetpu.backend.AcceleratorArch.describe` record
+        per device) and ``placement`` (the attached decisions, or
+        ``None``).
+        """
         return {
-            "schema": "repro.deploy/1",
+            "schema": "repro.deploy/2",
             "num_devices": self.pool.num_devices,
             "load_s": self.load_s,
             "weight_bytes": self.compiled.weight_bytes,
+            "devices": [device.arch.describe()
+                        for device in self.pool.devices],
+            "placement": ([d.describe()
+                           for d in self.placement.decisions]
+                          if self.placement is not None else None),
         }
 
 
-def deploy(trained: PipelineResult, *, num_devices: int = 1) -> Deployment:
-    """Load a training result's inference model onto a device pool.
+def deploy(trained: PipelineResult, *, fleet: FleetSpec | None = None,
+           placement: FleetPlacement | None = None,
+           num_devices: int | None = None) -> Deployment:
+    """Load a training result's inference model onto a device fleet.
 
     Args:
-        trained: A :func:`train` result (its ``compiled`` model is what
-            gets replicated).
-        num_devices: Pool size.
+        trained: A :func:`train` result or a bare
+            :class:`~repro.edgetpu.compiler.CompiledModel` (the
+            compiled model is what gets replicated — on non-default
+            backends the pool recompiles it per device architecture,
+            bit-identical outputs).
+        fleet: The device fleet to provision
+            (:class:`~repro.config.FleetSpec`); one device group per
+            backend, expanded in canonical group order.  Defaults to a
+            single stock-``edgetpu`` device.
+        placement: Optional
+            :class:`~repro.runtime.placement.FleetPlacement` to record
+            on the deployment (see :class:`Deployment`).
+        num_devices: Deprecated spelling of
+            ``fleet=FleetSpec.single(count=num_devices)``.
 
     Returns:
         A :class:`Deployment` ready for :func:`serve`.
     """
-    pool = DevicePool(num_devices, trained.compiled.arch)
-    load_s = pool.load_replicated(trained.compiled)
-    return Deployment(pool=pool, compiled=trained.compiled, load_s=load_s)
+    compiled = getattr(trained, "compiled", trained)
+    if not isinstance(compiled, CompiledModel):
+        raise TypeError(
+            "trained must be a PipelineResult or CompiledModel, "
+            f"got {type(trained).__name__}"
+        )
+    if num_devices is not None:
+        if fleet is not None:
+            raise TypeError(
+                "fleet= and the deprecated num_devices= are mutually "
+                "exclusive"
+            )
+        warnings.warn(
+            "num_devices= is deprecated; pass "
+            "fleet=repro.FleetSpec.single(count=...)",
+            DeprecationWarning, stacklevel=2,
+        )
+        pool = DevicePool(num_devices, compiled.arch)
+    elif fleet is not None:
+        if not isinstance(fleet, FleetSpec):
+            raise TypeError(
+                f"fleet must be a FleetSpec, got {type(fleet).__name__}"
+            )
+        archs = []
+        for spec in fleet.groups():
+            arch = spec.make()
+            archs.extend([arch] * spec.count)
+        pool = DevicePool(len(archs), archs=archs)
+    else:
+        pool = DevicePool(1, compiled.arch)
+    load_s = pool.load_replicated(compiled)
+    return Deployment(pool=pool, compiled=compiled,
+                      load_s=load_s, fleet=fleet, placement=placement)
 
 
 def serve(deployment: Deployment, requests: list[Request], *,

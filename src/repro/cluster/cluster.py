@@ -24,7 +24,7 @@ router policy and replica count given one seed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.cluster.autoscaler import Autoscaler, AutoscalerConfig
 from repro.cluster.engine import EventEngine
@@ -37,6 +37,7 @@ from repro.edgetpu.compiler import CompiledModel
 from repro.edgetpu.multidevice import DevicePool
 from repro.observability.metrics import LatencyTracker, MetricsRegistry
 from repro.observability.trace import Tracer
+from repro.runtime.placement import FleetPlacement
 from repro.serving.arrivals import Request
 from repro.serving.server import InferenceServer
 
@@ -67,6 +68,16 @@ class ClusterConfig:
             scale).
         max_events: Safety bound forwarded to
             :meth:`EventEngine.run`; ``None`` is unbounded.
+        placement: A
+            :class:`~repro.runtime.placement.FleetPlacement` (from
+            :meth:`PlacementOptimizer.place
+            <repro.runtime.placement.PlacementOptimizer.place>`)
+            turning the cluster into a heterogeneous fleet: one replica
+            per decision, each with the decision's backend, device
+            count, compiled variant and batch bucket, and the router
+            pinning every tenant to its decided replica.  Requires
+            ``policy="placed"`` (and vice versa); ``num_replicas`` /
+            ``devices_per_replica`` are derived from the decisions.
         fast: Use the vectorized simulation fast path
             (:mod:`repro.cluster.fastpath`) when the run is eligible —
             chunked traffic, batched routing, columnar bookkeeping and
@@ -88,6 +99,7 @@ class ClusterConfig:
     tracing: bool = False
     max_events: int | None = None
     fast: bool = True
+    placement: FleetPlacement | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "tenants", tuple(self.tenants))
@@ -128,6 +140,32 @@ class ClusterConfig:
                 f"autoscaler must be an AutoscalerConfig or None, "
                 f"got {type(self.autoscaler).__name__}"
             )
+        if self.placement is not None:
+            if not isinstance(self.placement, FleetPlacement):
+                raise TypeError(
+                    f"placement must be a FleetPlacement or None, "
+                    f"got {type(self.placement).__name__}"
+                )
+            if self.policy != "placed":
+                raise ValueError(
+                    "placement= requires policy='placed' "
+                    f"(got {self.policy!r})"
+                )
+            placed = {d.tenant for d in self.placement.decisions}
+            names = {spec.name for spec in self.tenants}
+            if placed != names:
+                raise ValueError(
+                    f"placement covers tenants {sorted(placed)} but the "
+                    f"config lists {sorted(names)}"
+                )
+            # The fleet shape is the optimizer's answer, not a knob.
+            object.__setattr__(self, "num_replicas",
+                               len(self.placement.decisions))
+        elif self.policy == "placed":
+            raise ValueError(
+                "the placed policy needs placement= (a FleetPlacement "
+                "from PlacementOptimizer.place)"
+            )
 
 
 class Cluster:
@@ -159,17 +197,37 @@ class Cluster:
         self.engine = EventEngine()
         self.replicas: list[Replica] = []
         tier_list = list(tiers) if tiers is not None else None
+        placement = config.placement
         for index in range(config.num_replicas):
-            pool = DevicePool(config.devices_per_replica, compiled.arch)
-            pool.load_replicated(compiled)
+            if placement is not None:
+                # One replica per optimizer decision: the decided
+                # backend, device share, compiled variant and bucket.
+                decision = placement.decisions[index]
+                pool = DevicePool(decision.devices, decision.arch)
+                pool.load_replicated(decision.compiled)
+                serve_config = replace(self._replica_config(index),
+                                       max_batch=decision.bucket)
+            else:
+                pool = DevicePool(config.devices_per_replica,
+                                  compiled.arch)
+                pool.load_replicated(compiled)
+                serve_config = self._replica_config(index)
             server = InferenceServer(
-                pool, config=self._replica_config(index),
+                pool, config=serve_config,
                 tiers=tier_list, metrics=metrics,
             )
             replica = Replica(server, self.engine, replica_id=index)
             replica.open()
             self.replicas.append(replica)
-        self.router = Router(self.replicas, config.policy)
+        tenant_map = None
+        if placement is not None:
+            by_name = {decision.tenant: index
+                       for index, decision in
+                       enumerate(placement.decisions)}
+            tenant_map = {index: by_name[spec.name]
+                          for index, spec in enumerate(config.tenants)}
+        self.router = Router(self.replicas, config.policy,
+                             tenant_map=tenant_map)
         self.autoscaler = None
         if config.autoscaler is not None:
             self.autoscaler = Autoscaler(

@@ -681,6 +681,9 @@ class Replica:
             max(0.0, report.makespan_s - b - s)
             for b, s in zip(self.device_busy, self.device_swap)
         ]
+        report.device_energy_j = [
+            device.energy_joules() for device in server.pool.devices
+        ]
         report.failed_devices = sorted(server.pool.failed)
         if server.swapper is not None:
             report.swap_records = list(server.swapper.records)

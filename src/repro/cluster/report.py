@@ -150,6 +150,11 @@ class ClusterReport:
         """Replica count the run finished with."""
         return len(self.replica_reports)
 
+    @property
+    def energy_j(self) -> float:
+        """Fleet-wide modeled joules (sum of per-device energy)."""
+        return sum(sum(r.device_energy_j) for r in self.replica_reports)
+
     def summary(self) -> dict:
         """Machine-readable fleet report (``repro.cluster/1``)."""
         return {
@@ -166,6 +171,7 @@ class ClusterReport:
             "throughput_rps": self.throughput,
             "makespan_s": self.makespan_s,
             "device_seconds": self.device_seconds,
+            "energy_j": self.energy_j,
             "routed": list(self.routed_counts),
             "latency": self.latency.summary(),
             "replicas": [
@@ -178,6 +184,7 @@ class ClusterReport:
                     "devices": len(report.device_busy_seconds),
                     "utilization": report.utilization,
                     "makespan_s": report.makespan_s,
+                    "energy_j": sum(report.device_energy_j),
                 }
                 for report in self.replica_reports
             ],

@@ -19,6 +19,10 @@ Policies:
   assignment is stable under replica-count changes (only ~1/N of
   tenants move when a replica joins), the property that matters for
   warm caches and resident model state.
+- ``placed`` — an explicit tenant → replica map, the policy the
+  :class:`~repro.runtime.placement.PlacementOptimizer` emits: each
+  tenant lands on the replica whose backend/bucket the optimizer chose
+  for it.
 
 Hashing uses :mod:`hashlib`, not :func:`hash` — Python's string hash is
 salted per process (``PYTHONHASHSEED``), which would silently break
@@ -37,7 +41,7 @@ from repro.serving.arrivals import Request
 __all__ = ["POLICIES", "Router"]
 
 POLICIES = ("round_robin", "least_queue", "tenant_affinity",
-            "consistent_hash")
+            "consistent_hash", "placed")
 
 # Virtual nodes per replica on the consistent-hash ring: enough that
 # tenant load spreads evenly for small replica counts.
@@ -57,12 +61,15 @@ class Router:
         replicas: The :class:`~repro.cluster.replica.Replica` actors
             (``least_queue`` reads their live queue depths).
         policy: One of :data:`POLICIES`.
+        tenant_map: Explicit tenant-id → replica-index map; required by
+            (and only meaningful for) the ``placed`` policy.
 
     Attributes:
         routed_counts: Requests routed to each replica so far.
     """
 
-    def __init__(self, replicas, policy: str = "round_robin"):
+    def __init__(self, replicas, policy: str = "round_robin",
+                 tenant_map: dict | None = None):
         replicas = list(replicas)
         if not replicas:
             raise ValueError("at least one replica is required")
@@ -70,8 +77,21 @@ class Router:
             raise ValueError(
                 f"policy must be one of {POLICIES}, got {policy!r}"
             )
+        if policy == "placed":
+            if not tenant_map:
+                raise ValueError(
+                    "the placed policy needs a tenant_map "
+                    "(tenant id -> replica index)"
+                )
+            for tenant, index in tenant_map.items():
+                if not 0 <= index < len(replicas):
+                    raise ValueError(
+                        f"tenant {tenant} maps to replica {index}, out "
+                        f"of range for {len(replicas)} replicas"
+                    )
         self.replicas = replicas
         self.policy = policy
+        self.tenant_map = dict(tenant_map) if tenant_map else {}
         self.routed_counts = [0] * len(replicas)
         self._next = 0
         self._ring: list[int] = []
@@ -123,6 +143,18 @@ class Router:
             key = (request.tenant if request.tenant is not None
                    else request.request_id)
             index = key % len(self.replicas)
+        elif policy == "placed":
+            if request.tenant is None:
+                raise ValueError(
+                    "the placed policy requires tenant-tagged requests"
+                )
+            try:
+                index = self.tenant_map[request.tenant]
+            except KeyError:
+                raise ValueError(
+                    f"tenant {request.tenant} has no placement; "
+                    f"placed tenants: {sorted(self.tenant_map)}"
+                ) from None
         else:  # consistent_hash
             if request.tenant is not None:
                 index = self._ring_lookup(request.tenant)
@@ -157,6 +189,19 @@ class Router:
             self._next = (self._next + count) % num_replicas
         elif policy == "tenant_affinity":
             indices = tenants % num_replicas
+        elif policy == "placed":
+            unique = np.unique(tenants)
+            lookup = np.empty(int(unique[-1]) + 1 if count else 0,
+                              dtype=np.int64)
+            for tenant in unique.tolist():
+                try:
+                    lookup[tenant] = self.tenant_map[tenant]
+                except KeyError:
+                    raise ValueError(
+                        f"tenant {tenant} has no placement; placed "
+                        f"tenants: {sorted(self.tenant_map)}"
+                    ) from None
+            indices = lookup[tenants]
         elif policy == "consistent_hash":
             unique = np.unique(tenants)
             lookup = np.empty(int(unique[-1]) + 1 if count else 0,

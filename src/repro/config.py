@@ -9,8 +9,11 @@ passed across the :mod:`repro.api` facade:
 
 - :class:`PipelineConfig` — everything a training run needs.
 - :class:`ServeConfig` — everything the online server needs.
+- :class:`BackendSpec` / :class:`FleetSpec` — a heterogeneous device
+  fleet, the input of :func:`repro.api.deploy` and the
+  :class:`~repro.runtime.placement.PlacementOptimizer`.
 
-Both validate at construction (a bad config fails before any work
+All validate at construction (a bad config fails before any work
 runs) and are frozen (a config can never drift mid-run).  The old
 keyword constructors still work through deprecation shims on
 :class:`~repro.runtime.pipeline.TrainingPipeline` and
@@ -23,13 +26,147 @@ import math
 from dataclasses import dataclass
 
 from repro.edgetpu.arch import EdgeTpuArch
+from repro.edgetpu.backend import AcceleratorArch, backend_names, make_arch
 from repro.hdc.bagging import BaggingConfig
 from repro.platforms.base import Platform
 from repro.runtime.executor import ExecutorConfig
 
-__all__ = ["PipelineConfig", "PlanConfig", "ServeConfig", "TierPolicy"]
+__all__ = [
+    "BackendSpec",
+    "FleetSpec",
+    "PipelineConfig",
+    "PlanConfig",
+    "ServeConfig",
+    "TierPolicy",
+]
 
 _BATCHERS = ("dynamic", "fixed")
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """One device group in a fleet: a backend, a count, a price.
+
+    Attributes:
+        backend: Registered backend name
+            (:func:`repro.edgetpu.backend.backend_names` lists them:
+            ``"edgetpu"``, ``"edgetpu-small"``, ``"neuromorphic"``,
+            ``"pi-cpu"``, plus anything user-registered).
+        count: Devices of this type available to the fleet.
+        unit_cost: Relative provisioning cost-rate of one device (the
+            optimizer's hardware term; arbitrary consistent units —
+            e.g. amortized dollars/hour).
+        overrides: Architecture field overrides, as a mapping or as
+            ``(key, value)`` pairs; normalized to a sorted tuple so the
+            spec stays hashable and order-insensitive.
+        name: Group label in placements and summaries; defaults to the
+            backend name.
+    """
+
+    backend: str = "edgetpu"
+    count: int = 1
+    unit_cost: float = 1.0
+    overrides: tuple = ()
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.backend not in backend_names():
+            raise ValueError(
+                f"unknown backend {self.backend!r}; registered: "
+                f"{', '.join(backend_names())}"
+            )
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+        if self.unit_cost < 0:
+            raise ValueError(
+                f"unit_cost must be >= 0, got {self.unit_cost}"
+            )
+        pairs = (tuple(sorted(self.overrides.items()))
+                 if isinstance(self.overrides, dict)
+                 else tuple(sorted(tuple(p) for p in self.overrides)))
+        object.__setattr__(self, "overrides", pairs)
+        if not self.name:
+            object.__setattr__(self, "name", self.backend)
+
+    def make(self) -> AcceleratorArch:
+        """Resolve this spec to its architecture instance."""
+        return make_arch(self.backend, **dict(self.overrides))
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """A heterogeneous device fleet, fully specified.
+
+    The input of :func:`repro.api.deploy` and of the
+    :class:`~repro.runtime.placement.PlacementOptimizer`, which chooses
+    per-tenant backend, batch bucket and device shares minimizing
+    ``device_cost_weight * provisioning + energy_weight * power`` under
+    each tenant's deadline.  Group order is irrelevant — everything
+    downstream iterates :meth:`groups` in canonical (name) order, so
+    two fleets differing only in listing order place identically.
+
+    Attributes:
+        backends: The device groups; a single :class:`BackendSpec` is
+            accepted and wrapped.
+        utilization_target: Fraction of a device's throughput the
+            optimizer is willing to commit (headroom for bursts).
+        device_cost_weight: Weight of the provisioning term in the
+            modeled cost-rate.
+        energy_weight: Weight of the power term (watts) in the modeled
+            cost-rate — the knob that makes the optimizer prefer the
+            neuromorphic fabric for latency-tolerant tenants.
+    """
+
+    backends: tuple = (BackendSpec(),)
+    utilization_target: float = 0.7
+    device_cost_weight: float = 1.0
+    energy_weight: float = 0.1
+
+    def __post_init__(self) -> None:
+        specs = self.backends
+        if isinstance(specs, BackendSpec):
+            specs = (specs,)
+        specs = tuple(specs)
+        if not specs:
+            raise ValueError("a fleet needs at least one BackendSpec")
+        for spec in specs:
+            if not isinstance(spec, BackendSpec):
+                raise TypeError(
+                    f"backends entries must be BackendSpec, "
+                    f"got {type(spec).__name__}"
+                )
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ValueError(
+                f"duplicate group names in fleet: {sorted(names)}; "
+                f"disambiguate with BackendSpec(name=...)"
+            )
+        object.__setattr__(self, "backends", specs)
+        if not 0.0 < self.utilization_target <= 1.0:
+            raise ValueError(
+                f"utilization_target must be in (0, 1], "
+                f"got {self.utilization_target}"
+            )
+        if self.device_cost_weight < 0 or self.energy_weight < 0:
+            raise ValueError("cost weights must be >= 0")
+
+    @property
+    def total_devices(self) -> int:
+        """Devices across all groups."""
+        return sum(spec.count for spec in self.backends)
+
+    def groups(self) -> tuple[BackendSpec, ...]:
+        """The device groups in canonical (name) order."""
+        return tuple(sorted(self.backends, key=lambda s: s.name))
+
+    @classmethod
+    def single(cls, backend: str = "edgetpu", count: int = 1,
+               **kwargs) -> "FleetSpec":
+        """A homogeneous fleet of ``count`` ``backend`` devices."""
+        spec_kwargs = {k: kwargs.pop(k) for k in
+                       ("unit_cost", "overrides", "name") if k in kwargs}
+        return cls(backends=(BackendSpec(backend=backend, count=count,
+                                         **spec_kwargs),), **kwargs)
 
 
 @dataclass(frozen=True)

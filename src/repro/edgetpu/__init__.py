@@ -19,6 +19,14 @@ the paper's evaluation depends on:
 """
 
 from repro.edgetpu.arch import EdgeTpuArch
+from repro.edgetpu.backend import (
+    AcceleratorArch,
+    backend_names,
+    make_arch,
+    register_backend,
+)
+from repro.edgetpu.hostcpu import HostCpuArch
+from repro.edgetpu.neuromorphic import NeuromorphicArch
 from repro.edgetpu.systolic import SystolicArray, systolic_cycles
 from repro.edgetpu.compiler import (
     CompileError,
@@ -38,6 +46,7 @@ from repro.edgetpu.multidevice import (
 from repro.edgetpu.program import Instruction, Program, lower
 
 __all__ = [
+    "AcceleratorArch",
     "CompileError",
     "CompiledModel",
     "DelegatedExecutor",
@@ -46,15 +55,20 @@ __all__ = [
     "EdgeTpuArch",
     "EdgeTpuDevice",
     "FailurePlan",
+    "HostCpuArch",
     "Instruction",
     "InvokeResult",
+    "NeuromorphicArch",
     "OpPlan",
     "ParallelEnsembleResult",
     "Program",
     "SystolicArray",
+    "backend_names",
     "compile_model",
     "is_op_supported",
     "lower",
+    "make_arch",
     "partition",
+    "register_backend",
     "systolic_cycles",
 ]

@@ -6,17 +6,31 @@ measured-system estimates elsewhere (effective USB throughput,
 per-invocation dispatch latency).  They are the knobs of the latency
 model — DESIGN.md records how they were calibrated against the paper's
 reported speedup shapes.
+
+:class:`EdgeTpuArch` is the systolic-array instance of the
+:class:`~repro.edgetpu.backend.AcceleratorArch` backend protocol; the
+geometry (``mxu_rows`` x ``mxu_cols``), clock, parameter memory and
+attach link are all ordinary fields, so a 32x32 "small TPU" is just a
+different parameter bundle of the same backend (registered as
+``"edgetpu-small"``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.edgetpu.backend import (
+    AcceleratorArch,
+    Instruction,
+    OpPlan,
+    register_backend,
+)
+
 __all__ = ["EdgeTpuArch"]
 
 
 @dataclass(frozen=True)
-class EdgeTpuArch:
+class EdgeTpuArch(AcceleratorArch):
     """Architecture/attachment parameters for one Edge TPU device.
 
     Attributes:
@@ -40,6 +54,8 @@ class EdgeTpuArch:
         active_power_w: Device power under load (~2 W USB version).
     """
 
+    backend = "edgetpu"
+
     mxu_rows: int = 64
     mxu_cols: int = 64
     clock_hz: float = 480e6
@@ -62,18 +78,112 @@ class EdgeTpuArch:
             raise ValueError("vector_lanes must be >= 1")
 
     @property
+    def link_bytes_per_s(self) -> float:
+        """The attach link is the USB bus."""
+        return self.usb_bytes_per_s
+
+    @property
     def peak_tops(self) -> float:
         """Peak int8 throughput in tera-ops/second (2 ops per MAC)."""
         return 2.0 * self.mxu_rows * self.mxu_cols * self.clock_hz / 1e12
 
-    def transfer_time(self, num_bytes: int | float) -> float:
-        """Seconds to move ``num_bytes`` over the USB attachment."""
-        if num_bytes < 0:
-            raise ValueError(f"num_bytes must be >= 0, got {num_bytes}")
-        return float(num_bytes) / self.usb_bytes_per_s
+    # -- backend hooks -------------------------------------------------
 
-    def cycles_to_seconds(self, cycles: int | float) -> float:
-        """Convert MXU clock cycles to seconds."""
-        if cycles < 0:
-            raise ValueError(f"cycles must be >= 0, got {cycles}")
-        return float(cycles) / self.clock_hz
+    def plan_op(self, op, input_dim: int) -> OpPlan:
+        """Systolic cycle plan: tiled MXU matmul, vector-unit tanh."""
+        from repro.edgetpu.systolic import systolic_cycles
+        from repro.tflite.ops import FullyConnectedOp
+
+        output_dim = op.output_dim(input_dim)
+        if isinstance(op, FullyConnectedOp):
+            fill = systolic_cycles(
+                op.input_dim, output_dim, batch=1,
+                rows=self.mxu_rows, cols=self.mxu_cols, include_fill=True,
+            ) - systolic_cycles(
+                op.input_dim, output_dim, batch=1,
+                rows=self.mxu_rows, cols=self.mxu_cols, include_fill=False,
+            )
+            per_row = systolic_cycles(
+                op.input_dim, output_dim, batch=1,
+                rows=self.mxu_rows, cols=self.mxu_cols, include_fill=False,
+            )
+            return OpPlan(
+                name=op.name, kind=op.kind, weight_bytes=op.weight_bytes,
+                input_dim=input_dim, output_dim=output_dim,
+                fixed_cycles=fill, cycles_per_row=float(per_row),
+            )
+        # Tanh: the vector unit processes `vector_lanes` activations/cycle.
+        per_row = -(-output_dim // self.vector_lanes)
+        return OpPlan(
+            name=op.name, kind=op.kind, weight_bytes=op.weight_bytes,
+            input_dim=input_dim, output_dim=output_dim,
+            fixed_cycles=0, cycles_per_row=float(per_row),
+        )
+
+    def lower_op(self, op, width: int, batch: int) -> list[Instruction]:
+        """Tile-level lowering: exposed first load + fill, hidden
+        double-buffered tile loads, one MATMUL pass per tile."""
+        from repro.tflite.ops import FullyConnectedOp, TanhOp
+
+        instructions: list[Instruction] = []
+        if isinstance(op, FullyConnectedOp):
+            out_dim = op.output_dim(width)
+            row_tiles = -(-op.input_dim // self.mxu_rows)
+            col_tiles = -(-out_dim // self.mxu_cols)
+            # First tile load and pipeline fill are exposed; subsequent
+            # tile loads are hidden behind compute by double buffering.
+            instructions.append(Instruction(
+                "LOAD_TILE", f"{op.name}[0,0]", cycles=self.mxu_rows,
+            ))
+            instructions.append(Instruction(
+                "PIPE_FILL", op.name,
+                cycles=self.mxu_rows + self.mxu_cols - 2,
+            ))
+            for row in range(row_tiles):
+                for col in range(col_tiles):
+                    if row or col:
+                        instructions.append(Instruction(
+                            "LOAD_TILE", f"{op.name}[{row},{col}] (hidden)",
+                            cycles=0.0,
+                        ))
+                    instructions.append(Instruction(
+                        "MATMUL", f"{op.name}[{row},{col}]",
+                        cycles=float(batch),
+                    ))
+        elif isinstance(op, TanhOp):
+            lanes = self.vector_lanes
+            instructions.append(Instruction(
+                "ACTIVATE", f"{op.name} (tanh LUT)",
+                cycles=float(-(-width // lanes) * batch),
+            ))
+        else:  # pragma: no cover — the compiler only maps FC/TANH
+            raise TypeError(
+                f"cannot lower op kind {type(op).__name__}"
+            )
+        return instructions
+
+    def describe(self) -> dict:
+        payload = super().describe()
+        payload["mxu"] = f"{self.mxu_rows}x{self.mxu_cols}"
+        payload["vector_lanes"] = self.vector_lanes
+        payload["peak_tops"] = self.peak_tops
+        return payload
+
+
+def _small_edgetpu(**overrides) -> EdgeTpuArch:
+    """The "small TPU" preset: a quarter-size 32x32 MXU with half the
+    parameter memory and roughly half the power — the spikehard-style
+    restructuring of the same model onto smaller cores."""
+    params = dict(
+        mxu_rows=32, mxu_cols=32,
+        parameter_buffer_bytes=4 * 1024 * 1024,
+        invoke_overhead_s=70e-6,
+        vector_lanes=32,
+        idle_power_w=0.3, active_power_w=1.0,
+    )
+    params.update(overrides)
+    return EdgeTpuArch(**params)
+
+
+register_backend("edgetpu", EdgeTpuArch)
+register_backend("edgetpu-small", _small_edgetpu)

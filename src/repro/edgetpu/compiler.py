@@ -1,15 +1,22 @@
-"""The Edge TPU compiler: legality checks, tiling, and the latency plan.
+"""The accelerator compiler: legality checks, op mapping, latency plans.
 
-Mirrors what ``edgetpu_compiler`` does to a ``.tflite`` file:
+Mirrors what ``edgetpu_compiler`` does to a ``.tflite`` file,
+generalized over the :class:`~repro.edgetpu.backend.AcceleratorArch`
+backend protocol:
 
-- verifies ops are int8-quantized and on the supported-op list;
-- maps the maximal *prefix* of supported ops to the TPU (the real
-  compiler creates a single TPU subgraph; anything after the first
+- verifies ops are on the backend's supported-op list
+  (:meth:`AcceleratorArch.supports` — int8 legality for every current
+  backend);
+- maps the maximal *prefix* of supported ops to the device (the real
+  compiler creates a single device subgraph; anything after the first
   unsupported op stays on the CPU — for the paper's models that is only
   the final ARGMAX);
-- checks whether the model's parameters fit the 8 MiB on-chip buffer
-  (models that do not fit stream the excess over USB per invocation);
-- produces per-op cycle plans from the systolic-array model.
+- checks whether the model's parameters fit the backend's on-device
+  buffer (models that do not fit stream the excess over the attach link
+  per invocation);
+- produces per-op cycle plans from the backend's cost model
+  (:meth:`AcceleratorArch.plan_op` — the systolic-array model for the
+  Edge TPU backends, event routing for the neuromorphic backend).
 """
 
 from __future__ import annotations
@@ -17,16 +24,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.edgetpu.arch import EdgeTpuArch
-from repro.edgetpu.systolic import systolic_cycles
+from repro.edgetpu.backend import AcceleratorArch, OpPlan, default_supports
 from repro.runtime.cache import LruCache
 from repro.tflite.flatmodel import FlatModel
-from repro.tflite.ops import (
-    ArgmaxOp,
-    FullyConnectedOp,
-    Op,
-    TanhOp,
-    fused_stages,
-)
+from repro.tflite.ops import Op, fused_stages
 
 __all__ = [
     "CompileError",
@@ -38,7 +39,7 @@ __all__ = [
 
 
 class CompileError(Exception):
-    """Raised when a model cannot be mapped to the Edge TPU at all."""
+    """Raised when a model cannot be mapped to the device at all."""
 
 
 # Per-(compiled, batch) memo caches are bounded: a long-running server
@@ -54,64 +55,29 @@ def is_op_supported(op: Op) -> bool:
 
     Fully-connected and tanh are on the Edge TPU supported-ops list;
     ARGMAX is not and falls back to the host CPU (matching the real
-    compiler's behaviour for the paper's classification models).
+    compiler's behaviour for the paper's classification models).  This
+    is the shared int8 legality check every current backend uses;
+    backends with a different surface override
+    :meth:`AcceleratorArch.supports`.
     """
-    if isinstance(op, FullyConnectedOp):
-        return (
-            op.weights.dtype.name == "int8"
-            and op.input_qparams.dtype == "int8"
-            and op.output_qparams.dtype == "int8"
-        )
-    if isinstance(op, TanhOp):
-        return op.input_qparams.dtype == "int8"
-    return False
-
-
-@dataclass(frozen=True)
-class OpPlan:
-    """Latency plan for one TPU-mapped op.
-
-    Attributes:
-        name: Op name.
-        kind: Op kind string.
-        weight_bytes: Parameter bytes resident on-chip for this op.
-        input_dim: Activation width consumed.
-        output_dim: Activation width produced.
-        fixed_cycles: Batch-independent cycles (pipeline fill, initial
-            weight load).
-        cycles_per_row: Marginal cycles per batch row.
-    """
-
-    name: str
-    kind: str
-    weight_bytes: int
-    input_dim: int
-    output_dim: int
-    fixed_cycles: int
-    cycles_per_row: float
-
-    def cycles(self, batch: int) -> float:
-        """Total cycles to run a batch of ``batch`` rows."""
-        if batch < 1:
-            raise ValueError(f"batch must be >= 1, got {batch}")
-        return self.fixed_cycles + self.cycles_per_row * batch
+    return default_supports(op)
 
 
 @dataclass
 class CompiledModel:
-    """A model after Edge TPU compilation.
+    """A model after accelerator compilation.
 
     Attributes:
         model: The source flat model (kernels are shared — execution on
             the device is bit-identical to the reference interpreter).
-        arch: Target architecture.
-        tpu_ops: Ops mapped to the TPU (a prefix of ``model.ops``).
+        arch: Target architecture (any registered backend).
+        tpu_ops: Ops mapped to the device (a prefix of ``model.ops``).
         cpu_ops: Trailing ops left on the host CPU.
-        plans: One :class:`OpPlan` per TPU op.
+        plans: One :class:`OpPlan` per device op.
     """
 
     model: FlatModel
-    arch: EdgeTpuArch
+    arch: AcceleratorArch
     tpu_ops: list[Op]
     cpu_ops: list[Op]
     plans: list[OpPlan] = field(default_factory=list)
@@ -273,49 +239,21 @@ class CompiledModel:
         return "\n".join(lines)
 
 
-def _plan_op(op: Op, input_dim: int, arch: EdgeTpuArch) -> OpPlan:
-    """Build the cycle plan for one supported op."""
-    output_dim = op.output_dim(input_dim)
-    if isinstance(op, FullyConnectedOp):
-        fill = systolic_cycles(
-            op.input_dim, output_dim, batch=1,
-            rows=arch.mxu_rows, cols=arch.mxu_cols, include_fill=True,
-        ) - systolic_cycles(
-            op.input_dim, output_dim, batch=1,
-            rows=arch.mxu_rows, cols=arch.mxu_cols, include_fill=False,
-        )
-        per_row = systolic_cycles(
-            op.input_dim, output_dim, batch=1,
-            rows=arch.mxu_rows, cols=arch.mxu_cols, include_fill=False,
-        )
-        return OpPlan(
-            name=op.name, kind=op.kind, weight_bytes=op.weight_bytes,
-            input_dim=input_dim, output_dim=output_dim,
-            fixed_cycles=fill, cycles_per_row=float(per_row),
-        )
-    # Tanh: the vector unit processes `vector_lanes` activations/cycle.
-    per_row = -(-output_dim // arch.vector_lanes)
-    return OpPlan(
-        name=op.name, kind=op.kind, weight_bytes=op.weight_bytes,
-        input_dim=input_dim, output_dim=output_dim,
-        fixed_cycles=0, cycles_per_row=float(per_row),
-    )
-
-
-def compile_model(model: FlatModel, arch: EdgeTpuArch | None = None
+def compile_model(model: FlatModel, arch: AcceleratorArch | None = None
                   ) -> CompiledModel:
-    """Compile a flat model for the Edge TPU.
+    """Compile a flat model for an accelerator backend.
 
     Args:
         model: The quantized model.
-        arch: Target architecture (defaults to the standard USB device).
+        arch: Target architecture (defaults to the standard USB Edge TPU).
 
     Returns:
-        The compiled model with its TPU/CPU partition and latency plans.
+        The compiled model with its device/CPU partition and latency
+        plans (from ``arch.plan_op``).
 
     Raises:
-        CompileError: If not even the first op can map to the TPU (the
-            device would contribute nothing).
+        CompileError: If not even the first op can map to the device
+            (the accelerator would contribute nothing).
     """
     if arch is None:
         arch = EdgeTpuArch()
@@ -325,8 +263,8 @@ def compile_model(model: FlatModel, arch: EdgeTpuArch | None = None
     width = model.input_spec.size
     mapping_to_tpu = True
     for op in model.ops:
-        if mapping_to_tpu and is_op_supported(op):
-            plans.append(_plan_op(op, width, arch))
+        if mapping_to_tpu and arch.supports(op):
+            plans.append(arch.plan_op(op, width))
             tpu_ops.append(op)
         else:
             mapping_to_tpu = False

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.edgetpu.arch import EdgeTpuArch
+from repro.edgetpu.backend import AcceleratorArch
 from repro.edgetpu.compiler import CompiledModel
 
 __all__ = ["EdgeTpuDevice", "InvokeResult"]
@@ -54,7 +55,7 @@ class DeviceStats:
 
 
 class EdgeTpuDevice:
-    """A simulated USB-attached Edge TPU.
+    """A simulated attached accelerator device (any registered backend).
 
     Example::
 
@@ -67,7 +68,7 @@ class EdgeTpuDevice:
         stats: Cumulative counters (invocations, busy time, bytes moved).
     """
 
-    def __init__(self, arch: EdgeTpuArch | None = None):
+    def __init__(self, arch: AcceleratorArch | None = None):
         self.arch = arch if arch is not None else EdgeTpuArch()
         self.compiled: CompiledModel | None = None
         self.stats = DeviceStats()

@@ -27,7 +27,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.edgetpu.arch import EdgeTpuArch
-from repro.edgetpu.compiler import CompiledModel
+from repro.edgetpu.backend import AcceleratorArch
+from repro.edgetpu.compiler import CompiledModel, compile_model
 from repro.edgetpu.device import EdgeTpuDevice
 
 __all__ = [
@@ -129,42 +130,95 @@ class ParallelEnsembleResult:
 
 
 class DevicePool:
-    """A pool of identical Edge TPU devices, one model pinned to each.
+    """A pool of accelerator devices, one model pinned to each.
+
+    Homogeneous by default (every device shares ``arch``); pass
+    ``archs=`` for a mixed-backend pool — model-loading entry points
+    then compile a per-architecture *variant* of each model on demand
+    (cached, and the identity compile when architectures match, so
+    homogeneous pools behave bit-identically to before).  Every variant
+    shares the source flat model's kernels: predictions are
+    bit-identical across backends, only modeled time/energy differs.
 
     Args:
         num_devices: Pool size.
-        arch: Architecture shared by all devices.
+        arch: Architecture shared by all devices (homogeneous pools).
+        archs: Per-device architectures (length ``num_devices``);
+            mutually exclusive with ``arch``.
     """
 
-    def __init__(self, num_devices: int, arch: EdgeTpuArch | None = None):
+    def __init__(self, num_devices: int, arch: AcceleratorArch | None = None,
+                 *, archs: list[AcceleratorArch] | None = None):
         if num_devices < 1:
             raise ValueError(f"num_devices must be >= 1, got {num_devices}")
-        self.arch = arch if arch is not None else EdgeTpuArch()
-        self.devices = [EdgeTpuDevice(self.arch) for _ in range(num_devices)]
+        if archs is not None:
+            if arch is not None:
+                raise ValueError("pass either arch= or archs=, not both")
+            if len(archs) != num_devices:
+                raise ValueError(
+                    f"archs has {len(archs)} entries for a "
+                    f"{num_devices}-device pool"
+                )
+            device_archs = list(archs)
+        else:
+            shared = arch if arch is not None else EdgeTpuArch()
+            device_archs = [shared] * num_devices
+        self.arch = device_archs[0]
+        self.devices = [EdgeTpuDevice(a) for a in device_archs]
         self.models: list[CompiledModel | None] = [None] * num_devices
         self.load_seconds: list[float] = [0.0] * num_devices
         self.failed: set[int] = set()
         self.retired: set[int] = set()
         self._failure_plans: dict[int, FailurePlan] = {}
+        # (id(source compiled), device arch) -> per-arch variant.  The
+        # source is pinned in the value so id() stays valid.
+        self._variants: dict[tuple[int, AcceleratorArch],
+                             tuple[CompiledModel, CompiledModel]] = {}
 
     @property
     def num_devices(self) -> int:
         """Pool size (including failed and retired devices)."""
         return len(self.devices)
 
+    @property
+    def homogeneous(self) -> bool:
+        """True when every device shares one architecture."""
+        return all(d.arch == self.arch for d in self.devices)
+
+    def _variant_for(self, compiled: CompiledModel,
+                     arch: AcceleratorArch) -> CompiledModel:
+        """The per-architecture twin of ``compiled``.
+
+        Identity when the architectures already match (the homogeneous
+        fast path — no recompile, no cache entry); otherwise compiled
+        once per (model, arch) and reused, so a mixed pool with eight
+        small-TPU devices derives the 32x32 variant a single time.
+        """
+        if compiled.arch == arch:
+            return compiled
+        key = (id(compiled), arch)
+        entry = self._variants.get(key)
+        if entry is None:
+            entry = (compiled, compile_model(compiled.model, arch))
+            self._variants[key] = entry
+        return entry[1]
+
     # ------------------------------------------------------------------
     # Elastic capacity (the cluster autoscaler's device-level knob)
     # ------------------------------------------------------------------
 
-    def add_device(self) -> int:
+    def add_device(self, arch: AcceleratorArch | None = None) -> int:
         """Attach one new (empty) device; returns its pool index.
 
         The autoscaler's scale-up primitive: the device joins healthy
         but holds no model — load the current primary (and any resident
         tiers) onto it before dispatching, charging the load time on
-        the virtual clock like any other deployment.
+        the virtual clock like any other deployment.  Defaults to the
+        pool's primary architecture; pass ``arch=`` to grow a mixed
+        pool.
         """
-        self.devices.append(EdgeTpuDevice(self.arch))
+        self.devices.append(EdgeTpuDevice(arch if arch is not None
+                                          else self.arch))
         self.models.append(None)
         self.load_seconds.append(0.0)
         return self.num_devices - 1
@@ -248,6 +302,8 @@ class DevicePool:
             )
         if self.models[index] is None:
             raise RuntimeError(f"device {index} has no model loaded")
+        if model is not None:
+            model = self._variant_for(model, self.devices[index].arch)
         return self.devices[index].invoke(x, compiled=model,
                                           executor=executor)
 
@@ -274,6 +330,8 @@ class DevicePool:
             )
         if self.models[index] is None:
             raise RuntimeError(f"device {index} has no model loaded")
+        if model is not None:
+            model = self._variant_for(model, self.devices[index].arch)
         return self.devices[index].invoke_cost(batch, compiled=model)
 
     # ------------------------------------------------------------------
@@ -299,6 +357,7 @@ class DevicePool:
             raise ValueError(f"device index {index} out of range")
         if index in self.failed:
             raise RuntimeError(f"device {index} has failed; cannot reload")
+        compiled = self._variant_for(compiled, self.devices[index].arch)
         seconds = self.devices[index].load_model(compiled)
         self.models[index] = compiled
         self.load_seconds[index] = seconds
@@ -322,6 +381,7 @@ class DevicePool:
             )
         slowest = 0.0
         for index, compiled in enumerate(compiled_models):
+            compiled = self._variant_for(compiled, self.devices[index].arch)
             seconds = self.devices[index].load_model(compiled)
             self.models[index] = compiled
             self.load_seconds[index] = seconds
@@ -342,8 +402,9 @@ class DevicePool:
         for index, device in enumerate(self.devices):
             if index in self.failed or index in self.retired:
                 continue
-            seconds = device.load_model(compiled)
-            self.models[index] = compiled
+            variant = self._variant_for(compiled, device.arch)
+            seconds = device.load_model(variant)
+            self.models[index] = variant
             self.load_seconds[index] = seconds
             slowest = max(slowest, seconds)
         return slowest
@@ -361,7 +422,8 @@ class DevicePool:
         for index, device in enumerate(self.devices):
             if index in self.failed or index in self.retired:
                 continue
-            slowest = max(slowest, device.load_resident(compiled))
+            variant = self._variant_for(compiled, device.arch)
+            slowest = max(slowest, device.load_resident(variant))
         return slowest
 
     def invoke_ensemble(self, x: np.ndarray,

@@ -1,23 +1,25 @@
 """Instruction-level lowering of a compiled model (device "assembly").
 
-The compiler's :class:`~repro.edgetpu.compiler.OpPlan` gives per-op cycle
+The compiler's :class:`~repro.edgetpu.backend.OpPlan` gives per-op cycle
 totals; this module lowers a compiled model one step further, into an
-explicit instruction trace of the kind an Edge TPU executable contains:
-DMA transfers, weight-tile loads, pipeline fills, per-tile MXU passes,
-vector-unit activations and requantization.  The trace is *exact* with
-respect to the latency plan — its cycle and byte totals reproduce
-``CompiledModel.compute_cycles`` / ``invoke_seconds`` — which the tests
-assert, so the disassembly can be trusted when debugging where an HDC
-layer's time goes.
+explicit instruction trace of the kind a device executable contains:
+DMA transfers over the attach link, then whatever the backend's
+:meth:`~repro.edgetpu.backend.AcceleratorArch.lower_op` emits per op —
+weight-tile loads, pipeline fills and per-tile MXU passes for the
+systolic backends; event routing for the neuromorphic backend.  The
+trace is *exact* with respect to the latency plan — its cycle and byte
+totals reproduce ``CompiledModel.compute_cycles`` / ``invoke_seconds``
+— which the tests assert, so the disassembly can be trusted when
+debugging where an HDC layer's time goes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.edgetpu.backend import Instruction
 from repro.edgetpu.compiler import CompiledModel
 from repro.runtime.cache import LruCache
-from repro.tflite.ops import FullyConnectedOp, TanhOp
 
 __all__ = ["Instruction", "Program", "lower"]
 
@@ -25,32 +27,6 @@ __all__ = ["Instruction", "Program", "lower"]
 # per-model memo is tighter than the scalar latency caches — 16 batch
 # sizes still covers a power-of-two bucket ladder with room to spare.
 _PROGRAM_CACHE_SIZE = 16
-
-
-@dataclass(frozen=True)
-class Instruction:
-    """One device instruction.
-
-    Attributes:
-        opcode: One of ``DMA_IN``, ``LOAD_TILE``, ``PIPE_FILL``,
-            ``MATMUL``, ``ACTIVATE``, ``STREAM_WEIGHTS``, ``DMA_OUT``.
-        operand: Human-readable target (op name, tile coordinates).
-        cycles: MXU/vector-unit clock cycles consumed.
-        bytes: Host-device bytes moved (DMA/stream opcodes only).
-    """
-
-    opcode: str
-    operand: str
-    cycles: float = 0.0
-    bytes: int = 0
-
-    def __str__(self) -> str:
-        parts = [f"{self.opcode:<15} {self.operand:<28}"]
-        if self.cycles:
-            parts.append(f"cycles={self.cycles:g}")
-        if self.bytes:
-            parts.append(f"bytes={self.bytes}")
-        return " ".join(parts)
 
 
 @dataclass
@@ -102,11 +78,14 @@ class Program:
 def lower(compiled: CompiledModel, batch: int = 1) -> Program:
     """Lower a compiled model into its per-invocation instruction trace.
 
-    Lowering is memoized per ``(compiled, batch)`` — the plan is pure in
-    both — so repeat callers (inspection tooling, per-batch serving
-    paths) get the cached :class:`Program` back; treat it as read-only.
-    The memo is a small LRU: lowering is deterministic, so an evicted
-    batch size relowers to an identical trace.
+    The DMA frame (input activations in, parameter spill stream, output
+    activations out) is backend-independent; the per-op body comes from
+    the target backend's ``lower_op`` hook.  Lowering is memoized per
+    ``(compiled, batch)`` — the plan is pure in both — so repeat
+    callers (inspection tooling, per-batch serving paths) get the
+    cached :class:`Program` back; treat it as read-only.  The memo is a
+    small LRU: lowering is deterministic, so an evicted batch size
+    relowers to an identical trace.
 
     Args:
         compiled: The compiled model.
@@ -137,41 +116,8 @@ def lower(compiled: CompiledModel, batch: int = 1) -> Program:
         ))
     width = compiled.model.input_spec.size
     for op in compiled.tpu_ops:
-        if isinstance(op, FullyConnectedOp):
-            out_dim = op.output_dim(width)
-            row_tiles = -(-op.input_dim // arch.mxu_rows)
-            col_tiles = -(-out_dim // arch.mxu_cols)
-            # First tile load and pipeline fill are exposed; subsequent
-            # tile loads are hidden behind compute by double buffering.
-            instructions.append(Instruction(
-                "LOAD_TILE", f"{op.name}[0,0]", cycles=arch.mxu_rows,
-            ))
-            instructions.append(Instruction(
-                "PIPE_FILL", op.name,
-                cycles=arch.mxu_rows + arch.mxu_cols - 2,
-            ))
-            for row in range(row_tiles):
-                for col in range(col_tiles):
-                    if row or col:
-                        instructions.append(Instruction(
-                            "LOAD_TILE", f"{op.name}[{row},{col}] (hidden)",
-                            cycles=0.0,
-                        ))
-                    instructions.append(Instruction(
-                        "MATMUL", f"{op.name}[{row},{col}]",
-                        cycles=float(batch),
-                    ))
-            width = out_dim
-        elif isinstance(op, TanhOp):
-            lanes = arch.vector_lanes
-            instructions.append(Instruction(
-                "ACTIVATE", f"{op.name} (tanh LUT)",
-                cycles=float(-(-width // lanes) * batch),
-            ))
-        else:  # pragma: no cover — the compiler only maps FC/TANH
-            raise TypeError(
-                f"cannot lower op kind {type(op).__name__}"
-            )
+        instructions.extend(arch.lower_op(op, width, batch))
+        width = op.output_dim(width)
     instructions.append(Instruction(
         "DMA_OUT", "output activations",
         bytes=batch * compiled.tpu_output_bytes,

@@ -83,6 +83,11 @@ class ServeReport:
             idle).
         device_idle_seconds: Per-device
             ``makespan - busy - swap_load`` seconds.
+        device_energy_j: Per-device modeled joules
+            (:meth:`EdgeTpuDevice.energy_joules
+            <repro.edgetpu.device.EdgeTpuDevice.energy_joules>`: active
+            power x cumulative busy time, model loads included) — the
+            term the placement optimizer's cost objective prices.
         host_seconds: Host busy seconds (tails + CPU fallback).
         retried_batches: Batches that succeeded on a retry device after
             a failure was detected.
@@ -119,6 +124,7 @@ class ServeReport:
     device_busy_seconds: list[float] = field(default_factory=list)
     device_swap_seconds: list[float] = field(default_factory=list)
     device_idle_seconds: list[float] = field(default_factory=list)
+    device_energy_j: list[float] = field(default_factory=list)
     host_seconds: float = 0.0
     retried_batches: int = 0
     fallback_batches: int = 0
@@ -261,6 +267,8 @@ class ServeReport:
             "host_s": self.host_seconds,
             "retried_batches": self.retried_batches,
             "fallback_batches": self.fallback_batches,
+            "energy_j": sum(self.device_energy_j),
+            "device_energy_j": list(self.device_energy_j),
             "failed_devices": list(self.failed_devices),
             "swaps_committed": len(self.swap_records),
             "swap_s": sum(r.modelgen_seconds + r.load_seconds
@@ -370,7 +378,10 @@ class InferenceServer:
         if not loaded:
             raise RuntimeError("no models loaded; load the pool first")
         for other in loaded[1:]:
-            if other is not loaded[0]:
+            # Heterogeneous pools hold per-backend recompilations of the
+            # same flat model (see DevicePool._variant_for); that still
+            # counts as replicated — every device answers every request.
+            if other is not loaded[0] and other.model is not loaded[0].model:
                 raise ValueError(
                     "serving requires the replicated placement; use "
                     "DevicePool.load_replicated()"
@@ -410,7 +421,9 @@ class InferenceServer:
             tier_list = list(tiers)
             if not tier_list:
                 raise ValueError("tiers must contain at least one tier")
-            if tier_list[0].compiled is not self._compiled:
+            if (tier_list[0].compiled is not self._compiled
+                    and tier_list[0].compiled.model
+                    is not self._compiled.model):
                 raise ValueError(
                     "tier 0 must be the model the pool already serves; "
                     "load_replicated(tiers[0].compiled) first"
@@ -488,10 +501,21 @@ class InferenceServer:
             )
         estimate = self._estimate_cache.get(batch_size)
         if estimate is None:
-            compiled = self._compiled
             rows = self._charged_rows(batch_size)
-            estimate = (compiled.invoke_seconds(rows)
-                        + self._host_tail_seconds(compiled, rows))
+            # A heterogeneous pool serves per-backend variants of the
+            # primary; the batch trigger must plan for the slowest one
+            # (it cannot know which device a batch will land on).  On a
+            # homogeneous pool this is the single compiled model and the
+            # estimate is unchanged.
+            variants = {id(self._compiled): self._compiled}
+            for model in self.pool.models:
+                if model is not None and model.model is self._compiled.model:
+                    variants.setdefault(id(model), model)
+            estimate = max(
+                compiled.invoke_seconds(rows)
+                + self._host_tail_seconds(compiled, rows)
+                for compiled in variants.values()
+            )
             self._estimate_cache.put(batch_size, estimate)
         return estimate
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro.edgetpu import EdgeTpuArch, compile_model, lower
+from repro.edgetpu import backend_names, compile_model, lower, make_arch
 from repro.tflite import FlatModel
 
 __all__ = ["build_parser", "main"]
@@ -13,16 +13,22 @@ __all__ = ["build_parser", "main"]
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.tools inspect",
-        description="Compile a saved model for the Edge TPU and report "
-                    "the partition, buffer usage and latency estimates.",
+        description="Compile a saved model for a simulated accelerator "
+                    "backend and report the partition, buffer usage and "
+                    "latency estimates.",
     )
     parser.add_argument("model", help="path to a .rtfl model file")
     parser.add_argument("--batches", type=int, nargs="+", default=[1, 8, 64],
                         help="batch sizes to estimate latency for")
     parser.add_argument("--disasm", action="store_true",
                         help="print the lowered instruction trace (batch 1)")
+    parser.add_argument("--backend", default="edgetpu",
+                        choices=backend_names(),
+                        help="registered accelerator backend to compile "
+                             "for (default: edgetpu)")
     parser.add_argument("--usb-mbps", type=float, default=None,
-                        help="override USB bandwidth in MB/s")
+                        help="override the attach-link bandwidth in MB/s "
+                             "(edgetpu backends only)")
     return parser
 
 
@@ -33,9 +39,10 @@ def main(argv: list[str] | None = None) -> int:
           f"output {model.output_spec.shape}, "
           f"{model.size_bytes()} bytes on disk")
 
-    arch = EdgeTpuArch() if args.usb_mbps is None else EdgeTpuArch(
-        usb_bytes_per_s=args.usb_mbps * 1e6
-    )
+    overrides = {}
+    if args.usb_mbps is not None:
+        overrides["usb_bytes_per_s"] = args.usb_mbps * 1e6
+    arch = make_arch(args.backend, **overrides)
     compiled = compile_model(model, arch)
     print(compiled.summary())
     print(f"model load: {1e3 * compiled.load_seconds():.2f} ms")

@@ -12,8 +12,9 @@ from repro.cluster import (
     POLICIES,
     TenantSpec,
 )
-from repro.config import ServeConfig
+from repro.config import FleetSpec, ServeConfig
 from repro.observability.metrics import MetricsRegistry
+from repro.runtime.placement import PlacementOptimizer
 
 
 def _summary(compiled, **overrides):
@@ -24,9 +25,16 @@ def _summary(compiled, **overrides):
 @pytest.mark.parametrize("policy", POLICIES)
 def test_every_policy_serves_the_whole_trace(compiled_model,
                                              tenant_mix, policy):
+    overrides = {}
+    if policy == "placed":
+        optimizer = PlacementOptimizer(
+            FleetSpec.single("edgetpu", count=8)
+        )
+        overrides["placement"] = optimizer.place(compiled_model,
+                                                 tenant_mix)
     summary = _summary(compiled_model, tenants=tenant_mix,
                        total_requests=1200, num_replicas=2,
-                       policy=policy, seed=7)
+                       policy=policy, seed=7, **overrides)
     assert summary["policy"] == policy
     assert summary["num_requests"] == 1200
     assert summary["served"] + summary["dropped"] == 1200

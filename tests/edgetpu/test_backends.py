@@ -1,0 +1,229 @@
+"""Tests for the pluggable backend framework.
+
+Covers the registry, cross-backend bit-identity of the int8 kernels,
+trace-exactness of every backend's lowering, systolic-geometry
+properties (hypothesis), and end-to-end serve determinism on a
+non-default geometry.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.edgetpu import (
+    AcceleratorArch,
+    EdgeTpuArch,
+    EdgeTpuDevice,
+    HostCpuArch,
+    NeuromorphicArch,
+    backend_names,
+    compile_model,
+    lower,
+    make_arch,
+    register_backend,
+)
+from repro.edgetpu.systolic import SystolicArray
+from repro.tflite import FlatModel, TensorSpec
+from repro.tflite.ops import ArgmaxOp, FullyConnectedOp, TanhOp
+from repro.tflite.quantization import qparams_asymmetric
+
+BACKENDS = ("edgetpu", "edgetpu-small", "neuromorphic", "pi-cpu")
+
+
+def _model(rng, n=40, d=256, k=5):
+    in_qp = qparams_asymmetric(-4.0, 4.0)
+    hid_qp = qparams_asymmetric(-40.0, 40.0)
+    out_qp = qparams_asymmetric(-30.0, 30.0)
+    fc1 = FullyConnectedOp.from_float(
+        rng.standard_normal((n, d)).astype(np.float32), in_qp, hid_qp,
+        name="encode")
+    tanh = TanhOp(hid_qp, name="tanh")
+    fc2 = FullyConnectedOp.from_float(
+        rng.standard_normal((d, k)).astype(np.float32) * 0.05,
+        tanh.output_qparams, out_qp, name="classify")
+    return FlatModel("hdc", TensorSpec("input", (n,), in_qp),
+                     [fc1, tanh, fc2, ArgmaxOp(out_qp)])
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = backend_names()
+        for name in BACKENDS:
+            assert name in names
+
+    def test_make_arch_types(self):
+        assert isinstance(make_arch("edgetpu"), EdgeTpuArch)
+        assert isinstance(make_arch("neuromorphic"), NeuromorphicArch)
+        assert isinstance(make_arch("pi-cpu"), HostCpuArch)
+
+    def test_make_arch_defaults_are_stock(self):
+        assert make_arch("edgetpu") == EdgeTpuArch()
+
+    def test_make_arch_overrides(self):
+        arch = make_arch("edgetpu", mxu_rows=32, mxu_cols=32)
+        assert (arch.mxu_rows, arch.mxu_cols) == (32, 32)
+
+    def test_small_preset(self):
+        arch = make_arch("edgetpu-small")
+        assert isinstance(arch, EdgeTpuArch)
+        assert (arch.mxu_rows, arch.mxu_cols) == (32, 32)
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(KeyError, match="unknown backend"):
+            make_arch("not-a-backend")
+
+    def test_reregister_requires_overwrite(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("edgetpu", EdgeTpuArch)
+
+    def test_describe_has_backend_key(self):
+        for name in BACKENDS:
+            payload = make_arch(name).describe()
+            assert payload["backend"] == (
+                "edgetpu" if name == "edgetpu-small" else name
+            )
+            json.dumps(payload)  # JSON-ready
+
+    def test_all_archs_are_accelerator_archs(self):
+        for name in BACKENDS:
+            assert isinstance(make_arch(name), AcceleratorArch)
+
+
+class TestCrossBackendBitIdentity:
+    """The int8 kernels are shared; only the cost model differs."""
+
+    @pytest.fixture()
+    def flat(self, rng):
+        return _model(rng)
+
+    @pytest.fixture()
+    def batch(self, rng):
+        return rng.standard_normal((8, 40)).astype(np.float32)
+
+    def test_outputs_identical_across_backends(self, flat, batch):
+        outputs = {}
+        for name in BACKENDS:
+            compiled = compile_model(flat, make_arch(name))
+            device = EdgeTpuDevice(compiled.arch)
+            device.load_model(compiled)
+            quantized = flat.input_spec.qparams.quantize(batch)
+            outputs[name] = device.invoke(quantized).outputs
+        reference = outputs["edgetpu"]
+        for name in BACKENDS[1:]:
+            np.testing.assert_array_equal(outputs[name], reference)
+
+    def test_latency_models_differ(self, flat):
+        seconds = {
+            name: compile_model(flat, make_arch(name)).invoke_seconds(8)
+            for name in BACKENDS
+        }
+        assert len(set(seconds.values())) == len(BACKENDS)
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_lowering_is_trace_exact(self, flat, name):
+        compiled = compile_model(flat, make_arch(name))
+        for batch in (1, 7, 64):
+            program = lower(compiled, batch=batch)
+            assert program.total_cycles == pytest.approx(
+                compiled.compute_cycles(batch)
+            )
+            assert program.seconds() == pytest.approx(
+                compiled.invoke_seconds(batch)
+            )
+
+
+def _tiled_matmul(x, weights, rows, cols):
+    """Drive a full matmul through (rows x cols) systolic tiles."""
+    k, n = weights.shape
+    out = np.zeros((x.shape[0], n), dtype=np.int64)
+    for r0 in range(0, k, rows):
+        for c0 in range(0, n, cols):
+            tile = np.zeros((rows, cols), dtype=np.int64)
+            block = weights[r0:r0 + rows, c0:c0 + cols]
+            tile[:block.shape[0], :block.shape[1]] = block
+            xin = np.zeros((x.shape[0], rows), dtype=np.int64)
+            xin[:, :min(rows, k - r0)] = x[:, r0:r0 + rows]
+            array = SystolicArray(rows, cols)
+            array.load_weights(tile)
+            y, _ = array.matmul(xin)
+            out[:, c0:c0 + cols] += y[:, :block.shape[1]]
+    return out
+
+
+class TestSystolicGeometryProperties:
+    @given(
+        rows=st.integers(min_value=1, max_value=24),
+        cols=st.integers(min_value=1, max_value=24),
+        batch=st.integers(min_value=0, max_value=12),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_any_geometry_matches_reference(self, rows, cols, batch,
+                                            seed):
+        rng = np.random.default_rng(seed)
+        weights = rng.integers(-128, 128, (rows, cols), dtype=np.int64)
+        x = rng.integers(-128, 128, (batch, rows), dtype=np.int64)
+        array = SystolicArray(rows, cols)
+        array.load_weights(weights)
+        y, cycles = array.matmul(x)
+        np.testing.assert_array_equal(y, x @ weights)
+        assert cycles == (batch + rows + cols - 2 if batch else 0)
+
+    @given(
+        k=st.integers(min_value=1, max_value=96),
+        n=st.integers(min_value=1, max_value=96),
+        batch=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_tiling_is_geometry_invariant(self, k, n, batch, seed):
+        rng = np.random.default_rng(seed)
+        weights = rng.integers(-128, 128, (k, n), dtype=np.int64)
+        x = rng.integers(-128, 128, (batch, k), dtype=np.int64)
+        reference = x @ weights
+        for rows, cols in ((64, 64), (32, 32), (16, 48)):
+            np.testing.assert_array_equal(
+                _tiled_matmul(x, weights, rows, cols), reference
+            )
+
+
+class TestSmallGeometryEndToEnd:
+    def test_32x32_serve_is_bit_deterministic(self, rng):
+        from repro.serving import (
+            ArrivalProcess,
+            InferenceServer,
+            RequestStream,
+            ServeConfig,
+        )
+        from repro.data.streams import DriftingStream, StreamConfig
+        from repro.edgetpu.multidevice import DevicePool
+
+        flat = _model(rng, n=16, d=128, k=3)
+        compiled = compile_model(flat, make_arch("edgetpu-small"))
+        stream = DriftingStream(
+            StreamConfig(num_features=16, num_classes=3,
+                         drift_rate=0.0),
+            seed=5,
+        )
+        trace = list(RequestStream(
+            stream, ArrivalProcess(500.0, "poisson", seed=9),
+            deadline_s=0.05,
+        ).generate(200))
+
+        def run():
+            pool = DevicePool(2, compiled.arch)
+            pool.load_replicated(compiled)
+            server = InferenceServer(
+                pool, config=ServeConfig(max_batch=8)
+            )
+            return server.serve(trace)
+
+        first, second = run(), run()
+        np.testing.assert_array_equal(first.predictions,
+                                      second.predictions)
+        assert json.dumps(first.summary(), sort_keys=True) == \
+            json.dumps(second.summary(), sort_keys=True)
+        assert sum(first.device_energy_j) > 0

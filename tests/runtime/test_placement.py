@@ -112,3 +112,141 @@ class TestCrossover:
         fast = CostModel(tpu=EdgeTpuPlatform(EdgeTpuArch(usb_bytes_per_s=2e9)))
         assert tpu_feature_crossover(cost_model=fast) < \
             tpu_feature_crossover(cost_model=slow)
+
+
+# ---------------------------------------------------------------------
+# Fleet placement optimizer
+# ---------------------------------------------------------------------
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.traffic import TenantSpec
+from repro.config import BackendSpec, FleetSpec
+from repro.edgetpu import compile_model
+from repro.runtime.placement import PlacementOptimizer
+from repro.tflite import FlatModel, TensorSpec
+from repro.tflite.ops import ArgmaxOp, FullyConnectedOp, TanhOp
+from repro.tflite.quantization import qparams_asymmetric
+
+
+@pytest.fixture(scope="module")
+def fleet_compiled():
+    rng = np.random.default_rng(42)
+    in_qp = qparams_asymmetric(-4.0, 4.0)
+    hid_qp = qparams_asymmetric(-40.0, 40.0)
+    out_qp = qparams_asymmetric(-30.0, 30.0)
+    fc1 = FullyConnectedOp.from_float(
+        rng.standard_normal((24, 512)).astype(np.float32), in_qp,
+        hid_qp, name="encode")
+    tanh = TanhOp(hid_qp, name="tanh")
+    fc2 = FullyConnectedOp.from_float(
+        rng.standard_normal((512, 4)).astype(np.float32) * 0.05,
+        tanh.output_qparams, out_qp, name="classify")
+    return compile_model(
+        FlatModel("hdc", TensorSpec("input", (24,), in_qp),
+                  [fc1, tanh, fc2, ArgmaxOp(out_qp)])
+    )
+
+
+_GROUPS = (
+    BackendSpec(backend="edgetpu", count=4, unit_cost=4.0),
+    BackendSpec(backend="edgetpu-small", count=4, unit_cost=1.5),
+    BackendSpec(backend="pi-cpu", count=4, unit_cost=0.5),
+    BackendSpec(backend="neuromorphic", count=4, unit_cost=1.0),
+)
+
+_TENANTS = (
+    TenantSpec("interactive", rate_hz=900.0, deadline_s=0.02),
+    TenantSpec("bursty", rate_hz=400.0, deadline_s=0.1),
+    TenantSpec("background", rate_hz=100.0, deadline_s=1.0),
+)
+
+
+class TestPlacementOptimizer:
+    def test_covers_every_tenant_sorted(self, fleet_compiled):
+        placement = PlacementOptimizer(
+            FleetSpec(backends=_GROUPS)
+        ).place(fleet_compiled, _TENANTS)
+        names = [d.tenant for d in placement.decisions]
+        assert names == sorted(spec.name for spec in _TENANTS)
+        assert placement.feasible
+        assert placement.total_devices >= len(_TENANTS)
+
+    def test_respects_group_capacity(self, fleet_compiled):
+        placement = PlacementOptimizer(
+            FleetSpec(backends=_GROUPS)
+        ).place(fleet_compiled, _TENANTS)
+        used = {}
+        for decision in placement.decisions:
+            used[decision.group] = (used.get(decision.group, 0)
+                                    + decision.devices)
+        counts = {spec.name: spec.count for spec in _GROUPS}
+        for group, devices in used.items():
+            assert devices <= counts[group]
+
+    def test_capacity_exhaustion_raises(self, fleet_compiled):
+        tiny = FleetSpec.single("edgetpu", count=1)
+        many = tuple(
+            TenantSpec(f"t{i}", rate_hz=50_000.0, deadline_s=0.005)
+            for i in range(4)
+        )
+        with pytest.raises(ValueError, match="capacity exhausted"):
+            PlacementOptimizer(tiny).place(fleet_compiled, many)
+
+    def test_impossible_sla_marks_infeasible(self, fleet_compiled):
+        placement = PlacementOptimizer(
+            FleetSpec(backends=_GROUPS)
+        ).place(fleet_compiled, (
+            TenantSpec("strict", rate_hz=100.0, deadline_s=1e-9),
+        ))
+        decision = placement.decisions[0]
+        assert not decision.feasible
+        assert not placement.feasible
+
+    def test_describe_is_json_ready(self, fleet_compiled):
+        import json
+        placement = PlacementOptimizer(
+            FleetSpec(backends=_GROUPS)
+        ).place(fleet_compiled, _TENANTS)
+        json.dumps(placement.describe())
+        assert "fleet placement" in placement.summary()
+
+    @given(order=st.permutations(range(len(_GROUPS))))
+    @settings(max_examples=12, deadline=None)
+    def test_fleet_order_invariant(self, fleet_compiled, order):
+        canonical = PlacementOptimizer(
+            FleetSpec(backends=_GROUPS)
+        ).place(fleet_compiled, _TENANTS)
+        shuffled = PlacementOptimizer(
+            FleetSpec(backends=tuple(_GROUPS[i] for i in order))
+        ).place(fleet_compiled, _TENANTS)
+        assert shuffled.decisions == canonical.decisions
+
+    @given(order=st.permutations(range(len(_TENANTS))))
+    @settings(max_examples=6, deadline=None)
+    def test_tenant_order_invariant(self, fleet_compiled, order):
+        canonical = PlacementOptimizer(
+            FleetSpec(backends=_GROUPS)
+        ).place(fleet_compiled, _TENANTS)
+        shuffled = PlacementOptimizer(
+            FleetSpec(backends=_GROUPS)
+        ).place(fleet_compiled,
+                tuple(_TENANTS[i] for i in order))
+        assert shuffled.decisions == canonical.decisions
+
+    def test_per_tenant_models(self, fleet_compiled):
+        placement = PlacementOptimizer(
+            FleetSpec(backends=_GROUPS)
+        ).place(
+            fleet_compiled,
+            _TENANTS[:2],
+        )
+        by_dict = PlacementOptimizer(
+            FleetSpec(backends=_GROUPS)
+        ).place(
+            {spec.name: fleet_compiled for spec in _TENANTS[:2]},
+            _TENANTS[:2],
+        )
+        assert by_dict.decisions == placement.decisions

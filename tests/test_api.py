@@ -94,7 +94,9 @@ class TestServeConfig:
 class TestFacade:
     def test_train_deploy_serve_end_to_end(self, trained, data):
         x, y = data
-        deployment = repro.deploy(trained, num_devices=2)
+        deployment = repro.deploy(
+            trained, fleet=repro.FleetSpec.single(count=2)
+        )
         assert deployment.pool.num_devices == 2
         assert deployment.load_s > 0
         report = repro.serve(deployment, _requests(x, y),
@@ -115,7 +117,7 @@ class TestFacade:
         x, y = data
         deployment = repro.deploy(trained)
         assert trained.summary()["schema"] == "repro.train/1"
-        assert deployment.summary()["schema"] == "repro.deploy/1"
+        assert deployment.summary()["schema"] == "repro.deploy/2"
         report = repro.serve(deployment, _requests(x, y, n=8))
         summary = report.summary()
         assert summary["schema"] == "repro.serve/1"
@@ -185,12 +187,35 @@ class TestDeprecationShims:
 
 class TestDeployment:
     def test_summary(self, trained):
-        deployment = repro.deploy(trained, num_devices=3)
+        deployment = repro.deploy(
+            trained, fleet=repro.FleetSpec.single(count=3)
+        )
         summary = deployment.summary()
         assert summary["num_devices"] == 3
         assert summary["load_s"] == deployment.load_s
         assert summary["weight_bytes"] == trained.compiled.weight_bytes
+        assert len(summary["devices"]) == 3
+        assert all(d["backend"] == "edgetpu" for d in summary["devices"])
+        assert summary["placement"] is None
         assert deployment.trace is None
+
+    def test_num_devices_shim_warns_and_matches(self, trained):
+        with pytest.deprecated_call(match="FleetSpec"):
+            legacy = repro.deploy(trained, num_devices=2)
+        modern = repro.deploy(trained,
+                              fleet=repro.FleetSpec.single(count=2))
+        assert legacy.pool.num_devices == modern.pool.num_devices
+        assert legacy.load_s == modern.load_s
+
+    def test_heterogeneous_fleet_deploys_variants(self, trained):
+        fleet = repro.FleetSpec(backends=(
+            repro.BackendSpec(backend="edgetpu"),
+            repro.BackendSpec(backend="pi-cpu"),
+        ))
+        deployment = repro.deploy(trained, fleet=fleet)
+        backends = [d["backend"]
+                    for d in deployment.summary()["devices"]]
+        assert sorted(backends) == ["edgetpu", "pi-cpu"]
 
     def test_is_dataclass_result(self, trained):
         deployment = repro.deploy(trained)
